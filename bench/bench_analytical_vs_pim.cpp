@@ -1,0 +1,72 @@
+// Section V-B claim: analytical (Table I) estimates overstate the energy
+// efficiency of pruned mixed-precision models by ~5-7x relative to the PIM
+// hardware numbers, because they assume an idealised per-layer-precision
+// datapath. We reproduce the comparison on both Table III configurations.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "energy/analytical.h"
+#include "pim/mapper.h"
+#include "report/table.h"
+
+namespace {
+
+using namespace adq;
+
+// Mean of per-layer energy ratios. The paper's Table III efficiencies
+// (980x / 300x) are not reproducible as total-baseline / total-model with
+// the published Table I formulas (that yields ~80x / ~34x); they *are* the
+// right order of magnitude if one averages the per-layer ratios instead,
+// where a near-dead layer (e.g. VGG conv16 pruned 512 -> 8 channels at
+// 3 bits) contributes an enormous ratio. We print this diagnostic so the
+// discrepancy is visible rather than silently absorbed.
+double mean_per_layer_ratio(const models::ModelSpec& model,
+                            const models::ModelSpec& baseline) {
+  const energy::EnergyReport em = energy::analytical_energy(model);
+  const energy::EnergyReport eb = energy::analytical_energy(baseline);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < em.layers.size(); ++i) {
+    sum += eb.layers[i].total_pj() / em.layers[i].total_pj();
+  }
+  return sum / static_cast<double>(em.layers.size());
+}
+
+void compare(report::Table& table, const std::string& name,
+             models::ModelSpec spec, const std::vector<int>& bits,
+             const std::vector<std::int64_t>& channels, double paper_analytical,
+             double paper_pim) {
+  const models::ModelSpec baseline = spec.with_uniform_bits(16);
+  spec.apply_bits(quant::BitWidthPolicy(bits));
+  spec.apply_channels(channels);
+  const double analytical = energy::energy_efficiency(spec, baseline);
+  const double pim = pim::pim_energy_reduction(spec, baseline);
+  table.add_row({name, report::fmt_factor(analytical), report::fmt_factor(pim),
+                 report::fmt_factor(analytical / pim),
+                 report::fmt_factor(paper_analytical) + " / " +
+                     report::fmt_factor(paper_pim) + " = " +
+                     report::fmt_factor(paper_analytical / paper_pim, 1)});
+  table.add_row({name + " (mean per-layer ratio)",
+                 report::fmt_factor(mean_per_layer_ratio(spec, baseline)), "-",
+                 "-", "paper-style? see source comment"});
+}
+
+}  // namespace
+
+int main() {
+  report::Table table(
+      "Section V-B — analytical vs PIM efficiency for pruned+quantized models");
+  table.set_header({"network", "analytical eff", "PIM reduction",
+                    "analytical optimism", "paper (analytical/PIM)"});
+
+  compare(table, "VGG19/CIFAR-10", models::vgg19_spec(models::VggConfig{}),
+          bench::kPaperVggC10Bits, bench::paper_vgg_c10_channels(), 980.0, 197.55);
+  compare(table, "ResNet18/CIFAR-100",
+          models::resnet18_spec(models::ResNetConfig{}),
+          bench::kPaperResNetC100PrunedBits, bench::paper_resnet_c100_channels(),
+          300.0, 43.941);
+
+  std::printf("%s", table.to_markdown().c_str());
+  std::puts("\npaper: analytical estimates are ~5-7x greater than the PIM "
+            "hardware measurement; our models must land in the same band.");
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Google-benchmark microbenches for the performance-critical primitives:
+// GEMM, conv forward/backward, fake quantization, density metering, and the
+// PIM functional array. These guard the substrate's throughput — the
+// training benches' wall-clock budget depends on them.
+#include <benchmark/benchmark.h>
+
+#include "ad/density_meter.h"
+#include "nn/conv2d.h"
+#include "nn/init.h"
+#include "pim/accelerator.h"
+#include "quant/quantizer.h"
+#include "tensor/gemm.h"
+#include "tensor/rng.h"
+
+namespace {
+
+using namespace adq;
+
+void BM_Gemm(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a(Shape{n, n}), b(Shape{n, n});
+  rng.fill_normal(a, 0.0f, 1.0f);
+  rng.fill_normal(b, 0.0f, 1.0f);
+  for (auto _ : state) {
+    Tensor c = matmul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(256)->Arg(512);
+
+void BM_ConvForward(benchmark::State& state) {
+  const std::int64_t c = state.range(0);
+  Rng rng(2);
+  nn::Conv2d conv(c, c, 3, 1, 1, false);
+  nn::init_conv(conv, rng);
+  conv.set_quantization_enabled(false);
+  Tensor x(Shape{8, c, 16, 16});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  for (auto _ : state) {
+    Tensor y = conv.forward(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * 16 * 16 * c * 9 * c);
+}
+BENCHMARK(BM_ConvForward)->Arg(16)->Arg(64);
+
+void BM_ConvBackward(benchmark::State& state) {
+  const std::int64_t c = state.range(0);
+  Rng rng(3);
+  nn::Conv2d conv(c, c, 3, 1, 1, false);
+  nn::init_conv(conv, rng);
+  conv.set_quantization_enabled(false);
+  Tensor x(Shape{8, c, 16, 16});
+  Tensor g(Shape{8, c, 16, 16});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  rng.fill_normal(g, 0.0f, 1.0f);
+  conv.forward(x);
+  for (auto _ : state) {
+    Tensor gx = conv.backward(g);
+    benchmark::DoNotOptimize(gx.data());
+  }
+}
+BENCHMARK(BM_ConvBackward)->Arg(16)->Arg(64);
+
+void BM_QuantizedConvForward(benchmark::State& state) {
+  // Overhead of in-training fake quantization relative to BM_ConvForward.
+  Rng rng(4);
+  nn::Conv2d conv(64, 64, 3, 1, 1, false);
+  nn::init_conv(conv, rng);
+  conv.set_bits(4);
+  Tensor x(Shape{8, 64, 16, 16});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  for (auto _ : state) {
+    Tensor y = conv.forward(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_QuantizedConvForward);
+
+void BM_FakeQuantize(benchmark::State& state) {
+  Rng rng(5);
+  Tensor x(Shape{1 << 20});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  for (auto _ : state) {
+    Tensor y = quant::fake_quantize(x, 4);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetBytesProcessed(state.iterations() * x.numel() * sizeof(float));
+}
+BENCHMARK(BM_FakeQuantize);
+
+void BM_DensityObserve(benchmark::State& state) {
+  Rng rng(6);
+  Tensor x(Shape{1 << 20});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  ad::DensityMeter meter;
+  for (auto _ : state) {
+    meter.observe(x);
+    benchmark::DoNotOptimize(meter.observed_nonzero());
+  }
+  state.SetBytesProcessed(state.iterations() * x.numel() * sizeof(float));
+}
+BENCHMARK(BM_DensityObserve);
+
+void BM_PimDotProduct(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  Rng rng(7);
+  const std::int64_t max = (std::int64_t{1} << bits) - 1;
+  std::vector<std::int64_t> w(128), a(128);
+  for (auto& v : w) v = rng.uniform_int(0, max);
+  for (auto& v : a) v = rng.uniform_int(0, max);
+  for (auto _ : state) {
+    pim::EventCounts ev;
+    benchmark::DoNotOptimize(pim::pim_dot_product(w, a, bits, ev));
+  }
+}
+BENCHMARK(BM_PimDotProduct)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,29 @@
+// Table I: analytical 45 nm CMOS energy constants. Our implementation must
+// reproduce the published operation energies exactly — they are inputs to
+// every analytical-efficiency column in Tables II/III.
+#include <cstdio>
+
+#include "energy/analytical.h"
+#include "report/table.h"
+
+int main() {
+  using namespace adq;
+  report::Table table("Table I — energy consumption estimates (45 nm CMOS)");
+  table.set_header({"operation", "paper (pJ)", "ours (pJ)"});
+
+  table.add_row({"16-bit memory access (2.5k)", "40.0",
+                 report::fmt(energy::mem_access_energy_pj(16), 1)});
+  table.add_row({"8-bit memory access", "20.0",
+                 report::fmt(energy::mem_access_energy_pj(8), 1)});
+  table.add_row({"32-bit multiply", "3.1", "3.1 (constant)"});
+  table.add_row({"32-bit add", "0.1", "0.1 (constant)"});
+  table.add_row({"32-bit MAC (3.1k/32 + 0.1)", "3.2",
+                 report::fmt(energy::mac_energy_pj(32), 2)});
+  table.add_row({"16-bit MAC", "1.65", report::fmt(energy::mac_energy_pj(16), 2)});
+  table.add_row({"8-bit MAC", "0.875", report::fmt(energy::mac_energy_pj(8), 3)});
+  table.add_row({"4-bit MAC", "0.4875", report::fmt(energy::mac_energy_pj(4), 4)});
+  table.add_row({"2-bit MAC", "0.29375", report::fmt(energy::mac_energy_pj(2), 5)});
+  table.add_row({"1-bit MAC", "0.196875", report::fmt(energy::mac_energy_pj(1), 6)});
+  std::printf("%s", table.to_markdown().c_str());
+  return 0;
+}

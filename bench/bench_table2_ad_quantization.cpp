@@ -1,0 +1,118 @@
+// Table II: activation-density based quantization on (a) VGG19/CIFAR-10,
+// (b) ResNet18/CIFAR-100, (c) ResNet18/TinyImagenet.
+//
+// Two kinds of rows are printed for each experiment:
+//   measured  — Algorithm 1 run end-to-end at bench scale on the synthetic
+//               stand-in dataset (accuracy, AD, epochs, training complexity
+//               and energy efficiency all measured on our stack);
+//   replay    — the paper's published bit-width vector applied to the
+//               full-width spec, with the analytical energy-efficiency
+//               column recomputed (scale-independent shape check).
+#include <cstdio>
+
+#include "bench/common.h"
+#include "energy/analytical.h"
+#include "report/table.h"
+
+namespace {
+
+using namespace adq;
+
+void add_measured_rows(report::Table& table, const bench::QuantExperiment& exp,
+                       const core::RunResult& result) {
+  for (const core::IterationResult& ir : result.iterations) {
+    table.add_row({"measured-" + std::to_string(ir.iter), ir.bits.to_string(),
+                   report::fmt_percent(ir.test_accuracy),
+                   report::fmt(ir.total_ad, 3),
+                   report::fmt_factor(ir.energy_efficiency),
+                   std::to_string(ir.epochs), "-"});
+  }
+  table.add_row({"measured-TC", "training complexity vs 16-bit run", "-", "-", "-", "-",
+                 report::fmt_factor(result.training_complexity_vs_baseline, 3)});
+  (void)exp;
+}
+
+double replay_efficiency(models::ModelSpec spec, const std::vector<int>& bits,
+                         int baseline_bits = 16) {
+  const models::ModelSpec baseline = spec.with_uniform_bits(baseline_bits);
+  spec.apply_bits(quant::BitWidthPolicy(bits));
+  return energy::energy_efficiency(spec, baseline);
+}
+
+}  // namespace
+
+int main() {
+  const bench::Scale s = bench::bench_scale();
+  std::printf("[scale=%s] Table II — AD-based quantization\n\n", s.name.c_str());
+
+  // ---- (a) VGG19 / CIFAR-10 -------------------------------------------
+  {
+    const bench::QuantExperiment exp = bench::run_vgg_c10(s, false, false);
+    report::Table table("Table II(a): VGG19 on CIFAR-10");
+    table.set_header({"row", "bit-widths", "test acc", "total AD",
+                      "energy eff", "epochs", "train compl"});
+    add_measured_rows(table, exp, exp.result);
+    table.add_row({"paper-1", "16-bit all layers", "91.85%", "0.284", "1x", "100", "1x"});
+    table.add_row({"paper-2",
+                   report::fmt_int_vector(bench::kPaperVggC10Bits), "91.62%",
+                   "0.992", "4.16x", "70", "0.524x"});
+    const double eff = replay_efficiency(models::vgg19_spec(models::VggConfig{}),
+                                         bench::kPaperVggC10Bits);
+    table.add_row({"replay-2", "paper bits on full-width spec", "-", "-",
+                   report::fmt_factor(eff), "-", "-"});
+    // Iteration 2a: conv16 effectively removed (1 bit stands in for the
+    // dropped layer in the energy replay; paper reports 4.19x).
+    const double eff2a = replay_efficiency(models::vgg19_spec(models::VggConfig{}),
+                                           bench::kPaperVggC10BitsIter2a);
+    table.add_row({"replay-2a", "paper bits, conv16 removed", "-", "-",
+                   report::fmt_factor(eff2a), "-", "-"});
+    std::printf("%s\n", table.to_markdown().c_str());
+  }
+
+  // ---- (b) ResNet18 / CIFAR-100 ----------------------------------------
+  {
+    const bench::QuantExperiment exp =
+        bench::run_resnet(s, s.classes_c100, 32, false, false, 21);
+    report::Table table("Table II(b): ResNet18 on CIFAR-100 (synthetic stand-in, " +
+                        std::to_string(s.classes_c100) + " classes)");
+    table.set_header({"row", "bit-widths", "test acc", "total AD",
+                      "energy eff", "epochs", "train compl"});
+    add_measured_rows(table, exp, exp.result);
+    table.add_row({"paper-1", "16-bit all layers", "70.90%", "0.416", "1x", "120", "1x"});
+    table.add_row({"paper-3",
+                   report::fmt_int_vector(bench::kPaperResNetC100BitsIter3),
+                   "70.51%", "0.869", "3.19x", "70", "0.703x"});
+    const double eff = replay_efficiency(
+        models::resnet18_spec(models::ResNetConfig{}), bench::kPaperResNetC100BitsIter3);
+    table.add_row({"replay-3", "paper bits on full-width spec", "-", "-",
+                   report::fmt_factor(eff), "-", "-"});
+    std::printf("%s\n", table.to_markdown().c_str());
+  }
+
+  // ---- (c) ResNet18 / TinyImagenet --------------------------------------
+  {
+    const bench::QuantExperiment exp =
+        bench::run_resnet(s, s.classes_tin, s.tin_size, false, false, 22);
+    report::Table table("Table II(c): ResNet18 on TinyImagenet (synthetic stand-in, " +
+                        std::to_string(s.classes_tin) + " classes, " +
+                        std::to_string(s.tin_size) + "px)");
+    table.set_header({"row", "bit-widths", "test acc", "total AD",
+                      "energy eff", "epochs", "train compl"});
+    add_measured_rows(table, exp, exp.result);
+    table.add_row({"paper-4",
+                   report::fmt_int_vector(bench::kPaperResNetTinBitsIter4),
+                   "43.50%", "0.917", "4.50x", "25", "0.770x"});
+    models::ResNetConfig full;
+    full.input_size = 64;
+    full.num_classes = 200;
+    // The paper's TinyImagenet baseline (its iteration 1) is a 32-bit model,
+    // so the 4.50x is measured against 32-bit, not 16-bit.
+    const double eff = replay_efficiency(models::resnet18_spec(full),
+                                         bench::kPaperResNetTinBitsIter4,
+                                         /*baseline_bits=*/32);
+    table.add_row({"replay-4", "paper bits on full 64px spec vs 32-bit base",
+                   "-", "-", report::fmt_factor(eff), "-", "-"});
+    std::printf("%s\n", table.to_markdown().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Table VI: PIM MAC energy of the pruned + mixed-precision models vs the
+// unpruned full-precision baselines — VGG19/CIFAR-10 (paper: 0.558 uJ,
+// 197.55x) and ResNet18/CIFAR-100 (3.630 uJ, 43.941x).
+#include <cstdio>
+
+#include "bench/common.h"
+#include "pim/mapper.h"
+#include "report/table.h"
+
+namespace {
+
+using namespace adq;
+
+void report_network(report::Table& table, const std::string& name,
+                    models::ModelSpec spec, const std::vector<int>& bits,
+                    const std::vector<std::int64_t>& channels,
+                    double paper_pruned_uj, double paper_full_uj,
+                    double paper_reduction) {
+  const models::ModelSpec baseline = spec.with_uniform_bits(16);
+  spec.apply_bits(quant::BitWidthPolicy(bits));
+  spec.apply_channels(channels);
+
+  pim::PimEnergyOptions matched;
+  matched.streaming = pim::ActivationStreaming::kMatched;
+  const double pruned_uj = pim::pim_energy(spec).total_uj;
+  const double pruned_matched = pim::pim_energy(spec, {}, matched).total_uj;
+  const double base_uj = pim::pim_energy(baseline).total_uj;
+
+  table.add_row({name + " (paper)", report::fmt(paper_pruned_uj, 3),
+                 report::fmt(paper_full_uj, 3), report::fmt_factor(paper_reduction)});
+  table.add_row({name + " (ours, full-16 stream)", report::fmt(pruned_uj, 3),
+                 report::fmt(base_uj, 3), report::fmt_factor(base_uj / pruned_uj)});
+  table.add_row({name + " (ours, matched stream)", report::fmt(pruned_matched, 3),
+                 report::fmt(base_uj, 3), report::fmt_factor(base_uj / pruned_matched)});
+}
+
+}  // namespace
+
+int main() {
+  report::Table table("Table VI — PIM energy: pruned mixed-precision vs baseline");
+  table.set_header({"network", "pruned+quant (uJ)", "baseline (uJ)", "reduction"});
+
+  report_network(table, "VGG19/CIFAR-10", models::vgg19_spec(models::VggConfig{}),
+                 bench::kPaperVggC10Bits, bench::paper_vgg_c10_channels(),
+                 0.558, 110.154, 197.55);
+  report_network(table, "ResNet18/CIFAR-100",
+                 models::resnet18_spec(models::ResNetConfig{}),
+                 bench::kPaperResNetC100PrunedBits,
+                 bench::paper_resnet_c100_channels(), 3.630, 159.501, 43.941);
+
+  std::printf("%s", table.to_markdown().c_str());
+  std::puts("\nshape check: pruning+quantization lands in the tens-to-hundreds-x "
+            "band on PIM (paper: 197.55x / 43.94x), orders of magnitude above "
+            "quantization alone (Table V, ~5x).");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Scenario: PIM accelerator energy exploration — no training involved.
+//
+// Loads the paper's published bit-width assignments (Table II) onto
+// full-width VGG19/ResNet18 specs and prints per-layer PIM mappings and
+// energy, the analytical comparison, and the per-MAC Table IV constants.
+// Useful for what-if analysis: pass a uniform bit-width to see the whole
+// curve.
+//
+//   ./build/examples/pim_energy_explorer [uniform_bits]
+#include <cstdio>
+#include <cstdlib>
+
+#include "energy/analytical.h"
+#include "models/resnet.h"
+#include "models/vgg.h"
+#include "pim/mapper.h"
+#include "report/table.h"
+
+int main(int argc, char** argv) {
+  using namespace adq;
+
+  models::ModelSpec spec = models::vgg19_spec(models::VggConfig{});
+  const models::ModelSpec baseline = spec.with_uniform_bits(16);
+
+  if (argc > 1) {
+    const int bits = std::atoi(argv[1]);
+    spec = spec.with_uniform_bits(bits);
+    std::printf("uniform %d-bit VGG19\n", bits);
+  } else {
+    // Paper Table II(a) iteration 2 assignment.
+    spec.apply_bits(quant::BitWidthPolicy(std::vector<int>{
+        16, 4, 5, 4, 3, 2, 2, 2, 3, 3, 3, 4, 3, 3, 3, 3, 16}));
+    std::puts("paper Table II(a) iter-2 mixed-precision VGG19");
+  }
+
+  const pim::PimEnergyReport r = pim::pim_energy(spec);
+  report::Table table("Per-layer PIM mapping (128x128 arrays, full-16 streaming)");
+  table.set_header({"layer", "bits", "hw", "MACs", "tiles", "cycles", "E/MAC fJ", "E uJ"});
+  for (const pim::LayerMapping& m : r.layers) {
+    table.add_row({m.name, std::to_string(m.bits), std::to_string(m.hardware_bits),
+                   std::to_string(m.macs), std::to_string(m.total_tiles),
+                   std::to_string(m.serial_cycles),
+                   report::fmt(m.mac_energy_fj, 3), report::fmt(m.energy_uj, 3)});
+  }
+  std::printf("%s\n", table.to_markdown().c_str());
+
+  const double base_uj = pim::pim_energy(baseline).total_uj;
+  std::printf("total: %.3f uJ | 16-bit baseline: %.3f uJ | reduction %.2fx\n",
+              r.total_uj, base_uj, base_uj / r.total_uj);
+  std::printf("analytical efficiency on the same spec: %.2fx\n",
+              energy::energy_efficiency(spec, baseline));
+
+  std::puts("\nTable IV per-MAC energies:");
+  for (int k : {2, 4, 8, 16}) {
+    std::printf("  E_MAC|%-2d = %8.3f fJ\n", k, pim::pim_mac_energy_fj(k));
+  }
+  return 0;
+}

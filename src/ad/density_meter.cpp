@@ -1,0 +1,41 @@
+#include "ad/density_meter.h"
+
+#include "tensor/ops.h"
+
+namespace adq::ad {
+
+void DensityMeter::observe(const Tensor& activations) {
+  if (!active_) return;
+  nonzero_ += count_nonzero(activations);
+  total_ += activations.numel();
+}
+
+void DensityMeter::observe_counts(std::int64_t nonzero, std::int64_t total) {
+  if (!active_) return;
+  nonzero_ += nonzero;
+  total_ += total;
+}
+
+double DensityMeter::current_density() const {
+  return total_ == 0 ? 0.0 : static_cast<double>(nonzero_) / static_cast<double>(total_);
+}
+
+double DensityMeter::commit_epoch() {
+  const double d = current_density();
+  history_.push_back(d);
+  nonzero_ = 0;
+  total_ = 0;
+  return d;
+}
+
+double DensityMeter::latest() const {
+  return history_.empty() ? current_density() : history_.back();
+}
+
+void DensityMeter::reset() {
+  nonzero_ = 0;
+  total_ = 0;
+  history_.clear();
+}
+
+}  // namespace adq::ad

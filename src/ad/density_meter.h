@@ -1,0 +1,64 @@
+// Activation Density instrumentation — paper eqn (2).
+//
+//   AD = (# nonzero activations) / (# total activations)
+//
+// A DensityMeter is attached to the post-ReLU output of each quantizable
+// layer. During an epoch it accumulates nonzero/total counts over every
+// batch; commit_epoch() folds the epoch value into a history that the
+// SaturationDetector and the eqn-3 bit-width update consume.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace adq::ad {
+
+class DensityMeter {
+ public:
+  explicit DensityMeter(std::string name = "") : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Accumulates counts from one activation tensor (one batch).
+  void observe(const Tensor& activations);
+
+  /// Accumulates pre-computed counts (used by composite layers).
+  void observe_counts(std::int64_t nonzero, std::int64_t total);
+
+  /// AD of the data observed since the last commit; 0 if nothing observed.
+  double current_density() const;
+
+  std::int64_t observed_nonzero() const { return nonzero_; }
+  std::int64_t observed_total() const { return total_; }
+
+  /// Pushes the epoch's AD into the history and resets the accumulators.
+  /// Returns the committed value.
+  double commit_epoch();
+
+  /// One entry per committed epoch.
+  const std::vector<double>& history() const { return history_; }
+
+  /// Most recent committed AD (falls back to current_density() when no epoch
+  /// has been committed yet).
+  double latest() const;
+
+  /// Clears history and accumulators (used when a new quantization iteration
+  /// starts and stale densities must not leak across iterations).
+  void reset();
+
+  /// Enables/disables observation (metering can be turned off in eval).
+  void set_active(bool active) { active_ = active; }
+  bool active() const { return active_; }
+
+ private:
+  std::string name_;
+  bool active_ = true;
+  std::int64_t nonzero_ = 0;
+  std::int64_t total_ = 0;
+  std::vector<double> history_;
+};
+
+}  // namespace adq::ad

@@ -1,0 +1,20 @@
+#include "ad/saturation.h"
+
+#include <algorithm>
+
+namespace adq::ad {
+
+bool SaturationDetector::is_saturated(const std::vector<double>& history) const {
+  if (static_cast<int>(history.size()) < window_) return false;
+  const auto tail_begin = history.end() - window_;
+  const auto [lo, hi] = std::minmax_element(tail_begin, history.end());
+  return (*hi - *lo) < tolerance_;
+}
+
+bool SaturationDetector::all_saturated(
+    const std::vector<std::vector<double>>& histories) const {
+  return std::all_of(histories.begin(), histories.end(),
+                     [this](const std::vector<double>& h) { return is_saturated(h); });
+}
+
+}  // namespace adq::ad

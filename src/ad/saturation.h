@@ -1,0 +1,34 @@
+// Saturation test for Activation Density histories.
+//
+// Algorithm 1 breaks a training iteration once "AD is saturated for all
+// layers". We operationalise saturation as: over the last `window` epochs,
+// the peak-to-peak spread of a layer's AD is below `tolerance` (absolute AD
+// units). The window/tolerance pair is one of the ablation knobs DESIGN.md
+// calls out — it trades epochs-per-iteration against premature bit drops.
+#pragma once
+
+#include <vector>
+
+namespace adq::ad {
+
+class SaturationDetector {
+ public:
+  SaturationDetector(int window = 5, double tolerance = 0.01)
+      : window_(window), tolerance_(tolerance) {}
+
+  int window() const { return window_; }
+  double tolerance() const { return tolerance_; }
+
+  /// True when the last `window` entries of `history` span less than
+  /// `tolerance`. Histories shorter than the window are never saturated.
+  bool is_saturated(const std::vector<double>& history) const;
+
+  /// True when every history is saturated (the all-layers break condition).
+  bool all_saturated(const std::vector<std::vector<double>>& histories) const;
+
+ private:
+  int window_;
+  double tolerance_;
+};
+
+}  // namespace adq::ad

@@ -1,0 +1,31 @@
+#include "core/ad_pruner.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace adq::core {
+
+std::vector<std::int64_t> update_channels(const std::vector<std::int64_t>& current,
+                                          const std::vector<double>& densities,
+                                          const std::vector<bool>& frozen,
+                                          const PrunerConfig& cfg) {
+  if (current.size() != densities.size() || current.size() != frozen.size()) {
+    throw std::invalid_argument("update_channels: size mismatch");
+  }
+  std::vector<std::int64_t> updated(current.size());
+  for (std::size_t i = 0; i < current.size(); ++i) {
+    if (frozen[i]) {
+      updated[i] = current[i];
+      continue;
+    }
+    if (densities[i] < 0.0) {
+      throw std::invalid_argument("update_channels: negative density");
+    }
+    const std::int64_t next =
+        std::llround(static_cast<double>(current[i]) * densities[i]);
+    updated[i] = std::max(cfg.min_channels, next);
+  }
+  return updated;
+}
+
+}  // namespace adq::core

@@ -1,0 +1,27 @@
+// Activation-Density based channel pruning — paper eqn (5):
+//
+//   C_l = round(C_l * AD_l)
+//
+// applied iteratively alongside the quantization updates (the paper writes
+// C_l_initial, but its Table III channel counts shrink multiplicatively per
+// iteration, i.e. the update is applied to the *current* counts — we follow
+// the tables; see DESIGN.md). Frozen units (first conv / final FC) and any
+// unit at min_channels are left alone.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace adq::core {
+
+struct PrunerConfig {
+  std::int64_t min_channels = 1;
+};
+
+/// Returns the eqn-5 updated channel counts. `frozen` marks exempt units.
+std::vector<std::int64_t> update_channels(const std::vector<std::int64_t>& current,
+                                          const std::vector<double>& densities,
+                                          const std::vector<bool>& frozen,
+                                          const PrunerConfig& cfg = {});
+
+}  // namespace adq::core

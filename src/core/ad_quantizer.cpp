@@ -1,0 +1,108 @@
+#include "core/ad_quantizer.h"
+
+#include <cstdio>
+
+namespace adq::core {
+
+AdQuantizationController::AdQuantizationController(models::QuantizableModel& model,
+                                                   Trainer& trainer, AdqConfig cfg)
+    : model_(model), trainer_(trainer), cfg_(cfg), baseline_spec_(model.spec()) {}
+
+int AdQuantizationController::train_until_saturated(RunResult& result) {
+  int epochs = 0;
+  for (int epoch = 0; epoch < cfg_.max_epochs_per_iter; ++epoch) {
+    const EpochStats stats = trainer_.run_epoch();
+    const double acc = trainer_.evaluate();
+    ++epochs;
+
+    for (std::size_t u = 0; u < stats.densities.size(); ++u) {
+      result.ad_per_unit[u].push_back(stats.densities[u]);
+    }
+    result.test_accuracy_per_epoch.push_back(acc);
+    result.train_loss_per_epoch.push_back(stats.train_loss);
+    if (cfg_.verbose) {
+      std::fprintf(stderr, "    epoch %3d  loss %.4f  train %.3f  test %.3f\n",
+                   epoch + 1, stats.train_loss, stats.train_accuracy, acc);
+    }
+    if (epochs >= cfg_.min_epochs_per_iter &&
+        cfg_.detector.all_saturated(model_.density_histories())) {
+      break;
+    }
+  }
+  return epochs;
+}
+
+RunResult AdQuantizationController::run() {
+  RunResult result;
+  result.ad_per_unit.resize(static_cast<std::size_t>(model_.unit_count()));
+
+  const std::vector<bool> frozen = model_.frozen_mask();
+  int total_epochs = 0;
+  std::vector<energy::IterationCost> costs;
+
+  for (int iter = 1; iter <= cfg_.max_iterations; ++iter) {
+    model_.reset_meters();
+    if (cfg_.verbose) {
+      std::fprintf(stderr, "  iter %d: bits %s\n", iter,
+                   model_.bit_policy().to_string().c_str());
+    }
+    const int epochs = train_until_saturated(result);
+    total_epochs += epochs;
+
+    IterationResult ir;
+    ir.iter = iter;
+    ir.bits = model_.bit_policy();
+    ir.channels = model_.channel_policy();
+    ir.epochs = epochs;
+    ir.test_accuracy = result.test_accuracy_per_epoch.back();
+    ir.densities = model_.latest_densities();
+    ir.total_ad = model_.total_density();
+    ir.mac_reduction = energy::mac_energy_reduction(model_.spec(), baseline_spec_);
+    ir.energy_efficiency = energy::energy_efficiency(model_.spec(), baseline_spec_);
+    costs.push_back({ir.mac_reduction, ir.epochs});
+    result.iterations.push_back(ir);
+
+    // eqn 3 (+ optional eqn 5) updates.
+    quant::BitWidthPolicy next_bits =
+        ir.bits.updated(ir.densities, frozen, cfg_.rounding);
+    if (cfg_.hardware_grid) next_bits = next_bits.hardware_rounded();
+
+    bool channels_changed = false;
+    std::vector<std::int64_t> next_channels = ir.channels;
+    if (cfg_.prune) {
+      next_channels = update_channels(ir.channels, ir.densities, frozen, cfg_.pruner);
+      channels_changed = next_channels != ir.channels;
+    }
+
+    if (next_bits == ir.bits && !channels_changed) break;  // AD has saturated at ~1
+    model_.apply_bit_policy(next_bits);
+    if (cfg_.prune) model_.apply_channel_policy(next_channels);
+  }
+
+  // Train the converged k_l-bit model for the remaining budget, still
+  // recording trajectories (the paper trains the final model to convergence).
+  if (cfg_.final_epochs > 0) {
+    model_.reset_meters();
+    for (int e = 0; e < cfg_.final_epochs; ++e) {
+      const EpochStats stats = trainer_.run_epoch();
+      const double acc = trainer_.evaluate();
+      ++total_epochs;
+      for (std::size_t u = 0; u < stats.densities.size(); ++u) {
+        result.ad_per_unit[u].push_back(stats.densities[u]);
+      }
+      result.test_accuracy_per_epoch.push_back(acc);
+      result.train_loss_per_epoch.push_back(stats.train_loss);
+    }
+    IterationResult& last = result.iterations.back();
+    last.epochs += cfg_.final_epochs;
+    last.test_accuracy = result.test_accuracy_per_epoch.back();
+    costs.back().epochs += cfg_.final_epochs;
+  }
+
+  result.training_complexity_raw = energy::training_complexity(costs);
+  result.training_complexity_vs_baseline =
+      energy::training_complexity_vs_baseline(costs, total_epochs);
+  return result;
+}
+
+}  // namespace adq::core

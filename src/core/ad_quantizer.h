@@ -1,0 +1,85 @@
+// Algorithm 1 — in-training Activation-Density based quantization.
+//
+// The controller drives a Trainer through quantization iterations:
+//
+//   for iter = 1..N:
+//     train epochs, monitoring per-layer AD; break when AD saturates
+//     k_l <- round(k_l * AD_l) for every non-frozen layer        (eqn 3)
+//     [optionally C_l <- round(C_l * AD_l) — coupled pruning]    (eqn 5)
+//   stop when neither bits nor channels change (AD has hit ~1.0)
+//
+// Every iteration's bit vector, AD, accuracy, analytical energy efficiency
+// and epoch count are recorded — these are exactly the rows of the paper's
+// Tables II and III. Epoch-granular AD and accuracy trajectories feed
+// Figs 1/3/4.
+#pragma once
+
+#include <vector>
+
+#include "ad/saturation.h"
+#include "core/ad_pruner.h"
+#include "core/trainer.h"
+#include "energy/analytical.h"
+#include "energy/training_complexity.h"
+#include "quant/bitwidth.h"
+
+namespace adq::core {
+
+struct AdqConfig {
+  int max_iterations = 6;         // Algorithm 1's N (converges in 3-4)
+  int min_epochs_per_iter = 2;    // train at least this long per iteration
+  int max_epochs_per_iter = 30;   // cap when AD refuses to settle
+  ad::SaturationDetector detector{/*window=*/4, /*tolerance=*/0.015};
+  quant::Rounding rounding = quant::Rounding::kNearest;  // eqn-3 ablation
+  bool hardware_grid = false;  // snap eqn-3 results to {2,4,8,16} (ablation)
+  bool prune = false;          // couple eqn-5 channel pruning
+  PrunerConfig pruner;
+  int final_epochs = 0;  // extra training of the converged model
+  bool verbose = false;  // progress lines on stderr
+};
+
+struct IterationResult {
+  int iter = 1;                          // 1-based, like the paper's tables
+  quant::BitWidthPolicy bits;            // policy in force DURING the iter
+  std::vector<std::int64_t> channels;    // live channels during the iter
+  int epochs = 0;
+  double test_accuracy = 0.0;
+  double total_ad = 0.0;                 // mean per-unit AD at iter end
+  std::vector<double> densities;         // per-unit AD at iter end
+  double mac_reduction = 1.0;            // analytical MAC-energy factor
+  double energy_efficiency = 1.0;        // analytical full-energy factor
+};
+
+struct RunResult {
+  std::vector<IterationResult> iterations;
+  // Epoch-granular trajectories across the whole run (Figs 1/3/4).
+  std::vector<std::vector<double>> ad_per_unit;  // [unit][epoch]
+  std::vector<double> test_accuracy_per_epoch;
+  std::vector<double> train_loss_per_epoch;
+  // eqn-4 training complexity.
+  double training_complexity_raw = 0.0;
+  double training_complexity_vs_baseline = 0.0;  // normalised by total epochs
+                                                 // of an equally long 16-bit run
+  const IterationResult& final_iteration() const { return iterations.back(); }
+};
+
+class AdQuantizationController {
+ public:
+  AdQuantizationController(models::QuantizableModel& model, Trainer& trainer,
+                           AdqConfig cfg = {});
+
+  /// Runs Algorithm 1 to convergence (or max_iterations) and returns the
+  /// full record. The model is left in its final mixed-precision state.
+  RunResult run();
+
+ private:
+  /// Trains until AD saturates (or the epoch cap); returns epochs used.
+  int train_until_saturated(RunResult& result);
+
+  models::QuantizableModel& model_;
+  Trainer& trainer_;
+  AdqConfig cfg_;
+  models::ModelSpec baseline_spec_;  // snapshot for efficiency factors
+};
+
+}  // namespace adq::core

@@ -1,0 +1,84 @@
+#include "core/trainer.h"
+
+#include "quant/quantizer.h"
+#include "tensor/ops.h"
+
+namespace adq::core {
+
+Trainer::Trainer(models::QuantizableModel& model, const data::Dataset& train,
+                 const data::Dataset& test, TrainerConfig cfg)
+    : model_(model), train_(train), test_(test), cfg_(cfg), rng_(cfg.seed) {
+  std::vector<nn::Parameter*> params = model_.parameters();
+  if (cfg_.optimizer == OptimizerKind::kAdam) {
+    optimizer_ = std::make_unique<nn::Adam>(std::move(params), cfg_.lr, 0.9f,
+                                            0.999f, 1e-8f, cfg_.weight_decay);
+  } else {
+    optimizer_ = std::make_unique<nn::Sgd>(std::move(params), cfg_.lr,
+                                           cfg_.momentum, cfg_.weight_decay);
+  }
+}
+
+EpochStats Trainer::run_epoch() {
+  model_.set_training(true);
+  model_.set_meters_active(true);
+
+  data::BatchLoader loader(train_, cfg_.batch_size, rng_, /*shuffle=*/true);
+  data::Batch batch;
+  double loss_sum = 0.0;
+  std::int64_t correct = 0, seen = 0, batches = 0;
+  while (loader.next(batch)) {
+    optimizer_->zero_grad();
+    const Tensor logits = model_.forward(batch.images);
+    loss_sum += loss_.forward(logits, batch.labels);
+    model_.backward(loss_.backward());
+    if (cfg_.grad_bits > 0) {
+      // QSGD-style gradient quantization: each gradient tensor is snapped
+      // to a k-bit grid before the update, emulating what a distributed
+      // worker would transmit.
+      for (nn::Parameter* p : optimizer_->params()) {
+        p->grad = quant::fake_quantize(p->grad, cfg_.grad_bits);
+      }
+    }
+    optimizer_->step();
+
+    const std::vector<std::int64_t> pred = argmax_rows(logits);
+    for (std::size_t i = 0; i < pred.size(); ++i) {
+      if (pred[i] == batch.labels[i]) ++correct;
+    }
+    seen += static_cast<std::int64_t>(pred.size());
+    ++batches;
+  }
+
+  EpochStats stats;
+  stats.train_loss = batches > 0 ? loss_sum / static_cast<double>(batches) : 0.0;
+  stats.train_accuracy =
+      seen > 0 ? static_cast<double>(correct) / static_cast<double>(seen) : 0.0;
+  stats.densities = model_.commit_epoch_densities();
+  return stats;
+}
+
+double Trainer::evaluate() { return evaluate_on(test_); }
+
+double Trainer::evaluate_on(const data::Dataset& dataset) {
+  model_.set_training(false);
+  model_.set_meters_active(false);
+
+  Rng eval_rng(0);  // unused (no shuffle) but BatchLoader needs one
+  data::BatchLoader loader(dataset, cfg_.batch_size, eval_rng, /*shuffle=*/false);
+  data::Batch batch;
+  std::int64_t correct = 0, seen = 0;
+  while (loader.next(batch)) {
+    const Tensor logits = model_.forward(batch.images);
+    const std::vector<std::int64_t> pred = argmax_rows(logits);
+    for (std::size_t i = 0; i < pred.size(); ++i) {
+      if (pred[i] == batch.labels[i]) ++correct;
+    }
+    seen += static_cast<std::int64_t>(pred.size());
+  }
+
+  model_.set_training(true);
+  model_.set_meters_active(true);
+  return seen > 0 ? static_cast<double>(correct) / static_cast<double>(seen) : 0.0;
+}
+
+}  // namespace adq::core

@@ -1,0 +1,68 @@
+// Training loop over a QuantizableModel.
+//
+// One Trainer owns the optimizer and the batch shuffling RNG; Algorithm 1's
+// controller drives it epoch by epoch. Evaluation switches the network to
+// eval mode (BatchNorm running stats, no AD observation) and restores
+// training mode afterwards.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+#include "models/model.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace adq::core {
+
+enum class OptimizerKind { kAdam, kSgd };
+
+struct TrainerConfig {
+  std::int64_t batch_size = 32;
+  OptimizerKind optimizer = OptimizerKind::kAdam;  // paper: Adam, std settings
+  float lr = 1e-3f;
+  float momentum = 0.9f;      // SGD only
+  float weight_decay = 0.0f;
+  std::uint64_t seed = 1;
+  // Gradient quantization (paper §I: quantized gradients enable
+  // communication-efficient distributed training, QSGD-style). 0 = off;
+  // k >= 1 fake-quantizes every parameter gradient to k bits per step.
+  int grad_bits = 0;
+};
+
+struct EpochStats {
+  double train_loss = 0.0;
+  double train_accuracy = 0.0;
+  std::vector<double> densities;  // per-unit AD committed this epoch
+};
+
+class Trainer {
+ public:
+  Trainer(models::QuantizableModel& model, const data::Dataset& train,
+          const data::Dataset& test, TrainerConfig cfg = {});
+
+  /// One full pass over the training set; commits per-unit densities.
+  EpochStats run_epoch();
+
+  /// Top-1 accuracy on the test set (eval mode, meters off).
+  double evaluate();
+
+  /// Top-1 accuracy on an arbitrary dataset in eval mode.
+  double evaluate_on(const data::Dataset& dataset);
+
+  models::QuantizableModel& model() { return model_; }
+  const TrainerConfig& config() const { return cfg_; }
+
+ private:
+  models::QuantizableModel& model_;
+  const data::Dataset& train_;
+  const data::Dataset& test_;
+  TrainerConfig cfg_;
+  Rng rng_;
+  std::unique_ptr<nn::Optimizer> optimizer_;
+  nn::SoftmaxCrossEntropy loss_;
+};
+
+}  // namespace adq::core

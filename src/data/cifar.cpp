@@ -1,0 +1,64 @@
+#include "data/cifar.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace adq::data {
+namespace {
+
+constexpr std::int64_t kImageBytes = 3 * 32 * 32;
+constexpr std::int64_t kRecordBytes = 1 + kImageBytes;
+
+Dataset parse_records(const std::vector<unsigned char>& raw) {
+  if (raw.size() % kRecordBytes != 0) {
+    throw std::runtime_error("CIFAR-10: file size is not a multiple of 3073");
+  }
+  const std::int64_t n = static_cast<std::int64_t>(raw.size()) / kRecordBytes;
+  Tensor images(Shape{n, 3, 32, 32});
+  std::vector<std::int64_t> labels(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const unsigned char* rec = raw.data() + i * kRecordBytes;
+    labels[static_cast<std::size_t>(i)] = rec[0];
+    float* dst = images.data() + i * kImageBytes;
+    for (std::int64_t j = 0; j < kImageBytes; ++j) {
+      dst[j] = static_cast<float>(rec[1 + j]) / 255.0f;
+    }
+  }
+  return Dataset(std::move(images), std::move(labels));
+}
+
+std::vector<unsigned char> read_all(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("CIFAR-10: cannot open " + path);
+  return std::vector<unsigned char>(std::istreambuf_iterator<char>(in),
+                                    std::istreambuf_iterator<char>());
+}
+
+}  // namespace
+
+Dataset load_cifar10_file(const std::string& path) {
+  return parse_records(read_all(path));
+}
+
+std::optional<TrainTestSplit> load_cifar10(const std::string& dir) {
+  namespace fs = std::filesystem;
+  const std::string test_path = dir + "/test_batch.bin";
+  if (!fs::exists(test_path)) return std::nullopt;
+
+  std::vector<unsigned char> train_raw;
+  for (int b = 1; b <= 5; ++b) {
+    const std::string path = dir + "/data_batch_" + std::to_string(b) + ".bin";
+    if (!fs::exists(path)) return std::nullopt;
+    const std::vector<unsigned char> part = read_all(path);
+    train_raw.insert(train_raw.end(), part.begin(), part.end());
+  }
+  TrainTestSplit split{parse_records(train_raw), load_cifar10_file(test_path)};
+  split.train.standardize();
+  split.test.standardize();
+  return split;
+}
+
+}  // namespace adq::data

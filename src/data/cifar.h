@@ -1,0 +1,24 @@
+// CIFAR-10 binary-format loader (the format of data_batch_*.bin /
+// test_batch.bin from cs.toronto.edu).
+//
+// The repo ships no datasets; when a user drops the real binaries under
+// data/cifar-10-batches-bin the benches pick them up automatically and the
+// synthetic substitute is bypassed. Each record is 1 label byte followed by
+// 3072 channel-major pixel bytes.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "data/dataset.h"
+
+namespace adq::data {
+
+/// Loads one .bin file; throws on malformed sizes.
+Dataset load_cifar10_file(const std::string& path);
+
+/// Loads the standard 5 train batches + test batch from `dir`. Returns
+/// nullopt when the directory or any file is missing.
+std::optional<TrainTestSplit> load_cifar10(const std::string& dir);
+
+}  // namespace adq::data

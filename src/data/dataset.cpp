@@ -1,0 +1,79 @@
+#include "data/dataset.h"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace adq::data {
+
+Dataset::Dataset(Tensor images, std::vector<std::int64_t> labels)
+    : images_(std::move(images)), labels_(std::move(labels)) {
+  if (images_.shape().rank() != 4 ||
+      images_.shape().dim(0) != static_cast<std::int64_t>(labels_.size())) {
+    throw std::invalid_argument("Dataset: images must be [N, C, H, W] with one label per image");
+  }
+}
+
+Batch Dataset::gather(const std::vector<std::int64_t>& indices) const {
+  const std::int64_t B = static_cast<std::int64_t>(indices.size());
+  const std::int64_t sample = channels() * height() * width();
+  Batch batch;
+  batch.images = Tensor(Shape{B, channels(), height(), width()});
+  batch.labels.resize(static_cast<std::size_t>(B));
+  for (std::int64_t b = 0; b < B; ++b) {
+    const std::int64_t i = indices[static_cast<std::size_t>(b)];
+    if (i < 0 || i >= size()) throw std::out_of_range("Dataset::gather: index");
+    const float* src = images_.data() + i * sample;
+    float* dst = batch.images.data() + b * sample;
+    std::copy(src, src + sample, dst);
+    batch.labels[static_cast<std::size_t>(b)] = labels_[static_cast<std::size_t>(i)];
+  }
+  return batch;
+}
+
+void Dataset::standardize() {
+  const std::int64_t n = images_.numel();
+  if (n == 0) return;
+  double s = 0.0, s2 = 0.0;
+  const float* p = images_.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    s += p[i];
+    s2 += static_cast<double>(p[i]) * p[i];
+  }
+  const double mean = s / static_cast<double>(n);
+  const double var = s2 / static_cast<double>(n) - mean * mean;
+  const float inv_std = var > 0.0 ? static_cast<float>(1.0 / std::sqrt(var)) : 1.0f;
+  float* q = images_.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    q[i] = (q[i] - static_cast<float>(mean)) * inv_std;
+  }
+}
+
+BatchLoader::BatchLoader(const Dataset& dataset, std::int64_t batch_size,
+                         Rng& rng, bool shuffle)
+    : dataset_(dataset), batch_size_(batch_size), rng_(rng), shuffle_(shuffle) {
+  if (batch_size_ < 1) throw std::invalid_argument("BatchLoader: batch_size < 1");
+  order_.resize(static_cast<std::size_t>(dataset_.size()));
+  std::iota(order_.begin(), order_.end(), 0);
+  start_epoch();
+}
+
+void BatchLoader::start_epoch() {
+  if (shuffle_) rng_.shuffle(order_);
+  cursor_ = 0;
+}
+
+bool BatchLoader::next(Batch& out) {
+  if (cursor_ >= dataset_.size()) return false;
+  const std::int64_t end = std::min(cursor_ + batch_size_, dataset_.size());
+  std::vector<std::int64_t> idx(order_.begin() + cursor_, order_.begin() + end);
+  out = dataset_.gather(idx);
+  cursor_ = end;
+  return true;
+}
+
+std::int64_t BatchLoader::batches_per_epoch() const {
+  return (dataset_.size() + batch_size_ - 1) / batch_size_;
+}
+
+}  // namespace adq::data

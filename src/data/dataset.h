@@ -1,0 +1,75 @@
+// In-memory labelled image dataset and a shuffling batch loader.
+//
+// Images are stored as one contiguous [N, C, H, W] tensor. The BatchLoader
+// draws deterministic shuffles from an Rng so epoch order — and therefore
+// every AD trajectory — is reproducible from the seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace adq::data {
+
+struct Batch {
+  Tensor images;                     // [B, C, H, W]
+  std::vector<std::int64_t> labels;  // B entries
+};
+
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(Tensor images, std::vector<std::int64_t> labels);
+
+  std::int64_t size() const { return static_cast<std::int64_t>(labels_.size()); }
+  std::int64_t channels() const { return images_.shape().dim(1); }
+  std::int64_t height() const { return images_.shape().dim(2); }
+  std::int64_t width() const { return images_.shape().dim(3); }
+
+  const Tensor& images() const { return images_; }
+  const std::vector<std::int64_t>& labels() const { return labels_; }
+
+  /// Gathers the given sample indices into a batch.
+  Batch gather(const std::vector<std::int64_t>& indices) const;
+
+  /// Normalises images in place to zero mean / unit variance (global).
+  void standardize();
+
+ private:
+  Tensor images_;
+  std::vector<std::int64_t> labels_;
+};
+
+/// A train/test pair produced by any of the dataset sources.
+struct TrainTestSplit {
+  Dataset train;
+  Dataset test;
+};
+
+/// Iterates a dataset in shuffled fixed-size batches (last partial batch is
+/// kept). One pass = one epoch.
+class BatchLoader {
+ public:
+  BatchLoader(const Dataset& dataset, std::int64_t batch_size, Rng& rng,
+              bool shuffle = true);
+
+  /// Resets to a fresh (re-shuffled) epoch.
+  void start_epoch();
+
+  /// Fetches the next batch; returns false at the end of the epoch.
+  bool next(Batch& out);
+
+  std::int64_t batches_per_epoch() const;
+
+ private:
+  const Dataset& dataset_;
+  std::int64_t batch_size_;
+  Rng& rng_;
+  bool shuffle_;
+  std::vector<std::int64_t> order_;
+  std::int64_t cursor_ = 0;
+};
+
+}  // namespace adq::data

@@ -1,0 +1,56 @@
+#include "energy/analytical.h"
+
+#include <stdexcept>
+
+namespace adq::energy {
+
+double mem_access_energy_pj(int bits, const EnergyConstants& c) {
+  if (bits < 1) throw std::invalid_argument("mem_access_energy_pj: bits < 1");
+  return c.mem_pj_per_bit * bits;
+}
+
+double mac_energy_pj(int bits, const EnergyConstants& c) {
+  if (bits < 1) throw std::invalid_argument("mac_energy_pj: bits < 1");
+  return c.mult32_pj * bits / 32.0 + c.add32_pj;
+}
+
+EnergyReport analytical_energy(const models::ModelSpec& spec,
+                               const EnergyConstants& c) {
+  EnergyReport report;
+  report.layers.reserve(spec.layers.size());
+  for (const models::LayerSpec& l : spec.layers) {
+    LayerEnergy e;
+    e.name = l.name;
+    e.bits = l.bits;
+    e.macs = l.macs();
+    e.mem_accesses = l.mem_accesses();
+    e.mac_energy_pj = static_cast<double>(e.macs) * mac_energy_pj(l.bits, c);
+    e.mem_energy_pj =
+        static_cast<double>(e.mem_accesses) * mem_access_energy_pj(l.bits, c);
+    report.total_mac_pj += e.mac_energy_pj;
+    report.total_mem_pj += e.mem_energy_pj;
+    report.layers.push_back(std::move(e));
+  }
+  report.total_pj = report.total_mac_pj + report.total_mem_pj;
+  return report;
+}
+
+double energy_efficiency(const models::ModelSpec& model,
+                         const models::ModelSpec& baseline,
+                         const EnergyConstants& c) {
+  const double model_pj = analytical_energy(model, c).total_pj;
+  const double base_pj = analytical_energy(baseline, c).total_pj;
+  if (model_pj <= 0.0) throw std::invalid_argument("energy_efficiency: zero model energy");
+  return base_pj / model_pj;
+}
+
+double mac_energy_reduction(const models::ModelSpec& model,
+                            const models::ModelSpec& baseline,
+                            const EnergyConstants& c) {
+  const double model_pj = analytical_energy(model, c).total_mac_pj;
+  const double base_pj = analytical_energy(baseline, c).total_mac_pj;
+  if (model_pj <= 0.0) throw std::invalid_argument("mac_energy_reduction: zero model energy");
+  return base_pj / model_pj;
+}
+
+}  // namespace adq::energy

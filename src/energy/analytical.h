@@ -1,0 +1,67 @@
+// Analytical 45 nm CMOS energy model — paper Table I and section IV-A.
+//
+//   E_Mem|k  = 2.5 * k                     pJ per k-bit memory access
+//   E_MAC|k  = 3.1 * k / 32 + 0.1          pJ per k-bit multiply-accumulate
+//   N_mem    = N^2 * I + p^2 * I * O
+//   N_MAC    = M^2 * I * p^2 * O
+//   E_layer  = N_mem * E_Mem|k + N_MAC * E_MAC|k
+//
+// The paper is explicit that this model assumes an idealised per-layer-
+// precision datapath and *overestimates* mixed-precision savings relative
+// to real hardware; bench_analytical_vs_pim quantifies exactly that gap.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "models/spec.h"
+
+namespace adq::energy {
+
+struct EnergyConstants {
+  double mem_pj_per_bit = 2.5;  // E_Mem|k = mem_pj_per_bit * k
+  double mult32_pj = 3.1;       // 32-bit multiply
+  double add32_pj = 0.1;        // 32-bit add
+};
+
+/// E_Mem|k in pJ.
+double mem_access_energy_pj(int bits, const EnergyConstants& c = {});
+
+/// E_MAC|k in pJ.
+double mac_energy_pj(int bits, const EnergyConstants& c = {});
+
+struct LayerEnergy {
+  std::string name;
+  int bits = 16;
+  std::int64_t macs = 0;
+  std::int64_t mem_accesses = 0;
+  double mac_energy_pj = 0.0;
+  double mem_energy_pj = 0.0;
+  double total_pj() const { return mac_energy_pj + mem_energy_pj; }
+};
+
+struct EnergyReport {
+  std::vector<LayerEnergy> layers;
+  double total_pj = 0.0;
+  double total_mac_pj = 0.0;
+  double total_mem_pj = 0.0;
+  double total_uj() const { return total_pj * 1e-6; }
+};
+
+/// Evaluates the full model at its current bits/active-channels.
+EnergyReport analytical_energy(const models::ModelSpec& spec,
+                               const EnergyConstants& c = {});
+
+/// Energy-efficiency factor of `model` relative to `baseline`
+/// (baseline energy / model energy) — the paper's "Energy Efficiency" column.
+double energy_efficiency(const models::ModelSpec& model,
+                         const models::ModelSpec& baseline,
+                         const EnergyConstants& c = {});
+
+/// MAC-energy-only reduction factor (used by the eqn-4 training-complexity
+/// metric, whose term is "MAC reduction").
+double mac_energy_reduction(const models::ModelSpec& model,
+                            const models::ModelSpec& baseline,
+                            const EnergyConstants& c = {});
+
+}  // namespace adq::energy

@@ -1,0 +1,26 @@
+#include "energy/training_complexity.h"
+
+#include <stdexcept>
+
+namespace adq::energy {
+
+double training_complexity(const std::vector<IterationCost>& iterations) {
+  double total = 0.0;
+  for (const IterationCost& it : iterations) {
+    if (it.mac_reduction <= 0.0) {
+      throw std::invalid_argument("training_complexity: non-positive MAC reduction");
+    }
+    total += static_cast<double>(it.epochs) / it.mac_reduction;
+  }
+  return total;
+}
+
+double training_complexity_vs_baseline(const std::vector<IterationCost>& iterations,
+                                       int baseline_epochs) {
+  if (baseline_epochs <= 0) {
+    throw std::invalid_argument("training_complexity_vs_baseline: baseline epochs <= 0");
+  }
+  return training_complexity(iterations) / static_cast<double>(baseline_epochs);
+}
+
+}  // namespace adq::energy

@@ -1,0 +1,28 @@
+// Training Complexity — paper eqn (4):
+//
+//   TC = sum_i (MAC_reduction_i)^-1 * (#epochs_i)
+//
+// where i runs over quantization iterations, MAC_reduction_i is the compute
+// reduction of the iteration-i model relative to the 16-bit baseline, and
+// #epochs_i the epochs trained in that iteration. The paper normalises by
+// the baseline's training run ("1x" anchor row), so we expose both the raw
+// sum and a normalised ratio.
+#pragma once
+
+#include <vector>
+
+namespace adq::energy {
+
+struct IterationCost {
+  double mac_reduction = 1.0;  // >= from mac_energy_reduction()
+  int epochs = 0;
+};
+
+/// Raw eqn-4 sum in "baseline-equivalent epochs".
+double training_complexity(const std::vector<IterationCost>& iterations);
+
+/// Normalised against a baseline trained `baseline_epochs` at reduction 1.
+double training_complexity_vs_baseline(const std::vector<IterationCost>& iterations,
+                                       int baseline_epochs);
+
+}  // namespace adq::energy

@@ -1,0 +1,182 @@
+#include "models/model.h"
+
+#include <stdexcept>
+
+namespace adq::models {
+
+int QuantUnit::bits() const {
+  if (conv != nullptr) return conv->bits();
+  if (linear != nullptr) return linear->bits();
+  throw std::logic_error("QuantUnit " + name + ": no layer bound");
+}
+
+void QuantUnit::set_bits(int b) {
+  switch (role) {
+    case UnitRole::kConv:
+    case UnitRole::kBlockConv1:
+      conv->set_bits(b);
+      break;
+    case UnitRole::kBlockConv2:
+      // Destination of the block's skip: also retargets the skip quantizer
+      // and the downsample conv (Fig 2).
+      block->set_bits_conv2(b);
+      break;
+    case UnitRole::kLinear:
+      linear->set_bits(b);
+      break;
+  }
+}
+
+void QuantUnit::set_quantization_enabled(bool enabled) {
+  if (conv != nullptr) conv->set_quantization_enabled(enabled);
+  if (linear != nullptr) linear->set_quantization_enabled(enabled);
+}
+
+std::int64_t QuantUnit::out_channels() const {
+  if (conv != nullptr) return conv->out_channels();
+  if (linear != nullptr) return linear->out_features();
+  throw std::logic_error("QuantUnit " + name + ": no layer bound");
+}
+
+std::int64_t QuantUnit::active_out_channels() const {
+  if (conv != nullptr) return conv->active_out_channels();
+  if (linear != nullptr) return linear->out_features();
+  throw std::logic_error("QuantUnit " + name + ": no layer bound");
+}
+
+void QuantUnit::set_active_out_channels(std::int64_t n) {
+  switch (role) {
+    case UnitRole::kConv:
+      conv->set_active_out_channels(n);
+      if (bn != nullptr) bn->set_active_channels(n);
+      if (relu != nullptr) relu->set_metered_channels(n);
+      break;
+    case UnitRole::kBlockConv1:
+      block->set_active_mid_channels(n);
+      break;
+    case UnitRole::kBlockConv2:
+      block->set_active_out_channels(n);
+      break;
+    case UnitRole::kLinear:
+      break;  // the paper never prunes the FC head
+  }
+}
+
+QuantizableModel::QuantizableModel(std::string name,
+                                   std::unique_ptr<nn::Sequential> net,
+                                   std::vector<std::unique_ptr<QuantUnit>> units,
+                                   ModelSpec spec)
+    : name_(std::move(name)),
+      net_(std::move(net)),
+      units_(std::move(units)),
+      spec_(std::move(spec)) {
+  if (spec_.unit_layers().size() != units_.size()) {
+    throw std::invalid_argument(name_ + ": spec unit count " +
+                                std::to_string(spec_.unit_layers().size()) +
+                                " != units " + std::to_string(units_.size()));
+  }
+}
+
+std::vector<nn::Parameter*> QuantizableModel::parameters() {
+  std::vector<nn::Parameter*> params;
+  net_->collect_parameters(params);
+  return params;
+}
+
+quant::BitWidthPolicy QuantizableModel::bit_policy() const {
+  std::vector<int> bits;
+  bits.reserve(units_.size());
+  for (const auto& u : units_) bits.push_back(u->bits());
+  return quant::BitWidthPolicy(std::move(bits));
+}
+
+void QuantizableModel::apply_bit_policy(const quant::BitWidthPolicy& policy) {
+  if (policy.size() != unit_count()) {
+    throw std::invalid_argument(name_ + ": policy size mismatch");
+  }
+  for (int i = 0; i < unit_count(); ++i) units_[static_cast<std::size_t>(i)]->set_bits(policy.at(i));
+  spec_.apply_bits(policy);
+}
+
+std::vector<bool> QuantizableModel::frozen_mask() const {
+  std::vector<bool> frozen;
+  frozen.reserve(units_.size());
+  for (const auto& u : units_) frozen.push_back(u->frozen);
+  return frozen;
+}
+
+std::vector<double> QuantizableModel::commit_epoch_densities() {
+  std::vector<double> out;
+  out.reserve(units_.size());
+  for (auto& u : units_) out.push_back(u->meter.commit_epoch());
+  return out;
+}
+
+std::vector<double> QuantizableModel::latest_densities() const {
+  std::vector<double> out;
+  out.reserve(units_.size());
+  for (const auto& u : units_) out.push_back(u->meter.latest());
+  return out;
+}
+
+std::vector<std::vector<double>> QuantizableModel::density_histories() const {
+  std::vector<std::vector<double>> out;
+  out.reserve(units_.size());
+  for (const auto& u : units_) out.push_back(u->meter.history());
+  return out;
+}
+
+double QuantizableModel::total_density() const {
+  // Unweighted mean across units, matching the paper's "overall AD averaged
+  // across all layers" description.
+  const std::vector<double> d = latest_densities();
+  if (d.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : d) s += v;
+  return s / static_cast<double>(d.size());
+}
+
+void QuantizableModel::reset_meters() {
+  for (auto& u : units_) u->meter.reset();
+}
+
+void QuantizableModel::set_meters_active(bool active) {
+  for (auto& u : units_) u->meter.set_active(active);
+}
+
+void QuantizableModel::apply_channel_policy(const std::vector<std::int64_t>& channels) {
+  if (channels.size() != units_.size()) {
+    throw std::invalid_argument(name_ + ": channel policy size mismatch");
+  }
+  for (std::size_t i = 0; i < units_.size(); ++i) {
+    if (units_[i]->role != UnitRole::kLinear) {
+      units_[i]->set_active_out_channels(channels[i]);
+    }
+  }
+  spec_.apply_channels(channels);
+}
+
+void QuantizableModel::remove_unit(int i) {
+  QuantUnit& u = unit(i);
+  if (u.role != UnitRole::kConv || u.conv == nullptr) {
+    throw std::invalid_argument(name_ + ": only plain conv units can be removed");
+  }
+  u.conv->set_bypassed(true);  // validates shape preservation
+  if (u.bn != nullptr) u.bn->set_bypassed(true);
+  // The following ReLU is idempotent on an already-rectified input, so it
+  // can stay; freezing stops eqn-3 from updating a layer that no longer
+  // exists.
+  u.frozen = true;
+  u.removed = true;
+  spec_.layers[static_cast<std::size_t>(spec_.unit_layers()[static_cast<std::size_t>(i)])]
+      .removed = true;
+}
+
+std::vector<std::int64_t> QuantizableModel::channel_policy() const {
+  std::vector<std::int64_t> out;
+  out.reserve(units_.size());
+  for (const auto& u : units_) out.push_back(u->active_out_channels());
+  return out;
+}
+
+}  // namespace adq::models

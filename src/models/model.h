@@ -1,0 +1,128 @@
+// QuantizableModel: a trainable network plus the per-layer bookkeeping that
+// Algorithm 1 operates on.
+//
+// Each *unit* is one quantizable layer in the paper's sense — a conv or the
+// final FC — bundled with its AD meter, the BN/ReLU it owns for pruning
+// masks, and a `frozen` flag (first conv and final FC are never quantized).
+// The model also carries a ModelSpec mirroring the built network so energy
+// models always see the current bits/channels.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ad/density_meter.h"
+#include "models/spec.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/residual.h"
+#include "nn/sequential.h"
+#include "quant/bitwidth.h"
+
+namespace adq::models {
+
+enum class UnitRole {
+  kConv,        // plain conv (VGG body, ResNet stem)
+  kBlockConv1,  // first conv of a residual block
+  kBlockConv2,  // second conv of a residual block (skip destination)
+  kLinear,      // fully connected
+};
+
+struct QuantUnit {
+  std::string name;
+  UnitRole role = UnitRole::kConv;
+  bool frozen = false;   // exempt from eqn-3 updates (first/last layer rule)
+  bool removed = false;  // layer dropped entirely (Table II iter 2a)
+
+  nn::Conv2d* conv = nullptr;      // set for conv roles
+  nn::Linear* linear = nullptr;    // set for kLinear
+  nn::BatchNorm2d* bn = nullptr;   // BN paired with the conv (pruning mask)
+  nn::ReLU* relu = nullptr;        // post-activation carrying the meter
+  nn::ResidualBlock* block = nullptr;  // owning block for block roles
+
+  ad::DensityMeter meter;
+
+  int bits() const;
+  void set_bits(int bits);
+  void set_quantization_enabled(bool enabled);
+
+  std::int64_t out_channels() const;
+  std::int64_t active_out_channels() const;
+  /// Applies an eqn-5 channel mask (no-op for kLinear).
+  void set_active_out_channels(std::int64_t n);
+};
+
+class QuantizableModel {
+ public:
+  QuantizableModel(std::string name, std::unique_ptr<nn::Sequential> net,
+                   std::vector<std::unique_ptr<QuantUnit>> units,
+                   ModelSpec spec);
+
+  const std::string& name() const { return name_; }
+  nn::Sequential& net() { return *net_; }
+  ModelSpec& spec() { return spec_; }
+  const ModelSpec& spec() const { return spec_; }
+
+  Tensor forward(const Tensor& x) { return net_->forward(x); }
+  Tensor backward(const Tensor& grad) { return net_->backward(grad); }
+  void set_training(bool training) { net_->set_training(training); }
+
+  std::vector<nn::Parameter*> parameters();
+
+  int unit_count() const { return static_cast<int>(units_.size()); }
+  QuantUnit& unit(int i) { return *units_.at(static_cast<std::size_t>(i)); }
+  const QuantUnit& unit(int i) const { return *units_.at(static_cast<std::size_t>(i)); }
+
+  /// Current per-unit bit-widths.
+  quant::BitWidthPolicy bit_policy() const;
+
+  /// Applies a bit policy to the layers (frozen units still receive their
+  /// policy entry — the controller is responsible for keeping them fixed)
+  /// and mirrors it into the spec.
+  void apply_bit_policy(const quant::BitWidthPolicy& policy);
+
+  /// Per-unit frozen flags, aligned with bit_policy().
+  std::vector<bool> frozen_mask() const;
+
+  /// Per-unit AD of the current epoch accumulation, committed to history.
+  std::vector<double> commit_epoch_densities();
+
+  /// Per-unit latest committed AD.
+  std::vector<double> latest_densities() const;
+
+  /// Per-unit AD histories (for saturation tests and Fig 1/3/4 dumps).
+  std::vector<std::vector<double>> density_histories() const;
+
+  /// Network-total AD of the last committed epoch: aggregate nonzero/total
+  /// across units (the paper's "Total AD" column averages utilisation).
+  double total_density() const;
+
+  /// Clears meters (new quantization iteration).
+  void reset_meters();
+
+  /// Enables/disables AD observation (e.g. off during eval).
+  void set_meters_active(bool active);
+
+  /// Applies eqn-5 channel counts per unit and mirrors into the spec.
+  void apply_channel_policy(const std::vector<std::int64_t>& channels);
+
+  /// Current per-unit active output channels.
+  std::vector<std::int64_t> channel_policy() const;
+
+  /// Removes a unit entirely (paper Table II iteration 2a: a layer whose AD
+  /// collapses under extreme quantization contributes nothing and is
+  /// dropped). Only shape-preserving plain convs can be removed; the layer
+  /// becomes an identity in the graph, is frozen for eqn-3 purposes, and
+  /// its spec entry stops contributing MACs/memory to every energy model.
+  void remove_unit(int i);
+
+ private:
+  std::string name_;
+  std::unique_ptr<nn::Sequential> net_;
+  std::vector<std::unique_ptr<QuantUnit>> units_;
+  ModelSpec spec_;
+};
+
+}  // namespace adq::models

@@ -1,0 +1,186 @@
+#include "models/resnet.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/flatten.h"
+#include "nn/init.h"
+#include "nn/pool.h"
+
+namespace adq::models {
+namespace {
+
+constexpr std::int64_t kStageChannels[4] = {64, 128, 256, 512};
+
+std::int64_t scaled(std::int64_t c, double width_mult) {
+  return std::max<std::int64_t>(1, std::llround(c * width_mult));
+}
+
+}  // namespace
+
+ModelSpec resnet18_spec(const ResNetConfig& cfg) {
+  ModelSpec spec;
+  spec.name = "resnet18";
+  std::int64_t size = cfg.input_size;
+  const std::int64_t stem_c = scaled(64, cfg.width_mult);
+
+  LayerSpec stem;
+  stem.name = "stem";
+  stem.kind = LayerKind::kConv;
+  stem.in_channels = cfg.in_channels;
+  stem.out_channels = stem_c;
+  stem.kernel = 3;
+  stem.in_size = size;
+  stem.out_size = size;
+  stem.bits = cfg.initial_bits;
+  stem.active_in = cfg.in_channels;
+  stem.active_out = stem_c;
+  spec.layers.push_back(stem);
+
+  std::int64_t in_c = stem_c;
+  int unit_index = 1;  // unit 0 is the stem
+  for (int stage = 0; stage < 4; ++stage) {
+    const std::int64_t out_c = scaled(kStageChannels[stage], cfg.width_mult);
+    for (int b = 0; b < 2; ++b) {
+      const std::int64_t stride = (stage > 0 && b == 0) ? 2 : 1;
+      const std::string base = "s" + std::to_string(stage + 1) + "b" + std::to_string(b + 1);
+      const std::int64_t out_size = size / stride;
+
+      LayerSpec c1;
+      c1.name = base + ".conv1";
+      c1.kind = LayerKind::kConv;
+      c1.in_channels = in_c;
+      c1.out_channels = out_c;
+      c1.kernel = 3;
+      c1.in_size = size;
+      c1.out_size = out_size;
+      c1.bits = cfg.initial_bits;
+      c1.active_in = in_c;
+      c1.active_out = out_c;
+      spec.layers.push_back(c1);
+      const int conv2_unit = unit_index + 1;
+
+      LayerSpec c2;
+      c2.name = base + ".conv2";
+      c2.kind = LayerKind::kConv;
+      c2.in_channels = out_c;
+      c2.out_channels = out_c;
+      c2.kernel = 3;
+      c2.in_size = out_size;
+      c2.out_size = out_size;
+      c2.bits = cfg.initial_bits;
+      c2.active_in = out_c;
+      c2.active_out = out_c;
+      spec.layers.push_back(c2);
+
+      if (stride != 1 || in_c != out_c) {
+        LayerSpec down;
+        down.name = base + ".down";
+        down.kind = LayerKind::kConv;
+        down.in_channels = in_c;
+        down.out_channels = out_c;
+        down.kernel = 1;
+        down.in_size = size;
+        down.out_size = out_size;
+        down.bits = cfg.initial_bits;
+        down.active_in = in_c;
+        down.active_out = out_c;
+        down.aux = true;
+        down.controller = conv2_unit;  // skip bits follow the destination
+        spec.layers.push_back(down);
+      }
+      in_c = out_c;
+      size = out_size;
+      unit_index += 2;
+    }
+  }
+
+  LayerSpec fc;
+  fc.name = "fc";
+  fc.kind = LayerKind::kLinear;
+  fc.in_channels = in_c;  // after global average pooling
+  fc.out_channels = cfg.num_classes;
+  fc.kernel = 1;
+  fc.in_size = 1;
+  fc.out_size = 1;
+  fc.bits = cfg.initial_bits;
+  fc.active_in = in_c;
+  fc.active_out = cfg.num_classes;
+  spec.layers.push_back(fc);
+  return spec;
+}
+
+std::unique_ptr<QuantizableModel> build_resnet18(const ResNetConfig& cfg, Rng& rng) {
+  auto net = std::make_unique<nn::Sequential>("resnet18");
+  std::vector<std::unique_ptr<QuantUnit>> units;
+  const std::int64_t stem_c = scaled(64, cfg.width_mult);
+
+  auto stem = std::make_unique<QuantUnit>();
+  stem->name = "stem";
+  stem->role = UnitRole::kConv;
+  stem->frozen = true;  // first conv is never quantized
+  stem->conv = net->emplace<nn::Conv2d>(cfg.in_channels, stem_c, 3, 1, 1,
+                                        /*use_bias=*/false, "stem");
+  stem->bn = net->emplace<nn::BatchNorm2d>(stem_c, 0.1f, 1e-5f, "stem.bn");
+  stem->relu = net->emplace<nn::ReLU>("stem.relu");
+  stem->relu->attach_meter(&stem->meter);
+  stem->conv->set_bits(cfg.initial_bits);
+  stem->conv->set_quantization_enabled(false);
+  nn::init_conv(*stem->conv, rng);
+  units.push_back(std::move(stem));
+
+  std::int64_t in_c = stem_c;
+  for (int stage = 0; stage < 4; ++stage) {
+    const std::int64_t out_c = scaled(kStageChannels[stage], cfg.width_mult);
+    for (int b = 0; b < 2; ++b) {
+      const std::int64_t stride = (stage > 0 && b == 0) ? 2 : 1;
+      const std::string base = "s" + std::to_string(stage + 1) + "b" + std::to_string(b + 1);
+      nn::ResidualBlock* block =
+          net->emplace<nn::ResidualBlock>(in_c, out_c, stride, base);
+      nn::init_residual_block(*block, rng);
+
+      auto u1 = std::make_unique<QuantUnit>();
+      u1->name = base + ".conv1";
+      u1->role = UnitRole::kBlockConv1;
+      u1->conv = &block->conv1();
+      u1->bn = &block->bn1();
+      u1->relu = &block->relu1();
+      u1->block = block;
+      u1->relu->attach_meter(&u1->meter);
+      u1->conv->set_bits(cfg.initial_bits);
+      units.push_back(std::move(u1));
+
+      auto u2 = std::make_unique<QuantUnit>();
+      u2->name = base + ".conv2";
+      u2->role = UnitRole::kBlockConv2;
+      u2->conv = &block->conv2();
+      u2->bn = &block->bn2();
+      u2->relu = &block->relu2();
+      u2->block = block;
+      u2->relu->attach_meter(&u2->meter);
+      block->set_bits_conv2(cfg.initial_bits);
+      units.push_back(std::move(u2));
+
+      in_c = out_c;
+    }
+  }
+
+  net->emplace<nn::GlobalAvgPool>("gap");
+  auto fc_unit = std::make_unique<QuantUnit>();
+  fc_unit->name = "fc";
+  fc_unit->role = UnitRole::kLinear;
+  fc_unit->frozen = true;  // final FC is never quantized
+  fc_unit->linear = net->emplace<nn::Linear>(in_c, cfg.num_classes,
+                                             /*use_bias=*/true, "fc");
+  fc_unit->linear->attach_meter(&fc_unit->meter);
+  fc_unit->linear->set_bits(cfg.initial_bits);
+  fc_unit->linear->set_quantization_enabled(false);
+  nn::init_linear(*fc_unit->linear, rng);
+  units.push_back(std::move(fc_unit));
+
+  return std::make_unique<QuantizableModel>("resnet18", std::move(net),
+                                            std::move(units),
+                                            resnet18_spec(cfg));
+}
+
+}  // namespace adq::models

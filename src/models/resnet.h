@@ -1,0 +1,30 @@
+// ResNet18 builder (CIFAR variant: 3x3 stem without max-pool, four stages of
+// two basic blocks each at 64/128/256/512 channels, global average pool,
+// FC head). Quantizable units: stem conv + 16 block convs + FC = 18, with
+// downsample convs tracked as aux spec layers that follow their block's
+// conv2 bits (Fig 2).
+#pragma once
+
+#include <memory>
+
+#include "models/model.h"
+#include "tensor/rng.h"
+
+namespace adq::models {
+
+struct ResNetConfig {
+  std::int64_t input_size = 32;
+  std::int64_t in_channels = 3;
+  std::int64_t num_classes = 100;
+  double width_mult = 1.0;
+  int initial_bits = 16;
+};
+
+/// Number of quantizable units (stem + 8 blocks x 2 convs + FC).
+inline constexpr int kResNet18Units = 18;
+
+ModelSpec resnet18_spec(const ResNetConfig& cfg);
+
+std::unique_ptr<QuantizableModel> build_resnet18(const ResNetConfig& cfg, Rng& rng);
+
+}  // namespace adq::models

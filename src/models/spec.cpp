@@ -1,0 +1,94 @@
+#include "models/spec.h"
+
+#include <stdexcept>
+
+namespace adq::models {
+
+std::vector<int> ModelSpec::unit_layers() const {
+  std::vector<int> idx;
+  for (int i = 0; i < static_cast<int>(layers.size()); ++i) {
+    if (!layers[static_cast<std::size_t>(i)].aux) idx.push_back(i);
+  }
+  return idx;
+}
+
+std::int64_t ModelSpec::total_macs() const {
+  std::int64_t total = 0;
+  for (const LayerSpec& l : layers) total += l.macs();
+  return total;
+}
+
+std::int64_t ModelSpec::total_mem_accesses() const {
+  std::int64_t total = 0;
+  for (const LayerSpec& l : layers) total += l.mem_accesses();
+  return total;
+}
+
+void ModelSpec::apply_bits(const quant::BitWidthPolicy& policy) {
+  const std::vector<int> units = unit_layers();
+  if (policy.size() != static_cast<int>(units.size())) {
+    throw std::invalid_argument("ModelSpec::apply_bits: policy size " +
+                                std::to_string(policy.size()) + " != units " +
+                                std::to_string(units.size()));
+  }
+  for (int u = 0; u < policy.size(); ++u) {
+    layers[static_cast<std::size_t>(units[static_cast<std::size_t>(u)])].bits =
+        policy.at(u);
+  }
+  for (LayerSpec& l : layers) {
+    if (l.aux) {
+      if (l.controller < 0 || l.controller >= static_cast<int>(units.size())) {
+        throw std::logic_error("ModelSpec: aux layer without valid controller");
+      }
+      l.bits = policy.at(l.controller);
+    }
+  }
+}
+
+void ModelSpec::apply_channels(const std::vector<std::int64_t>& active_out_per_unit) {
+  const std::vector<int> units = unit_layers();
+  if (active_out_per_unit.size() != units.size()) {
+    throw std::invalid_argument("ModelSpec::apply_channels: size mismatch");
+  }
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    LayerSpec& l = layers[static_cast<std::size_t>(units[u])];
+    const std::int64_t n = active_out_per_unit[u];
+    if (n < 1 || n > l.out_channels) {
+      throw std::invalid_argument("ModelSpec::apply_channels: " + l.name +
+                                  " count " + std::to_string(n) + " out of range");
+    }
+    l.active_out = n;
+    if (u + 1 < units.size()) {
+      LayerSpec& next = layers[static_cast<std::size_t>(units[u + 1])];
+      // Linear consumers flatten C*H*W features; scale fan-in proportionally.
+      if (next.kind == LayerKind::kLinear) {
+        next.active_in = next.in_channels * n / l.out_channels;
+      } else {
+        next.active_in = n;
+      }
+    }
+  }
+  for (LayerSpec& l : layers) {
+    if (l.aux) l.active_out = layers[static_cast<std::size_t>(unit_layers()[static_cast<std::size_t>(l.controller)])].active_out;
+  }
+}
+
+ModelSpec ModelSpec::with_uniform_bits(int bits) const {
+  ModelSpec out = *this;
+  for (LayerSpec& l : out.layers) l.bits = bits;
+  return out;
+}
+
+ModelSpec ModelSpec::hardware_rounded() const {
+  ModelSpec out = *this;
+  for (LayerSpec& l : out.layers) l.bits = quant::round_to_hardware_bits(l.bits);
+  return out;
+}
+
+std::vector<int> ModelSpec::unit_bits() const {
+  std::vector<int> bits;
+  for (int i : unit_layers()) bits.push_back(layers[static_cast<std::size_t>(i)].bits);
+  return bits;
+}
+
+}  // namespace adq::models

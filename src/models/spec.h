@@ -1,0 +1,84 @@
+// Shape-level description of a network, decoupled from trained weights.
+//
+// Energy models (analytical and PIM) consume only layer geometry, per-layer
+// bit-widths, and live channel counts — exactly what a LayerSpec holds. The
+// paper's MAC/memory formulas (section IV-A) are implemented here:
+//
+//   N_mem = N^2 * I + p^2 * I * O
+//   N_MAC = M^2 * I * p^2 * O
+//
+// with I/O replaced by the *active* (unpruned) channel counts so the same
+// spec serves Tables II/III/V/VI. Aux layers model ResNet downsample convs:
+// they carry real MACs but their bit-width tracks a controller unit (the
+// destination conv2 of the block, per Fig 2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "quant/bitwidth.h"
+
+namespace adq::models {
+
+enum class LayerKind { kConv, kLinear };
+
+struct LayerSpec {
+  std::string name;
+  LayerKind kind = LayerKind::kConv;
+  std::int64_t in_channels = 0;   // I (linear: in_features)
+  std::int64_t out_channels = 0;  // O (linear: out_features)
+  std::int64_t kernel = 1;        // p
+  std::int64_t in_size = 1;       // N (input feature-map side; linear: 1)
+  std::int64_t out_size = 1;      // M
+  int bits = 16;
+  std::int64_t active_in = 0;   // live input channels (<= in_channels)
+  std::int64_t active_out = 0;  // live output channels (<= out_channels)
+  bool aux = false;             // downsample conv driven by a controller unit
+  int controller = -1;          // unit index whose bits this aux layer follows
+  bool removed = false;         // layer dropped entirely (Table II iter 2a)
+
+  /// Paper N_MAC with pruning-aware channel counts.
+  std::int64_t macs() const {
+    if (removed) return 0;
+    return out_size * out_size * active_in * kernel * kernel * active_out;
+  }
+
+  /// Paper N_mem with pruning-aware channel counts.
+  std::int64_t mem_accesses() const {
+    if (removed) return 0;
+    return in_size * in_size * active_in + kernel * kernel * active_in * active_out;
+  }
+};
+
+struct ModelSpec {
+  std::string name;
+  std::vector<LayerSpec> layers;
+
+  /// Indices of non-aux layers, i.e. the layers that correspond 1:1 with the
+  /// model's quantizable units (the order the paper's tables list).
+  std::vector<int> unit_layers() const;
+
+  std::int64_t total_macs() const;
+  std::int64_t total_mem_accesses() const;
+
+  /// Applies a per-unit bit policy: unit layer i gets policy.at(i); aux
+  /// layers inherit from their controller.
+  void apply_bits(const quant::BitWidthPolicy& policy);
+
+  /// Applies per-unit live output channel counts and propagates them to the
+  /// consumers' active_in (chain assumption: unit i feeds unit i+1; aux
+  /// layers share their controller's output count).
+  void apply_channels(const std::vector<std::int64_t>& active_out_per_unit);
+
+  /// Copy with every layer forced to `bits` (the 16-bit baselines).
+  ModelSpec with_uniform_bits(int bits) const;
+
+  /// Copy with all bit-widths rounded up to the PIM grid {2,4,8,16}.
+  ModelSpec hardware_rounded() const;
+
+  /// Per-unit bit vector (for table printing).
+  std::vector<int> unit_bits() const;
+};
+
+}  // namespace adq::models

@@ -1,0 +1,111 @@
+#include "models/vgg.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/flatten.h"
+#include "nn/init.h"
+#include "nn/pool.h"
+
+namespace adq::models {
+namespace {
+
+// VGG19 CIFAR body: channel per conv, pool after these conv indices.
+constexpr std::int64_t kChannels[16] = {64,  64,  128, 128, 256, 256, 256, 256,
+                                        512, 512, 512, 512, 512, 512, 512, 512};
+constexpr bool kPoolAfter[16] = {false, true, false, true, false, false, false,
+                                 true,  false, false, false, true, false, false,
+                                 false, true};
+
+std::int64_t scaled(std::int64_t c, double width_mult) {
+  return std::max<std::int64_t>(1, std::llround(c * width_mult));
+}
+
+}  // namespace
+
+ModelSpec vgg19_spec(const VggConfig& cfg) {
+  ModelSpec spec;
+  spec.name = "vgg19";
+  std::int64_t in_c = cfg.in_channels;
+  std::int64_t size = cfg.input_size;
+  for (int i = 0; i < 16; ++i) {
+    const std::int64_t out_c = scaled(kChannels[i], cfg.width_mult);
+    LayerSpec l;
+    l.name = "conv" + std::to_string(i + 1);
+    l.kind = LayerKind::kConv;
+    l.in_channels = in_c;
+    l.out_channels = out_c;
+    l.kernel = 3;
+    l.in_size = size;
+    l.out_size = size;  // 3x3, stride 1, pad 1
+    l.bits = cfg.initial_bits;
+    l.active_in = in_c;
+    l.active_out = out_c;
+    spec.layers.push_back(l);
+    in_c = out_c;
+    if (kPoolAfter[i] && size >= 2) size /= 2;
+  }
+  LayerSpec fc;
+  fc.name = "fc";
+  fc.kind = LayerKind::kLinear;
+  fc.in_channels = in_c * size * size;
+  fc.out_channels = cfg.num_classes;
+  fc.kernel = 1;
+  fc.in_size = 1;
+  fc.out_size = 1;
+  fc.bits = cfg.initial_bits;
+  fc.active_in = fc.in_channels;
+  fc.active_out = cfg.num_classes;
+  spec.layers.push_back(fc);
+  return spec;
+}
+
+std::unique_ptr<QuantizableModel> build_vgg19(const VggConfig& cfg, Rng& rng) {
+  auto net = std::make_unique<nn::Sequential>("vgg19");
+  std::vector<std::unique_ptr<QuantUnit>> units;
+
+  std::int64_t in_c = cfg.in_channels;
+  std::int64_t size = cfg.input_size;
+  for (int i = 0; i < 16; ++i) {
+    const std::int64_t out_c = scaled(kChannels[i], cfg.width_mult);
+    const std::string base = "conv" + std::to_string(i + 1);
+    auto unit = std::make_unique<QuantUnit>();
+    unit->name = base;
+    unit->role = UnitRole::kConv;
+    unit->frozen = (i == 0);  // first conv is never quantized
+    unit->conv = net->emplace<nn::Conv2d>(in_c, out_c, 3, 1, 1,
+                                          /*use_bias=*/!cfg.use_batchnorm, base);
+    unit->bn = cfg.use_batchnorm
+                   ? net->emplace<nn::BatchNorm2d>(out_c, 0.1f, 1e-5f, base + ".bn")
+                   : nullptr;
+    unit->relu = net->emplace<nn::ReLU>(base + ".relu");
+    unit->relu->attach_meter(&unit->meter);
+    unit->conv->set_bits(cfg.initial_bits);
+    if (unit->frozen) unit->conv->set_quantization_enabled(false);
+    nn::init_conv(*unit->conv, rng);
+    units.push_back(std::move(unit));
+    in_c = out_c;
+    if (kPoolAfter[i] && size >= 2) {
+      net->emplace<nn::MaxPool2d>(2, 2, "pool" + std::to_string(i + 1));
+      size /= 2;
+    }
+  }
+  net->emplace<nn::Flatten>();
+  auto fc_unit = std::make_unique<QuantUnit>();
+  fc_unit->name = "fc";
+  fc_unit->role = UnitRole::kLinear;
+  fc_unit->frozen = true;  // final FC is never quantized
+  fc_unit->linear = net->emplace<nn::Linear>(in_c * size * size,
+                                             cfg.num_classes, /*use_bias=*/true,
+                                             "fc");
+  fc_unit->linear->attach_meter(&fc_unit->meter);
+  fc_unit->linear->set_bits(cfg.initial_bits);
+  fc_unit->linear->set_quantization_enabled(false);
+  nn::init_linear(*fc_unit->linear, rng);
+  units.push_back(std::move(fc_unit));
+
+  return std::make_unique<QuantizableModel>("vgg19", std::move(net),
+                                            std::move(units), vgg19_spec(cfg));
+}
+
+}  // namespace adq::models

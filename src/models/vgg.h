@@ -1,0 +1,41 @@
+// VGG19 builder (CIFAR variant: 16 conv layers + 1 FC head, BN after every
+// conv, max-pool after conv 2/4/8/12/16 — matching the 17-entry bit-width
+// vectors of the paper's Table II(a)).
+//
+// `width_mult` scales every channel count (>= 1 channel) and `input_size`
+// the spatial resolution, so the same graph trains at laptop scale while
+// `vgg19_spec(cfg_full)` provides the paper-scale shape math for energy
+// accounting.
+#pragma once
+
+#include <memory>
+
+#include "models/model.h"
+#include "tensor/rng.h"
+
+namespace adq::models {
+
+struct VggConfig {
+  std::int64_t input_size = 32;
+  std::int64_t in_channels = 3;
+  std::int64_t num_classes = 10;
+  double width_mult = 1.0;
+  int initial_bits = 16;
+  // BatchNorm keeps post-ReLU density pinned near 0.5 (zero-mean inputs to
+  // ReLU). The paper's reported baseline AD (total 0.284) is consistent
+  // with a BN-free VGG, where per-layer densities spread out and drift low
+  // — the regime that produces genuinely mixed bit-widths. BN-free nets
+  // need biased convs and a smaller learning rate.
+  bool use_batchnorm = true;
+};
+
+/// Number of quantizable units (16 convs + 1 FC).
+inline constexpr int kVgg19Units = 17;
+
+/// Shape-only spec (no weights allocated).
+ModelSpec vgg19_spec(const VggConfig& cfg);
+
+/// Trainable model with units, meters, and Kaiming init.
+std::unique_ptr<QuantizableModel> build_vgg19(const VggConfig& cfg, Rng& rng);
+
+}  // namespace adq::models

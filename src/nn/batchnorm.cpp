@@ -1,0 +1,161 @@
+#include "nn/batchnorm.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/parallel.h"
+
+namespace adq::nn {
+
+BatchNorm2d::BatchNorm2d(std::int64_t channels, float momentum, float eps,
+                         std::string name)
+    : name_(std::move(name)),
+      channels_(channels),
+      momentum_(momentum),
+      eps_(eps),
+      active_channels_(channels),
+      gamma_(name_ + ".gamma", Shape{channels}),
+      beta_(name_ + ".beta", Shape{channels}),
+      running_mean_(Shape{channels}),
+      running_var_(Shape{channels}, 1.0f) {
+  gamma_.value.fill(1.0f);
+}
+
+void BatchNorm2d::mask_pruned_channels(Tensor& nchw) const {
+  if (active_channels_ >= channels_) return;
+  const std::int64_t B = nchw.shape().dim(0);
+  const std::int64_t hw = nchw.shape().dim(2) * nchw.shape().dim(3);
+  for (std::int64_t b = 0; b < B; ++b) {
+    float* base = nchw.data() + (b * channels_ + active_channels_) * hw;
+    std::fill(base, base + (channels_ - active_channels_) * hw, 0.0f);
+  }
+}
+
+Tensor BatchNorm2d::forward(const Tensor& x) {
+  if (x.shape().rank() != 4 || x.shape().dim(1) != channels_) {
+    throw std::invalid_argument(name_ + ": expected [B, " +
+                                std::to_string(channels_) + ", H, W], got " +
+                                x.shape().to_string());
+  }
+  if (bypassed_) return x;
+  const std::int64_t B = x.shape().dim(0);
+  const std::int64_t H = x.shape().dim(2), W = x.shape().dim(3);
+  const std::int64_t hw = H * W;
+  const double n = static_cast<double>(B * hw);
+
+  cached_xhat_ = Tensor(x.shape());
+  cached_inv_std_ = Tensor(Shape{channels_});
+  Tensor out(x.shape());
+
+  parallel_for(0, channels_, [&](std::int64_t c0, std::int64_t c1) {
+    for (std::int64_t c = c0; c < c1; ++c) {
+      double mean, var;
+      if (training_) {
+        double s = 0.0, s2 = 0.0;
+        for (std::int64_t b = 0; b < B; ++b) {
+          const float* p = x.data() + (b * channels_ + c) * hw;
+          for (std::int64_t i = 0; i < hw; ++i) {
+            s += p[i];
+            s2 += static_cast<double>(p[i]) * p[i];
+          }
+        }
+        mean = s / n;
+        var = s2 / n - mean * mean;
+        if (var < 0.0) var = 0.0;  // numerical floor
+        running_mean_[c] = (1.0f - momentum_) * running_mean_[c] +
+                           momentum_ * static_cast<float>(mean);
+        running_var_[c] = (1.0f - momentum_) * running_var_[c] +
+                          momentum_ * static_cast<float>(var);
+      } else {
+        mean = running_mean_[c];
+        var = running_var_[c];
+      }
+      const float inv_std = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
+      cached_inv_std_[c] = inv_std;
+      const float g = gamma_.value[c], bta = beta_.value[c];
+      const float m = static_cast<float>(mean);
+      for (std::int64_t b = 0; b < B; ++b) {
+        const float* p = x.data() + (b * channels_ + c) * hw;
+        float* ph = cached_xhat_.data() + (b * channels_ + c) * hw;
+        float* po = out.data() + (b * channels_ + c) * hw;
+        for (std::int64_t i = 0; i < hw; ++i) {
+          const float xh = (p[i] - m) * inv_std;
+          ph[i] = xh;
+          po[i] = g * xh + bta;
+        }
+      }
+    }
+  });
+  mask_pruned_channels(out);
+  return out;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_out) {
+  if (bypassed_) return grad_out;
+  const Shape& s = cached_xhat_.shape();
+  if (grad_out.shape() != s) {
+    throw std::invalid_argument(name_ + ": backward shape mismatch");
+  }
+  const std::int64_t B = s.dim(0), hw = s.dim(2) * s.dim(3);
+  const double n = static_cast<double>(B * hw);
+
+  Tensor grad = grad_out;
+  mask_pruned_channels(grad);
+  Tensor grad_x(s);
+
+  parallel_for(0, channels_, [&](std::int64_t c0, std::int64_t c1) {
+    for (std::int64_t c = c0; c < c1; ++c) {
+      double dg = 0.0, db = 0.0;
+      for (std::int64_t b = 0; b < B; ++b) {
+        const float* gp = grad.data() + (b * channels_ + c) * hw;
+        const float* xh = cached_xhat_.data() + (b * channels_ + c) * hw;
+        for (std::int64_t i = 0; i < hw; ++i) {
+          dg += static_cast<double>(gp[i]) * xh[i];
+          db += gp[i];
+        }
+      }
+      gamma_.grad[c] += static_cast<float>(dg);
+      beta_.grad[c] += static_cast<float>(db);
+
+      if (!training_) {
+        // Eval-mode backward (used by gradient checks): statistics are
+        // constants, so dx = gamma * inv_std * dout.
+        const float k = gamma_.value[c] * cached_inv_std_[c];
+        for (std::int64_t b = 0; b < B; ++b) {
+          const float* gp = grad.data() + (b * channels_ + c) * hw;
+          float* gx = grad_x.data() + (b * channels_ + c) * hw;
+          for (std::int64_t i = 0; i < hw; ++i) gx[i] = k * gp[i];
+        }
+        continue;
+      }
+      // Training-mode backward through the batch statistics:
+      // dx = gamma * inv_std / n * (n * dout - sum(dout) - xhat * sum(dout * xhat))
+      const float k = gamma_.value[c] * cached_inv_std_[c] / static_cast<float>(n);
+      const float sum_dy = static_cast<float>(db);
+      const float sum_dy_xhat = static_cast<float>(dg);
+      for (std::int64_t b = 0; b < B; ++b) {
+        const float* gp = grad.data() + (b * channels_ + c) * hw;
+        const float* xh = cached_xhat_.data() + (b * channels_ + c) * hw;
+        float* gx = grad_x.data() + (b * channels_ + c) * hw;
+        for (std::int64_t i = 0; i < hw; ++i) {
+          gx[i] = k * (static_cast<float>(n) * gp[i] - sum_dy - xh[i] * sum_dy_xhat);
+        }
+      }
+    }
+  });
+  return grad_x;
+}
+
+void BatchNorm2d::collect_parameters(std::vector<Parameter*>& out) {
+  out.push_back(&gamma_);
+  out.push_back(&beta_);
+}
+
+void BatchNorm2d::set_active_channels(std::int64_t n) {
+  if (n < 1 || n > channels_) {
+    throw std::invalid_argument(name_ + ": active_channels out of range");
+  }
+  active_channels_ = n;
+}
+
+}  // namespace adq::nn

@@ -1,0 +1,56 @@
+// BatchNorm2d over NCHW with running statistics and channel masking.
+//
+// Training mode normalises with batch statistics and updates the running
+// estimates; eval mode uses the running estimates. Channels >= the active
+// count are forced to zero in both directions so that an upstream pruned
+// conv channel cannot be resurrected by the learned shift beta.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace adq::nn {
+
+class BatchNorm2d : public Layer {
+ public:
+  explicit BatchNorm2d(std::int64_t channels, float momentum = 0.1f,
+                       float eps = 1e-5f, std::string name = "bn");
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+  std::string name() const override { return name_; }
+
+  std::int64_t channels() const { return channels_; }
+
+  Parameter& gamma() { return gamma_; }
+  Parameter& beta() { return beta_; }
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+
+  void set_active_channels(std::int64_t n);
+  std::int64_t active_channels() const { return active_channels_; }
+
+  /// Identity mode, used when the owning layer is removed (Table II 2a).
+  void set_bypassed(bool bypassed) { bypassed_ = bypassed; }
+  bool bypassed() const { return bypassed_; }
+
+ private:
+  void mask_pruned_channels(Tensor& nchw) const;
+
+  std::string name_;
+  std::int64_t channels_;
+  float momentum_, eps_;
+  std::int64_t active_channels_;
+  bool bypassed_ = false;
+
+  Parameter gamma_;
+  Parameter beta_;
+  Tensor running_mean_;
+  Tensor running_var_;
+
+  // Backward caches.
+  Tensor cached_xhat_;     // normalized input, same shape as x
+  Tensor cached_inv_std_;  // [C]
+};
+
+}  // namespace adq::nn

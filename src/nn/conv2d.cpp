@@ -1,0 +1,186 @@
+#include "nn/conv2d.h"
+
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "tensor/gemm.h"
+#include "tensor/parallel.h"
+
+namespace adq::nn {
+
+Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+               std::int64_t kernel, std::int64_t stride, std::int64_t pad,
+               bool use_bias, std::string name)
+    : name_(std::move(name)),
+      in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      use_bias_(use_bias),
+      active_out_channels_(out_channels),
+      active_in_channels_(in_channels),
+      weight_(name_ + ".weight",
+              Shape{out_channels, in_channels * kernel * kernel}),
+      bias_(name_ + ".bias", Shape{out_channels}) {}
+
+ConvGeometry Conv2d::geometry(std::int64_t h, std::int64_t w) const {
+  ConvGeometry g;
+  g.channels = in_channels_;
+  g.in_h = h;
+  g.in_w = w;
+  g.kernel_h = kernel_;
+  g.kernel_w = kernel_;
+  g.stride = stride_;
+  g.pad = pad_;
+  return g;
+}
+
+void Conv2d::mask_pruned_channels(Tensor& nchw) const {
+  if (active_out_channels_ >= out_channels_) return;
+  const std::int64_t B = nchw.shape().dim(0);
+  const std::int64_t hw = nchw.shape().dim(2) * nchw.shape().dim(3);
+  for (std::int64_t b = 0; b < B; ++b) {
+    float* base = nchw.data() + (b * out_channels_ + active_out_channels_) * hw;
+    std::fill(base, base + (out_channels_ - active_out_channels_) * hw, 0.0f);
+  }
+}
+
+Tensor Conv2d::forward(const Tensor& x) {
+  if (x.shape().rank() != 4 || x.shape().dim(1) != in_channels_) {
+    throw std::invalid_argument(name_ + ": expected [B, " +
+                                std::to_string(in_channels_) + ", H, W], got " +
+                                x.shape().to_string());
+  }
+  if (bypassed_) return x;
+  const std::int64_t B = x.shape().dim(0);
+  cached_h_ = x.shape().dim(2);
+  cached_w_ = x.shape().dim(3);
+  const ConvGeometry g = geometry(cached_h_, cached_w_);
+  const std::int64_t oh = g.out_h(), ow = g.out_w(), ohw = oh * ow;
+  const std::int64_t P = g.patch_size();
+
+  cached_input_q_ = input_quant_.apply(x);
+  cached_weight_q_ = weight_quant_.apply(weight_.value);
+
+  Tensor out(Shape{B, out_channels_, oh, ow});
+  const float* wq = cached_weight_q_.data();
+  parallel_for(0, B, [&](std::int64_t b0, std::int64_t b1) {
+    std::vector<float> col(static_cast<std::size_t>(P * ohw));
+    for (std::int64_t b = b0; b < b1; ++b) {
+      im2col(cached_input_q_.data() + b * in_channels_ * cached_h_ * cached_w_,
+             g, col.data());
+      float* out_b = out.data() + b * out_channels_ * ohw;
+      sgemm(false, false, out_channels_, ohw, P, 1.0f, wq, P, col.data(), ohw,
+            0.0f, out_b, ohw);
+      if (use_bias_) {
+        for (std::int64_t o = 0; o < out_channels_; ++o) {
+          const float bv = bias_.value[o];
+          float* row = out_b + o * ohw;
+          for (std::int64_t s = 0; s < ohw; ++s) row[s] += bv;
+        }
+      }
+    }
+  });
+  mask_pruned_channels(out);
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  if (bypassed_) return grad_out;
+  const std::int64_t B = cached_input_q_.shape().dim(0);
+  const ConvGeometry g = geometry(cached_h_, cached_w_);
+  const std::int64_t oh = g.out_h(), ow = g.out_w(), ohw = oh * ow;
+  const std::int64_t P = g.patch_size();
+  if (grad_out.shape() != Shape{B, out_channels_, oh, ow}) {
+    throw std::invalid_argument(name_ + ": backward shape mismatch " +
+                                grad_out.shape().to_string());
+  }
+
+  // Pruned channels neither fire nor learn: drop their upstream gradient.
+  Tensor grad = grad_out;
+  mask_pruned_channels(grad);
+
+  if (use_bias_) {
+    for (std::int64_t b = 0; b < B; ++b) {
+      const float* gb = grad.data() + b * out_channels_ * ohw;
+      for (std::int64_t o = 0; o < out_channels_; ++o) {
+        float s = 0.0f;
+        const float* row = gb + o * ohw;
+        for (std::int64_t i = 0; i < ohw; ++i) s += row[i];
+        bias_.grad[o] += s;
+      }
+    }
+  }
+
+  // Weight gradient: per-chunk local accumulators merged under a mutex.
+  // STE: the gradient w.r.t. the quantized weight is applied to the float
+  // master weight directly.
+  std::mutex wgrad_mutex;
+  Tensor grad_x(cached_input_q_.shape());
+  parallel_for(0, B, [&](std::int64_t b0, std::int64_t b1) {
+    std::vector<float> col(static_cast<std::size_t>(P * ohw));
+    std::vector<float> local_wgrad(static_cast<std::size_t>(out_channels_ * P), 0.0f);
+    std::vector<float> colg(static_cast<std::size_t>(P * ohw));
+    for (std::int64_t b = b0; b < b1; ++b) {
+      const float* gb = grad.data() + b * out_channels_ * ohw;
+      // dW += g_b [O, ohw] * col_b^T [ohw, P]
+      im2col(cached_input_q_.data() + b * in_channels_ * cached_h_ * cached_w_,
+             g, col.data());
+      sgemm(false, true, out_channels_, P, ohw, 1.0f, gb, ohw, col.data(), ohw,
+            1.0f, local_wgrad.data(), P);
+      // dX_b = W_q^T [P, O] * g_b [O, ohw], scattered by col2im.
+      sgemm(true, false, P, ohw, out_channels_, 1.0f, cached_weight_q_.data(),
+            P, gb, ohw, 0.0f, colg.data(), ohw);
+      float* gx_b = grad_x.data() + b * in_channels_ * cached_h_ * cached_w_;
+      col2im(colg.data(), g, gx_b);
+    }
+    std::lock_guard<std::mutex> lock(wgrad_mutex);
+    float* wg = weight_.grad.data();
+    for (std::int64_t i = 0; i < out_channels_ * P; ++i) {
+      wg[i] += local_wgrad[static_cast<std::size_t>(i)];
+    }
+  });
+  return grad_x;
+}
+
+void Conv2d::collect_parameters(std::vector<Parameter*>& out) {
+  out.push_back(&weight_);
+  if (use_bias_) out.push_back(&bias_);
+}
+
+void Conv2d::set_bits(int bits) {
+  weight_quant_.set_bits(bits);
+  input_quant_.set_bits(bits);
+}
+
+void Conv2d::set_quantization_enabled(bool enabled) {
+  weight_quant_.set_enabled(enabled);
+  input_quant_.set_enabled(enabled);
+}
+
+void Conv2d::set_active_out_channels(std::int64_t n) {
+  if (n < 1 || n > out_channels_) {
+    throw std::invalid_argument(name_ + ": active_out_channels " +
+                                std::to_string(n) + " out of [1, " +
+                                std::to_string(out_channels_) + "]");
+  }
+  active_out_channels_ = n;
+}
+
+void Conv2d::set_bypassed(bool bypassed) {
+  if (bypassed && (in_channels_ != out_channels_ || stride_ != 1)) {
+    throw std::invalid_argument(name_ + ": only shape-preserving convs can be bypassed");
+  }
+  bypassed_ = bypassed;
+}
+
+void Conv2d::set_active_in_channels(std::int64_t n) {
+  if (n < 1 || n > in_channels_) {
+    throw std::invalid_argument(name_ + ": active_in_channels out of range");
+  }
+  active_in_channels_ = n;
+}
+
+}  // namespace adq::nn

@@ -1,0 +1,15 @@
+#include "nn/flatten.h"
+
+namespace adq::nn {
+
+Tensor Flatten::forward(const Tensor& x) {
+  cached_in_shape_ = x.shape();
+  const std::int64_t B = x.shape().dim(0);
+  return x.reshaped(Shape{B, x.numel() / B});
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  return grad_out.reshaped(cached_in_shape_);
+}
+
+}  // namespace adq::nn

@@ -1,0 +1,21 @@
+// Flatten [B, ...] -> [B, features]; pure reshape in both directions.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace adq::nn {
+
+class Flatten : public Layer {
+ public:
+  explicit Flatten(std::string name = "flatten") : name_(std::move(name)) {}
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  Shape cached_in_shape_;
+};
+
+}  // namespace adq::nn

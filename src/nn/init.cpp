@@ -1,0 +1,29 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace adq::nn {
+
+void kaiming_normal(Tensor& weight, std::int64_t fan_in, Rng& rng) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  rng.fill_normal(weight, 0.0f, stddev);
+}
+
+void init_conv(Conv2d& conv, Rng& rng) {
+  kaiming_normal(conv.weight().value,
+                 conv.in_channels() * conv.kernel() * conv.kernel(), rng);
+  if (conv.bias() != nullptr) conv.bias()->value.zero();
+}
+
+void init_linear(Linear& linear, Rng& rng) {
+  kaiming_normal(linear.weight().value, linear.in_features(), rng);
+  if (linear.bias() != nullptr) linear.bias()->value.zero();
+}
+
+void init_residual_block(ResidualBlock& block, Rng& rng) {
+  init_conv(block.conv1(), rng);
+  init_conv(block.conv2(), rng);
+  if (block.has_downsample()) init_conv(*block.downsample_conv(), rng);
+}
+
+}  // namespace adq::nn

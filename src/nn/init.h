@@ -1,0 +1,23 @@
+// Weight initialisation.
+//
+// Kaiming-normal (fan-in, ReLU gain) for conv and linear weights — the
+// standard choice for the paper's ReLU networks and important here because
+// Algorithm 1 starts from *random* weights (no pre-trained model).
+#pragma once
+
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/residual.h"
+#include "nn/sequential.h"
+#include "tensor/rng.h"
+
+namespace adq::nn {
+
+/// He-normal init: stddev = sqrt(2 / fan_in).
+void kaiming_normal(Tensor& weight, std::int64_t fan_in, Rng& rng);
+
+void init_conv(Conv2d& conv, Rng& rng);
+void init_linear(Linear& linear, Rng& rng);
+void init_residual_block(ResidualBlock& block, Rng& rng);
+
+}  // namespace adq::nn

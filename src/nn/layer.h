@@ -1,0 +1,44 @@
+// Layer interface for the adq training framework.
+//
+// adq uses define-by-run manual backprop: forward() caches whatever the
+// layer's backward() needs, backward() consumes the cached state, adds into
+// parameter gradients, and returns the gradient with respect to the input.
+// A forward must be paired with at most one backward before the next
+// forward. This is deliberately simpler than a tape autograd — the paper's
+// models are static chains/DAGs, and explicitness keeps the quantization
+// straight-through estimator visible at the call sites where it acts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/parameter.h"
+#include "tensor/tensor.h"
+
+namespace adq::nn {
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes the layer output and caches backward state.
+  virtual Tensor forward(const Tensor& x) = 0;
+
+  /// Returns d(loss)/d(input) given d(loss)/d(output); accumulates parameter
+  /// gradients as a side effect.
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  /// Appends non-owning pointers to every trainable parameter.
+  virtual void collect_parameters(std::vector<Parameter*>& out) { (void)out; }
+
+  /// Train/eval switch (BatchNorm statistics, AD metering).
+  virtual void set_training(bool training) { training_ = training; }
+  bool training() const { return training_; }
+
+  virtual std::string name() const = 0;
+
+ protected:
+  bool training_ = true;
+};
+
+}  // namespace adq::nn

@@ -1,0 +1,75 @@
+#include "nn/linear.h"
+
+#include <stdexcept>
+
+#include "tensor/gemm.h"
+
+namespace adq::nn {
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features,
+               bool use_bias, std::string name)
+    : name_(std::move(name)),
+      in_features_(in_features),
+      out_features_(out_features),
+      use_bias_(use_bias),
+      weight_(name_ + ".weight", Shape{out_features, in_features}),
+      bias_(name_ + ".bias", Shape{out_features}) {}
+
+Tensor Linear::forward(const Tensor& x) {
+  if (x.shape().rank() != 2 || x.shape().dim(1) != in_features_) {
+    throw std::invalid_argument(name_ + ": expected [B, " +
+                                std::to_string(in_features_) + "], got " +
+                                x.shape().to_string());
+  }
+  cached_input_q_ = input_quant_.apply(x);
+  cached_weight_q_ = weight_quant_.apply(weight_.value);
+
+  // y[B, out] = x_q[B, in] * W_q^T[in, out]
+  Tensor out = matmul(cached_input_q_, cached_weight_q_, false, true);
+  if (use_bias_) {
+    const std::int64_t B = out.shape().dim(0);
+    for (std::int64_t b = 0; b < B; ++b) {
+      float* row = out.data() + b * out_features_;
+      for (std::int64_t o = 0; o < out_features_; ++o) row[o] += bias_.value[o];
+    }
+  }
+  if (training_ && meter_ != nullptr && meter_->active()) meter_->observe(out);
+  return out;
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  const std::int64_t B = cached_input_q_.shape().dim(0);
+  if (grad_out.shape() != Shape{B, out_features_}) {
+    throw std::invalid_argument(name_ + ": backward shape mismatch " +
+                                grad_out.shape().to_string());
+  }
+  // dW[out, in] += g^T[out, B] * x_q[B, in]   (STE onto the float master)
+  sgemm(true, false, out_features_, in_features_, B, 1.0f, grad_out.data(),
+        out_features_, cached_input_q_.data(), in_features_, 1.0f,
+        weight_.grad.data(), in_features_);
+  if (use_bias_) {
+    for (std::int64_t b = 0; b < B; ++b) {
+      const float* row = grad_out.data() + b * out_features_;
+      for (std::int64_t o = 0; o < out_features_; ++o) bias_.grad[o] += row[o];
+    }
+  }
+  // dX[B, in] = g[B, out] * W_q[out, in]
+  return matmul(grad_out, cached_weight_q_, false, false);
+}
+
+void Linear::collect_parameters(std::vector<Parameter*>& out) {
+  out.push_back(&weight_);
+  if (use_bias_) out.push_back(&bias_);
+}
+
+void Linear::set_bits(int bits) {
+  weight_quant_.set_bits(bits);
+  input_quant_.set_bits(bits);
+}
+
+void Linear::set_quantization_enabled(bool enabled) {
+  weight_quant_.set_enabled(enabled);
+  input_quant_.set_enabled(enabled);
+}
+
+}  // namespace adq::nn

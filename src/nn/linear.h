@@ -1,0 +1,56 @@
+// Fully connected layer with the same quantization contract as Conv2d:
+// weights and input activations are fake-quantized to the layer's k bits in
+// forward; backward is straight-through.
+#pragma once
+
+#include "ad/density_meter.h"
+#include "nn/layer.h"
+#include "quant/fake_quantizer.h"
+
+namespace adq::nn {
+
+class Linear : public Layer {
+ public:
+  Linear(std::int64_t in_features, std::int64_t out_features, bool use_bias,
+         std::string name = "fc");
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+  std::string name() const override { return name_; }
+
+  std::int64_t in_features() const { return in_features_; }
+  std::int64_t out_features() const { return out_features_; }
+
+  /// Weight matrix, [out_features, in_features].
+  Parameter& weight() { return weight_; }
+  Parameter* bias() { return use_bias_ ? &bias_ : nullptr; }
+
+  void set_bits(int bits);
+  int bits() const { return weight_quant_.bits(); }
+  void set_quantization_enabled(bool enabled);
+  bool quantization_enabled() const { return weight_quant_.enabled(); }
+
+  quant::FakeQuantizer& weight_quantizer() { return weight_quant_; }
+  quant::FakeQuantizer& input_quantizer() { return input_quant_; }
+
+  /// Optional AD meter on the raw output (the final FC has no ReLU, but the
+  /// paper still reports a per-layer AD for it).
+  void attach_meter(ad::DensityMeter* meter) { meter_ = meter; }
+
+ private:
+  std::string name_;
+  ad::DensityMeter* meter_ = nullptr;
+  std::int64_t in_features_, out_features_;
+  bool use_bias_;
+
+  Parameter weight_;
+  Parameter bias_;
+  quant::FakeQuantizer weight_quant_;
+  quant::FakeQuantizer input_quant_;
+
+  Tensor cached_input_q_;
+  Tensor cached_weight_q_;
+};
+
+}  // namespace adq::nn

@@ -1,0 +1,53 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace adq::nn {
+
+double SoftmaxCrossEntropy::forward(const Tensor& logits,
+                                    const std::vector<std::int64_t>& labels) {
+  if (logits.shape().rank() != 2) {
+    throw std::invalid_argument("SoftmaxCrossEntropy: logits must be rank 2");
+  }
+  const std::int64_t B = logits.shape().dim(0), C = logits.shape().dim(1);
+  if (static_cast<std::int64_t>(labels.size()) != B) {
+    throw std::invalid_argument("SoftmaxCrossEntropy: batch/labels mismatch");
+  }
+  cached_softmax_ = Tensor(logits.shape());
+  cached_labels_ = labels;
+
+  double loss = 0.0;
+  for (std::int64_t b = 0; b < B; ++b) {
+    const float* row = logits.data() + b * C;
+    float* srow = cached_softmax_.data() + b * C;
+    const float m = *std::max_element(row, row + C);
+    double z = 0.0;
+    for (std::int64_t c = 0; c < C; ++c) z += std::exp(static_cast<double>(row[c] - m));
+    const double log_z = std::log(z);
+    for (std::int64_t c = 0; c < C; ++c) {
+      srow[c] = static_cast<float>(std::exp(static_cast<double>(row[c] - m)) / z);
+    }
+    const std::int64_t y = labels[static_cast<std::size_t>(b)];
+    if (y < 0 || y >= C) {
+      throw std::invalid_argument("SoftmaxCrossEntropy: label out of range");
+    }
+    loss += -(static_cast<double>(row[y] - m) - log_z);
+  }
+  return loss / static_cast<double>(B);
+}
+
+Tensor SoftmaxCrossEntropy::backward() const {
+  const std::int64_t B = cached_softmax_.shape().dim(0);
+  const std::int64_t C = cached_softmax_.shape().dim(1);
+  Tensor grad = cached_softmax_;
+  for (std::int64_t b = 0; b < B; ++b) {
+    grad[b * C + cached_labels_[static_cast<std::size_t>(b)]] -= 1.0f;
+  }
+  const float inv_b = 1.0f / static_cast<float>(B);
+  for (std::int64_t i = 0; i < grad.numel(); ++i) grad[i] *= inv_b;
+  return grad;
+}
+
+}  // namespace adq::nn

@@ -1,0 +1,27 @@
+// Softmax cross-entropy over logits.
+//
+// forward() returns the mean negative log-likelihood of the labels;
+// backward() returns d(loss)/d(logits) = (softmax - onehot) / batch.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace adq::nn {
+
+class SoftmaxCrossEntropy {
+ public:
+  /// logits: [B, classes]; labels: B entries in [0, classes).
+  double forward(const Tensor& logits, const std::vector<std::int64_t>& labels);
+
+  /// Gradient w.r.t. the logits of the last forward().
+  Tensor backward() const;
+
+ private:
+  Tensor cached_softmax_;
+  std::vector<std::int64_t> cached_labels_;
+};
+
+}  // namespace adq::nn

@@ -1,0 +1,68 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace adq::nn {
+
+void Optimizer::zero_grad() {
+  for (Parameter* p : params_) p->zero_grad();
+}
+
+Sgd::Sgd(std::vector<Parameter*> params, float lr, float momentum,
+         float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  velocity_.reserve(params_.size());
+  for (Parameter* p : params_) velocity_.emplace_back(p->value.shape());
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter& p = *params_[i];
+    Tensor& vel = velocity_[i];
+    for (std::int64_t j = 0; j < p.value.numel(); ++j) {
+      const float g = p.grad[j] + weight_decay_ * p.value[j];
+      vel[j] = momentum_ * vel[j] + g;
+      p.value[j] -= lr_ * vel[j];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Parameter*> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter& p = *params_[i];
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    for (std::int64_t j = 0; j < p.value.numel(); ++j) {
+      const float g = p.grad[j] + weight_decay_ * p.value[j];
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g;
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g * g;
+      const float m_hat = m[j] / bias1;
+      const float v_hat = v[j] / bias2;
+      p.value[j] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+  }
+}
+
+}  // namespace adq::nn

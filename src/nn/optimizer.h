@@ -1,0 +1,59 @@
+// First-order optimizers over a flat parameter list.
+//
+// The paper trains with Adam "under standard settings"; SGD with momentum is
+// provided for the ablations. Optimizers hold non-owning Parameter pointers
+// and per-parameter state buffers indexed positionally.
+#pragma once
+
+#include <vector>
+
+#include "nn/parameter.h"
+
+namespace adq::nn {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Parameter*> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update from the accumulated gradients.
+  virtual void step() = 0;
+
+  void zero_grad();
+  const std::vector<Parameter*>& params() const { return params_; }
+
+ protected:
+  std::vector<Parameter*> params_;
+};
+
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Parameter*> params, float lr, float momentum = 0.9f,
+      float weight_decay = 0.0f);
+
+  void step() override;
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+
+ private:
+  float lr_, momentum_, weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Parameter*> params, float lr = 1e-3f, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+
+  void step() override;
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+
+ private:
+  float lr_, beta1_, beta2_, eps_, weight_decay_;
+  std::int64_t t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace adq::nn

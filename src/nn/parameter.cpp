@@ -1,0 +1,4 @@
+#include "nn/parameter.h"
+
+// Parameter is header-only today; this translation unit exists so the build
+// has a stable home if Parameter grows out-of-line behaviour.

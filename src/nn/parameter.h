@@ -1,0 +1,27 @@
+// Trainable parameter: a value tensor paired with its gradient buffer.
+//
+// Layers own their Parameters; optimizers hold non-owning pointers collected
+// via Layer::collect_parameters. The gradient buffer always has the same
+// shape as the value and is accumulated into by Layer::backward.
+#pragma once
+
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace adq::nn {
+
+struct Parameter {
+  Parameter() = default;
+  Parameter(std::string name, Shape shape)
+      : name(std::move(name)), value(shape), grad(shape) {}
+
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  void zero_grad() { grad.zero(); }
+  std::int64_t numel() const { return value.numel(); }
+};
+
+}  // namespace adq::nn

@@ -1,0 +1,99 @@
+#include "nn/pool.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace adq::nn {
+
+Tensor MaxPool2d::forward(const Tensor& x) {
+  if (x.shape().rank() != 4) {
+    throw std::invalid_argument(name_ + ": expected NCHW input");
+  }
+  const std::int64_t B = x.shape().dim(0), C = x.shape().dim(1);
+  const std::int64_t H = x.shape().dim(2), W = x.shape().dim(3);
+  if (H < kernel_ || W < kernel_) {
+    throw std::invalid_argument(name_ + ": input " + x.shape().to_string() +
+                                " smaller than pooling window");
+  }
+  const std::int64_t oh = (H - kernel_) / stride_ + 1;
+  const std::int64_t ow = (W - kernel_) / stride_ + 1;
+  cached_in_shape_ = x.shape();
+  Tensor out(Shape{B, C, oh, ow});
+  cached_argmax_.assign(static_cast<std::size_t>(out.numel()), 0);
+
+  std::int64_t oi = 0;
+  for (std::int64_t b = 0; b < B; ++b) {
+    for (std::int64_t c = 0; c < C; ++c) {
+      const float* plane = x.data() + (b * C + c) * H * W;
+      for (std::int64_t y = 0; y < oh; ++y) {
+        for (std::int64_t xo = 0; xo < ow; ++xo, ++oi) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::int64_t best_idx = 0;
+          for (std::int64_t ky = 0; ky < kernel_; ++ky) {
+            for (std::int64_t kx = 0; kx < kernel_; ++kx) {
+              const std::int64_t iy = y * stride_ + ky;
+              const std::int64_t ix = xo * stride_ + kx;
+              const std::int64_t idx = iy * W + ix;
+              if (plane[idx] > best) {
+                best = plane[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          out[oi] = best;
+          cached_argmax_[static_cast<std::size_t>(oi)] = (b * C + c) * H * W + best_idx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_out) {
+  if (static_cast<std::size_t>(grad_out.numel()) != cached_argmax_.size()) {
+    throw std::invalid_argument(name_ + ": backward size mismatch");
+  }
+  Tensor grad_x(cached_in_shape_);
+  for (std::int64_t i = 0; i < grad_out.numel(); ++i) {
+    grad_x[cached_argmax_[static_cast<std::size_t>(i)]] += grad_out[i];
+  }
+  return grad_x;
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& x) {
+  if (x.shape().rank() != 4) {
+    throw std::invalid_argument(name_ + ": expected NCHW input");
+  }
+  const std::int64_t B = x.shape().dim(0), C = x.shape().dim(1);
+  const std::int64_t hw = x.shape().dim(2) * x.shape().dim(3);
+  cached_in_shape_ = x.shape();
+  Tensor out(Shape{B, C});
+  for (std::int64_t b = 0; b < B; ++b) {
+    for (std::int64_t c = 0; c < C; ++c) {
+      const float* plane = x.data() + (b * C + c) * hw;
+      float s = 0.0f;
+      for (std::int64_t i = 0; i < hw; ++i) s += plane[i];
+      out[b * C + c] = s / static_cast<float>(hw);
+    }
+  }
+  return out;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
+  const std::int64_t B = cached_in_shape_.dim(0), C = cached_in_shape_.dim(1);
+  const std::int64_t hw = cached_in_shape_.dim(2) * cached_in_shape_.dim(3);
+  if (grad_out.shape() != Shape{B, C}) {
+    throw std::invalid_argument(name_ + ": backward shape mismatch");
+  }
+  Tensor grad_x(cached_in_shape_);
+  for (std::int64_t b = 0; b < B; ++b) {
+    for (std::int64_t c = 0; c < C; ++c) {
+      const float g = grad_out[b * C + c] / static_cast<float>(hw);
+      float* plane = grad_x.data() + (b * C + c) * hw;
+      for (std::int64_t i = 0; i < hw; ++i) plane[i] = g;
+    }
+  }
+  return grad_x;
+}
+
+}  // namespace adq::nn

@@ -1,0 +1,43 @@
+// Spatial pooling layers: max pooling (VGG) and global average pooling
+// (ResNet head). MaxPool caches the argmax of each window for the backward
+// scatter; GlobalAvgPool broadcasts the gradient evenly.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace adq::nn {
+
+class MaxPool2d : public Layer {
+ public:
+  explicit MaxPool2d(std::int64_t kernel = 2, std::int64_t stride = 2,
+                     std::string name = "maxpool")
+      : name_(std::move(name)), kernel_(kernel), stride_(stride) {}
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  std::int64_t kernel_, stride_;
+  Shape cached_in_shape_;
+  std::vector<std::int64_t> cached_argmax_;  // flat input index per output
+};
+
+/// [B, C, H, W] -> [B, C]: mean over the spatial extent.
+class GlobalAvgPool : public Layer {
+ public:
+  explicit GlobalAvgPool(std::string name = "gap") : name_(std::move(name)) {}
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  Shape cached_in_shape_;
+};
+
+}  // namespace adq::nn

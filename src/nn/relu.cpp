@@ -1,0 +1,54 @@
+#include "nn/relu.h"
+
+#include <stdexcept>
+
+namespace adq::nn {
+
+void ReLU::observe(const Tensor& y) const {
+  if (meter_ == nullptr || !meter_->active()) return;
+  if (metered_channels_ < 0 || y.shape().rank() != 4 ||
+      metered_channels_ >= y.shape().dim(1)) {
+    meter_->observe(y);
+    return;
+  }
+  // Count only live channels of an NCHW tensor.
+  const std::int64_t B = y.shape().dim(0), C = y.shape().dim(1);
+  const std::int64_t hw = y.shape().dim(2) * y.shape().dim(3);
+  std::int64_t nonzero = 0;
+  for (std::int64_t b = 0; b < B; ++b) {
+    const float* base = y.data() + b * C * hw;
+    for (std::int64_t i = 0; i < metered_channels_ * hw; ++i) {
+      if (base[i] != 0.0f) ++nonzero;
+    }
+  }
+  meter_->observe_counts(nonzero, B * metered_channels_ * hw);
+}
+
+Tensor ReLU::forward(const Tensor& x) {
+  Tensor out(x.shape());
+  cached_mask_ = Tensor(x.shape());
+  const float* px = x.data();
+  float* po = out.data();
+  float* pm = cached_mask_.data();
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    const bool pos = px[i] > 0.0f;
+    po[i] = pos ? px[i] : 0.0f;
+    pm[i] = pos ? 1.0f : 0.0f;
+  }
+  if (training_) observe(out);
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  if (grad_out.shape() != cached_mask_.shape()) {
+    throw std::invalid_argument(name_ + ": backward shape mismatch");
+  }
+  Tensor grad_x(grad_out.shape());
+  const float* pg = grad_out.data();
+  const float* pm = cached_mask_.data();
+  float* po = grad_x.data();
+  for (std::int64_t i = 0; i < grad_out.numel(); ++i) po[i] = pg[i] * pm[i];
+  return grad_x;
+}
+
+}  // namespace adq::nn

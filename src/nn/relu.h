@@ -1,0 +1,40 @@
+// ReLU with Activation Density metering.
+//
+// The paper measures AD on post-ReLU activations (eqn 2), so the meter hook
+// lives here: when a DensityMeter is attached and active, every training
+// forward accumulates nonzero/total counts of the output. For pruned
+// networks only the first `metered_channels` channels are counted, so dead
+// (masked) channels do not deflate the density of the surviving ones.
+#pragma once
+
+#include "ad/density_meter.h"
+#include "nn/layer.h"
+
+namespace adq::nn {
+
+class ReLU : public Layer {
+ public:
+  explicit ReLU(std::string name = "relu") : name_(std::move(name)) {}
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return name_; }
+
+  /// Attaches a non-owning density meter (nullptr detaches).
+  void attach_meter(ad::DensityMeter* meter) { meter_ = meter; }
+  ad::DensityMeter* meter() const { return meter_; }
+
+  /// Counts AD only over the first n channels of NCHW outputs (-1 = all).
+  void set_metered_channels(std::int64_t n) { metered_channels_ = n; }
+  std::int64_t metered_channels() const { return metered_channels_; }
+
+ private:
+  void observe(const Tensor& y) const;
+
+  std::string name_;
+  ad::DensityMeter* meter_ = nullptr;
+  std::int64_t metered_channels_ = -1;
+  Tensor cached_mask_;  // 1 where input > 0
+};
+
+}  // namespace adq::nn

@@ -1,0 +1,134 @@
+#include "nn/residual.h"
+
+#include "tensor/ops.h"
+
+namespace adq::nn {
+
+ResidualBlock::ResidualBlock(std::int64_t in_channels, std::int64_t out_channels,
+                             std::int64_t stride, std::string name)
+    : name_(std::move(name)) {
+  conv1_ = std::make_unique<Conv2d>(in_channels, out_channels, 3, stride, 1,
+                                    /*use_bias=*/false, name_ + ".conv1");
+  bn1_ = std::make_unique<BatchNorm2d>(out_channels, 0.1f, 1e-5f, name_ + ".bn1");
+  relu1_ = std::make_unique<ReLU>(name_ + ".relu1");
+  conv2_ = std::make_unique<Conv2d>(out_channels, out_channels, 3, 1, 1,
+                                    /*use_bias=*/false, name_ + ".conv2");
+  bn2_ = std::make_unique<BatchNorm2d>(out_channels, 0.1f, 1e-5f, name_ + ".bn2");
+  relu2_ = std::make_unique<ReLU>(name_ + ".relu2");
+  if (stride != 1 || in_channels != out_channels) {
+    down_conv_ = std::make_unique<Conv2d>(in_channels, out_channels, 1, stride,
+                                          0, /*use_bias=*/false, name_ + ".down");
+    down_bn_ = std::make_unique<BatchNorm2d>(out_channels, 0.1f, 1e-5f,
+                                             name_ + ".down_bn");
+  }
+  active_out_ = out_channels;
+}
+
+void ResidualBlock::mask_post_add(Tensor& nchw) const {
+  const std::int64_t C = nchw.shape().dim(1);
+  if (active_out_ >= C) return;
+  const std::int64_t B = nchw.shape().dim(0);
+  const std::int64_t hw = nchw.shape().dim(2) * nchw.shape().dim(3);
+  for (std::int64_t b = 0; b < B; ++b) {
+    float* base = nchw.data() + (b * C + active_out_) * hw;
+    std::fill(base, base + (C - active_out_) * hw, 0.0f);
+  }
+}
+
+Tensor ResidualBlock::forward(const Tensor& x) {
+  Tensor main = conv1_->forward(x);
+  main = bn1_->forward(main);
+  main = relu1_->forward(main);
+  main = conv2_->forward(main);
+  main = bn2_->forward(main);
+
+  // Skip branch: its activations are quantized at the destination (conv2)
+  // precision per Fig 2. The downsample conv, when present, carries its own
+  // weight/input quantizers already synced to conv2's bits.
+  Tensor skip = skip_quant_.apply(x);
+  if (down_conv_ != nullptr) {
+    skip = down_conv_->forward(skip);
+    skip = down_bn_->forward(skip);
+  }
+  add_inplace(main, skip);
+  mask_post_add(main);  // masked before ReLU so backward dies naturally
+  return relu2_->forward(main);
+}
+
+Tensor ResidualBlock::backward(const Tensor& grad_out) {
+  Tensor g = relu2_->backward(grad_out);  // gradient of the post-add sum
+
+  // Main path.
+  Tensor g_main = bn2_->backward(g);
+  g_main = conv2_->backward(g_main);
+  g_main = relu1_->backward(g_main);
+  g_main = bn1_->backward(g_main);
+  g_main = conv1_->backward(g_main);
+
+  // Skip path (STE through skip_quant_: gradient passes unchanged).
+  Tensor g_skip = g;
+  if (down_conv_ != nullptr) {
+    g_skip = down_bn_->backward(g_skip);
+    g_skip = down_conv_->backward(g_skip);
+  }
+  add_inplace(g_main, g_skip);
+  return g_main;
+}
+
+void ResidualBlock::collect_parameters(std::vector<Parameter*>& out) {
+  conv1_->collect_parameters(out);
+  bn1_->collect_parameters(out);
+  conv2_->collect_parameters(out);
+  bn2_->collect_parameters(out);
+  if (down_conv_ != nullptr) {
+    down_conv_->collect_parameters(out);
+    down_bn_->collect_parameters(out);
+  }
+}
+
+void ResidualBlock::set_training(bool training) {
+  Layer::set_training(training);
+  conv1_->set_training(training);
+  bn1_->set_training(training);
+  relu1_->set_training(training);
+  conv2_->set_training(training);
+  bn2_->set_training(training);
+  relu2_->set_training(training);
+  if (down_conv_ != nullptr) {
+    down_conv_->set_training(training);
+    down_bn_->set_training(training);
+  }
+}
+
+void ResidualBlock::set_bits_conv2(int bits) {
+  conv2_->set_bits(bits);
+  skip_quant_.set_bits(bits);
+  if (down_conv_ != nullptr) down_conv_->set_bits(bits);
+}
+
+void ResidualBlock::set_active_out_channels(std::int64_t n) {
+  conv2_->set_active_out_channels(n);
+  bn2_->set_active_channels(n);
+  if (down_conv_ != nullptr) {
+    down_conv_->set_active_out_channels(n);
+    down_bn_->set_active_channels(n);
+  }
+  relu2_->set_metered_channels(n);
+  active_out_ = n;
+}
+
+void ResidualBlock::set_active_mid_channels(std::int64_t n) {
+  conv1_->set_active_out_channels(n);
+  bn1_->set_active_channels(n);
+  relu1_->set_metered_channels(n);
+  conv2_->set_active_in_channels(n);
+}
+
+void ResidualBlock::set_quantization_enabled(bool enabled) {
+  conv1_->set_quantization_enabled(enabled);
+  conv2_->set_quantization_enabled(enabled);
+  skip_quant_.set_enabled(enabled);
+  if (down_conv_ != nullptr) down_conv_->set_quantization_enabled(enabled);
+}
+
+}  // namespace adq::nn

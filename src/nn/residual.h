@@ -1,0 +1,80 @@
+// ResNet basic block: conv-bn-relu-conv-bn (+ optional 1x1 downsample on
+// the skip) -> add -> relu.
+//
+// Quantization follows the paper's Fig 2: the activations entering the skip
+// branch are quantized with the *destination* layer's bit-width, i.e. the
+// bits of conv2. set_bits_conv2() therefore also retargets the skip
+// quantizer and the downsample conv. The block's AD meter sits on the final
+// post-add ReLU — the activation the rest of the network actually consumes.
+#pragma once
+
+#include <memory>
+
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/relu.h"
+#include "quant/fake_quantizer.h"
+
+namespace adq::nn {
+
+class ResidualBlock : public Layer {
+ public:
+  /// stride > 1 (or in_channels != out_channels) adds a 1x1 conv + BN
+  /// downsample path on the skip.
+  ResidualBlock(std::int64_t in_channels, std::int64_t out_channels,
+                std::int64_t stride, std::string name = "block");
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+  void set_training(bool training) override;
+  std::string name() const override { return name_; }
+
+  Conv2d& conv1() { return *conv1_; }
+  Conv2d& conv2() { return *conv2_; }
+  BatchNorm2d& bn1() { return *bn1_; }
+  BatchNorm2d& bn2() { return *bn2_; }
+  ReLU& relu1() { return *relu1_; }
+  ReLU& relu2() { return *relu2_; }
+  Conv2d* downsample_conv() { return down_conv_.get(); }
+  BatchNorm2d* downsample_bn() { return down_bn_.get(); }
+  bool has_downsample() const { return down_conv_ != nullptr; }
+
+  void set_bits_conv1(int bits) { conv1_->set_bits(bits); }
+
+  /// Also retargets the skip-branch quantizer and the downsample conv
+  /// (paper Fig 2: skip activations use the destination layer's bits).
+  void set_bits_conv2(int bits);
+
+  void set_quantization_enabled(bool enabled);
+
+  quant::FakeQuantizer& skip_quantizer() { return skip_quant_; }
+
+  /// Prunes the block *output* to n channels (eqn 5 applied to conv2): masks
+  /// conv2, its BN, the downsample path, and — because an identity skip
+  /// could otherwise resurrect a channel — the post-add sum itself.
+  void set_active_out_channels(std::int64_t n);
+  std::int64_t active_out_channels() const { return active_out_; }
+
+  /// Prunes conv1's output to n channels (masks conv1 + bn1 and limits the
+  /// AD meter on relu1 to the live channels).
+  void set_active_mid_channels(std::int64_t n);
+  std::int64_t active_mid_channels() const { return conv1_->active_out_channels(); }
+
+ private:
+  void mask_post_add(Tensor& nchw) const;
+
+  std::string name_;
+  std::int64_t active_out_ = 0;  // set in ctor to out_channels
+  std::unique_ptr<Conv2d> conv1_;
+  std::unique_ptr<BatchNorm2d> bn1_;
+  std::unique_ptr<ReLU> relu1_;
+  std::unique_ptr<Conv2d> conv2_;
+  std::unique_ptr<BatchNorm2d> bn2_;
+  std::unique_ptr<ReLU> relu2_;
+  std::unique_ptr<Conv2d> down_conv_;
+  std::unique_ptr<BatchNorm2d> down_bn_;
+  quant::FakeQuantizer skip_quant_;
+};
+
+}  // namespace adq::nn

@@ -1,0 +1,28 @@
+#include "nn/sequential.h"
+
+namespace adq::nn {
+
+Tensor Sequential::forward(const Tensor& x) {
+  Tensor h = x;
+  for (auto& layer : layers_) h = layer->forward(h);
+  return h;
+}
+
+Tensor Sequential::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+void Sequential::collect_parameters(std::vector<Parameter*>& out) {
+  for (auto& layer : layers_) layer->collect_parameters(out);
+}
+
+void Sequential::set_training(bool training) {
+  Layer::set_training(training);
+  for (auto& layer : layers_) layer->set_training(training);
+}
+
+}  // namespace adq::nn

@@ -1,0 +1,53 @@
+// Sequential container: owns an ordered list of layers and chains
+// forward/backward through them.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace adq::nn {
+
+class Sequential : public Layer {
+ public:
+  explicit Sequential(std::string name = "seq") : name_(std::move(name)) {}
+
+  /// Appends a layer and returns a typed non-owning pointer to it.
+  template <typename L, typename... Args>
+  L* emplace(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L* raw = layer.get();
+    layers_.push_back(std::move(layer));
+    return raw;
+  }
+
+  void append(std::unique_ptr<Layer> layer) { layers_.push_back(std::move(layer)); }
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+  void set_training(bool training) override;
+  std::string name() const override { return name_; }
+
+  std::size_t size() const { return layers_.size(); }
+  Layer& at(std::size_t i) { return *layers_.at(i); }
+
+  /// Typed access; throws std::bad_cast semantics via runtime_error.
+  template <typename L>
+  L* get(std::size_t i) {
+    L* p = dynamic_cast<L*>(layers_.at(i).get());
+    if (p == nullptr) {
+      throw std::runtime_error(name_ + ": layer " + std::to_string(i) +
+                               " has unexpected type");
+    }
+    return p;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace adq::nn

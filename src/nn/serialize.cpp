@@ -1,0 +1,104 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+
+namespace adq::nn {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x41445131;  // "ADQ1"
+
+void write_u64(std::ostream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t read_u64(std::istream& in) {
+  std::uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) throw std::runtime_error("checkpoint: truncated file");
+  return v;
+}
+
+void write_string(std::ostream& out, const std::string& s) {
+  write_u64(out, s.size());
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& in) {
+  const std::uint64_t n = read_u64(in);
+  if (n > (1u << 20)) throw std::runtime_error("checkpoint: absurd name length");
+  std::string s(n, '\0');
+  in.read(s.data(), static_cast<std::streamsize>(n));
+  if (!in) throw std::runtime_error("checkpoint: truncated file");
+  return s;
+}
+
+}  // namespace
+
+void save_parameters(const std::vector<Parameter*>& params,
+                     const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("checkpoint: cannot open " + path);
+  std::uint32_t magic = kMagic;
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  write_u64(out, params.size());
+  for (const Parameter* p : params) {
+    write_string(out, p->name);
+    write_u64(out, static_cast<std::uint64_t>(p->value.shape().rank()));
+    for (int a = 0; a < p->value.shape().rank(); ++a) {
+      write_u64(out, static_cast<std::uint64_t>(p->value.shape().dim(a)));
+    }
+    out.write(reinterpret_cast<const char*>(p->value.data()),
+              static_cast<std::streamsize>(p->value.numel() * sizeof(float)));
+  }
+  if (!out) throw std::runtime_error("checkpoint: write failed for " + path);
+}
+
+void load_parameters(const std::vector<Parameter*>& params,
+                     const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("checkpoint: cannot open " + path);
+  std::uint32_t magic = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (!in || magic != kMagic) {
+    throw std::runtime_error("checkpoint: bad magic in " + path);
+  }
+
+  std::map<std::string, Parameter*> by_name;
+  for (Parameter* p : params) {
+    if (!by_name.emplace(p->name, p).second) {
+      throw std::runtime_error("checkpoint: duplicate parameter name " + p->name);
+    }
+  }
+
+  const std::uint64_t count = read_u64(in);
+  if (count != params.size()) {
+    throw std::runtime_error("checkpoint: parameter count mismatch (file " +
+                             std::to_string(count) + ", network " +
+                             std::to_string(params.size()) + ")");
+  }
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::string name = read_string(in);
+    const auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      throw std::runtime_error("checkpoint: unknown parameter " + name);
+    }
+    Parameter& p = *it->second;
+    const std::uint64_t rank = read_u64(in);
+    if (rank != static_cast<std::uint64_t>(p.value.shape().rank())) {
+      throw std::runtime_error("checkpoint: rank mismatch for " + name);
+    }
+    for (std::uint64_t a = 0; a < rank; ++a) {
+      if (read_u64(in) != static_cast<std::uint64_t>(p.value.shape().dim(static_cast<int>(a)))) {
+        throw std::runtime_error("checkpoint: shape mismatch for " + name);
+      }
+    }
+    in.read(reinterpret_cast<char*>(p.value.data()),
+            static_cast<std::streamsize>(p.value.numel() * sizeof(float)));
+    if (!in) throw std::runtime_error("checkpoint: truncated data for " + name);
+  }
+}
+
+}  // namespace adq::nn

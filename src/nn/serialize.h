@@ -1,0 +1,28 @@
+// Parameter checkpointing.
+//
+// Saves/restores every trainable parameter of a network by name to a small
+// binary container (magic + count + [name, shape, float data] records).
+// Useful for the in-training quantization workflow: snapshot the model at
+// an iteration boundary, explore a bit-width assignment, roll back.
+// Loading matches strictly by name and shape — a mismatch is an error, not
+// a silent partial restore.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/parameter.h"
+
+namespace adq::nn {
+
+/// Writes all parameters to `path`. Throws std::runtime_error on I/O error.
+void save_parameters(const std::vector<Parameter*>& params,
+                     const std::string& path);
+
+/// Restores parameters from `path` into the given (already built) network.
+/// Every parameter in the file must exist (by name) with an identical
+/// shape, and every network parameter must be present in the file.
+void load_parameters(const std::vector<Parameter*>& params,
+                     const std::string& path);
+
+}  // namespace adq::nn

@@ -1,0 +1,155 @@
+#include "pim/accelerator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace adq::pim {
+
+std::int64_t ShiftAccumulatorTree::combine(
+    const std::vector<std::vector<std::int64_t>>& partials, int bits) {
+  std::int64_t result = 0;
+  for (std::size_t p = 0; p < partials.size(); ++p) {
+    for (std::size_t q = 0; q < partials[p].size(); ++q) {
+      result += partials[p][q] << (p + q);
+      // Every partial lands in the lowest-level accumulator; wider
+      // precisions shift-add through the higher levels (Fig 5: blue path
+      // forwards ACC4 directly for 2-bit layers, red path engages ACC8,
+      // and the widest products walk up to ACC16).
+      if (events_ != nullptr) {
+        events_->acc4_ops += 1;
+        if (bits >= 4) events_->acc8_ops += 1;
+        if (bits >= 8) events_->acc16_ops += 1;
+      }
+    }
+  }
+  return result;
+}
+
+PimArray::PimArray(PimConfig cfg) : cfg_(cfg) {
+  if (cfg_.rows < 1 || cfg_.cols < 1 || cfg_.column_group < 1) {
+    throw std::invalid_argument("PimArray: invalid geometry");
+  }
+  cells_.assign(static_cast<std::size_t>(cfg_.rows * cfg_.cols), 0);
+}
+
+std::int64_t PimArray::outputs_per_tile(int bits) const {
+  return cfg_.cols / bits;
+}
+
+void PimArray::load_weights(const std::vector<std::vector<std::int64_t>>& weights,
+                            int bits) {
+  if (bits != 2 && bits != 4 && bits != 8 && bits != 16) {
+    throw std::invalid_argument("PimArray: precision must be on the 2/4/8/16 grid");
+  }
+  outputs_ = static_cast<std::int64_t>(weights.size());
+  if (outputs_ > outputs_per_tile(bits)) {
+    throw std::invalid_argument("PimArray: too many outputs for tile at this precision");
+  }
+  fan_in_ = outputs_ == 0 ? 0 : static_cast<std::int64_t>(weights[0].size());
+  if (fan_in_ > cfg_.rows) {
+    throw std::invalid_argument("PimArray: fan-in exceeds array rows");
+  }
+  bits_ = bits;
+  std::fill(cells_.begin(), cells_.end(), 0);
+  for (std::int64_t o = 0; o < outputs_; ++o) {
+    if (static_cast<std::int64_t>(weights[static_cast<std::size_t>(o)].size()) != fan_in_) {
+      throw std::invalid_argument("PimArray: ragged weight matrix");
+    }
+    for (std::int64_t r = 0; r < fan_in_; ++r) {
+      const std::int64_t code = weights[static_cast<std::size_t>(o)][static_cast<std::size_t>(r)];
+      if (code < 0 || code >= (std::int64_t{1} << bits)) {
+        throw std::invalid_argument("PimArray: weight code out of k-bit range");
+      }
+      for (int p = 0; p < bits; ++p) {
+        cells_[static_cast<std::size_t>(r * cfg_.cols + o * bits + p)] =
+            static_cast<std::uint8_t>((code >> p) & 1);
+      }
+    }
+  }
+}
+
+std::vector<std::int64_t> PimArray::compute(
+    const std::vector<std::int64_t>& activations, EventCounts& events) const {
+  if (static_cast<std::int64_t>(activations.size()) != fan_in_) {
+    throw std::invalid_argument("PimArray: activation length != loaded fan-in");
+  }
+  for (std::int64_t code : activations) {
+    if (code < 0 || code >= (std::int64_t{1} << bits_)) {
+      throw std::invalid_argument("PimArray: activation code out of k-bit range");
+    }
+  }
+  std::vector<std::int64_t> results(static_cast<std::size_t>(outputs_), 0);
+  ShiftAccumulatorTree tree(&events);
+
+  for (std::int64_t o = 0; o < outputs_; ++o) {
+    // partials[p][q]: column sum of weight bit-plane p under activation
+    // bit-position q.
+    std::vector<std::vector<std::int64_t>> partials(
+        static_cast<std::size_t>(bits_),
+        std::vector<std::int64_t>(static_cast<std::size_t>(bits_), 0));
+    for (int q = 0; q < bits_; ++q) {
+      // Input decoder presents activation bit q of every row this cycle.
+      events.decoder_reads += 1;
+      for (int p = 0; p < bits_; ++p) {
+        const std::int64_t col = o * bits_ + p;
+        std::int64_t colsum = 0;
+        for (std::int64_t r = 0; r < fan_in_; ++r) {
+          const std::int64_t a_bit = (activations[static_cast<std::size_t>(r)] >> q) & 1;
+          const std::int64_t w_bit = cells_[static_cast<std::size_t>(r * cfg_.cols + col)];
+          colsum += a_bit & w_bit;  // the 1-bit memory-and-multiply cell
+          events.cell_mults += 1;
+        }
+        partials[static_cast<std::size_t>(p)][static_cast<std::size_t>(q)] = colsum;
+      }
+      events.array_reads += (bits_ + cfg_.column_group - 1) / cfg_.column_group;
+    }
+    results[static_cast<std::size_t>(o)] = tree.combine(partials, bits_);
+  }
+  return results;
+}
+
+std::int64_t pim_xnor_dot_product(const std::vector<int>& weight_signs,
+                                  const std::vector<int>& activation_signs,
+                                  EventCounts& events) {
+  if (weight_signs.size() != activation_signs.size()) {
+    throw std::invalid_argument("pim_xnor_dot_product: length mismatch");
+  }
+  const std::int64_t n = static_cast<std::int64_t>(weight_signs.size());
+  std::int64_t popcount = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const int w = weight_signs[static_cast<std::size_t>(i)];
+    const int a = activation_signs[static_cast<std::size_t>(i)];
+    if ((w != 0 && w != 1) || (a != 0 && a != 1)) {
+      throw std::invalid_argument("pim_xnor_dot_product: signs must be 0/1 bits");
+    }
+    popcount += w ^ a;  // mismatched signs contribute -1 to the dot product
+    events.cell_mults += 1;
+  }
+  events.decoder_reads += 1;
+  return n - 2 * popcount;
+}
+
+std::int64_t pim_dot_product(const std::vector<std::int64_t>& weights,
+                             const std::vector<std::int64_t>& activations,
+                             int bits, EventCounts& events,
+                             const PimConfig& cfg) {
+  if (weights.size() != activations.size()) {
+    throw std::invalid_argument("pim_dot_product: length mismatch");
+  }
+  PimArray array(cfg);
+  std::int64_t total = 0;
+  const std::int64_t n = static_cast<std::int64_t>(weights.size());
+  for (std::int64_t start = 0; start < n; start += cfg.rows) {
+    const std::int64_t len = std::min<std::int64_t>(cfg.rows, n - start);
+    std::vector<std::vector<std::int64_t>> w_tile(
+        1, std::vector<std::int64_t>(weights.begin() + start,
+                                     weights.begin() + start + len));
+    std::vector<std::int64_t> a_tile(activations.begin() + start,
+                                     activations.begin() + start + len);
+    array.load_weights(w_tile, bits);
+    total += array.compute(a_tile, events)[0];
+  }
+  return total;
+}
+
+}  // namespace adq::pim

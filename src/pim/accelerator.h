@@ -1,0 +1,95 @@
+// Functional simulation of the precision-scalable PIM accelerator (Fig 5).
+//
+// The accelerator has three sections:
+//   1. Input decoder  — streams activation bits row-by-row, one bit-position
+//                       per cycle (bit-serial).
+//   2. PIM block      — a 2-D array of 1-bit SRAM memory-and-multiply cells;
+//                       a cell ANDs its stored weight bit with the presented
+//                       activation bit, and a column sums its cells.
+//   3. Shift-Accumulator — hierarchical accumulators; the lowest level is
+//                       4-bit (fed by reading 4 columns together), then 8-
+//                       and 16-bit levels engage as the layer precision
+//                       requires (2-bit -> ACC4 result forwarded, 4-bit ->
+//                       shift-add into ACC8, wider -> ACC16).
+//
+// The simulator is *functionally exact*: computing a k-bit dot product here
+// returns the same integer as a reference multiply-accumulate over the
+// codes. Tests assert this for every grid precision, which validates that
+// the dataflow (and hence the energy scaling attached to its events) is the
+// real shift-add dataflow rather than an abstract formula.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pim/energy_model.h"
+
+namespace adq::pim {
+
+struct PimConfig {
+  std::int64_t rows = 128;  // cells per column = dot-product fan-in per tile
+  std::int64_t cols = 128;  // columns per array
+  int column_group = 4;     // columns read together into one ACC4 slot
+};
+
+/// Hierarchical shift-accumulator: combines per-(weight-bit, activation-bit)
+/// column sums into the final integer, counting ops at each level that the
+/// given precision activates.
+class ShiftAccumulatorTree {
+ public:
+  explicit ShiftAccumulatorTree(EventCounts* events) : events_(events) {}
+
+  /// partials[p][q] = sum_j w_bit_p(j) * a_bit_q(j); returns
+  /// sum_{p,q} partials[p][q] << (p + q) with event accounting.
+  std::int64_t combine(const std::vector<std::vector<std::int64_t>>& partials,
+                       int bits);
+
+ private:
+  EventCounts* events_;
+};
+
+/// One PIM array tile: weights are loaded as bit-planes (one output neuron
+/// occupies `bits` adjacent columns), activations stream bit-serially.
+class PimArray {
+ public:
+  explicit PimArray(PimConfig cfg = {});
+
+  const PimConfig& config() const { return cfg_; }
+
+  /// Number of output neurons one tile can hold at a precision.
+  std::int64_t outputs_per_tile(int bits) const;
+
+  /// Loads `weights[o][r]` codes (outputs x fan-in) at k-bit precision.
+  /// fan-in must be <= rows, outputs <= outputs_per_tile(bits).
+  void load_weights(const std::vector<std::vector<std::int64_t>>& weights,
+                    int bits);
+
+  /// Computes all loaded dot products against one activation vector
+  /// (codes, length = fan-in). Events accumulate into `events`.
+  std::vector<std::int64_t> compute(const std::vector<std::int64_t>& activations,
+                                    EventCounts& events) const;
+
+ private:
+  PimConfig cfg_;
+  int bits_ = 0;
+  std::int64_t fan_in_ = 0;
+  std::int64_t outputs_ = 0;
+  std::vector<std::uint8_t> cells_;  // rows x cols bit matrix
+};
+
+/// Convenience: full k-bit dot product of two code vectors through the
+/// array + accumulator pipeline, tiling over rows when needed.
+std::int64_t pim_dot_product(const std::vector<std::int64_t>& weights,
+                             const std::vector<std::int64_t>& activations,
+                             int bits, EventCounts& events,
+                             const PimConfig& cfg = {});
+
+/// Fully binarised fast path (paper §II-A / XNOR-Net): when both weights
+/// and activations are 1-bit {-1,+1} (encoded as 0 -> -1, 1 -> +1), the MAC
+/// reduces to XNOR + popcount: dot = n - 2 * popcount(w XOR a). Events are
+/// recorded as cell ops only — no shift-accumulator levels engage.
+std::int64_t pim_xnor_dot_product(const std::vector<int>& weight_signs,
+                                  const std::vector<int>& activation_signs,
+                                  EventCounts& events);
+
+}  // namespace adq::pim

@@ -1,0 +1,66 @@
+#include "pim/energy_model.h"
+
+#include <stdexcept>
+
+#include "quant/bitwidth.h"
+
+namespace adq::pim {
+
+double pim_mac_energy_fj(int hardware_bits) {
+  switch (hardware_bits) {
+    case 2:
+      return 2.942;
+    case 4:
+      return 16.968;
+    case 8:
+      return 66.714;
+    case 16:
+      return 276.676;
+    default:
+      throw std::invalid_argument(
+          "pim_mac_energy_fj: unsupported hardware precision " +
+          std::to_string(hardware_bits) + " (PIM grid is 2/4/8/16)");
+  }
+}
+
+double pim_mac_energy_for_bits_fj(int bits) {
+  return pim_mac_energy_fj(quant::round_to_hardware_bits(bits));
+}
+
+EventCounts& EventCounts::operator+=(const EventCounts& other) {
+  cell_mults += other.cell_mults;
+  decoder_reads += other.decoder_reads;
+  acc4_ops += other.acc4_ops;
+  acc8_ops += other.acc8_ops;
+  acc16_ops += other.acc16_ops;
+  array_reads += other.array_reads;
+  return *this;
+}
+
+double event_energy_fj(const EventCounts& events, const EventEnergies& e) {
+  return static_cast<double>(events.cell_mults) * e.cell_fj +
+         static_cast<double>(events.decoder_reads) * e.decoder_fj +
+         static_cast<double>(events.acc4_ops) * e.acc4_fj +
+         static_cast<double>(events.acc8_ops) * e.acc8_fj +
+         static_cast<double>(events.acc16_ops) * e.acc16_fj +
+         static_cast<double>(events.array_reads) * e.array_read_fj;
+}
+
+EventCounts expected_mac_events(int k) {
+  if (k != 2 && k != 4 && k != 8 && k != 16) {
+    throw std::invalid_argument("expected_mac_events: bits must be on the PIM grid");
+  }
+  EventCounts ev;
+  // k weight bit-planes by k serial activation cycles.
+  ev.cell_mults = static_cast<std::int64_t>(k) * k;
+  ev.decoder_reads = k;
+  // 4 columns are read together into the lowest accumulator level.
+  ev.acc4_ops = static_cast<std::int64_t>(k) * k / 4;
+  if (ev.acc4_ops == 0) ev.acc4_ops = 1;
+  ev.acc8_ops = k >= 4 ? static_cast<std::int64_t>(k) * k / 8 : 0;
+  ev.acc16_ops = k >= 16 ? 16 : 0;  // 16-bit level engages only at full width
+  ev.array_reads = ev.acc4_ops;
+  return ev;
+}
+
+}  // namespace adq::pim

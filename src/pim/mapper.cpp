@@ -1,0 +1,60 @@
+#include "pim/mapper.h"
+
+#include <stdexcept>
+
+#include "quant/bitwidth.h"
+
+namespace adq::pim {
+
+LayerMapping map_layer(const models::LayerSpec& layer, const PimConfig& cfg,
+                       const PimEnergyOptions& opts) {
+  LayerMapping m;
+  m.name = layer.name;
+  m.bits = layer.bits;
+  m.hardware_bits = quant::round_to_hardware_bits(layer.bits);
+  m.macs = layer.macs();
+
+  const std::int64_t fan_in = layer.active_in * layer.kernel * layer.kernel;
+  const std::int64_t outputs = layer.active_out;
+  m.row_tiles = (fan_in + cfg.rows - 1) / cfg.rows;
+  const std::int64_t outputs_per_tile = cfg.cols / m.hardware_bits;
+  if (outputs_per_tile < 1) {
+    throw std::invalid_argument("map_layer: array narrower than one output at this precision");
+  }
+  m.col_tiles = (outputs + outputs_per_tile - 1) / outputs_per_tile;
+  m.total_tiles = m.row_tiles * m.col_tiles;
+
+  // Bit-serial cycles follow the activation stream width; energy scales with
+  // cycles, so the full-16 stream multiplies E_MAC|k by 16/k (see header).
+  const bool full16 = opts.streaming == ActivationStreaming::kFull16;
+  m.serial_cycles = full16 ? 16 : m.hardware_bits;
+  m.mac_energy_fj = pim_mac_energy_fj(m.hardware_bits) *
+                    (full16 ? 16.0 / m.hardware_bits : 1.0);
+  m.energy_uj = static_cast<double>(m.macs) * m.mac_energy_fj * 1e-9;  // fJ -> uJ
+  return m;
+}
+
+PimEnergyReport pim_energy(const models::ModelSpec& spec, const PimConfig& cfg,
+                           const PimEnergyOptions& opts) {
+  PimEnergyReport report;
+  report.layers.reserve(spec.layers.size());
+  for (const models::LayerSpec& l : spec.layers) {
+    LayerMapping m = map_layer(l, cfg, opts);
+    report.total_uj += m.energy_uj;
+    report.layers.push_back(std::move(m));
+  }
+  return report;
+}
+
+double pim_energy_reduction(const models::ModelSpec& model,
+                            const models::ModelSpec& baseline,
+                            const PimConfig& cfg, const PimEnergyOptions& opts) {
+  const double model_uj = pim_energy(model, cfg, opts).total_uj;
+  const double base_uj = pim_energy(baseline, cfg, opts).total_uj;
+  if (model_uj <= 0.0) {
+    throw std::invalid_argument("pim_energy_reduction: zero model energy");
+  }
+  return base_uj / model_uj;
+}
+
+}  // namespace adq::pim

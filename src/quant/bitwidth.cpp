@@ -1,0 +1,72 @@
+#include "quant/bitwidth.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace adq::quant {
+
+int round_to_hardware_bits(int bits) {
+  if (bits < 1) {
+    throw std::invalid_argument("round_to_hardware_bits: bits must be >= 1");
+  }
+  for (int hw : kHardwareBits) {
+    if (bits <= hw) return hw;
+  }
+  return kHardwareBits[std::size(kHardwareBits) - 1];
+}
+
+int update_bits(int bits, double density, Rounding mode) {
+  if (bits < 1) throw std::invalid_argument("update_bits: bits must be >= 1");
+  if (density < 0.0) throw std::invalid_argument("update_bits: negative density");
+  const double scaled = bits * density;
+  int updated = 0;
+  switch (mode) {
+    case Rounding::kNearest:
+      updated = static_cast<int>(std::lround(scaled));
+      break;
+    case Rounding::kFloor:
+      updated = static_cast<int>(std::floor(scaled));
+      break;
+    case Rounding::kCeil:
+      updated = static_cast<int>(std::ceil(scaled));
+      break;
+  }
+  return updated < 1 ? 1 : updated;
+}
+
+BitWidthPolicy BitWidthPolicy::uniform(int layers, int bits) {
+  return BitWidthPolicy(std::vector<int>(static_cast<std::size_t>(layers), bits));
+}
+
+BitWidthPolicy BitWidthPolicy::updated(const std::vector<double>& densities,
+                                       const std::vector<bool>& frozen,
+                                       Rounding mode) const {
+  if (densities.size() != bits_.size() || frozen.size() != bits_.size()) {
+    throw std::invalid_argument("BitWidthPolicy::updated: size mismatch");
+  }
+  BitWidthPolicy out = *this;
+  for (std::size_t l = 0; l < bits_.size(); ++l) {
+    if (!frozen[l]) out.bits_[l] = update_bits(bits_[l], densities[l], mode);
+  }
+  return out;
+}
+
+BitWidthPolicy BitWidthPolicy::hardware_rounded() const {
+  BitWidthPolicy out = *this;
+  for (int& b : out.bits_) b = round_to_hardware_bits(b);
+  return out;
+}
+
+std::string BitWidthPolicy::to_string() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < bits_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << bits_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace adq::quant

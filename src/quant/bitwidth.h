@@ -1,0 +1,60 @@
+// Bit-width bookkeeping: the eqn-3 update rule and the PIM hardware
+// precision grid.
+//
+// The paper's accelerator supports only 2-/4-/8-/16-bit datapaths, so a
+// 3-bit layer executes as 4-bit and a 5-bit layer as 8-bit ("data precision
+// of 3-bits would be translated to 4-bits, 5-bits to 8-bits, and so on").
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace adq::quant {
+
+/// Supported PIM datapath widths, ascending.
+inline constexpr int kHardwareBits[] = {2, 4, 8, 16};
+
+/// Smallest supported width >= bits (bits above 16 saturate at 16;
+/// bits <= 2 map to 2).
+int round_to_hardware_bits(int bits);
+
+/// Rounding mode for the eqn-3 update — kNearest is the paper's choice;
+/// floor/ceil are ablation knobs (DESIGN.md §6).
+enum class Rounding { kNearest, kFloor, kCeil };
+
+/// eqn (3): k_new = round(k_old * density), floored at 1 bit.
+int update_bits(int bits, double density, Rounding mode = Rounding::kNearest);
+
+/// Per-layer bit assignment for a whole network, with helpers used by the
+/// controller and the report writers.
+class BitWidthPolicy {
+ public:
+  BitWidthPolicy() = default;
+  explicit BitWidthPolicy(std::vector<int> bits) : bits_(std::move(bits)) {}
+  static BitWidthPolicy uniform(int layers, int bits);
+
+  int size() const { return static_cast<int>(bits_.size()); }
+  int at(int layer) const { return bits_[static_cast<std::size_t>(layer)]; }
+  void set(int layer, int bits) { bits_[static_cast<std::size_t>(layer)] = bits; }
+  const std::vector<int>& bits() const { return bits_; }
+
+  /// Applies eqn (3) with per-layer densities; `frozen[l]` layers keep their
+  /// current width (paper: first conv and final FC are never quantized).
+  BitWidthPolicy updated(const std::vector<double>& densities,
+                         const std::vector<bool>& frozen,
+                         Rounding mode = Rounding::kNearest) const;
+
+  /// Every layer rounded up to the PIM grid.
+  BitWidthPolicy hardware_rounded() const;
+
+  bool operator==(const BitWidthPolicy& other) const { return bits_ == other.bits_; }
+  bool operator!=(const BitWidthPolicy& other) const { return !(*this == other); }
+
+  /// e.g. "[16, 4, 5, 4, 3, 16]" — matches the paper's table formatting.
+  std::string to_string() const;
+
+ private:
+  std::vector<int> bits_;
+};
+
+}  // namespace adq::quant

@@ -1,0 +1,54 @@
+// Stateful fake-quantizer attached to a tensor stream (weights or
+// activations) inside a layer.
+//
+// The quantizer observes the dynamic range of what passes through it and
+// snaps values onto a k-bit grid (eqn 1). Backward is the straight-through
+// estimator: layers simply propagate gradients as if the quantizer were the
+// identity, which is why there is no backward method here.
+#pragma once
+
+#include "quant/quantizer.h"
+#include "tensor/tensor.h"
+
+namespace adq::quant {
+
+enum class RangeMode {
+  kPerBatch,  // min/max of the current tensor (paper's formulation)
+  kEma,       // exponential moving average of per-batch ranges
+};
+
+class FakeQuantizer {
+ public:
+  explicit FakeQuantizer(int bits = 16, RangeMode mode = RangeMode::kPerBatch,
+                         float ema_decay = 0.9f)
+      : bits_(bits), mode_(mode), ema_decay_(ema_decay) {}
+
+  int bits() const { return bits_; }
+  void set_bits(int bits);
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+
+  RangeMode range_mode() const { return mode_; }
+
+  /// Observed range from the last apply() (or the EMA range in kEma mode).
+  float range_min() const { return range_min_; }
+  float range_max() const { return range_max_; }
+
+  /// Returns the fake-quantized tensor; identity when disabled or when the
+  /// grid is finer than float precision (bits >= 24).
+  Tensor apply(const Tensor& x);
+
+ private:
+  void observe(const Tensor& x);
+
+  int bits_;
+  RangeMode mode_;
+  float ema_decay_;
+  bool enabled_ = true;
+  bool seen_ = false;
+  float range_min_ = 0.0f;
+  float range_max_ = 0.0f;
+};
+
+}  // namespace adq::quant

@@ -1,0 +1,68 @@
+#include "quant/quantizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.h"
+
+namespace adq::quant {
+
+std::int64_t max_code(int bits) {
+  if (bits < 1 || bits > 31) {
+    throw std::invalid_argument("max_code: bits must be in [1, 31], got " +
+                                std::to_string(bits));
+  }
+  return (std::int64_t{1} << bits) - 1;
+}
+
+std::int64_t quantize_code(float x, float x_min, float x_max, int bits) {
+  const std::int64_t levels = max_code(bits);
+  if (x_max <= x_min) return 0;
+  const float clamped = std::clamp(x, x_min, x_max);
+  const float scaled = (clamped - x_min) * static_cast<float>(levels) / (x_max - x_min);
+  return static_cast<std::int64_t>(std::lround(scaled));
+}
+
+float dequantize_code(std::int64_t code, float x_min, float x_max, int bits) {
+  const std::int64_t levels = max_code(bits);
+  if (x_max <= x_min) return x_min;
+  return x_min + static_cast<float>(code) * (x_max - x_min) / static_cast<float>(levels);
+}
+
+float fake_quantize_value(float x, float x_min, float x_max, int bits) {
+  return dequantize_code(quantize_code(x, x_min, x_max, bits), x_min, x_max, bits);
+}
+
+Tensor fake_quantize(const Tensor& x, int bits) {
+  if (x.numel() == 0) return x;
+  return fake_quantize(x, min_value(x), max_value(x), bits);
+}
+
+Tensor fake_quantize(const Tensor& x, float x_min, float x_max, int bits) {
+  if (bits >= 24 || x.numel() == 0 || x_max <= x_min) return x;
+  const std::int64_t levels = max_code(bits);
+  const float scale = (x_max - x_min) / static_cast<float>(levels);
+  const float inv_scale = static_cast<float>(levels) / (x_max - x_min);
+  Tensor out(x.shape());
+  const float* px = x.data();
+  float* po = out.data();
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    const float clamped = std::clamp(px[i], x_min, x_max);
+    const float code = std::nearbyint((clamped - x_min) * inv_scale);
+    po[i] = x_min + code * scale;
+  }
+  return out;
+}
+
+std::vector<std::int64_t> quantize_codes(const Tensor& x, float x_min,
+                                         float x_max, int bits) {
+  std::vector<std::int64_t> codes(static_cast<std::size_t>(x.numel()));
+  const float* px = x.data();
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    codes[static_cast<std::size_t>(i)] = quantize_code(px[i], x_min, x_max, bits);
+  }
+  return codes;
+}
+
+}  // namespace adq::quant

@@ -1,0 +1,42 @@
+// Uniform affine quantization — paper eqn (1).
+//
+//   x_q = round((x - x_min) * (2^k - 1) / (x_max - x_min))
+//
+// `quantize_codes` produces the integer codes a hardware datapath would see;
+// `dequantize` maps codes back to the float grid; `fake_quantize` fuses both
+// for quantization-aware training (floats snapped to the k-bit grid).
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace adq::quant {
+
+/// Largest code representable with k bits (2^k - 1). k must be in [1, 31].
+std::int64_t max_code(int bits);
+
+/// Integer code of a single value per eqn (1); clamps x into [x_min, x_max].
+std::int64_t quantize_code(float x, float x_min, float x_max, int bits);
+
+/// Float value of a code on the [x_min, x_max] k-bit grid.
+float dequantize_code(std::int64_t code, float x_min, float x_max, int bits);
+
+/// Snaps a single value to the k-bit grid spanned by [x_min, x_max].
+float fake_quantize_value(float x, float x_min, float x_max, int bits);
+
+/// Snaps every element of `x` to the k-bit grid spanned by the tensor's own
+/// min/max (per-tensor dynamic range). Degenerate ranges (min == max) pass
+/// through unchanged. bits >= 24 is treated as "no quantization" since the
+/// grid would be finer than float precision anyway.
+Tensor fake_quantize(const Tensor& x, int bits);
+
+/// As above but with an externally supplied range (e.g. from an observer).
+Tensor fake_quantize(const Tensor& x, float x_min, float x_max, int bits);
+
+/// Extracts integer codes for a whole tensor (used by the PIM functional
+/// simulator, which operates on codes, not floats).
+std::vector<std::int64_t> quantize_codes(const Tensor& x, float x_min,
+                                         float x_max, int bits);
+
+}  // namespace adq::quant

@@ -1,0 +1,120 @@
+#include "report/table.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace adq::report {
+
+void Table::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (!header_.empty() && row.size() != header_.size()) {
+    throw std::invalid_argument("Table: row width " + std::to_string(row.size()) +
+                                " != header width " + std::to_string(header_.size()));
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::to_markdown() const {
+  // Column widths across header + rows for aligned output.
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto grow = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i >= widths.size()) widths.resize(i + 1, 0);
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  grow(header_);
+  for (const auto& r : rows_) grow(r);
+
+  std::ostringstream os;
+  os << "## " << title_ << "\n\n";
+  auto emit = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string cell = i < row.size() ? row[i] : "";
+      os << ' ' << cell << std::string(widths[i] - cell.size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+  emit(header_);
+  os << '|';
+  for (std::size_t w : widths) os << std::string(w + 2, '-') << '|';
+  os << '\n';
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  auto escape = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+      if (c == '"') out += '"';
+      out += c;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) os << ',';
+      os << escape(row[i]);
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream out(path, std::ios::app);
+  if (!out) throw std::runtime_error("Table: cannot open " + path);
+  out << "# " << title_ << '\n' << to_csv();
+}
+
+std::string fmt(double value, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << value;
+  return os.str();
+}
+
+std::string fmt_factor(double value, int precision) {
+  return fmt(value, precision) + "x";
+}
+
+std::string fmt_percent(double value, int precision) {
+  return fmt(value * 100.0, precision) + "%";
+}
+
+namespace {
+template <typename T>
+std::string fmt_vector_impl(const std::vector<T>& values) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << values[i];
+  }
+  os << ']';
+  return os.str();
+}
+}  // namespace
+
+std::string fmt_int_vector(const std::vector<int>& values) {
+  return fmt_vector_impl(values);
+}
+
+std::string fmt_int_vector(const std::vector<long long>& values) {
+  return fmt_vector_impl(values);
+}
+
+}  // namespace adq::report

@@ -1,0 +1,48 @@
+// Plain-text table rendering for the paper-reproduction benches.
+//
+// Every bench binary prints the paper's reported rows next to the measured
+// rows through this one formatter, so EXPERIMENTS.md and the bench stdout
+// stay consistent. Markdown pipe-tables plus a CSV dump.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace adq::report {
+
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+
+  /// Aligned markdown pipe-table with the title as a heading.
+  std::string to_markdown() const;
+
+  /// RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  std::string to_csv() const;
+
+  /// Appends the CSV to `path` (creating it), prefixed by a "# title" line.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision float formatting ("3.19").
+std::string fmt(double value, int precision = 2);
+
+/// "4.19x" style factors.
+std::string fmt_factor(double value, int precision = 2);
+
+/// "91.62%" style percentages (value in [0, 1]).
+std::string fmt_percent(double value, int precision = 2);
+
+/// "[16, 4, 5, ...]" from any int-like vector.
+std::string fmt_int_vector(const std::vector<int>& values);
+std::string fmt_int_vector(const std::vector<long long>& values);
+
+}  // namespace adq::report

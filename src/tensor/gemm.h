@@ -1,0 +1,27 @@
+// Blocked, multithreaded single-precision GEMM.
+//
+// C = alpha * op(A) * op(B) + beta * C with row-major matrices. This is the
+// hot loop for every convolution (via im2col) and linear layer in adq, so it
+// is written to vectorise: the micro-kernel keeps an MR x NR accumulator
+// block in registers and streams K. No external BLAS is used — the repo is
+// self-contained by design.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace adq {
+
+/// C[m x n] = alpha * A[m x k] * B[k x n] + beta * C. Raw-pointer variant;
+/// lda/ldb/ldc are row strides in elements.
+void sgemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+           std::int64_t k, float alpha, const float* a, std::int64_t lda,
+           const float* b, std::int64_t ldb, float beta, float* c,
+           std::int64_t ldc);
+
+/// Tensor convenience wrapper: returns op(A) * op(B); A and B must be rank 2.
+Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a = false,
+              bool trans_b = false);
+
+}  // namespace adq

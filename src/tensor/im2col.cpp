@@ -1,0 +1,52 @@
+#include "tensor/im2col.h"
+
+namespace adq {
+
+void im2col(const float* im, const ConvGeometry& g, float* col) {
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.channels; ++c) {
+    const float* im_c = im + c * g.in_h * g.in_w;
+    for (std::int64_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (std::int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+        float* out = col + row * oh * ow;
+        for (std::int64_t y = 0; y < oh; ++y) {
+          const std::int64_t iy = y * g.stride + kh - g.pad;
+          if (iy < 0 || iy >= g.in_h) {
+            for (std::int64_t x = 0; x < ow; ++x) out[y * ow + x] = 0.0f;
+            continue;
+          }
+          const float* im_row = im_c + iy * g.in_w;
+          for (std::int64_t x = 0; x < ow; ++x) {
+            const std::int64_t ix = x * g.stride + kw - g.pad;
+            out[y * ow + x] = (ix < 0 || ix >= g.in_w) ? 0.0f : im_row[ix];
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* col, const ConvGeometry& g, float* im) {
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.channels; ++c) {
+    float* im_c = im + c * g.in_h * g.in_w;
+    for (std::int64_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (std::int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+        const float* in = col + row * oh * ow;
+        for (std::int64_t y = 0; y < oh; ++y) {
+          const std::int64_t iy = y * g.stride + kh - g.pad;
+          if (iy < 0 || iy >= g.in_h) continue;
+          float* im_row = im_c + iy * g.in_w;
+          for (std::int64_t x = 0; x < ow; ++x) {
+            const std::int64_t ix = x * g.stride + kw - g.pad;
+            if (ix >= 0 && ix < g.in_w) im_row[ix] += in[y * ow + x];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace adq

@@ -1,0 +1,30 @@
+// im2col / col2im lowering for convolutions.
+//
+// Conv2d forward lowers each input image to a [C*kh*kw, out_h*out_w] patch
+// matrix so the convolution becomes one GEMM against the [out_c, C*kh*kw]
+// weight matrix; col2im scatters gradients back for the backward pass.
+#pragma once
+
+#include <cstdint>
+
+namespace adq {
+
+struct ConvGeometry {
+  std::int64_t channels = 0;
+  std::int64_t in_h = 0, in_w = 0;
+  std::int64_t kernel_h = 0, kernel_w = 0;
+  std::int64_t stride = 1;
+  std::int64_t pad = 0;
+
+  std::int64_t out_h() const { return (in_h + 2 * pad - kernel_h) / stride + 1; }
+  std::int64_t out_w() const { return (in_w + 2 * pad - kernel_w) / stride + 1; }
+  std::int64_t patch_size() const { return channels * kernel_h * kernel_w; }
+};
+
+/// im: [channels, in_h, in_w] contiguous. col: [patch_size, out_h*out_w].
+void im2col(const float* im, const ConvGeometry& g, float* col);
+
+/// Transpose scatter: accumulates col back into im (im must be pre-zeroed).
+void col2im(const float* col, const ConvGeometry& g, float* im);
+
+}  // namespace adq

@@ -1,0 +1,160 @@
+#include "tensor/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace adq {
+namespace {
+
+int detect_thread_count() {
+  if (const char* env = std::getenv("ADQ_THREADS")) {
+    const int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+// Fixed-size pool with a full acknowledge barrier per dispatch: run() wakes
+// every worker, each drains the chunk queue and then acknowledges the
+// epoch; run() returns only once all chunks are done AND every worker has
+// acknowledged. The barrier is what makes sequential run() calls safe — no
+// worker can still be inside drain() (and thus able to claim a chunk) when
+// the next epoch's begin/end/fn state is being rewritten. A cheaper design
+// that lets stale workers linger can claim a chunk of the *next* epoch
+// between its next_/pending_ stores, which both corrupts the pending count
+// (deadlocking the caller) and races the fn pointer.
+class Pool {
+ public:
+  Pool() : workers_(static_cast<std::size_t>(std::max(0, detect_thread_count() - 1))) {
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      workers_[i] = std::thread([this] { worker_loop(); });
+    }
+  }
+
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+  void run(std::int64_t begin, std::int64_t end, std::int64_t chunk,
+           const std::function<void(std::int64_t, std::int64_t)>& fn) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      end_ = end;
+      chunk_ = chunk;
+      fn_ = &fn;
+      acks_.store(0, std::memory_order_relaxed);
+      const std::int64_t n_chunks = (end - begin + chunk - 1) / chunk;
+      pending_.store(n_chunks, std::memory_order_relaxed);
+      next_.store(begin, std::memory_order_release);
+      ++epoch_;
+    }
+    cv_.notify_all();
+    drain();  // the caller works too
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] {
+      return pending_.load(std::memory_order_acquire) == 0 &&
+             acks_.load(std::memory_order_acquire) ==
+                 static_cast<int>(workers_.size());
+    });
+    fn_ = nullptr;
+  }
+
+ private:
+  void drain() {
+    while (true) {
+      const std::int64_t i = next_.fetch_add(chunk_, std::memory_order_acq_rel);
+      if (i >= end_) break;
+      (*fn_)(i, std::min(i + chunk_, end_));
+      if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        done_cv_.notify_all();
+      }
+    }
+  }
+
+  void worker_loop() {
+    std::uint64_t seen_epoch = 0;
+    while (true) {
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+        if (stop_) return;
+        seen_epoch = epoch_;
+      }
+      drain();
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        acks_.fetch_add(1, std::memory_order_acq_rel);
+        done_cv_.notify_all();
+      }
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  bool stop_ = false;
+  std::uint64_t epoch_ = 0;
+
+  std::int64_t end_ = 0;
+  std::int64_t chunk_ = 1;
+  std::atomic<std::int64_t> next_{0};
+  std::atomic<std::int64_t> pending_{0};
+  std::atomic<int> acks_{0};
+  const std::function<void(std::int64_t, std::int64_t)>* fn_ = nullptr;
+};
+
+Pool& pool() {
+  static Pool instance;
+  return instance;
+}
+
+// Nested parallel_for calls (e.g. GEMM inside a batch-parallel conv loop)
+// run serially in the calling worker: the pool has a single dispatch epoch,
+// so re-entering it would deadlock. Top-level calls from different threads
+// are serialized by run_mutex for the same reason.
+thread_local bool t_in_parallel_region = false;
+std::mutex run_mutex;
+
+}  // namespace
+
+int parallel_thread_count() { return pool().size(); }
+
+void parallel_for(std::int64_t begin, std::int64_t end,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn,
+                  std::int64_t grain) {
+  if (begin >= end) return;
+  const std::int64_t n = end - begin;
+  const int threads = parallel_thread_count();
+  if (threads == 1 || n <= grain || t_in_parallel_region) {
+    fn(begin, end);
+    return;
+  }
+  // 4 chunks per thread gives the atomic-counter scheduler room to balance
+  // without shrinking chunks below the caller's grain.
+  const std::int64_t chunk = std::max(grain, (n + threads * 4 - 1) / (threads * 4));
+  const std::function<void(std::int64_t, std::int64_t)> wrapped =
+      [&fn](std::int64_t b, std::int64_t e) {
+        t_in_parallel_region = true;
+        fn(b, e);
+        t_in_parallel_region = false;
+      };
+  std::lock_guard<std::mutex> lock(run_mutex);
+  pool().run(begin, end, chunk, wrapped);
+}
+
+}  // namespace adq

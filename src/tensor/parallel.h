@@ -1,0 +1,25 @@
+// Minimal persistent thread pool with a parallel_for primitive.
+//
+// The pool is created once (lazily) and reused; parallel_for splits [begin,
+// end) into contiguous chunks, one per worker. Workloads in adq are large
+// regular loops (GEMM row blocks, im2col patches), so static chunking is the
+// right trade-off and keeps the scheduler trivial.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace adq {
+
+/// Number of worker threads the pool uses (hardware concurrency, overridable
+/// via the ADQ_THREADS environment variable; minimum 1).
+int parallel_thread_count();
+
+/// Runs fn(begin_i, end_i) on disjoint chunks covering [begin, end).
+/// Falls back to a serial call when the range is small or the pool has a
+/// single worker. fn must be safe to invoke concurrently on disjoint ranges.
+void parallel_for(std::int64_t begin, std::int64_t end,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn,
+                  std::int64_t grain = 1);
+
+}  // namespace adq

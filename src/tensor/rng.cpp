@@ -1,0 +1,48 @@
+#include "tensor/rng.h"
+
+namespace adq {
+
+float Rng::uniform(float lo, float hi) {
+  std::uniform_real_distribution<float> dist(lo, hi);
+  return dist(engine_);
+}
+
+float Rng::normal(float mean, float stddev) {
+  std::normal_distribution<float> dist(mean, stddev);
+  return dist(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+bool Rng::coin(double p) {
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+void Rng::fill_uniform(Tensor& t, float lo, float hi) {
+  std::uniform_real_distribution<float> dist(lo, hi);
+  float* p = t.data();
+  for (std::int64_t i = 0; i < t.numel(); ++i) p[i] = dist(engine_);
+}
+
+void Rng::fill_normal(Tensor& t, float mean, float stddev) {
+  std::normal_distribution<float> dist(mean, stddev);
+  float* p = t.data();
+  for (std::int64_t i = 0; i < t.numel(); ++i) p[i] = dist(engine_);
+}
+
+void Rng::shuffle(std::vector<std::int64_t>& indices) {
+  // Hand-rolled Fisher–Yates: std::shuffle's draw sequence is not specified
+  // by the standard, and bench output must be bit-stable across toolchains.
+  for (std::int64_t i = static_cast<std::int64_t>(indices.size()) - 1; i > 0; --i) {
+    const std::int64_t j = uniform_int(0, i);
+    std::swap(indices[static_cast<std::size_t>(i)], indices[static_cast<std::size_t>(j)]);
+  }
+}
+
+Rng Rng::fork() { return Rng(engine_()); }
+
+}  // namespace adq

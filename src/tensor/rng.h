@@ -1,0 +1,47 @@
+// Deterministic random number generation for reproducible experiments.
+//
+// Every stochastic component in adq (weight init, data synthesis, shuffling)
+// draws from an explicitly seeded Rng so that a run is reproducible from its
+// seed alone — a requirement for the paper-table benches to be comparable
+// across machines.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "tensor/tensor.h"
+
+namespace adq {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed'ad01u) : engine_(seed) {}
+
+  /// Uniform in [lo, hi).
+  float uniform(float lo = 0.0f, float hi = 1.0f);
+
+  /// Standard normal scaled to (mean, stddev).
+  float normal(float mean = 0.0f, float stddev = 1.0f);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli draw.
+  bool coin(double p = 0.5);
+
+  void fill_uniform(Tensor& t, float lo, float hi);
+  void fill_normal(Tensor& t, float mean, float stddev);
+
+  /// Fisher–Yates shuffle of an index vector.
+  void shuffle(std::vector<std::int64_t>& indices);
+
+  /// Derives an independent child generator (stable across platforms).
+  Rng fork();
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace adq

@@ -1,0 +1,68 @@
+#include "tensor/shape.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace adq {
+
+Shape::Shape(std::initializer_list<std::int64_t> dims) {
+  if (static_cast<int>(dims.size()) > kMaxRank) {
+    throw std::invalid_argument("Shape: rank exceeds kMaxRank");
+  }
+  for (std::int64_t d : dims) {
+    if (d < 0) throw std::invalid_argument("Shape: negative dimension");
+    dims_[rank_++] = d;
+  }
+}
+
+int Shape::normalize_axis(int axis) const {
+  const int a = axis < 0 ? axis + rank_ : axis;
+  if (a < 0 || a >= rank_) {
+    throw std::out_of_range("Shape: axis " + std::to_string(axis) +
+                            " out of range for rank " + std::to_string(rank_));
+  }
+  return a;
+}
+
+std::int64_t Shape::dim(int axis) const { return dims_[normalize_axis(axis)]; }
+
+std::int64_t Shape::numel() const {
+  std::int64_t n = 1;
+  for (int i = 0; i < rank_; ++i) n *= dims_[i];
+  return n;
+}
+
+std::int64_t Shape::stride(int axis) const {
+  const int a = normalize_axis(axis);
+  std::int64_t s = 1;
+  for (int i = a + 1; i < rank_; ++i) s *= dims_[i];
+  return s;
+}
+
+Shape Shape::with_dim(int axis, std::int64_t value) const {
+  if (value < 0) throw std::invalid_argument("Shape: negative dimension");
+  Shape out = *this;
+  out.dims_[normalize_axis(axis)] = value;
+  return out;
+}
+
+bool Shape::operator==(const Shape& other) const {
+  if (rank_ != other.rank_) return false;
+  for (int i = 0; i < rank_; ++i) {
+    if (dims_[i] != other.dims_[i]) return false;
+  }
+  return true;
+}
+
+std::string Shape::to_string() const {
+  std::ostringstream os;
+  os << '[';
+  for (int i = 0; i < rank_; ++i) {
+    if (i > 0) os << ", ";
+    os << dims_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace adq

@@ -1,0 +1,50 @@
+// Shape of an N-dimensional tensor (row-major, contiguous).
+//
+// A Shape is a small value type holding up to kMaxRank extents. It knows how
+// to compute element counts and row-major strides and to format itself for
+// error messages. Every adq tensor is described by one of these.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+namespace adq {
+
+class Shape {
+ public:
+  static constexpr int kMaxRank = 6;
+
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims);
+
+  /// Number of axes (0 for a scalar-shaped tensor).
+  int rank() const { return rank_; }
+
+  /// Extent of axis `axis`; negative axes count from the back (-1 == last).
+  std::int64_t dim(int axis) const;
+
+  /// Total number of elements (product of extents; 1 for rank 0).
+  std::int64_t numel() const;
+
+  /// Row-major stride of axis `axis`, in elements.
+  std::int64_t stride(int axis) const;
+
+  /// Returns a copy with axis `axis` set to `value`.
+  Shape with_dim(int axis, std::int64_t value) const;
+
+  bool operator==(const Shape& other) const;
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  /// e.g. "[2, 3, 32, 32]".
+  std::string to_string() const;
+
+ private:
+  int normalize_axis(int axis) const;
+
+  std::array<std::int64_t, kMaxRank> dims_{};
+  int rank_ = 0;
+};
+
+}  // namespace adq

@@ -1,0 +1,62 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace adq {
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(shape_.numel()), 0.0f) {}
+
+Tensor::Tensor(Shape shape, float value)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(shape_.numel()), value) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : shape_(std::move(shape)), data_(std::move(values)) {
+  if (static_cast<std::int64_t>(data_.size()) != shape_.numel()) {
+    throw std::invalid_argument("Tensor: data size " +
+                                std::to_string(data_.size()) +
+                                " does not match shape " + shape_.to_string());
+  }
+}
+
+float& Tensor::at(std::int64_t i, std::int64_t j) {
+  return data_[static_cast<std::size_t>(i * shape_.dim(1) + j)];
+}
+
+float Tensor::at(std::int64_t i, std::int64_t j) const {
+  return data_[static_cast<std::size_t>(i * shape_.dim(1) + j)];
+}
+
+float& Tensor::at(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) {
+  const std::int64_t C = shape_.dim(1), H = shape_.dim(2), W = shape_.dim(3);
+  return data_[static_cast<std::size_t>(((n * C + c) * H + h) * W + w)];
+}
+
+float Tensor::at(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) const {
+  const std::int64_t C = shape_.dim(1), H = shape_.dim(2), W = shape_.dim(3);
+  return data_[static_cast<std::size_t>(((n * C + c) * H + h) * W + w)];
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  Tensor out = *this;
+  out.reshape(std::move(new_shape));
+  return out;
+}
+
+void Tensor::reshape(Shape new_shape) {
+  if (new_shape.numel() != numel()) {
+    throw std::invalid_argument("Tensor::reshape: numel mismatch " +
+                                shape_.to_string() + " -> " +
+                                new_shape.to_string());
+  }
+  shape_ = std::move(new_shape);
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+}  // namespace adq

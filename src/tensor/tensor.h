@@ -1,0 +1,67 @@
+// Dense row-major float tensor.
+//
+// The tensor owns its storage (std::vector<float>) and is always contiguous;
+// reshaping is therefore free as long as the element count is preserved.
+// This is deliberately minimal: the NN layers in src/nn do their own layout
+// bookkeeping and only need fast flat access plus shape checking.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/shape.h"
+
+namespace adq {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Allocates a zero-initialised tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Allocates and fills with `value`.
+  Tensor(Shape shape, float value);
+
+  /// Adopts `values` (size must match `shape.numel()`).
+  Tensor(Shape shape, std::vector<float> values);
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor full(Shape shape, float value) { return Tensor(std::move(shape), value); }
+
+  const Shape& shape() const { return shape_; }
+  std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& operator[](std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+  float operator[](std::int64_t i) const { return data_[static_cast<std::size_t>(i)]; }
+
+  /// 2-D indexed access; tensor must be rank 2.
+  float& at(std::int64_t i, std::int64_t j);
+  float at(std::int64_t i, std::int64_t j) const;
+
+  /// 4-D indexed access (NCHW); tensor must be rank 4.
+  float& at(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w);
+  float at(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) const;
+
+  /// Returns a copy with a new shape; `numel` must be unchanged.
+  Tensor reshaped(Shape new_shape) const;
+
+  /// In-place reshape; `numel` must be unchanged.
+  void reshape(Shape new_shape);
+
+  /// Sets every element to `value`.
+  void fill(float value);
+
+  /// Sets every element to zero (used for gradient buffers).
+  void zero() { fill(0.0f); }
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace adq

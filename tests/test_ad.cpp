@@ -1,0 +1,114 @@
+// Unit tests for the Activation Density instrumentation: eqn-2 counting,
+// epoch history, and the saturation detector Algorithm 1 keys on.
+#include <gtest/gtest.h>
+
+#include "ad/density_meter.h"
+#include "ad/saturation.h"
+#include "tensor/tensor.h"
+
+namespace adq::ad {
+namespace {
+
+TEST(DensityMeter, PaperExampleEqn2) {
+  // 512 neurons, 100 nonzero -> AD = 0.195...
+  DensityMeter m("layer");
+  m.observe_counts(100, 512);
+  EXPECT_NEAR(m.current_density(), 100.0 / 512.0, 1e-12);
+}
+
+TEST(DensityMeter, ObserveCountsNonzeros) {
+  DensityMeter m;
+  Tensor x(Shape{4}, std::vector<float>{0.0f, 1.0f, 0.0f, 2.0f});
+  m.observe(x);
+  EXPECT_EQ(m.observed_nonzero(), 2);
+  EXPECT_EQ(m.observed_total(), 4);
+  EXPECT_DOUBLE_EQ(m.current_density(), 0.5);
+}
+
+TEST(DensityMeter, AccumulatesAcrossBatches) {
+  DensityMeter m;
+  Tensor ones(Shape{4}, 1.0f);
+  Tensor zeros(Shape{4});
+  m.observe(ones);
+  m.observe(zeros);
+  EXPECT_DOUBLE_EQ(m.current_density(), 0.5);
+}
+
+TEST(DensityMeter, CommitPushesHistoryAndResets) {
+  DensityMeter m;
+  m.observe_counts(3, 4);
+  EXPECT_DOUBLE_EQ(m.commit_epoch(), 0.75);
+  EXPECT_EQ(m.history().size(), 1u);
+  EXPECT_EQ(m.observed_total(), 0);
+  m.observe_counts(1, 4);
+  m.commit_epoch();
+  EXPECT_DOUBLE_EQ(m.history()[1], 0.25);
+}
+
+TEST(DensityMeter, LatestFallsBackToCurrent) {
+  DensityMeter m;
+  m.observe_counts(1, 2);
+  EXPECT_DOUBLE_EQ(m.latest(), 0.5);
+  m.commit_epoch();
+  m.observe_counts(1, 4);
+  EXPECT_DOUBLE_EQ(m.latest(), 0.5);  // last committed, not the running value
+}
+
+TEST(DensityMeter, InactiveIgnoresObservations) {
+  DensityMeter m;
+  m.set_active(false);
+  m.observe_counts(5, 10);
+  EXPECT_EQ(m.observed_total(), 0);
+}
+
+TEST(DensityMeter, ResetClearsEverything) {
+  DensityMeter m;
+  m.observe_counts(1, 2);
+  m.commit_epoch();
+  m.reset();
+  EXPECT_TRUE(m.history().empty());
+  EXPECT_EQ(m.observed_total(), 0);
+}
+
+TEST(DensityMeter, EmptyDensityIsZero) {
+  DensityMeter m;
+  EXPECT_DOUBLE_EQ(m.current_density(), 0.0);
+}
+
+TEST(Saturation, ShortHistoryNeverSaturated) {
+  SaturationDetector d(5, 0.01);
+  EXPECT_FALSE(d.is_saturated({0.5, 0.5, 0.5, 0.5}));
+}
+
+TEST(Saturation, FlatTailSaturates) {
+  SaturationDetector d(3, 0.01);
+  EXPECT_TRUE(d.is_saturated({0.9, 0.2, 0.500, 0.501, 0.499}));
+}
+
+TEST(Saturation, MovingTailDoesNot) {
+  SaturationDetector d(3, 0.01);
+  EXPECT_FALSE(d.is_saturated({0.5, 0.52, 0.55}));
+}
+
+TEST(Saturation, ToleranceBoundary) {
+  SaturationDetector d(2, 0.05);
+  EXPECT_TRUE(d.is_saturated({0.50, 0.54}));   // spread 0.04 < 0.05
+  EXPECT_FALSE(d.is_saturated({0.50, 0.56}));  // spread 0.06 >= 0.05
+}
+
+TEST(Saturation, AllLayersRequired) {
+  SaturationDetector d(2, 0.01);
+  const std::vector<std::vector<double>> flat{{0.5, 0.5}, {0.3, 0.3}};
+  const std::vector<std::vector<double>> mixed{{0.5, 0.5}, {0.3, 0.8}};
+  EXPECT_TRUE(d.all_saturated(flat));
+  EXPECT_FALSE(d.all_saturated(mixed));
+}
+
+TEST(Saturation, WindowLooksAtTailOnly) {
+  SaturationDetector d(2, 0.01);
+  // Early history is wild, tail is flat — saturated.
+  EXPECT_TRUE(d.is_saturated({0.1, 0.9, 0.2, 0.7, 0.5, 0.5}));
+}
+
+}  // namespace
+}  // namespace adq::ad

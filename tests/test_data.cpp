@@ -1,0 +1,204 @@
+// Tests for the data substrate: dataset/batching mechanics and the
+// synthetic CIFAR/TinyImagenet stand-ins (determinism, balance, shapes).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+
+#include "data/cifar.h"
+#include "data/dataset.h"
+#include "data/synthetic.h"
+#include "tensor/ops.h"
+
+namespace adq::data {
+namespace {
+
+Dataset tiny_dataset(std::int64_t n = 10) {
+  Tensor images(Shape{n, 1, 2, 2});
+  std::vector<std::int64_t> labels(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    labels[static_cast<std::size_t>(i)] = i % 2;
+    for (std::int64_t j = 0; j < 4; ++j) images[i * 4 + j] = static_cast<float>(i);
+  }
+  return Dataset(std::move(images), std::move(labels));
+}
+
+TEST(Dataset, GatherCopiesSamplesAndLabels) {
+  const Dataset ds = tiny_dataset();
+  const Batch b = ds.gather({3, 7});
+  EXPECT_EQ(b.images.shape(), Shape({2, 1, 2, 2}));
+  EXPECT_EQ(b.images[0], 3.0f);
+  EXPECT_EQ(b.images[4], 7.0f);
+  EXPECT_EQ(b.labels[0], 1);
+  EXPECT_EQ(b.labels[1], 1);
+}
+
+TEST(Dataset, GatherOutOfRangeThrows) {
+  const Dataset ds = tiny_dataset();
+  EXPECT_THROW(ds.gather({100}), std::out_of_range);
+}
+
+TEST(Dataset, StandardizeZeroMeanUnitVar) {
+  Dataset ds = tiny_dataset(100);
+  ds.standardize();
+  EXPECT_NEAR(mean(ds.images()), 0.0, 1e-4);
+  double s2 = 0.0;
+  for (std::int64_t i = 0; i < ds.images().numel(); ++i) {
+    s2 += static_cast<double>(ds.images()[i]) * ds.images()[i];
+  }
+  EXPECT_NEAR(s2 / static_cast<double>(ds.images().numel()), 1.0, 1e-3);
+}
+
+TEST(Dataset, MismatchedLabelsThrow) {
+  Tensor images(Shape{3, 1, 2, 2});
+  EXPECT_THROW(Dataset(std::move(images), {0, 1}), std::invalid_argument);
+}
+
+TEST(BatchLoader, CoversEpochExactlyOnce) {
+  const Dataset ds = tiny_dataset(10);
+  Rng rng(1);
+  BatchLoader loader(ds, 3, rng);
+  Batch b;
+  std::multiset<float> seen;
+  std::int64_t batches = 0;
+  while (loader.next(b)) {
+    ++batches;
+    for (std::int64_t i = 0; i < b.images.shape().dim(0); ++i) {
+      seen.insert(b.images[i * 4]);
+    }
+  }
+  EXPECT_EQ(batches, 4);  // 3+3+3+1
+  EXPECT_EQ(loader.batches_per_epoch(), 4);
+  EXPECT_EQ(seen.size(), 10u);
+  for (std::int64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(seen.count(static_cast<float>(i)), 1u);
+  }
+}
+
+TEST(BatchLoader, ShuffleDeterministicFromSeed) {
+  const Dataset ds = tiny_dataset(16);
+  Rng r1(9), r2(9);
+  BatchLoader a(ds, 4, r1), b(ds, 4, r2);
+  Batch ba, bb;
+  while (a.next(ba)) {
+    ASSERT_TRUE(b.next(bb));
+    EXPECT_TRUE(allclose(ba.images, bb.images, 0.0f));
+  }
+}
+
+TEST(BatchLoader, NoShuffleKeepsOrder) {
+  const Dataset ds = tiny_dataset(6);
+  Rng rng(1);
+  BatchLoader loader(ds, 2, rng, /*shuffle=*/false);
+  Batch b;
+  ASSERT_TRUE(loader.next(b));
+  EXPECT_EQ(b.images[0], 0.0f);
+  EXPECT_EQ(b.images[4], 1.0f);
+}
+
+TEST(Synthetic, ShapesAndDeterminism) {
+  SyntheticSpec spec = synthetic_cifar10_spec();
+  spec.train_count = 40;
+  spec.test_count = 20;
+  const TrainTestSplit a = make_synthetic(spec);
+  const TrainTestSplit b = make_synthetic(spec);
+  EXPECT_EQ(a.train.size(), 40);
+  EXPECT_EQ(a.test.size(), 20);
+  EXPECT_EQ(a.train.images().shape(), Shape({40, 3, 32, 32}));
+  EXPECT_TRUE(allclose(a.train.images(), b.train.images(), 0.0f));
+  EXPECT_EQ(a.train.labels(), b.train.labels());
+}
+
+TEST(Synthetic, BalancedClasses) {
+  SyntheticSpec spec = synthetic_cifar10_spec();
+  spec.train_count = 100;
+  spec.test_count = 10;
+  const TrainTestSplit split = make_synthetic(spec);
+  std::vector<int> counts(10, 0);
+  for (std::int64_t label : split.train.labels()) counts[static_cast<std::size_t>(label)]++;
+  for (int c : counts) EXPECT_EQ(c, 10);
+}
+
+TEST(Synthetic, PresetSpecs) {
+  EXPECT_EQ(synthetic_cifar10_spec().num_classes, 10);
+  EXPECT_EQ(synthetic_cifar100_spec().num_classes, 100);
+  EXPECT_EQ(synthetic_tinyimagenet_spec().num_classes, 200);
+  EXPECT_EQ(synthetic_tinyimagenet_spec().size, 64);
+}
+
+TEST(Synthetic, ClassesAreSeparable) {
+  // Nearest-prototype classification on noiseless means should beat chance
+  // by a wide margin: same-class samples must be closer than cross-class.
+  SyntheticSpec spec = synthetic_cifar10_spec();
+  spec.train_count = 100;
+  spec.test_count = 10;
+  const TrainTestSplit split = make_synthetic(spec);
+  const auto& imgs = split.train.images();
+  const std::int64_t d = 3 * 32 * 32;
+  // Class means.
+  std::vector<std::vector<double>> means(10, std::vector<double>(static_cast<std::size_t>(d), 0.0));
+  std::vector<int> counts(10, 0);
+  for (std::int64_t i = 0; i < 100; ++i) {
+    const std::int64_t c = split.train.labels()[static_cast<std::size_t>(i)];
+    counts[static_cast<std::size_t>(c)]++;
+    for (std::int64_t j = 0; j < d; ++j) {
+      means[static_cast<std::size_t>(c)][static_cast<std::size_t>(j)] += imgs[i * d + j];
+    }
+  }
+  for (std::size_t c = 0; c < 10; ++c) {
+    for (auto& v : means[c]) v /= counts[c];
+  }
+  // Nearest-mean classification accuracy over the training samples.
+  int correct = 0;
+  for (std::int64_t i = 0; i < 100; ++i) {
+    double best = 1e300;
+    int best_c = -1;
+    for (int c = 0; c < 10; ++c) {
+      double dist = 0.0;
+      for (std::int64_t j = 0; j < d; ++j) {
+        const double diff = imgs[i * d + j] - means[static_cast<std::size_t>(c)][static_cast<std::size_t>(j)];
+        dist += diff * diff;
+      }
+      if (dist < best) {
+        best = dist;
+        best_c = c;
+      }
+    }
+    if (best_c == split.train.labels()[static_cast<std::size_t>(i)]) ++correct;
+  }
+  EXPECT_GE(correct, 50);  // well above the 10% chance level
+}
+
+TEST(Cifar, MissingDirectoryReturnsNullopt) {
+  EXPECT_FALSE(load_cifar10("/nonexistent/path").has_value());
+}
+
+TEST(Cifar, MalformedFileThrows) {
+  const std::string path = ::testing::TempDir() + "/bad_cifar.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a cifar file";
+  }
+  EXPECT_THROW(load_cifar10_file(path), std::runtime_error);
+}
+
+TEST(Cifar, ParsesWellFormedRecords) {
+  // Two synthetic records in the 1+3072-byte format.
+  const std::string path = ::testing::TempDir() + "/ok_cifar.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    for (int rec = 0; rec < 2; ++rec) {
+      out.put(static_cast<char>(rec + 1));  // label
+      for (int i = 0; i < 3072; ++i) out.put(static_cast<char>(rec == 0 ? 0 : 255));
+    }
+  }
+  const Dataset ds = load_cifar10_file(path);
+  EXPECT_EQ(ds.size(), 2);
+  EXPECT_EQ(ds.labels()[0], 1);
+  EXPECT_EQ(ds.labels()[1], 2);
+  EXPECT_FLOAT_EQ(ds.images()[0], 0.0f);
+  EXPECT_FLOAT_EQ(ds.images()[3072], 1.0f);  // 255/255
+}
+
+}  // namespace
+}  // namespace adq::data

@@ -1,0 +1,240 @@
+// Tests for the extension features: layer removal (Table II iteration 2a
+// mechanics) and parameter checkpointing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+
+#include "pim/accelerator.h"
+
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "energy/analytical.h"
+#include "models/vgg.h"
+#include "nn/init.h"
+#include "nn/serialize.h"
+#include "tensor/ops.h"
+
+namespace adq {
+namespace {
+
+TEST(LayerRemoval, BypassedConvIsIdentity) {
+  Rng rng(1);
+  nn::Conv2d conv(4, 4, 3, 1, 1, false);
+  nn::init_conv(conv, rng);
+  conv.set_bypassed(true);
+  Tensor x(Shape{2, 4, 5, 5});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  EXPECT_TRUE(allclose(conv.forward(x), x, 0.0f));
+  Tensor g(x.shape(), 1.0f);
+  EXPECT_TRUE(allclose(conv.backward(g), g, 0.0f));
+  conv.set_bypassed(false);
+  EXPECT_FALSE(allclose(conv.forward(x), x, 1e-3f));
+}
+
+TEST(LayerRemoval, ShapeChangingConvCannotBeBypassed) {
+  nn::Conv2d widen(2, 4, 3, 1, 1, false);
+  EXPECT_THROW(widen.set_bypassed(true), std::invalid_argument);
+  nn::Conv2d strided(4, 4, 3, 2, 1, false);
+  EXPECT_THROW(strided.set_bypassed(true), std::invalid_argument);
+}
+
+TEST(LayerRemoval, BypassedBatchNormIsIdentity) {
+  nn::BatchNorm2d bn(3);
+  bn.set_bypassed(true);
+  Rng rng(2);
+  Tensor x(Shape{2, 3, 2, 2});
+  rng.fill_normal(x, 5.0f, 2.0f);
+  EXPECT_TRUE(allclose(bn.forward(x), x, 0.0f));
+}
+
+TEST(LayerRemoval, ModelRemoveUnitDropsEnergyAndKeepsForward) {
+  Rng rng(3);
+  models::VggConfig cfg;
+  cfg.width_mult = 0.0625;
+  auto model = models::build_vgg19(cfg, rng);
+  const double before = energy::analytical_energy(model->spec()).total_pj;
+
+  model->remove_unit(15);  // conv16: 512->512, stride 1 (the 2a layer)
+  const double after = energy::analytical_energy(model->spec()).total_pj;
+  EXPECT_LT(after, before);
+  EXPECT_TRUE(model->unit(15).frozen);
+  EXPECT_TRUE(model->unit(15).removed);
+
+  Tensor x(Shape{2, 3, 32, 32});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  EXPECT_EQ(model->forward(x).shape(), Shape({2, 10}));
+}
+
+TEST(LayerRemoval, OnlyPlainConvUnitsRemovable) {
+  Rng rng(4);
+  models::VggConfig cfg;
+  cfg.width_mult = 0.0625;
+  auto model = models::build_vgg19(cfg, rng);
+  EXPECT_THROW(model->remove_unit(16), std::invalid_argument);  // the FC
+  EXPECT_THROW(model->remove_unit(2), std::invalid_argument);   // 16ch -> 32ch
+}
+
+TEST(LayerRemoval, RemovedModelStillTrains) {
+  Rng rng(5);
+  models::VggConfig cfg;
+  cfg.width_mult = 0.0625;
+  cfg.num_classes = 4;
+  auto model = models::build_vgg19(cfg, rng);
+  model->remove_unit(15);
+
+  data::SyntheticSpec dspec = data::synthetic_cifar10_spec();
+  dspec.num_classes = 4;
+  dspec.train_count = 64;
+  dspec.test_count = 32;
+  const data::TrainTestSplit split = data::make_synthetic(dspec);
+  core::Trainer trainer(*model, split.train, split.test);
+  const core::EpochStats first = trainer.run_epoch();
+  core::EpochStats last{};
+  for (int e = 0; e < 2; ++e) last = trainer.run_epoch();
+  EXPECT_LT(last.train_loss, first.train_loss);
+}
+
+TEST(Checkpoint, RoundTripRestoresExactValues) {
+  Rng rng(6);
+  models::VggConfig cfg;
+  cfg.width_mult = 0.0625;
+  auto model = models::build_vgg19(cfg, rng);
+  const std::string path = ::testing::TempDir() + "/ckpt_roundtrip.adq";
+  const std::vector<nn::Parameter*> params = model->parameters();
+  save_parameters(params, path);
+
+  // Scramble, then restore.
+  Rng scramble(7);
+  for (nn::Parameter* p : params) scramble.fill_normal(p->value, 0.0f, 1.0f);
+  load_parameters(params, path);
+
+  Rng check(6);
+  auto reference = models::build_vgg19(cfg, check);
+  const std::vector<nn::Parameter*> ref_params = reference->parameters();
+  ASSERT_EQ(params.size(), ref_params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    EXPECT_TRUE(allclose(params[i]->value, ref_params[i]->value, 0.0f))
+        << params[i]->name;
+  }
+}
+
+TEST(Checkpoint, PredictionsSurviveRoundTrip) {
+  Rng rng(8);
+  models::VggConfig cfg;
+  cfg.width_mult = 0.0625;
+  auto model = models::build_vgg19(cfg, rng);
+  model->set_training(false);
+  Tensor x(Shape{2, 3, 32, 32});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  const Tensor before = model->forward(x);
+
+  const std::string path = ::testing::TempDir() + "/ckpt_pred.adq";
+  save_parameters(model->parameters(), path);
+  Rng scramble(9);
+  for (nn::Parameter* p : model->parameters()) scramble.fill_normal(p->value, 0.0f, 1.0f);
+  load_parameters(model->parameters(), path);
+  const Tensor after = model->forward(x);
+  EXPECT_TRUE(allclose(before, after, 1e-6f));
+}
+
+TEST(Checkpoint, ShapeMismatchRejected) {
+  Rng rng(10);
+  models::VggConfig small;
+  small.width_mult = 0.0625;
+  auto a = models::build_vgg19(small, rng);
+  const std::string path = ::testing::TempDir() + "/ckpt_shape.adq";
+  save_parameters(a->parameters(), path);
+
+  models::VggConfig bigger = small;
+  bigger.width_mult = 0.125;
+  auto b = models::build_vgg19(bigger, rng);
+  EXPECT_THROW(load_parameters(b->parameters(), path), std::runtime_error);
+}
+
+TEST(GradientQuantization, QuantizedGradsStillLearn) {
+  Rng rng(12);
+  models::VggConfig cfg;
+  cfg.width_mult = 0.0625;
+  cfg.num_classes = 4;
+  auto model = models::build_vgg19(cfg, rng);
+
+  data::SyntheticSpec dspec = data::synthetic_cifar10_spec();
+  dspec.num_classes = 4;
+  dspec.train_count = 96;
+  dspec.test_count = 48;
+  const data::TrainTestSplit split = data::make_synthetic(dspec);
+  core::TrainerConfig tcfg;
+  tcfg.grad_bits = 8;  // QSGD-style 8-bit gradient transmission
+  core::Trainer trainer(*model, split.train, split.test, tcfg);
+  const core::EpochStats first = trainer.run_epoch();
+  core::EpochStats last{};
+  for (int e = 0; e < 3; ++e) last = trainer.run_epoch();
+  EXPECT_LT(last.train_loss, first.train_loss);
+  EXPECT_GT(last.train_accuracy, 0.5);
+}
+
+TEST(GradientQuantization, OneBitGradsDegradeButRun) {
+  Rng rng(13);
+  models::VggConfig cfg;
+  cfg.width_mult = 0.0625;
+  cfg.num_classes = 4;
+  auto model = models::build_vgg19(cfg, rng);
+  data::SyntheticSpec dspec = data::synthetic_cifar10_spec();
+  dspec.num_classes = 4;
+  dspec.train_count = 32;
+  dspec.test_count = 16;
+  const data::TrainTestSplit split = data::make_synthetic(dspec);
+  core::TrainerConfig tcfg;
+  tcfg.grad_bits = 1;
+  core::Trainer trainer(*model, split.train, split.test, tcfg);
+  const core::EpochStats stats = trainer.run_epoch();  // must not blow up
+  EXPECT_TRUE(std::isfinite(stats.train_loss));
+}
+
+TEST(XnorPath, MatchesSignedDotProduct) {
+  Rng rng(14);
+  std::vector<int> w(64), a(64);
+  std::int64_t ref = 0;
+  for (std::size_t i = 0; i < 64; ++i) {
+    w[i] = rng.coin() ? 1 : 0;
+    a[i] = rng.coin() ? 1 : 0;
+    ref += (w[i] == 1 ? 1 : -1) * (a[i] == 1 ? 1 : -1);
+  }
+  pim::EventCounts ev;
+  EXPECT_EQ(pim::pim_xnor_dot_product(w, a, ev), ref);
+  // No shift-accumulator levels engage on the binary path.
+  EXPECT_EQ(ev.acc4_ops, 0);
+  EXPECT_EQ(ev.acc8_ops, 0);
+  EXPECT_EQ(ev.cell_mults, 64);
+}
+
+TEST(XnorPath, RejectsNonBits) {
+  pim::EventCounts ev;
+  EXPECT_THROW(pim::pim_xnor_dot_product({2}, {1}, ev), std::invalid_argument);
+  EXPECT_THROW(pim::pim_xnor_dot_product({1, 0}, {1}, ev), std::invalid_argument);
+}
+
+TEST(XnorPath, AllAgreeAndAllDisagree) {
+  pim::EventCounts ev;
+  EXPECT_EQ(pim::pim_xnor_dot_product({1, 1, 1}, {1, 1, 1}, ev), 3);
+  EXPECT_EQ(pim::pim_xnor_dot_product({0, 0, 0}, {1, 1, 1}, ev), -3);
+}
+
+TEST(Checkpoint, CorruptFileRejected) {
+  const std::string path = ::testing::TempDir() + "/ckpt_bad.adq";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "definitely not a checkpoint";
+  }
+  Rng rng(11);
+  models::VggConfig cfg;
+  cfg.width_mult = 0.0625;
+  auto model = models::build_vgg19(cfg, rng);
+  EXPECT_THROW(load_parameters(model->parameters(), path), std::runtime_error);
+  EXPECT_THROW(load_parameters(model->parameters(), "/nonexistent/x.adq"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace adq

@@ -1,0 +1,208 @@
+// End-to-end integration tests: the complete pipeline (synthetic data ->
+// quantization-aware training -> Algorithm 1 -> energy models -> PIM
+// mapping) on width-scaled VGG19 and ResNet18, plus cross-model invariants
+// that tie the subsystems together.
+#include <gtest/gtest.h>
+
+#include "core/ad_quantizer.h"
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "energy/analytical.h"
+#include "models/resnet.h"
+#include "models/vgg.h"
+#include "nn/init.h"
+#include "pim/mapper.h"
+#include "quant/quantizer.h"
+#include "tensor/ops.h"
+
+namespace adq {
+namespace {
+
+data::TrainTestSplit easy_data(std::int64_t classes, std::int64_t train,
+                               std::int64_t test, std::uint64_t seed = 11) {
+  data::SyntheticSpec spec = data::synthetic_cifar10_spec();
+  spec.num_classes = classes;
+  spec.train_count = train;
+  spec.test_count = test;
+  spec.noise = 0.2f;
+  spec.seed = seed;
+  return data::make_synthetic(spec);
+}
+
+TEST(Integration, QuantizedTrainingLearnsAboveChance) {
+  // 4-bit quantization-aware training (STE) still learns the synthetic
+  // task: this is the heart of the paper's claim that in-training
+  // quantization works without a pre-trained model.
+  Rng rng(31);
+  models::VggConfig cfg;
+  cfg.width_mult = 0.0625;
+  cfg.num_classes = 4;
+  auto model = models::build_vgg19(cfg, rng);
+  std::vector<int> bits(static_cast<std::size_t>(model->unit_count()), 4);
+  bits.front() = 16;
+  bits.back() = 16;
+  model->apply_bit_policy(quant::BitWidthPolicy(bits));
+
+  const data::TrainTestSplit split = easy_data(4, 128, 64);
+  core::TrainerConfig tcfg;
+  tcfg.batch_size = 16;
+  core::Trainer trainer(*model, split.train, split.test, tcfg);
+  for (int e = 0; e < 5; ++e) trainer.run_epoch();
+  EXPECT_GT(trainer.evaluate(), 0.5);  // chance = 0.25
+}
+
+TEST(Integration, FullPipelineVgg19) {
+  // Algorithm 1 end to end, then every energy model on the resulting
+  // mixed-precision network.
+  Rng rng(32);
+  models::VggConfig cfg;
+  cfg.width_mult = 0.0625;
+  cfg.num_classes = 4;
+  auto model = models::build_vgg19(cfg, rng);
+  const models::ModelSpec baseline = model->spec();
+
+  const data::TrainTestSplit split = easy_data(4, 96, 48);
+  core::Trainer trainer(*model, split.train, split.test);
+  core::AdqConfig acfg;
+  acfg.max_iterations = 3;
+  acfg.min_epochs_per_iter = 2;
+  acfg.max_epochs_per_iter = 3;
+  acfg.detector = ad::SaturationDetector(2, 0.05);
+  core::AdQuantizationController controller(*model, trainer, acfg);
+  const core::RunResult result = controller.run();
+
+  // AD-quantization drives total AD up across iterations (toward 1.0).
+  ASSERT_GE(result.iterations.size(), 2u);
+  EXPECT_GT(result.iterations.back().total_ad,
+            result.iterations.front().total_ad - 0.05);
+
+  // Energy models agree on direction: quantized is cheaper on both the
+  // analytical CMOS model and the PIM accelerator.
+  const double analytical_eff = energy::energy_efficiency(model->spec(), baseline);
+  const double pim_red = pim::pim_energy_reduction(model->spec(), baseline);
+  EXPECT_GT(analytical_eff, 1.0);
+  EXPECT_GT(pim_red, 1.0);
+}
+
+TEST(Integration, FullPipelineResNet18WithPruning) {
+  Rng rng(33);
+  models::ResNetConfig cfg;
+  cfg.width_mult = 0.125;
+  cfg.num_classes = 4;
+  auto model = models::build_resnet18(cfg, rng);
+  const models::ModelSpec baseline = model->spec();
+
+  const data::TrainTestSplit split = easy_data(4, 96, 48, 13);
+  core::Trainer trainer(*model, split.train, split.test);
+  core::AdqConfig acfg;
+  acfg.max_iterations = 2;
+  acfg.min_epochs_per_iter = 2;
+  acfg.max_epochs_per_iter = 3;
+  acfg.detector = ad::SaturationDetector(2, 0.05);
+  acfg.prune = true;
+  core::AdQuantizationController controller(*model, trainer, acfg);
+  const core::RunResult result = controller.run();
+
+  // Skip-destination rule: every block's skip quantizer matches conv2 bits.
+  for (int u = 0; u < model->unit_count(); ++u) {
+    const models::QuantUnit& unit = model->unit(u);
+    if (unit.role == models::UnitRole::kBlockConv2) {
+      EXPECT_EQ(unit.block->skip_quantizer().bits(), unit.conv->bits());
+    }
+  }
+  // Pruned + quantized must compound in the energy model.
+  const double eff = energy::energy_efficiency(model->spec(), baseline);
+  EXPECT_GT(eff, result.iterations.front().energy_efficiency);
+  // The network still evaluates.
+  EXPECT_GE(trainer.evaluate(), 0.0);
+}
+
+TEST(Integration, AdSaturationDrivesTermination) {
+  // Algorithm 1's fixed point: once every density is ~1, eqn 3 stops
+  // changing bits and the controller halts before max_iterations.
+  Rng rng(34);
+  models::VggConfig cfg;
+  cfg.width_mult = 0.0625;
+  cfg.num_classes = 4;
+  auto model = models::build_vgg19(cfg, rng);
+  // Force bits to 1 everywhere (non-frozen): AD of a 1-bit layer is pinned
+  // near its firing rate; eqn 3 can no longer reduce below 1 bit.
+  std::vector<int> bits(static_cast<std::size_t>(model->unit_count()), 1);
+  bits.front() = 16;
+  bits.back() = 16;
+  model->apply_bit_policy(quant::BitWidthPolicy(bits));
+
+  const data::TrainTestSplit split = easy_data(4, 64, 32);
+  core::Trainer trainer(*model, split.train, split.test);
+  core::AdqConfig acfg;
+  acfg.max_iterations = 5;
+  acfg.min_epochs_per_iter = 2;
+  acfg.max_epochs_per_iter = 2;
+  acfg.detector = ad::SaturationDetector(2, 1.0);  // saturate immediately
+  core::AdQuantizationController controller(*model, trainer, acfg);
+  const core::RunResult result = controller.run();
+  // Bits cannot go below 1, so the policy reaches a fixed point quickly.
+  EXPECT_LT(result.iterations.size(), 5u);
+}
+
+TEST(Integration, PimMatchesQuantizedGemmOnRealWeights) {
+  // Quantize a trained-ish conv layer's weights and one activation patch to
+  // 4 bits, push the codes through the PIM functional simulator, and verify
+  // the result equals the integer reference — connecting the quantization
+  // library to the hardware model end to end.
+  Rng rng(35);
+  nn::Conv2d conv(3, 8, 3, 1, 1, false);
+  nn::init_conv(conv, rng);
+  const Tensor& w = conv.weight().value;
+  const float w_lo = min_value(w), w_hi = max_value(w);
+  const auto w_codes = quant::quantize_codes(w, w_lo, w_hi, 4);
+
+  Tensor patch(Shape{27});
+  rng.fill_uniform(patch, 0.0f, 1.0f);
+  const auto a_codes = quant::quantize_codes(patch, 0.0f, 1.0f, 4);
+
+  for (std::int64_t o = 0; o < 8; ++o) {
+    std::vector<std::int64_t> w_row(w_codes.begin() + o * 27,
+                                    w_codes.begin() + (o + 1) * 27);
+    std::int64_t ref = 0;
+    for (int i = 0; i < 27; ++i) ref += w_row[static_cast<std::size_t>(i)] * a_codes[static_cast<std::size_t>(i)];
+    pim::EventCounts ev;
+    EXPECT_EQ(pim::pim_dot_product(w_row, a_codes, 4, ev), ref);
+  }
+}
+
+TEST(Integration, AnalyticalOverestimatesPimForPrunedModels) {
+  // Section V-B: analytical estimates are more optimistic than the PIM
+  // measurement for pruned+quantized models. Under internally consistent
+  // modelling (both sides as ratio-of-total-energies) the direction holds
+  // but the paper's 5-7x magnitude does not — that magnitude reappears
+  // only when the analytical side is aggregated as a mean of per-layer
+  // ratios (see bench_analytical_vs_pim and EXPERIMENTS.md). We assert
+  // both facts with the paper's Table III(a) configuration.
+  models::ModelSpec spec = models::vgg19_spec(models::VggConfig{});
+  const models::ModelSpec baseline = spec.with_uniform_bits(16);
+  const std::vector<int> bits{16, 4, 5, 4, 3, 2, 2, 2, 3, 3, 3, 4, 3, 3, 3, 3, 16};
+  spec.apply_bits(quant::BitWidthPolicy(bits));
+  std::vector<std::int64_t> ch{19, 22, 38, 24, 45, 37, 44, 54,
+                               103, 126, 150, 125, 122, 112, 111, 8};
+  ch.push_back(10);
+  spec.apply_channels(ch);
+
+  const double analytical = energy::energy_efficiency(spec, baseline);
+  const double pim = pim::pim_energy_reduction(spec, baseline);
+  EXPECT_GT(analytical, pim);  // consistent modelling: rosier, mildly
+
+  // Paper-style aggregation: mean of per-layer baseline/model ratios blows
+  // past the consistent number (this is where the published 980x lives).
+  const energy::EnergyReport em = energy::analytical_energy(spec);
+  const energy::EnergyReport eb = energy::analytical_energy(baseline);
+  double ratio_sum = 0.0;
+  for (std::size_t i = 0; i < em.layers.size(); ++i) {
+    ratio_sum += eb.layers[i].total_pj() / em.layers[i].total_pj();
+  }
+  const double mean_ratio = ratio_sum / static_cast<double>(em.layers.size());
+  EXPECT_GT(mean_ratio, 2.0 * analytical);
+}
+
+}  // namespace
+}  // namespace adq

@@ -1,0 +1,277 @@
+// Tests for the model zoo: spec shape math (the MAC/memory counts every
+// energy number depends on), builder/unit wiring, bit-policy plumbing
+// (including the ResNet skip rule), and channel-policy propagation.
+#include <gtest/gtest.h>
+
+#include "models/model.h"
+#include "models/resnet.h"
+#include "models/spec.h"
+#include "models/vgg.h"
+#include "tensor/rng.h"
+
+namespace adq::models {
+namespace {
+
+TEST(LayerSpec, ConvMacAndMemFormulas) {
+  // Paper section IV-A formulas on a hand-checkable layer:
+  // I=3, O=64, p=3, N=M=32: N_MAC = 32^2*3*9*64, N_mem = 32^2*3 + 9*3*64.
+  LayerSpec l;
+  l.in_channels = l.active_in = 3;
+  l.out_channels = l.active_out = 64;
+  l.kernel = 3;
+  l.in_size = 32;
+  l.out_size = 32;
+  EXPECT_EQ(l.macs(), 1024LL * 3 * 9 * 64);
+  EXPECT_EQ(l.mem_accesses(), 1024LL * 3 + 9 * 3 * 64);
+}
+
+TEST(LayerSpec, PrunedChannelsShrinkCounts) {
+  LayerSpec l;
+  l.in_channels = 8;
+  l.out_channels = 16;
+  l.active_in = 4;
+  l.active_out = 8;
+  l.kernel = 3;
+  l.in_size = l.out_size = 10;
+  EXPECT_EQ(l.macs(), 100LL * 4 * 9 * 8);
+}
+
+TEST(Vgg19Spec, HasSeventeenUnits) {
+  const ModelSpec spec = vgg19_spec(VggConfig{});
+  EXPECT_EQ(spec.layers.size(), 17u);  // 16 convs + fc, no aux layers
+  EXPECT_EQ(spec.unit_layers().size(), 17u);
+  EXPECT_EQ(spec.layers.front().name, "conv1");
+  EXPECT_EQ(spec.layers.back().kind, LayerKind::kLinear);
+}
+
+TEST(Vgg19Spec, FullWidthMacCountMatchesArchitecture) {
+  // VGG19 on 32x32 CIFAR is known to be ~398M MACs; our spec must land
+  // close (it is the denominator of every efficiency factor).
+  const ModelSpec spec = vgg19_spec(VggConfig{});
+  const double macs = static_cast<double>(spec.total_macs());
+  EXPECT_GT(macs, 3.8e8);
+  EXPECT_LT(macs, 4.1e8);
+}
+
+TEST(Vgg19Spec, PoolingHalvesFeatureMaps) {
+  const ModelSpec spec = vgg19_spec(VggConfig{});
+  EXPECT_EQ(spec.layers[0].in_size, 32);   // conv1
+  EXPECT_EQ(spec.layers[2].in_size, 16);   // after pool1
+  EXPECT_EQ(spec.layers[15].in_size, 2);   // last conv block
+  EXPECT_EQ(spec.layers[16].in_channels, 512);  // fc sees 512*1*1
+}
+
+TEST(Vgg19Spec, WidthMultScalesChannels) {
+  VggConfig cfg;
+  cfg.width_mult = 0.25;
+  const ModelSpec spec = vgg19_spec(cfg);
+  EXPECT_EQ(spec.layers[0].out_channels, 16);
+  EXPECT_EQ(spec.layers[15].out_channels, 128);
+}
+
+TEST(ResNet18Spec, UnitAndAuxLayout) {
+  const ModelSpec spec = resnet18_spec(ResNetConfig{});
+  EXPECT_EQ(spec.unit_layers().size(), static_cast<std::size_t>(kResNet18Units));
+  int aux = 0;
+  for (const LayerSpec& l : spec.layers) aux += l.aux ? 1 : 0;
+  EXPECT_EQ(aux, 3);  // downsample convs at stages 2-4
+  // Aux controllers point at the destination conv2 units.
+  for (const LayerSpec& l : spec.layers) {
+    if (l.aux) {
+      EXPECT_GE(l.controller, 0);
+      EXPECT_LT(l.controller, kResNet18Units);
+    }
+  }
+}
+
+TEST(ResNet18Spec, StridesHalveSizes) {
+  const ModelSpec spec = resnet18_spec(ResNetConfig{});
+  EXPECT_EQ(spec.layers.front().out_size, 32);  // stem keeps 32 (CIFAR stem)
+  EXPECT_EQ(spec.layers.back().in_channels, 512);
+}
+
+TEST(ModelSpec, ApplyBitsPropagatesToAux) {
+  ModelSpec spec = resnet18_spec(ResNetConfig{});
+  std::vector<int> bits(static_cast<std::size_t>(kResNet18Units), 16);
+  // Units: 0=stem, then (conv1, conv2) per block; s2b1.conv2 is unit 6.
+  bits[6] = 5;
+  spec.apply_bits(quant::BitWidthPolicy(bits));
+  // Find the s2b1 down layer and check it follows its destination conv2.
+  bool found = false;
+  for (const LayerSpec& l : spec.layers) {
+    if (l.aux && l.controller == 6) {
+      EXPECT_EQ(l.bits, 5);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ModelSpec, ApplyBitsSizeMismatchThrows) {
+  ModelSpec spec = vgg19_spec(VggConfig{});
+  EXPECT_THROW(spec.apply_bits(quant::BitWidthPolicy::uniform(3, 16)),
+               std::invalid_argument);
+}
+
+TEST(ModelSpec, ApplyChannelsPropagatesFanIn) {
+  ModelSpec spec = vgg19_spec(VggConfig{});
+  std::vector<std::int64_t> ch;
+  for (int i : spec.unit_layers()) ch.push_back(spec.layers[static_cast<std::size_t>(i)].out_channels);
+  ch[0] = 19;  // prune conv1 64 -> 19
+  spec.apply_channels(ch);
+  EXPECT_EQ(spec.layers[0].active_out, 19);
+  EXPECT_EQ(spec.layers[1].active_in, 19);  // conv2 fan-in follows
+}
+
+TEST(ModelSpec, ApplyChannelsScalesLinearFanIn) {
+  ModelSpec spec = vgg19_spec(VggConfig{});
+  std::vector<std::int64_t> ch;
+  for (int i : spec.unit_layers()) ch.push_back(spec.layers[static_cast<std::size_t>(i)].out_channels);
+  ch[15] = 256;  // prune conv16 512 -> 256
+  spec.apply_channels(ch);
+  EXPECT_EQ(spec.layers[16].active_in, spec.layers[16].in_channels / 2);
+}
+
+TEST(ModelSpec, UniformAndHardwareRounding) {
+  ModelSpec spec = vgg19_spec(VggConfig{});
+  std::vector<int> bits(17, 16);
+  bits[3] = 3;
+  bits[5] = 5;
+  spec.apply_bits(quant::BitWidthPolicy(bits));
+  const ModelSpec hw = spec.hardware_rounded();
+  EXPECT_EQ(hw.layers[3].bits, 4);
+  EXPECT_EQ(hw.layers[5].bits, 8);
+  const ModelSpec uni = spec.with_uniform_bits(16);
+  for (const LayerSpec& l : uni.layers) EXPECT_EQ(l.bits, 16);
+}
+
+TEST(BuildVgg19, ForwardShapeAndUnitWiring) {
+  Rng rng(1);
+  VggConfig cfg;
+  cfg.width_mult = 0.0625;  // tiny for test speed
+  cfg.num_classes = 10;
+  auto model = build_vgg19(cfg, rng);
+  EXPECT_EQ(model->unit_count(), kVgg19Units);
+  EXPECT_TRUE(model->unit(0).frozen);
+  EXPECT_TRUE(model->unit(16).frozen);
+  for (int i = 1; i < 16; ++i) EXPECT_FALSE(model->unit(i).frozen);
+
+  Tensor x(Shape{2, 3, 32, 32});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  const Tensor y = model->forward(x);
+  EXPECT_EQ(y.shape(), Shape({2, 10}));
+}
+
+TEST(BuildVgg19, BatchNormFreeVariant) {
+  Rng rng(11);
+  VggConfig cfg;
+  cfg.width_mult = 0.0625;
+  cfg.use_batchnorm = false;
+  auto model = build_vgg19(cfg, rng);
+  // No BN parameters: each conv carries a bias instead.
+  EXPECT_EQ(model->unit(1).bn, nullptr);
+  ASSERT_NE(model->unit(1).conv->bias(), nullptr);
+  Tensor x(Shape{2, 3, 32, 32});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  EXPECT_EQ(model->forward(x).shape(), Shape({2, 10}));
+  // Channel pruning must still work without a BN to mask.
+  model->unit(1).set_active_out_channels(4);
+  EXPECT_EQ(model->forward(x).shape(), Shape({2, 10}));
+}
+
+TEST(BuildVgg19, MetersObserveDuringTrainingForward) {
+  Rng rng(2);
+  VggConfig cfg;
+  cfg.width_mult = 0.0625;
+  auto model = build_vgg19(cfg, rng);
+  Tensor x(Shape{2, 3, 32, 32});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  model->set_training(true);
+  model->forward(x);
+  for (int i = 0; i < model->unit_count(); ++i) {
+    EXPECT_GT(model->unit(i).meter.observed_total(), 0) << "unit " << i;
+  }
+}
+
+TEST(BuildResNet18, ForwardShapeAndSkipRule) {
+  Rng rng(3);
+  ResNetConfig cfg;
+  cfg.width_mult = 0.125;
+  cfg.num_classes = 7;
+  auto model = build_resnet18(cfg, rng);
+  EXPECT_EQ(model->unit_count(), kResNet18Units);
+
+  Tensor x(Shape{2, 3, 32, 32});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  const Tensor y = model->forward(x);
+  EXPECT_EQ(y.shape(), Shape({2, 7}));
+
+  // Setting bits on a block-conv2 unit must retarget the skip quantizer.
+  QuantUnit& u = model->unit(2);  // first block's conv2
+  ASSERT_EQ(u.role, UnitRole::kBlockConv2);
+  u.set_bits(3);
+  EXPECT_EQ(u.block->skip_quantizer().bits(), 3);
+}
+
+TEST(BuildResNet18, BitPolicyRoundTrip) {
+  Rng rng(4);
+  ResNetConfig cfg;
+  cfg.width_mult = 0.125;
+  auto model = build_resnet18(cfg, rng);
+  std::vector<int> bits(static_cast<std::size_t>(kResNet18Units), 16);
+  bits[1] = 5;
+  bits[2] = 3;
+  model->apply_bit_policy(quant::BitWidthPolicy(bits));
+  EXPECT_EQ(model->bit_policy().bits(), bits);
+  EXPECT_EQ(model->spec().unit_bits(), bits);
+}
+
+TEST(QuantizableModel, DensityCommitAndTotal) {
+  Rng rng(5);
+  VggConfig cfg;
+  cfg.width_mult = 0.0625;
+  auto model = build_vgg19(cfg, rng);
+  Tensor x(Shape{2, 3, 32, 32});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  model->forward(x);
+  const std::vector<double> d = model->commit_epoch_densities();
+  EXPECT_EQ(d.size(), static_cast<std::size_t>(kVgg19Units));
+  for (double v : d) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  const double total = model->total_density();
+  EXPECT_GT(total, 0.0);
+  EXPECT_LE(total, 1.0);
+}
+
+TEST(QuantizableModel, ChannelPolicyMasksAndSpec) {
+  Rng rng(6);
+  VggConfig cfg;
+  cfg.width_mult = 0.25;
+  auto model = build_vgg19(cfg, rng);
+  std::vector<std::int64_t> ch = model->channel_policy();
+  ch[1] /= 2;
+  model->apply_channel_policy(ch);
+  EXPECT_EQ(model->unit(1).active_out_channels(), ch[1]);
+  EXPECT_EQ(model->spec().layers[1].active_out, ch[1]);
+  EXPECT_EQ(model->spec().layers[2].active_in, ch[1]);
+}
+
+TEST(QuantizableModel, SpecUnitMismatchThrows) {
+  Rng rng(7);
+  VggConfig cfg;
+  cfg.width_mult = 0.0625;
+  auto built = build_vgg19(cfg, rng);
+  // Constructing with a wrong-sized spec must be rejected.
+  ModelSpec bad = vgg19_spec(cfg);
+  bad.layers.pop_back();
+  auto net = std::make_unique<nn::Sequential>("x");
+  std::vector<std::unique_ptr<QuantUnit>> units;
+  EXPECT_THROW(QuantizableModel("bad", std::move(net), std::move(units), bad),
+               std::invalid_argument);
+  (void)built;
+}
+
+}  // namespace
+}  // namespace adq::models

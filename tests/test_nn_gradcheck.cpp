@@ -1,0 +1,242 @@
+// Numerical gradient checks: every layer's backward is verified against
+// central finite differences of its forward, for both input gradients and
+// parameter gradients. Quantization is disabled here (the straight-through
+// estimator intentionally mismatches the true gradient of a quantized
+// forward; STE behaviour is exercised in test_nn_layers/test_core).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/flatten.h"
+#include "nn/init.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/pool.h"
+#include "nn/relu.h"
+#include "nn/residual.h"
+#include "nn/sequential.h"
+#include "tensor/rng.h"
+
+namespace adq::nn {
+namespace {
+
+constexpr float kH = 1e-2f;      // central-difference step
+constexpr float kAtol = 5e-3f;   // absolute tolerance
+constexpr float kRtol = 5e-2f;   // relative tolerance
+
+// Scalar objective: <proj, layer(x)> for a fixed random projection.
+double eval_objective(Layer& layer, const Tensor& x, const Tensor& proj) {
+  const Tensor y = layer.forward(x);
+  double s = 0.0;
+  for (std::int64_t i = 0; i < y.numel(); ++i) s += static_cast<double>(y[i]) * proj[i];
+  return s;
+}
+
+void expect_close(float analytic, float numeric, const std::string& what,
+                  float atol = kAtol, float rtol = kRtol) {
+  const float tol = atol + rtol * std::fabs(numeric);
+  EXPECT_NEAR(analytic, numeric, tol) << what;
+}
+
+// Checks d<proj,y>/dx against finite differences at `probes` random input
+// coordinates, and every parameter gradient at `probes` coordinates each.
+// Composite blocks stacking BN+ReLU need looser tolerances: the objective is
+// piecewise linear and a central difference that straddles a ReLU kink
+// averages two slopes (an O(1) relative artifact unrelated to backward
+// correctness — real backprop bugs show up as ~100% mismatches).
+void grad_check(Layer& layer, Tensor x, Shape out_shape, Rng& rng,
+                int probes = 12, float atol = kAtol, float rtol = kRtol) {
+  Tensor proj(out_shape);
+  rng.fill_normal(proj, 0.0f, 1.0f);
+
+  // Analytic pass.
+  std::vector<Parameter*> params;
+  layer.collect_parameters(params);
+  for (Parameter* p : params) p->zero_grad();
+  layer.forward(x);
+  const Tensor gx = layer.backward(proj);
+
+  // Input gradient probes.
+  for (int t = 0; t < probes; ++t) {
+    const std::int64_t i = rng.uniform_int(0, x.numel() - 1);
+    const float orig = x[i];
+    x[i] = orig + kH;
+    const double plus = eval_objective(layer, x, proj);
+    x[i] = orig - kH;
+    const double minus = eval_objective(layer, x, proj);
+    x[i] = orig;
+    expect_close(gx[i], static_cast<float>((plus - minus) / (2.0 * kH)),
+                 "input grad at " + std::to_string(i), atol, rtol);
+  }
+
+  // Parameter gradient probes.
+  for (Parameter* p : params) {
+    for (int t = 0; t < probes; ++t) {
+      const std::int64_t i = rng.uniform_int(0, p->value.numel() - 1);
+      const float orig = p->value[i];
+      p->value[i] = orig + kH;
+      const double plus = eval_objective(layer, x, proj);
+      p->value[i] = orig - kH;
+      const double minus = eval_objective(layer, x, proj);
+      p->value[i] = orig;
+      expect_close(p->grad[i], static_cast<float>((plus - minus) / (2.0 * kH)),
+                   p->name + " grad at " + std::to_string(i), atol, rtol);
+    }
+  }
+}
+
+TEST(GradCheck, Linear) {
+  Rng rng(1);
+  Linear fc(6, 4, /*use_bias=*/true);
+  init_linear(fc, rng);
+  fc.set_quantization_enabled(false);
+  Tensor x(Shape{3, 6});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  grad_check(fc, x, Shape{3, 4}, rng);
+}
+
+TEST(GradCheck, Conv2dBasic) {
+  Rng rng(2);
+  Conv2d conv(2, 3, 3, 1, 1, /*use_bias=*/true);
+  init_conv(conv, rng);
+  conv.set_quantization_enabled(false);
+  Tensor x(Shape{2, 2, 5, 5});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  grad_check(conv, x, Shape{2, 3, 5, 5}, rng);
+}
+
+TEST(GradCheck, Conv2dStridedNoPad) {
+  Rng rng(3);
+  Conv2d conv(3, 2, 3, 2, 0, /*use_bias=*/false);
+  init_conv(conv, rng);
+  conv.set_quantization_enabled(false);
+  Tensor x(Shape{1, 3, 7, 7});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  grad_check(conv, x, Shape{1, 2, 3, 3}, rng);
+}
+
+TEST(GradCheck, Conv2d1x1) {
+  Rng rng(4);
+  Conv2d conv(4, 4, 1, 1, 0, /*use_bias=*/false);
+  init_conv(conv, rng);
+  conv.set_quantization_enabled(false);
+  Tensor x(Shape{2, 4, 3, 3});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  grad_check(conv, x, Shape{2, 4, 3, 3}, rng);
+}
+
+TEST(GradCheck, BatchNormTrainingMode) {
+  Rng rng(5);
+  BatchNorm2d bn(3);
+  rng.fill_normal(bn.gamma().value, 1.0f, 0.2f);
+  rng.fill_normal(bn.beta().value, 0.0f, 0.2f);
+  Tensor x(Shape{4, 3, 3, 3});
+  rng.fill_normal(x, 0.5f, 2.0f);
+  grad_check(bn, x, Shape{4, 3, 3, 3}, rng);
+}
+
+TEST(GradCheck, BatchNormEvalMode) {
+  Rng rng(6);
+  BatchNorm2d bn(2);
+  // Populate running stats with one training pass, then freeze.
+  Tensor warm(Shape{8, 2, 4, 4});
+  rng.fill_normal(warm, 1.0f, 2.0f);
+  bn.forward(warm);
+  bn.set_training(false);
+  Tensor x(Shape{2, 2, 4, 4});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  grad_check(bn, x, Shape{2, 2, 4, 4}, rng);
+}
+
+TEST(GradCheck, ReLUAwayFromKink) {
+  Rng rng(7);
+  ReLU relu;
+  Tensor x(Shape{2, 2, 3, 3});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  // Push values away from 0 so finite differences don't straddle the kink.
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    if (std::fabs(x[i]) < 0.1f) x[i] = x[i] >= 0 ? 0.1f : -0.1f;
+  }
+  grad_check(relu, x, Shape{2, 2, 3, 3}, rng);
+}
+
+TEST(GradCheck, MaxPool) {
+  Rng rng(8);
+  MaxPool2d pool(2, 2);
+  Tensor x(Shape{2, 3, 4, 4});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  grad_check(pool, x, Shape{2, 3, 2, 2}, rng);
+}
+
+TEST(GradCheck, GlobalAvgPool) {
+  Rng rng(9);
+  GlobalAvgPool gap;
+  Tensor x(Shape{2, 3, 4, 4});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  grad_check(gap, x, Shape{2, 3}, rng);
+}
+
+TEST(GradCheck, ResidualBlockIdentitySkip) {
+  Rng rng(10);
+  ResidualBlock block(3, 3, 1);
+  init_residual_block(block, rng);
+  block.set_quantization_enabled(false);
+  block.skip_quantizer().set_enabled(false);
+  Tensor x(Shape{2, 3, 4, 4});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  grad_check(block, x, Shape{2, 3, 4, 4}, rng, /*probes=*/8,
+             /*atol=*/0.05f, /*rtol=*/0.2f);
+}
+
+TEST(GradCheck, ResidualBlockDownsample) {
+  Rng rng(11);
+  ResidualBlock block(3, 4, 2);
+  init_residual_block(block, rng);
+  block.set_quantization_enabled(false);
+  block.skip_quantizer().set_enabled(false);
+  Tensor x(Shape{2, 3, 6, 6});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  grad_check(block, x, Shape{2, 4, 3, 3}, rng, /*probes=*/8,
+             /*atol=*/0.05f, /*rtol=*/0.2f);
+}
+
+TEST(GradCheck, SequentialConvBnReluPoolStack) {
+  Rng rng(12);
+  Sequential seq;
+  auto* conv = seq.emplace<Conv2d>(2, 4, 3, 1, 1, false);
+  seq.emplace<BatchNorm2d>(4);
+  seq.emplace<ReLU>();
+  seq.emplace<MaxPool2d>(2, 2);
+  init_conv(*conv, rng);
+  conv->set_quantization_enabled(false);
+  Tensor x(Shape{2, 2, 6, 6});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  grad_check(seq, x, Shape{2, 4, 3, 3}, rng, /*probes=*/8);
+}
+
+TEST(GradCheck, SoftmaxCrossEntropyLogitsGradient) {
+  Rng rng(13);
+  SoftmaxCrossEntropy loss;
+  Tensor logits(Shape{3, 4});
+  rng.fill_normal(logits, 0.0f, 1.5f);
+  const std::vector<std::int64_t> labels{0, 2, 3};
+  loss.forward(logits, labels);
+  const Tensor g = loss.backward();
+  for (std::int64_t i = 0; i < logits.numel(); ++i) {
+    const float orig = logits[i];
+    logits[i] = orig + kH;
+    const double plus = loss.forward(logits, labels);
+    logits[i] = orig - kH;
+    const double minus = loss.forward(logits, labels);
+    logits[i] = orig;
+    expect_close(g[i], static_cast<float>((plus - minus) / (2.0 * kH)),
+                 "logit grad " + std::to_string(i));
+  }
+  loss.forward(logits, labels);  // restore cached state consistency
+}
+
+}  // namespace
+}  // namespace adq::nn

@@ -1,0 +1,241 @@
+// Tests for the PIM accelerator: Table IV energies, functional exactness of
+// the bit-serial array + shift-accumulator pipeline against integer
+// reference MACs, layer mapping geometry, and the Table V/VI style energy
+// reductions.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "models/resnet.h"
+#include "models/vgg.h"
+#include "pim/accelerator.h"
+#include "pim/energy_model.h"
+#include "pim/mapper.h"
+#include "tensor/rng.h"
+
+namespace adq::pim {
+namespace {
+
+TEST(PimEnergy, TableFourConstants) {
+  EXPECT_DOUBLE_EQ(pim_mac_energy_fj(2), 2.942);
+  EXPECT_DOUBLE_EQ(pim_mac_energy_fj(4), 16.968);
+  EXPECT_DOUBLE_EQ(pim_mac_energy_fj(8), 66.714);
+  EXPECT_DOUBLE_EQ(pim_mac_energy_fj(16), 276.676);
+  EXPECT_THROW(pim_mac_energy_fj(3), std::invalid_argument);
+}
+
+TEST(PimEnergy, OffGridBitsRoundUp) {
+  EXPECT_DOUBLE_EQ(pim_mac_energy_for_bits_fj(3), 16.968);   // 3 -> 4
+  EXPECT_DOUBLE_EQ(pim_mac_energy_for_bits_fj(5), 66.714);   // 5 -> 8
+  EXPECT_DOUBLE_EQ(pim_mac_energy_for_bits_fj(1), 2.942);    // 1 -> 2
+  EXPECT_DOUBLE_EQ(pim_mac_energy_for_bits_fj(22), 276.676); // 22 -> 16 (cap)
+}
+
+TEST(PimEnergy, EventModelMatchesTableFourWithinFivePercent) {
+  for (int k : {2, 4, 8, 16}) {
+    const double fitted = event_energy_fj(expected_mac_events(k));
+    const double table = pim_mac_energy_fj(k);
+    EXPECT_NEAR(fitted / table, 1.0, 0.05) << "k=" << k;
+  }
+}
+
+TEST(PimEnergy, EventCountsAccumulate) {
+  EventCounts a;
+  a.cell_mults = 4;
+  a.acc4_ops = 1;
+  EventCounts b;
+  b.cell_mults = 6;
+  b.acc8_ops = 2;
+  a += b;
+  EXPECT_EQ(a.cell_mults, 10);
+  EXPECT_EQ(a.acc4_ops, 1);
+  EXPECT_EQ(a.acc8_ops, 2);
+}
+
+std::int64_t reference_dot(const std::vector<std::int64_t>& w,
+                           const std::vector<std::int64_t>& a) {
+  std::int64_t s = 0;
+  for (std::size_t i = 0; i < w.size(); ++i) s += w[i] * a[i];
+  return s;
+}
+
+class PimFunctional : public ::testing::TestWithParam<int> {};
+
+TEST_P(PimFunctional, DotProductExactAtEveryGridPrecision) {
+  // The defining property of the simulator: bit-serial array + shift-add
+  // tree computes exactly the integer dot product, for every precision.
+  const int bits = GetParam();
+  Rng rng(100 + bits);
+  const std::int64_t max = (std::int64_t{1} << bits) - 1;
+  std::vector<std::int64_t> w(57), a(57);
+  for (auto& v : w) v = rng.uniform_int(0, max);
+  for (auto& v : a) v = rng.uniform_int(0, max);
+  EventCounts ev;
+  EXPECT_EQ(pim_dot_product(w, a, bits, ev), reference_dot(w, a));
+  EXPECT_GT(ev.cell_mults, 0);
+  EXPECT_GT(ev.decoder_reads, 0);
+  EXPECT_GT(ev.acc4_ops, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(GridPrecisions, PimFunctional, ::testing::Values(2, 4, 8, 16));
+
+TEST(PimArray, MultiOutputTileMatchesReference) {
+  Rng rng(7);
+  PimConfig cfg;
+  cfg.rows = 32;
+  cfg.cols = 32;
+  PimArray array(cfg);
+  const int bits = 4;
+  const std::int64_t outputs = array.outputs_per_tile(bits);
+  EXPECT_EQ(outputs, 8);
+  std::vector<std::vector<std::int64_t>> w(static_cast<std::size_t>(outputs),
+                                           std::vector<std::int64_t>(16));
+  for (auto& row : w) {
+    for (auto& v : row) v = rng.uniform_int(0, 15);
+  }
+  std::vector<std::int64_t> act(16);
+  for (auto& v : act) v = rng.uniform_int(0, 15);
+  array.load_weights(w, bits);
+  EventCounts ev;
+  const auto results = array.compute(act, ev);
+  for (std::int64_t o = 0; o < outputs; ++o) {
+    EXPECT_EQ(results[static_cast<std::size_t>(o)],
+              reference_dot(w[static_cast<std::size_t>(o)], act));
+  }
+}
+
+TEST(PimArray, AccumulatorLevelsFollowPrecision) {
+  // 2-bit layers stop at ACC4 (blue path in Fig 5); 4-bit engages ACC8;
+  // 8-bit and up engage ACC16.
+  Rng rng(8);
+  std::vector<std::int64_t> w{1, 2, 3}, a{1, 0, 1};
+  EventCounts e2, e4, e8;
+  pim_dot_product(w, a, 2, e2);
+  pim_dot_product(w, a, 4, e4);
+  pim_dot_product(w, a, 8, e8);
+  EXPECT_EQ(e2.acc8_ops, 0);
+  EXPECT_EQ(e2.acc16_ops, 0);
+  EXPECT_GT(e4.acc8_ops, 0);
+  EXPECT_EQ(e4.acc16_ops, 0);
+  EXPECT_GT(e8.acc16_ops, 0);
+}
+
+TEST(PimArray, CellEventsScaleQuadraticallyWithBits) {
+  std::vector<std::int64_t> w{1, 1, 1, 1}, a{1, 1, 1, 1};
+  EventCounts e2, e4;
+  pim_dot_product(w, a, 2, e2);
+  pim_dot_product(w, a, 4, e4);
+  EXPECT_EQ(e4.cell_mults, 4 * e2.cell_mults);  // k^2 scaling
+}
+
+TEST(PimArray, RejectsInvalidInputs) {
+  PimArray array;
+  std::vector<std::vector<std::int64_t>> w{{1, 2}};
+  EXPECT_THROW(array.load_weights(w, 3), std::invalid_argument);  // off grid
+  array.load_weights(w, 2);
+  EventCounts ev;
+  EXPECT_THROW(array.compute({1}, ev), std::invalid_argument);
+  std::vector<std::vector<std::int64_t>> w_bad{{1, 9}};  // 9 > 2-bit max
+  EXPECT_THROW(array.load_weights(w_bad, 2), std::invalid_argument);
+}
+
+TEST(PimArray, TilesAcrossRowLimit) {
+  // Fan-in larger than the array rows must tile and still be exact.
+  Rng rng(9);
+  PimConfig cfg;
+  cfg.rows = 16;
+  std::vector<std::int64_t> w(100), a(100);
+  for (auto& v : w) v = rng.uniform_int(0, 3);
+  for (auto& v : a) v = rng.uniform_int(0, 3);
+  EventCounts ev;
+  EXPECT_EQ(pim_dot_product(w, a, 2, ev, cfg), reference_dot(w, a));
+}
+
+TEST(Mapper, LayerGeometry) {
+  models::LayerSpec l;
+  l.name = "conv";
+  l.in_channels = l.active_in = 64;
+  l.out_channels = l.active_out = 128;
+  l.kernel = 3;
+  l.in_size = l.out_size = 16;
+  l.bits = 5;  // rounds to 8 on the PIM grid
+  PimEnergyOptions matched;
+  matched.streaming = ActivationStreaming::kMatched;
+  const LayerMapping m = map_layer(l, {}, matched);
+  EXPECT_EQ(m.hardware_bits, 8);
+  EXPECT_EQ(m.row_tiles, (64 * 9 + 127) / 128);
+  EXPECT_EQ(m.col_tiles, (128 + 15) / 16);  // 128 cols / 8 bits = 16 outputs
+  EXPECT_EQ(m.serial_cycles, 8);
+  EXPECT_NEAR(m.energy_uj, static_cast<double>(l.macs()) * 66.714 * 1e-9, 1e-9);
+  // Full-16 streaming: 16 cycles and 16/8 = 2x the per-MAC energy.
+  const LayerMapping f = map_layer(l);
+  EXPECT_EQ(f.serial_cycles, 16);
+  EXPECT_NEAR(f.mac_energy_fj, 2.0 * m.mac_energy_fj, 1e-9);
+}
+
+TEST(Mapper, MatchedStreamingIsMoreOptimisticThanFull16) {
+  // With matched k-bit activations the mixed VGG19 looks ~17x cheaper; the
+  // paper's published 5.12x implies full-width activation streaming (see
+  // mapper.h). Both modes agree on the 16-bit baseline.
+  models::ModelSpec spec = models::vgg19_spec(models::VggConfig{});
+  const std::vector<int> paper_bits{16, 4, 5, 4, 3, 2, 2, 2, 3,
+                                    3,  3, 4, 3, 3, 3, 3, 16};
+  spec.apply_bits(quant::BitWidthPolicy(paper_bits));
+  const models::ModelSpec base = spec.with_uniform_bits(16);
+  PimEnergyOptions matched;
+  matched.streaming = ActivationStreaming::kMatched;
+  const double red_full16 = pim_energy_reduction(spec, base);
+  const double red_matched = pim_energy_reduction(spec, base, {}, matched);
+  EXPECT_GT(red_matched, 2.0 * red_full16);
+  EXPECT_NEAR(pim_energy(base).total_uj,
+              pim_energy(base, {}, matched).total_uj, 1e-9);
+}
+
+TEST(Mapper, PaperTable5FullPrecisionVgg19) {
+  // Table V: VGG19 full-precision (16-bit) on CIFAR-10 consumes 110.154 uJ.
+  // That equals N_MAC * E_MAC|16 — our spec's MAC count must reproduce it
+  // within a few percent.
+  const models::ModelSpec spec = models::vgg19_spec(models::VggConfig{});
+  const PimEnergyReport r = pim_energy(spec.with_uniform_bits(16));
+  EXPECT_NEAR(r.total_uj, 110.154, 0.05 * 110.154);
+}
+
+TEST(Mapper, PaperTable5MixedPrecisionVgg19) {
+  // Table V mixed-precision VGG19: 21.506 uJ, 5.12x reduction.
+  models::ModelSpec spec = models::vgg19_spec(models::VggConfig{});
+  const std::vector<int> paper_bits{16, 4, 5, 4, 3, 2, 2, 2, 3,
+                                    3,  3, 4, 3, 3, 3, 3, 16};
+  spec.apply_bits(quant::BitWidthPolicy(paper_bits));
+  const double reduction =
+      pim_energy_reduction(spec, spec.with_uniform_bits(16));
+  EXPECT_GT(reduction, 4.0);
+  EXPECT_LT(reduction, 6.5);
+}
+
+TEST(Mapper, PrunedNetworkOrdersOfMagnitudeCheaper) {
+  // Table VI flavour: quantized + pruned VGG19 lands near 197x.
+  models::ModelSpec spec = models::vgg19_spec(models::VggConfig{});
+  const models::ModelSpec baseline = spec.with_uniform_bits(16);
+  const std::vector<int> paper_bits{16, 4, 5, 4, 3, 2, 2, 2, 3,
+                                    3,  3, 4, 3, 3, 3, 3, 16};
+  spec.apply_bits(quant::BitWidthPolicy(paper_bits));
+  std::vector<std::int64_t> ch{19, 22, 38, 24, 45, 37, 44, 54,
+                               103, 126, 150, 125, 122, 112, 111, 8};
+  ch.push_back(10);
+  spec.apply_channels(ch);
+  const double reduction = pim_energy_reduction(spec, baseline);
+  EXPECT_GT(reduction, 50.0);
+  EXPECT_LT(reduction, 500.0);
+}
+
+TEST(Mapper, WholeNetworkReportCoversAllLayers) {
+  const models::ModelSpec spec = models::resnet18_spec(models::ResNetConfig{});
+  const PimEnergyReport r = pim_energy(spec);
+  EXPECT_EQ(r.layers.size(), spec.layers.size());
+  double sum = 0.0;
+  for (const LayerMapping& m : r.layers) sum += m.energy_uj;
+  EXPECT_NEAR(sum, r.total_uj, 1e-9);
+}
+
+}  // namespace
+}  // namespace adq::pim

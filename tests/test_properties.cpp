@@ -1,0 +1,192 @@
+// Cross-module property tests: invariants that tie the quantizer, the
+// energy models, the PIM mapper, and Algorithm 1's update rules together.
+// These are randomized sweeps (parameterized over seeds) rather than
+// example-based tests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "energy/analytical.h"
+#include "models/resnet.h"
+#include "models/vgg.h"
+#include "pim/mapper.h"
+#include "quant/bitwidth.h"
+#include "quant/quantizer.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+
+namespace adq {
+namespace {
+
+class SeededProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SeededProperty, FakeQuantizePreservesOrdering) {
+  // Quantization is a monotone non-decreasing map: x <= y => q(x) <= q(y).
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  Tensor x(Shape{512});
+  rng.fill_normal(x, 0.0f, 2.0f);
+  const int bits = static_cast<int>(rng.uniform_int(1, 8));
+  const Tensor q = quant::fake_quantize(x, bits);
+  std::vector<std::size_t> order(512);
+  for (std::size_t i = 0; i < 512; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return x[static_cast<std::int64_t>(a)] < x[static_cast<std::int64_t>(b)]; });
+  for (std::size_t i = 1; i < 512; ++i) {
+    EXPECT_LE(q[static_cast<std::int64_t>(order[i - 1])],
+              q[static_cast<std::int64_t>(order[i])]);
+  }
+}
+
+TEST_P(SeededProperty, FakeQuantizeMoreBitsNeverWorse) {
+  // Mean squared quantization error is non-increasing in bit-width.
+  Rng rng(1000 + static_cast<std::uint64_t>(GetParam()));
+  Tensor x(Shape{1024});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  double prev_mse = 1e300;
+  for (int bits : {1, 2, 4, 8, 12}) {
+    const Tensor q = quant::fake_quantize(x, bits);
+    double mse = 0.0;
+    for (std::int64_t i = 0; i < x.numel(); ++i) {
+      const double d = x[i] - q[i];
+      mse += d * d;
+    }
+    EXPECT_LE(mse, prev_mse + 1e-9) << "bits=" << bits;
+    prev_mse = mse;
+  }
+}
+
+TEST_P(SeededProperty, UpdateBitsMonotoneInDensity) {
+  Rng rng(2000 + static_cast<std::uint64_t>(GetParam()));
+  const int bits = static_cast<int>(rng.uniform_int(1, 16));
+  int prev = 0;
+  for (double d = 0.0; d <= 1.0; d += 0.05) {
+    const int k = quant::update_bits(bits, d);
+    EXPECT_GE(k, prev);
+    EXPECT_GE(k, 1);
+    EXPECT_LE(k, bits);
+    prev = k;
+  }
+}
+
+TEST_P(SeededProperty, RandomBitPoliciesNeverBeatTheoreticalBounds) {
+  // For any random mixed-precision assignment on VGG19:
+  //  - analytical efficiency vs 16-bit baseline is >= 1 (all bits <= 16)
+  //  - PIM reduction is >= 1 after hardware rounding
+  //  - analytical efficiency is bounded by the best single-layer ratio.
+  Rng rng(3000 + static_cast<std::uint64_t>(GetParam()));
+  models::ModelSpec spec = models::vgg19_spec(models::VggConfig{});
+  const models::ModelSpec baseline = spec.with_uniform_bits(16);
+  std::vector<int> bits(17);
+  for (auto& b : bits) b = static_cast<int>(rng.uniform_int(1, 16));
+  spec.apply_bits(quant::BitWidthPolicy(bits));
+
+  const double eff = energy::energy_efficiency(spec, baseline);
+  EXPECT_GE(eff, 1.0);
+  const double pim_red = pim::pim_energy_reduction(spec, baseline);
+  EXPECT_GE(pim_red, 1.0 - 1e-12);
+
+  const double best_single =
+      energy::mem_access_energy_pj(16) / energy::mem_access_energy_pj(1) +
+      energy::mac_energy_pj(16) / energy::mac_energy_pj(1);
+  EXPECT_LE(eff, best_single);  // crude but sound upper bound
+}
+
+TEST_P(SeededProperty, HardwareRoundingNeverDecreasesEnergy) {
+  // Snapping bits up to {2,4,8,16} can only increase analytical energy.
+  Rng rng(4000 + static_cast<std::uint64_t>(GetParam()));
+  models::ModelSpec spec = models::resnet18_spec(models::ResNetConfig{});
+  std::vector<int> bits(static_cast<std::size_t>(models::kResNet18Units));
+  for (auto& b : bits) b = static_cast<int>(rng.uniform_int(1, 16));
+  spec.apply_bits(quant::BitWidthPolicy(bits));
+  const double free_pj = energy::analytical_energy(spec).total_pj;
+  const double hw_pj = energy::analytical_energy(spec.hardware_rounded()).total_pj;
+  EXPECT_GE(hw_pj, free_pj - 1e-6);
+}
+
+TEST_P(SeededProperty, PruningMonotoneInChannels) {
+  // Removing channels never increases energy, on either model.
+  Rng rng(5000 + static_cast<std::uint64_t>(GetParam()));
+  models::ModelSpec spec = models::vgg19_spec(models::VggConfig{});
+  std::vector<std::int64_t> full;
+  for (int i : spec.unit_layers()) full.push_back(spec.layers[static_cast<std::size_t>(i)].out_channels);
+  std::vector<std::int64_t> pruned = full;
+  for (std::size_t i = 0; i + 1 < pruned.size(); ++i) {
+    pruned[i] = std::max<std::int64_t>(1, rng.uniform_int(1, full[i]));
+  }
+  models::ModelSpec pruned_spec = spec;
+  pruned_spec.apply_channels(pruned);
+  EXPECT_LE(energy::analytical_energy(pruned_spec).total_pj,
+            energy::analytical_energy(spec).total_pj + 1e-6);
+  EXPECT_LE(pim::pim_energy(pruned_spec).total_uj,
+            pim::pim_energy(spec).total_uj + 1e-12);
+}
+
+TEST_P(SeededProperty, BitPolicyUpdateIsContractive) {
+  // Iterating eqn 3 with any fixed densities in [0,1] converges: bits are
+  // non-increasing and reach a fixed point within a bounded number of steps.
+  Rng rng(6000 + static_cast<std::uint64_t>(GetParam()));
+  quant::BitWidthPolicy p = quant::BitWidthPolicy::uniform(10, 16);
+  std::vector<double> densities(10);
+  for (auto& d : densities) d = rng.uniform(0.0f, 1.0f);
+  const std::vector<bool> frozen(10, false);
+  for (int iter = 0; iter < 64; ++iter) {
+    const quant::BitWidthPolicy next = p.updated(densities, frozen);
+    for (int l = 0; l < p.size(); ++l) EXPECT_LE(next.at(l), p.at(l));
+    if (next == p) return;  // fixed point reached
+    p = next;
+  }
+  // round(k * d) with d <= 1 must fix within 64 iterations from 16 bits.
+  FAIL() << "eqn-3 iteration did not converge";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty, ::testing::Range(0, 8));
+
+TEST(Property, EnergyAdditiveOverLayers) {
+  const models::ModelSpec spec = models::vgg19_spec(models::VggConfig{});
+  const energy::EnergyReport r = energy::analytical_energy(spec);
+  double sum = 0.0;
+  for (const auto& l : r.layers) sum += l.total_pj();
+  EXPECT_NEAR(sum, r.total_pj, r.total_pj * 1e-12);
+}
+
+TEST(Property, SpecAndBuilderAgreeOnShapes) {
+  // The trainable model and the shape-only spec must describe the same
+  // network: forward shapes through the built net must match the spec's
+  // out_size/out_channels at every conv unit.
+  Rng rng(7);
+  models::VggConfig cfg;
+  cfg.width_mult = 0.0625;
+  auto model = models::build_vgg19(cfg, rng);
+  const models::ModelSpec spec = models::vgg19_spec(cfg);
+  for (int u = 0; u < model->unit_count(); ++u) {
+    const models::QuantUnit& unit = model->unit(u);
+    const models::LayerSpec& l =
+        spec.layers[static_cast<std::size_t>(spec.unit_layers()[static_cast<std::size_t>(u)])];
+    if (unit.conv != nullptr) {
+      EXPECT_EQ(unit.conv->out_channels(), l.out_channels) << l.name;
+      EXPECT_EQ(unit.conv->in_channels(), l.in_channels) << l.name;
+    } else {
+      EXPECT_EQ(unit.linear->in_features(), l.in_channels) << l.name;
+      EXPECT_EQ(unit.linear->out_features(), l.out_channels) << l.name;
+    }
+  }
+}
+
+TEST(Property, ResNetSpecAndBuilderAgreeOnShapes) {
+  Rng rng(8);
+  models::ResNetConfig cfg;
+  cfg.width_mult = 0.125;
+  auto model = models::build_resnet18(cfg, rng);
+  const models::ModelSpec spec = resnet18_spec(cfg);
+  for (int u = 0; u < model->unit_count(); ++u) {
+    const models::QuantUnit& unit = model->unit(u);
+    const models::LayerSpec& l =
+        spec.layers[static_cast<std::size_t>(spec.unit_layers()[static_cast<std::size_t>(u)])];
+    if (unit.conv != nullptr) {
+      EXPECT_EQ(unit.conv->out_channels(), l.out_channels) << l.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace adq

@@ -1,0 +1,69 @@
+// Tests for the report/table writers every bench binary depends on.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "report/table.h"
+
+namespace adq::report {
+namespace {
+
+TEST(Table, MarkdownAlignsColumns) {
+  Table t("Demo");
+  t.set_header({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer-name", "2"});
+  const std::string md = t.to_markdown();
+  EXPECT_NE(md.find("## Demo"), std::string::npos);
+  EXPECT_NE(md.find("| name        | value |"), std::string::npos);
+  EXPECT_NE(md.find("| longer-name | 2     |"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t("Demo");
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, CsvEscapesSpecialCells) {
+  Table t("Demo");
+  t.set_header({"x"});
+  t.add_row({"has,comma"});
+  t.add_row({"has\"quote"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, WriteCsvAppendsWithTitle) {
+  const std::string path = ::testing::TempDir() + "/table_test.csv";
+  std::remove(path.c_str());
+  Table t("MyTitle");
+  t.set_header({"h"});
+  t.add_row({"v"});
+  t.write_csv(path);
+  t.write_csv(path);  // append mode
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("# MyTitle"), std::string::npos);
+  // Two appends -> title appears twice.
+  EXPECT_NE(content.find("# MyTitle", content.find("# MyTitle") + 1),
+            std::string::npos);
+}
+
+TEST(Formatters, FixedPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.0, 0), "3");
+  EXPECT_EQ(fmt_factor(4.158, 2), "4.16x");
+  EXPECT_EQ(fmt_percent(0.9162), "91.62%");
+}
+
+TEST(Formatters, IntVectors) {
+  EXPECT_EQ(fmt_int_vector(std::vector<int>{16, 4, 5}), "[16, 4, 5]");
+  EXPECT_EQ(fmt_int_vector(std::vector<long long>{1}), "[1]");
+  EXPECT_EQ(fmt_int_vector(std::vector<int>{}), "[]");
+}
+
+}  // namespace
+}  // namespace adq::report

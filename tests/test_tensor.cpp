@@ -1,0 +1,362 @@
+// Unit tests for the tensor substrate: shapes, storage, RNG determinism,
+// GEMM against a naive reference, im2col/col2im adjointness, and the
+// elementwise/reduction ops.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "tensor/gemm.h"
+#include "tensor/im2col.h"
+#include "tensor/ops.h"
+#include "tensor/parallel.h"
+#include "tensor/rng.h"
+#include "tensor/shape.h"
+#include "tensor/tensor.h"
+
+namespace adq {
+namespace {
+
+TEST(Shape, BasicProperties) {
+  const Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3);
+  EXPECT_EQ(s.numel(), 24);
+  EXPECT_EQ(s.dim(0), 2);
+  EXPECT_EQ(s.dim(-1), 4);
+  EXPECT_EQ(s.stride(0), 12);
+  EXPECT_EQ(s.stride(2), 1);
+  EXPECT_EQ(s.to_string(), "[2, 3, 4]");
+}
+
+TEST(Shape, ScalarShape) {
+  const Shape s;
+  EXPECT_EQ(s.rank(), 0);
+  EXPECT_EQ(s.numel(), 1);
+}
+
+TEST(Shape, Equality) {
+  EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+  EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+  EXPECT_NE(Shape({2, 3}), Shape({2, 3, 1}));
+}
+
+TEST(Shape, WithDim) {
+  const Shape s{2, 3};
+  EXPECT_EQ(s.with_dim(1, 7), Shape({2, 7}));
+  EXPECT_EQ(s.with_dim(-1, 9), Shape({2, 9}));
+}
+
+TEST(Shape, InvalidAxisThrows) {
+  const Shape s{2, 3};
+  EXPECT_THROW(s.dim(2), std::out_of_range);
+  EXPECT_THROW(s.dim(-3), std::out_of_range);
+}
+
+TEST(Shape, NegativeDimThrows) {
+  EXPECT_THROW(Shape({2, -1}), std::invalid_argument);
+}
+
+TEST(Tensor, ZeroInitialised) {
+  const Tensor t(Shape{3, 4});
+  EXPECT_EQ(t.numel(), 12);
+  for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FillAndAt2d) {
+  Tensor t(Shape{2, 3});
+  t.fill(2.5f);
+  EXPECT_EQ(t.at(1, 2), 2.5f);
+  t.at(0, 1) = -1.0f;
+  EXPECT_EQ(t[1], -1.0f);
+}
+
+TEST(Tensor, At4dIndexing) {
+  Tensor t(Shape{2, 3, 4, 5});
+  t.at(1, 2, 3, 4) = 9.0f;
+  EXPECT_EQ(t[t.numel() - 1], 9.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t(Shape{2, 6});
+  std::iota(t.data(), t.data() + t.numel(), 0.0f);
+  const Tensor r = t.reshaped(Shape{3, 4});
+  EXPECT_EQ(r.shape(), Shape({3, 4}));
+  EXPECT_EQ(r[7], 7.0f);
+}
+
+TEST(Tensor, ReshapeNumelMismatchThrows) {
+  Tensor t(Shape{2, 3});
+  EXPECT_THROW(t.reshape(Shape{4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, ConstructFromVectorChecksSize) {
+  EXPECT_THROW(Tensor(Shape{2, 2}, std::vector<float>{1, 2, 3}),
+               std::invalid_argument);
+}
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 16; ++i) any_diff |= a.uniform() != b.uniform();
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = rng.uniform(-2.0f, 5.0f);
+    EXPECT_GE(v, -2.0f);
+    EXPECT_LT(v, 5.0f);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(4);
+  double s = 0.0, s2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(1.0f, 2.0f);
+    s += v;
+    s2 += v * v;
+  }
+  const double mean = s / n;
+  const double stddev = std::sqrt(s2 / n - mean * mean);
+  EXPECT_NEAR(mean, 1.0, 0.1);
+  EXPECT_NEAR(stddev, 2.0, 0.1);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(5);
+  std::vector<std::int64_t> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  rng.shuffle(v);
+  std::vector<std::int64_t> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::int64_t i = 0; i < 100; ++i) EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(7);
+  Rng child = parent.fork();
+  // Child stream must not replay the parent's stream.
+  Rng parent_copy(7);
+  parent_copy.fork();
+  EXPECT_EQ(parent.uniform(), parent_copy.uniform());
+  (void)child;
+}
+
+TEST(Parallel, CoversRangeExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(0, 1000, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) hits[static_cast<std::size_t>(i)]++;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, NestedCallsRunSerially) {
+  std::atomic<int> total{0};
+  parallel_for(0, 8, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      parallel_for(0, 10, [&](std::int64_t ib, std::int64_t ie) {
+        total += static_cast<int>(ie - ib);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 80);
+}
+
+TEST(Parallel, EmptyRangeIsNoop) {
+  bool called = false;
+  parallel_for(5, 5, [&](std::int64_t, std::int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+// Naive reference GEMM for validation.
+Tensor naive_matmul(const Tensor& a, const Tensor& b, bool ta, bool tb) {
+  const std::int64_t m = ta ? a.shape().dim(1) : a.shape().dim(0);
+  const std::int64_t k = ta ? a.shape().dim(0) : a.shape().dim(1);
+  const std::int64_t n = tb ? b.shape().dim(0) : b.shape().dim(1);
+  Tensor c(Shape{m, n});
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        const float av = ta ? a.at(p, i) : a.at(i, p);
+        const float bv = tb ? b.at(j, p) : b.at(p, j);
+        s += static_cast<double>(av) * bv;
+      }
+      c.at(i, j) = static_cast<float>(s);
+    }
+  }
+  return c;
+}
+
+class GemmShapes : public ::testing::TestWithParam<std::tuple<int, int, int, bool, bool>> {};
+
+TEST_P(GemmShapes, MatchesNaive) {
+  const auto [m, n, k, ta, tb] = GetParam();
+  Rng rng(11);
+  Tensor a(ta ? Shape{k, m} : Shape{m, k});
+  Tensor b(tb ? Shape{n, k} : Shape{k, n});
+  rng.fill_normal(a, 0.0f, 1.0f);
+  rng.fill_normal(b, 0.0f, 1.0f);
+  const Tensor fast = matmul(a, b, ta, tb);
+  const Tensor ref = naive_matmul(a, b, ta, tb);
+  ASSERT_EQ(fast.shape(), ref.shape());
+  for (std::int64_t i = 0; i < fast.numel(); ++i) {
+    EXPECT_NEAR(fast[i], ref[i], 1e-3f) << "at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GemmShapes,
+    ::testing::Values(std::make_tuple(1, 1, 1, false, false),
+                      std::make_tuple(4, 16, 4, false, false),
+                      std::make_tuple(5, 17, 9, false, false),
+                      std::make_tuple(64, 64, 64, false, false),
+                      std::make_tuple(33, 65, 127, false, false),
+                      std::make_tuple(128, 300, 256, false, false),
+                      std::make_tuple(31, 33, 7, true, false),
+                      std::make_tuple(31, 33, 7, false, true),
+                      std::make_tuple(31, 33, 7, true, true),
+                      std::make_tuple(100, 100, 300, true, true)));
+
+TEST(Gemm, BetaScalesExistingC) {
+  const std::int64_t m = 3, n = 4, k = 2;
+  Tensor a(Shape{m, k}, 1.0f);
+  Tensor b(Shape{k, n}, 1.0f);
+  Tensor c(Shape{m, n}, 10.0f);
+  sgemm(false, false, m, n, k, 1.0f, a.data(), k, b.data(), n, 0.5f, c.data(), n);
+  for (std::int64_t i = 0; i < c.numel(); ++i) EXPECT_FLOAT_EQ(c[i], 7.0f);
+}
+
+TEST(Gemm, AlphaScalesProduct) {
+  const std::int64_t m = 2, n = 2, k = 3;
+  Tensor a(Shape{m, k}, 1.0f);
+  Tensor b(Shape{k, n}, 2.0f);
+  Tensor c(Shape{m, n});
+  sgemm(false, false, m, n, k, 0.5f, a.data(), k, b.data(), n, 0.0f, c.data(), n);
+  for (std::int64_t i = 0; i < c.numel(); ++i) EXPECT_FLOAT_EQ(c[i], 3.0f);
+}
+
+TEST(Gemm, InnerDimMismatchThrows) {
+  const Tensor a(Shape{2, 3});
+  const Tensor b(Shape{4, 5});
+  EXPECT_THROW(matmul(a, b), std::invalid_argument);
+}
+
+TEST(Im2col, IdentityKernelCopiesImage) {
+  ConvGeometry g;
+  g.channels = 2;
+  g.in_h = g.in_w = 3;
+  g.kernel_h = g.kernel_w = 1;
+  g.stride = 1;
+  g.pad = 0;
+  Tensor im(Shape{2, 3, 3});
+  std::iota(im.data(), im.data() + im.numel(), 0.0f);
+  Tensor col(Shape{g.patch_size(), g.out_h() * g.out_w()});
+  im2col(im.data(), g, col.data());
+  for (std::int64_t i = 0; i < im.numel(); ++i) EXPECT_EQ(col[i], im[i]);
+}
+
+TEST(Im2col, PaddingYieldsZeros) {
+  ConvGeometry g;
+  g.channels = 1;
+  g.in_h = g.in_w = 2;
+  g.kernel_h = g.kernel_w = 3;
+  g.stride = 1;
+  g.pad = 1;
+  Tensor im(Shape{1, 2, 2}, 1.0f);
+  Tensor col(Shape{g.patch_size(), g.out_h() * g.out_w()});
+  im2col(im.data(), g, col.data());
+  // Top-left output, top-left kernel tap reads the padded corner.
+  EXPECT_EQ(col[0], 0.0f);
+}
+
+TEST(Im2col, Col2imIsAdjoint) {
+  // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining property
+  // of the backward scatter.
+  ConvGeometry g;
+  g.channels = 3;
+  g.in_h = g.in_w = 6;
+  g.kernel_h = g.kernel_w = 3;
+  g.stride = 2;
+  g.pad = 1;
+  Rng rng(13);
+  Tensor x(Shape{g.channels, g.in_h, g.in_w});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  Tensor y(Shape{g.patch_size(), g.out_h() * g.out_w()});
+  rng.fill_normal(y, 0.0f, 1.0f);
+
+  Tensor col(y.shape());
+  im2col(x.data(), g, col.data());
+  Tensor back(x.shape());
+  col2im(y.data(), g, back.data());
+
+  double lhs = 0.0, rhs = 0.0;
+  for (std::int64_t i = 0; i < col.numel(); ++i) lhs += static_cast<double>(col[i]) * y[i];
+  for (std::int64_t i = 0; i < x.numel(); ++i) rhs += static_cast<double>(x[i]) * back[i];
+  EXPECT_NEAR(lhs, rhs, 1e-2);
+}
+
+TEST(Ops, AddSubMul) {
+  Tensor a(Shape{4}, 3.0f);
+  Tensor b(Shape{4}, 2.0f);
+  EXPECT_TRUE(allclose(add(a, b), Tensor(Shape{4}, 5.0f)));
+  EXPECT_TRUE(allclose(sub(a, b), Tensor(Shape{4}, 1.0f)));
+  EXPECT_TRUE(allclose(mul(a, b), Tensor(Shape{4}, 6.0f)));
+  EXPECT_TRUE(allclose(scale(a, -2.0f), Tensor(Shape{4}, -6.0f)));
+}
+
+TEST(Ops, ShapeMismatchThrows) {
+  const Tensor a(Shape{4});
+  const Tensor b(Shape{5});
+  EXPECT_THROW(add(a, b), std::invalid_argument);
+  EXPECT_THROW(mul(a, b), std::invalid_argument);
+}
+
+TEST(Ops, AxpyAccumulates) {
+  Tensor a(Shape{3}, 1.0f);
+  const Tensor b(Shape{3}, 2.0f);
+  axpy(a, 0.5f, b);
+  EXPECT_TRUE(allclose(a, Tensor(Shape{3}, 2.0f)));
+}
+
+TEST(Ops, ReluClampsNegatives) {
+  Tensor x(Shape{4}, std::vector<float>{-1.0f, 0.0f, 2.0f, -3.0f});
+  const Tensor y = relu(x);
+  EXPECT_EQ(y[0], 0.0f);
+  EXPECT_EQ(y[1], 0.0f);
+  EXPECT_EQ(y[2], 2.0f);
+  EXPECT_EQ(y[3], 0.0f);
+}
+
+TEST(Ops, SumMeanCountNonzero) {
+  Tensor x(Shape{4}, std::vector<float>{1.0f, 0.0f, -2.0f, 3.0f});
+  EXPECT_DOUBLE_EQ(sum(x), 2.0);
+  EXPECT_DOUBLE_EQ(mean(x), 0.5);
+  EXPECT_EQ(count_nonzero(x), 3);
+  EXPECT_EQ(count_nonzero(x, 1.5f), 2);
+}
+
+TEST(Ops, MinMax) {
+  Tensor x(Shape{4}, std::vector<float>{1.0f, -5.0f, 2.0f, 3.0f});
+  EXPECT_EQ(min_value(x), -5.0f);
+  EXPECT_EQ(max_value(x), 3.0f);
+  EXPECT_EQ(max_abs(x), 5.0f);
+}
+
+TEST(Ops, ArgmaxRows) {
+  Tensor x(Shape{2, 3}, std::vector<float>{1, 5, 2, 7, 0, 3});
+  const auto idx = argmax_rows(x);
+  EXPECT_EQ(idx[0], 1);
+  EXPECT_EQ(idx[1], 0);
+}
+
+}  // namespace
+}  // namespace adq
