@@ -3,6 +3,7 @@
 // updates, and the PIM hardware rounding grid.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "quant/bitwidth.h"
@@ -88,9 +89,12 @@ TEST_P(FakeQuantBits, ErrorBoundedByHalfStep) {
 }
 
 TEST_P(FakeQuantBits, LevelCountBounded) {
-  // Property: a k-bit grid admits at most 2^k distinct values.
+  // Property: a k-bit grid admits at most 2^k distinct values. With N
+  // samples the observable count is additionally capped at N, so the exact
+  // bound is min(2^k, N); for k >= 12 (2^k >= N here) the sample-count cap
+  // is the binding constraint and the grid cap is vacuous, but the property
+  // itself holds at every bit-width — no skip needed.
   const int bits = GetParam();
-  if (bits > 12) GTEST_SKIP() << "level counting only meaningful for small k";
   Rng rng(17 + bits);
   Tensor x(Shape{4096});
   rng.fill_normal(x, 0.0f, 1.0f);
@@ -98,7 +102,8 @@ TEST_P(FakeQuantBits, LevelCountBounded) {
   std::vector<float> vals(y.data(), y.data() + y.numel());
   std::sort(vals.begin(), vals.end());
   vals.erase(std::unique(vals.begin(), vals.end()), vals.end());
-  EXPECT_LE(static_cast<std::int64_t>(vals.size()), std::int64_t{1} << bits);
+  EXPECT_LE(static_cast<std::int64_t>(vals.size()),
+            std::min(x.numel(), std::int64_t{1} << bits));
 }
 
 TEST_P(FakeQuantBits, Idempotent) {

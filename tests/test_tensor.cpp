@@ -3,8 +3,10 @@
 // elementwise/reduction ops.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <numeric>
+#include <thread>
 
 #include "tensor/gemm.h"
 #include "tensor/im2col.h"
@@ -174,6 +176,55 @@ TEST(Parallel, EmptyRangeIsNoop) {
   bool called = false;
   parallel_for(5, 5, [&](std::int64_t, std::int64_t) { called = true; });
   EXPECT_FALSE(called);
+}
+
+TEST(Parallel, ReversedRangeIsNoop) {
+  bool called = false;
+  parallel_for(10, 2, [&](std::int64_t, std::int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(Parallel, GrainLargerThanRangeRunsOnceInline) {
+  // A grain that covers the whole range must produce exactly one serial
+  // invocation of [begin, end) on the calling thread.
+  const std::thread::id caller = std::this_thread::get_id();
+  int calls = 0;
+  std::int64_t seen_begin = -1, seen_end = -1;
+  std::thread::id seen_thread;
+  parallel_for(
+      3, 11,
+      [&](std::int64_t b, std::int64_t e) {
+        ++calls;
+        seen_begin = b;
+        seen_end = e;
+        seen_thread = std::this_thread::get_id();
+      },
+      /*grain=*/100);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(seen_begin, 3);
+  EXPECT_EQ(seen_end, 11);
+  EXPECT_EQ(seen_thread, caller);
+}
+
+TEST(Parallel, SingleThreadFallbackIsSerial) {
+  // With a single-worker pool every chunk must run inline on the caller.
+  // The pool reads ADQ_THREADS once at creation, so this property is only
+  // observable in a process launched with ADQ_THREADS=1; ctest registers
+  // such a run as `parallel_serial_fallback` (see tests/CMakeLists.txt).
+  // On multi-worker pools the range still covers exactly once, so the
+  // coverage half of the assertion runs everywhere.
+  const bool single = parallel_thread_count() == 1;
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::atomic<int>> hits(64);
+  std::atomic<bool> off_thread{false};
+  parallel_for(0, 64, [&](std::int64_t b, std::int64_t e) {
+    if (std::this_thread::get_id() != caller) off_thread = true;
+    for (std::int64_t i = b; i < e; ++i) hits[static_cast<std::size_t>(i)]++;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  if (single) {
+    EXPECT_FALSE(off_thread.load());
+  }
 }
 
 // Naive reference GEMM for validation.
