@@ -61,6 +61,7 @@ core::RunResult run_with(const bench::Scale& s, quant::Rounding rounding,
 }  // namespace
 
 int main() {
+  adq::bench::JsonReport json_report("ablations");
   const bench::Scale s = tiny();
 
   // ---- 1. eqn-3 rounding mode ------------------------------------------

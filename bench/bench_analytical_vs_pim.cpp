@@ -53,6 +53,7 @@ void compare(report::Table& table, const std::string& name,
 }  // namespace
 
 int main() {
+  adq::bench::JsonReport json_report("analytical_vs_pim");
   report::Table table(
       "Section V-B — analytical vs PIM efficiency for pruned+quantized models");
   table.set_header({"network", "analytical eff", "PIM reduction",

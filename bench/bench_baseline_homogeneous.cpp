@@ -58,6 +58,7 @@ HomogeneousRow train_homogeneous(const bench::Scale& s, int bits) {
 }  // namespace
 
 int main() {
+  adq::bench::JsonReport json_report("baseline_homogeneous");
   bench::Scale s = bench::bench_scale();
   s.width_mult = 0.125;
   s.train_count = 320;

@@ -12,6 +12,7 @@
 #include "report/table.h"
 
 int main() {
+  adq::bench::JsonReport json_report("fig1_ad_trend");
   using namespace adq;
   const bench::Scale s = bench::bench_scale();
   std::printf("[scale=%s] Fig 1 — AD trend of individual layers, 16-bit "

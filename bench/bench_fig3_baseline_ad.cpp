@@ -9,6 +9,7 @@
 #include "report/table.h"
 
 int main() {
+  adq::bench::JsonReport json_report("fig3_baseline_ad");
   using namespace adq;
   const bench::Scale s = bench::bench_scale();
   std::printf("[scale=%s] Fig 3 — baseline VGG19: accuracy + AD vs epoch\n\n",

@@ -8,6 +8,7 @@
 #include "report/table.h"
 
 int main() {
+  adq::bench::JsonReport json_report("fig4_quantized_ad");
   using namespace adq;
   const bench::Scale s = bench::bench_scale();
   std::printf("[scale=%s] Fig 4 — AD-quantized VGG19: accuracy + AD vs epoch\n\n",

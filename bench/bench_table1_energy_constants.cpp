@@ -6,7 +6,10 @@
 #include "energy/analytical.h"
 #include "report/table.h"
 
+#include "bench/common.h"
+
 int main() {
+  adq::bench::JsonReport json_report("table1_energy_constants");
   using namespace adq;
   report::Table table("Table I — energy consumption estimates (45 nm CMOS)");
   table.set_header({"operation", "paper (pJ)", "ours (pJ)"});

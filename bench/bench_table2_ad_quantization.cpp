@@ -42,6 +42,7 @@ double replay_efficiency(models::ModelSpec spec, const std::vector<int>& bits,
 }  // namespace
 
 int main() {
+  adq::bench::JsonReport json_report("table2_ad_quantization");
   const bench::Scale s = bench::bench_scale();
   std::printf("[scale=%s] Table II — AD-based quantization\n\n", s.name.c_str());
 

@@ -21,6 +21,7 @@ std::string channels_to_string(const std::vector<std::int64_t>& ch) {
 }  // namespace
 
 int main() {
+  adq::bench::JsonReport json_report("table3_quant_prune");
   bench::Scale s = bench::bench_scale();
   // Pruning needs slack: at 1/8 width the net has no redundant channels to
   // remove, so the coupled experiment runs at twice the base width (the

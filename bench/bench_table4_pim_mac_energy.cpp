@@ -7,7 +7,10 @@
 #include "pim/energy_model.h"
 #include "report/table.h"
 
+#include "bench/common.h"
+
 int main() {
+  adq::bench::JsonReport json_report("table4_pim_mac_energy");
   using namespace adq;
   report::Table table("Table IV — PIM per-MAC energy (45 nm)");
   table.set_header({"precision", "paper E_MAC (fJ)", "ours (fJ)",

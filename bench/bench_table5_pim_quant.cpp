@@ -44,6 +44,7 @@ void report_network(report::Table& table, const std::string& name,
 }  // namespace
 
 int main() {
+  adq::bench::JsonReport json_report("table5_pim_quant");
   report::Table table("Table V — PIM energy: mixed precision vs 16-bit baseline");
   table.set_header({"network", "mixed (uJ)", "baseline (uJ)", "reduction"});
 

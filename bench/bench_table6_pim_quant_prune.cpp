@@ -37,6 +37,7 @@ void report_network(report::Table& table, const std::string& name,
 }  // namespace
 
 int main() {
+  adq::bench::JsonReport json_report("table6_pim_quant_prune");
   report::Table table("Table VI — PIM energy: pruned mixed-precision vs baseline");
   table.set_header({"network", "pruned+quant (uJ)", "baseline (uJ)", "reduction"});
 

@@ -9,8 +9,12 @@
 // columns are scale-independent.
 #pragma once
 
+#include <chrono>
+#include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -21,6 +25,79 @@
 #include "models/vgg.h"
 
 namespace adq::bench {
+
+// ---------------------------------------------------------------------------
+// Machine-readable bench output.
+//
+// Every bench constructs one JsonReport at the top of main(); on scope exit
+// it writes BENCH_<name>.json (into $ADQ_BENCH_JSON_DIR, default the working
+// directory) with the bench name, the ADQ_SCALE in force, total wall time,
+// and any metrics the bench added along the way. CI uploads these files as
+// artifacts so the perf trajectory accumulates run over run.
+// ---------------------------------------------------------------------------
+
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name)
+      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
+
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  ~JsonReport() { write(); }
+
+  /// Records one named scalar (e.g. "int8_b8_imgs_per_s", 412.3, "imgs/s").
+  /// Non-finite values are recorded as null so an invalid sample can never
+  /// be mistaken for a real measurement in the trajectory.
+  void add(const std::string& metric, double value,
+           const std::string& unit = "") {
+    char buf[256];
+    if (std::isfinite(value)) {
+      std::snprintf(buf, sizeof(buf),
+                    "    {\"name\": \"%s\", \"value\": %.6g, \"unit\": \"%s\"}",
+                    metric.c_str(), value, unit.c_str());
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "    {\"name\": \"%s\", \"value\": null, \"unit\": \"%s\"}",
+                    metric.c_str(), unit.c_str());
+    }
+    metrics_.emplace_back(buf);
+  }
+
+  /// Writes BENCH_<name>.json once; the destructor calls this automatically.
+  void write() {
+    if (written_) return;
+    written_ = true;
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+            .count();
+    const char* dir = std::getenv("ADQ_BENCH_JSON_DIR");
+    // Record the *effective* scale: bench_scale() treats anything but
+    // tiny/full as the small default, so the JSON must too.
+    const char* env_scale = std::getenv("ADQ_SCALE");
+    std::string scale = env_scale != nullptr ? env_scale : "small";
+    if (scale != "tiny" && scale != "full") scale = "small";
+    const std::string path =
+        std::string(dir != nullptr ? dir : ".") + "/BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out) return;  // benches must not fail on an unwritable directory
+    out << "{\n  \"bench\": \"" << name_ << "\",\n  \"scale\": \"" << scale
+        << "\",\n  \"wall_time_s\": ";
+    char wall[64];
+    std::snprintf(wall, sizeof(wall), "%.3f", wall_s);
+    out << wall << ",\n  \"metrics\": [\n";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      out << metrics_[i] << (i + 1 < metrics_.size() ? ",\n" : "\n");
+    }
+    out << "  ]\n}\n";
+  }
+
+ private:
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<std::string> metrics_;
+  bool written_ = false;
+};
 
 struct Scale {
   std::string name = "small";

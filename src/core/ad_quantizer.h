@@ -12,6 +12,10 @@
 // and epoch count are recorded — these are exactly the rows of the paper's
 // Tables II and III. Epoch-granular AD and accuracy trajectories feed
 // Figs 1/3/4.
+//
+// Paper hook: Algorithm 1 end to end (eqns 2, 3, 5; Tables II/III). The
+// converged model's bit policy is what infer::compile turns into packed
+// integer weights.
 #pragma once
 
 #include <vector>

@@ -1,0 +1,390 @@
+#include "infer/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "quant/quantizer.h"
+#include "tensor/bitpack.h"
+#include "tensor/gemm.h"
+#include "tensor/gemm_int8.h"
+#include "tensor/im2col.h"
+#include "tensor/ops.h"
+#include "tensor/parallel.h"
+
+namespace adq::infer {
+namespace {
+
+// Activation tensor quantized to eqn-1 codes with its per-batch dynamic
+// range — the same observation FakeQuantizer::apply makes on this tensor in
+// the training path, so code -> value round-trips land on the same grid.
+struct QuantizedActivations {
+  std::vector<std::uint8_t> codes;
+  float a_min = 0.0f;
+  float a_scale = 0.0f;     // 0 for a degenerate (constant) tensor
+  std::uint8_t zero_code = 0;  // grid code closest to the value 0.0 (padding)
+};
+
+QuantizedActivations quantize_activations(const Tensor& x, int bits) {
+  QuantizedActivations q;
+  const std::int64_t n = x.numel();
+  q.codes.assign(static_cast<std::size_t>(n), 0);
+  const float lo = min_value(x), hi = max_value(x);
+  q.a_min = lo;
+  if (hi <= lo) return q;  // constant tensor: every code 0, value = a_min
+
+  const float levels = static_cast<float>(quant::max_code(bits));
+  q.a_scale = (hi - lo) / levels;
+  const float inv = levels / (hi - lo);
+  const float* px = x.data();
+  std::uint8_t* pc = q.codes.data();
+  parallel_for(0, n, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      const float v = std::clamp(px[i], lo, hi);
+      pc[i] = static_cast<std::uint8_t>(std::nearbyint((v - lo) * inv));
+    }
+  }, /*grain=*/4096);
+  const float zero = std::clamp(0.0f, lo, hi);
+  q.zero_code = static_cast<std::uint8_t>(std::nearbyint((zero - lo) * inv));
+  return q;
+}
+
+// Unpacks sub-byte weight codes into a scratch buffer; 8-bit cells are used
+// in place. Returns the pointer the GEMM should read.
+const std::uint8_t* unpacked_weights(const GemmLayerPlan& l,
+                                     std::vector<std::uint8_t>& scratch) {
+  const std::int64_t count = l.out_channels * l.patch();
+  if (l.cell_bits == 8) return l.weight_codes.data();
+  scratch.resize(static_cast<std::size_t>(count));
+  unpack_codes(l.weight_codes.data(), count, l.cell_bits, scratch.data());
+  return scratch.data();
+}
+
+// Fused epilogue over one output row (channel o, `n` positions):
+//   y = epi_scale[o] * (ss * acc + row_term + ca * colsum) + epi_shift[o]
+// with the optional ReLU. `colsum` may be null when ca == 0.
+void epilogue_row(const GemmLayerPlan& l, std::int64_t o,
+                  const std::int32_t* acc, const std::int32_t* colsum,
+                  float ss, float row_term, float ca, std::int64_t n,
+                  float* out) {
+  const float ea = l.epi_scale[static_cast<std::size_t>(o)];
+  const float eb = l.epi_shift[static_cast<std::size_t>(o)];
+  if (o >= l.active_out) {
+    std::fill(out, out + n, 0.0f);
+    return;
+  }
+  for (std::int64_t s = 0; s < n; ++s) {
+    float v = ss * static_cast<float>(acc[s]) + row_term;
+    if (colsum != nullptr) v += ca * static_cast<float>(colsum[s]);
+    v = ea * v + eb;
+    out[s] = l.relu ? std::max(v, 0.0f) : v;
+  }
+}
+
+ConvGeometry conv_geometry(const GemmLayerPlan& l, std::int64_t h,
+                           std::int64_t w) {
+  ConvGeometry g;
+  g.channels = l.in_channels;
+  g.in_h = h;
+  g.in_w = w;
+  g.kernel_h = l.kernel;
+  g.kernel_w = l.kernel;
+  g.stride = l.stride;
+  g.pad = l.pad;
+  return g;
+}
+
+Tensor run_conv_int(const GemmLayerPlan& l, const Tensor& x) {
+  const std::int64_t B = x.shape().dim(0);
+  const std::int64_t H = x.shape().dim(2), W = x.shape().dim(3);
+  const ConvGeometry g = conv_geometry(l, H, W);
+  const std::int64_t oh = g.out_h(), ow = g.out_w(), ohw = oh * ow;
+  const std::int64_t O = l.out_channels, P = l.patch();
+  const std::int64_t chw = l.in_channels * H * W;
+
+  const QuantizedActivations qa = quantize_activations(x, l.bits);
+  std::vector<std::uint8_t> w_scratch;
+  const std::uint8_t* wc = unpacked_weights(l, w_scratch);
+
+  // Affine-correction constants (see plan.h): per-row term uses the weight
+  // code sums, per-column term the activation column sums.
+  const float ss = qa.a_scale * l.w_scale;
+  const float cw = qa.a_min * l.w_scale;   // * w_code_sums[o]
+  const float ca = l.w_min * qa.a_scale;   // * colsum[s]
+  const float cc = static_cast<float>(P) * qa.a_min * l.w_min;
+
+  Tensor out(Shape{B, O, oh, ow});
+  parallel_for(0, B, [&](std::int64_t b0, std::int64_t b1) {
+    std::vector<std::uint8_t> col(static_cast<std::size_t>(P * ohw));
+    std::vector<std::int32_t> acc(static_cast<std::size_t>(O * ohw));
+    std::vector<std::int32_t> colsum(static_cast<std::size_t>(ohw));
+    for (std::int64_t b = b0; b < b1; ++b) {
+      im2col_u8(qa.codes.data() + b * chw, g, col.data(), qa.zero_code);
+      std::fill(colsum.begin(), colsum.end(), 0);
+      for (std::int64_t r = 0; r < P; ++r) {
+        const std::uint8_t* row = col.data() + r * ohw;
+        for (std::int64_t s = 0; s < ohw; ++s) colsum[static_cast<std::size_t>(s)] += row[s];
+      }
+      igemm_u8(O, ohw, P, wc, P, col.data(), ohw, acc.data(), ohw);
+      float* out_b = out.data() + b * O * ohw;
+      for (std::int64_t o = 0; o < O; ++o) {
+        const float row_term =
+            cw * static_cast<float>(l.w_code_sums[static_cast<std::size_t>(o)]) + cc;
+        epilogue_row(l, o, acc.data() + o * ohw, colsum.data(), ss, row_term,
+                     ca, ohw, out_b + o * ohw);
+      }
+    }
+  });
+  return out;
+}
+
+Tensor run_conv_float(const GemmLayerPlan& l, const Tensor& x) {
+  const std::int64_t B = x.shape().dim(0);
+  const std::int64_t H = x.shape().dim(2), W = x.shape().dim(3);
+  const ConvGeometry g = conv_geometry(l, H, W);
+  const std::int64_t oh = g.out_h(), ow = g.out_w(), ohw = oh * ow;
+  const std::int64_t O = l.out_channels, P = l.patch();
+  const std::int64_t chw = l.in_channels * H * W;
+
+  const Tensor xq = l.quantize_input ? quant::fake_quantize(x, l.bits) : x;
+  Tensor out(Shape{B, O, oh, ow});
+  parallel_for(0, B, [&](std::int64_t b0, std::int64_t b1) {
+    std::vector<float> col(static_cast<std::size_t>(P * ohw));
+    std::vector<float> raw(static_cast<std::size_t>(O * ohw));
+    for (std::int64_t b = b0; b < b1; ++b) {
+      im2col(xq.data() + b * chw, g, col.data());
+      sgemm(false, false, O, ohw, P, 1.0f, l.weight_f.data(), P, col.data(),
+            ohw, 0.0f, raw.data(), ohw);
+      float* out_b = out.data() + b * O * ohw;
+      for (std::int64_t o = 0; o < O; ++o) {
+        const float ea = l.epi_scale[static_cast<std::size_t>(o)];
+        const float eb = l.epi_shift[static_cast<std::size_t>(o)];
+        float* dst = out_b + o * ohw;
+        if (o >= l.active_out) {
+          std::fill(dst, dst + ohw, 0.0f);
+          continue;
+        }
+        const float* src = raw.data() + o * ohw;
+        for (std::int64_t s = 0; s < ohw; ++s) {
+          const float v = ea * src[s] + eb;
+          dst[s] = l.relu ? std::max(v, 0.0f) : v;
+        }
+      }
+    }
+  });
+  return out;
+}
+
+Tensor run_linear_int(const GemmLayerPlan& l, const Tensor& x) {
+  const std::int64_t B = x.shape().dim(0);
+  const std::int64_t in = l.in_channels, O = l.out_channels;
+
+  const QuantizedActivations qa = quantize_activations(x, l.bits);
+  std::vector<std::uint8_t> w_scratch;
+  const std::uint8_t* wt = unpacked_weights(l, w_scratch);  // [in, O]
+
+  std::vector<std::int32_t> row_sums(static_cast<std::size_t>(B), 0);
+  for (std::int64_t b = 0; b < B; ++b) {
+    std::int32_t s = 0;
+    const std::uint8_t* row = qa.codes.data() + b * in;
+    for (std::int64_t i = 0; i < in; ++i) s += row[i];
+    row_sums[static_cast<std::size_t>(b)] = s;
+  }
+
+  std::vector<std::int32_t> acc(static_cast<std::size_t>(B * O));
+  igemm_u8(B, O, in, qa.codes.data(), in, wt, O, acc.data(), O);
+
+  const float ss = qa.a_scale * l.w_scale;
+  const float cw = qa.a_min * l.w_scale;   // * w_code_sums[o]
+  const float ca = l.w_min * qa.a_scale;   // * row_sums[b]
+  const float cc = static_cast<float>(in) * qa.a_min * l.w_min;
+
+  Tensor out(Shape{B, O});
+  for (std::int64_t b = 0; b < B; ++b) {
+    const std::int32_t* ab = acc.data() + b * O;
+    float* ob = out.data() + b * O;
+    const float sample_term =
+        ca * static_cast<float>(row_sums[static_cast<std::size_t>(b)]) + cc;
+    for (std::int64_t o = 0; o < O; ++o) {
+      if (o >= l.active_out) {
+        ob[o] = 0.0f;
+        continue;
+      }
+      const float v =
+          l.epi_scale[static_cast<std::size_t>(o)] *
+              (ss * static_cast<float>(ab[o]) +
+               cw * static_cast<float>(l.w_code_sums[static_cast<std::size_t>(o)]) +
+               sample_term) +
+          l.epi_shift[static_cast<std::size_t>(o)];
+      ob[o] = l.relu ? std::max(v, 0.0f) : v;
+    }
+  }
+  return out;
+}
+
+Tensor run_linear_float(const GemmLayerPlan& l, const Tensor& x) {
+  const std::int64_t B = x.shape().dim(0);
+  const std::int64_t in = l.in_channels, O = l.out_channels;
+  const Tensor xq = l.quantize_input ? quant::fake_quantize(x, l.bits) : x;
+  Tensor out(Shape{B, O});
+  // y[B, O] = x_q * W^T, like nn::Linear::forward.
+  sgemm(false, true, B, O, in, 1.0f, xq.data(), in, l.weight_f.data(), in,
+        0.0f, out.data(), O);
+  for (std::int64_t b = 0; b < B; ++b) {
+    float* ob = out.data() + b * O;
+    for (std::int64_t o = 0; o < O; ++o) {
+      if (o >= l.active_out) {
+        ob[o] = 0.0f;
+        continue;
+      }
+      const float v = l.epi_scale[static_cast<std::size_t>(o)] * ob[o] +
+                      l.epi_shift[static_cast<std::size_t>(o)];
+      ob[o] = l.relu ? std::max(v, 0.0f) : v;
+    }
+  }
+  return out;
+}
+
+// Inference-only max pool (nn::MaxPool2d caches backward state; the engine
+// needs a stateless pass).
+Tensor maxpool_forward(const Tensor& x, std::int64_t kernel,
+                       std::int64_t stride) {
+  const std::int64_t B = x.shape().dim(0), C = x.shape().dim(1);
+  const std::int64_t H = x.shape().dim(2), W = x.shape().dim(3);
+  const std::int64_t oh = (H - kernel) / stride + 1;
+  const std::int64_t ow = (W - kernel) / stride + 1;
+  Tensor out(Shape{B, C, oh, ow});
+  parallel_for(0, B * C, [&](std::int64_t p0, std::int64_t p1) {
+    for (std::int64_t p = p0; p < p1; ++p) {
+      const float* plane = x.data() + p * H * W;
+      float* dst = out.data() + p * oh * ow;
+      for (std::int64_t y = 0; y < oh; ++y) {
+        for (std::int64_t xo = 0; xo < ow; ++xo) {
+          float best = -std::numeric_limits<float>::infinity();
+          for (std::int64_t ky = 0; ky < kernel; ++ky) {
+            const float* row = plane + (y * stride + ky) * W + xo * stride;
+            for (std::int64_t kx = 0; kx < kernel; ++kx) {
+              best = std::max(best, row[kx]);
+            }
+          }
+          dst[y * ow + xo] = best;
+        }
+      }
+    }
+  });
+  return out;
+}
+
+Tensor gap_forward(const Tensor& x) {
+  const std::int64_t B = x.shape().dim(0), C = x.shape().dim(1);
+  const std::int64_t hw = x.shape().dim(2) * x.shape().dim(3);
+  Tensor out(Shape{B, C});
+  for (std::int64_t p = 0; p < B * C; ++p) {
+    const float* plane = x.data() + p * hw;
+    float s = 0.0f;
+    for (std::int64_t i = 0; i < hw; ++i) s += plane[i];
+    out[p] = s / static_cast<float>(hw);
+  }
+  return out;
+}
+
+// current += skip, channels >= mask zeroed, then ReLU — the tail of a
+// residual block, fused into one pass.
+void add_mask_relu(Tensor& current, const Tensor& skip,
+                   std::int64_t mask_channels) {
+  if (current.shape() != skip.shape()) {
+    throw std::invalid_argument("infer: residual add shape mismatch " +
+                                current.shape().to_string() + " vs " +
+                                skip.shape().to_string());
+  }
+  const std::int64_t B = current.shape().dim(0), C = current.shape().dim(1);
+  const std::int64_t hw = current.shape().dim(2) * current.shape().dim(3);
+  const std::int64_t live = mask_channels < 0 ? C : mask_channels;
+  for (std::int64_t b = 0; b < B; ++b) {
+    for (std::int64_t c = 0; c < C; ++c) {
+      float* cur = current.data() + (b * C + c) * hw;
+      if (c >= live) {
+        std::fill(cur, cur + hw, 0.0f);
+        continue;
+      }
+      const float* sk = skip.data() + (b * C + c) * hw;
+      for (std::int64_t i = 0; i < hw; ++i) {
+        cur[i] = std::max(cur[i] + sk[i], 0.0f);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Tensor run_gemm_layer(const GemmLayerPlan& layer, const Tensor& x) {
+  if (layer.is_conv) {
+    if (x.shape().rank() != 4 || x.shape().dim(1) != layer.in_channels) {
+      throw std::invalid_argument("infer: " + layer.name + " expected [B, " +
+                                  std::to_string(layer.in_channels) +
+                                  ", H, W], got " + x.shape().to_string());
+    }
+    return layer.path == ExecPath::kInteger ? run_conv_int(layer, x)
+                                            : run_conv_float(layer, x);
+  }
+  if (x.shape().rank() != 2 || x.shape().dim(1) != layer.in_channels) {
+    throw std::invalid_argument("infer: " + layer.name + " expected [B, " +
+                                std::to_string(layer.in_channels) +
+                                "], got " + x.shape().to_string());
+  }
+  return layer.path == ExecPath::kInteger ? run_linear_int(layer, x)
+                                          : run_linear_float(layer, x);
+}
+
+Tensor IntInferenceEngine::forward(const Tensor& x) const {
+  Tensor current = x;
+  std::vector<Tensor> skip_stack;
+  for (const OpPlan& op : plan_.ops) {
+    switch (op.kind) {
+      case OpKind::kGemm:
+        current = run_gemm_layer(
+            plan_.layers[static_cast<std::size_t>(op.layer)], current);
+        break;
+      case OpKind::kMaxPool:
+        current = maxpool_forward(current, op.pool_kernel, op.pool_stride);
+        break;
+      case OpKind::kGlobalAvgPool:
+        current = gap_forward(current);
+        break;
+      case OpKind::kFlatten:
+        current = current.reshaped(
+            Shape{current.shape().dim(0),
+                  current.numel() / current.shape().dim(0)});
+        break;
+      case OpKind::kReLU:
+        current = relu(current);
+        break;
+      case OpKind::kPushSkip:
+        skip_stack.push_back(op.skip_bits > 0
+                                 ? quant::fake_quantize(current, op.skip_bits)
+                                 : current);
+        break;
+      case OpKind::kSkipGemm:
+        skip_stack.back() = run_gemm_layer(
+            plan_.layers[static_cast<std::size_t>(op.layer)],
+            skip_stack.back());
+        break;
+      case OpKind::kAddSkipRelu:
+        if (skip_stack.empty()) {
+          throw std::logic_error("infer: residual add without a saved skip");
+        }
+        add_mask_relu(current, skip_stack.back(), op.mask_channels);
+        skip_stack.pop_back();
+        break;
+    }
+  }
+  return current;
+}
+
+std::vector<std::int64_t> IntInferenceEngine::predict(const Tensor& x) const {
+  return argmax_rows(forward(x));
+}
+
+}  // namespace adq::infer

@@ -1,0 +1,45 @@
+// Integer inference engine — the execution step.
+//
+// Interprets an InferencePlan (see plan.h): integer layers quantize their
+// input activations to eqn-1 codes with the per-batch dynamic range the
+// training-time FakeQuantizer would have observed, lower convolutions with
+// a u8 im2col, run the blocked u8 x u8 -> i32 GEMM, and apply the fused
+// requantize + BatchNorm + bias + ReLU + channel-mask epilogue in one pass
+// over the int32 accumulators. Float-path layers reproduce the training
+// forward exactly (fake-quantized operands, float GEMM, same epilogue).
+// Batch parallelism mirrors nn::Conv2d: parallel_for over images, with the
+// GEMM's own parallelism collapsing to serial inside a worker.
+//
+// The engine is stateless across calls and const — compile once, serve any
+// batch size and resolution.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "infer/plan.h"
+#include "tensor/tensor.h"
+
+namespace adq::infer {
+
+class IntInferenceEngine {
+ public:
+  explicit IntInferenceEngine(InferencePlan plan) : plan_(std::move(plan)) {}
+
+  const InferencePlan& plan() const { return plan_; }
+
+  /// Runs the whole plan; returns the logits [batch, classes].
+  Tensor forward(const Tensor& x) const;
+
+  /// Top-1 class index per sample.
+  std::vector<std::int64_t> predict(const Tensor& x) const;
+
+ private:
+  InferencePlan plan_;
+};
+
+/// Executes a single compiled layer on `x` (dispatching on path and layer
+/// kind). Used by the engine per op and by the layer-level parity tests.
+Tensor run_gemm_layer(const GemmLayerPlan& layer, const Tensor& x);
+
+}  // namespace adq::infer

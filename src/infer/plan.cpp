@@ -1,0 +1,245 @@
+#include "infer/plan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/batchnorm.h"
+#include "nn/flatten.h"
+#include "nn/pool.h"
+#include "nn/relu.h"
+#include "nn/residual.h"
+#include "nn/sequential.h"
+#include "quant/quantizer.h"
+#include "tensor/bitpack.h"
+#include "tensor/ops.h"
+
+namespace adq::infer {
+namespace {
+
+// Quantizes `w` to l.bits codes and stores them packed. Convs keep the
+// [out, patch] layout; linears store the transpose [in, out] so the weight
+// sits on the GEMM B side. Matches FakeQuantizer per-tensor min/max and
+// fake_quantize's nearbyint rounding exactly, so the integer path sees the
+// identical eqn-1 grid the training path simulated.
+void quantize_weights(GemmLayerPlan& l, const Tensor& w, bool transpose) {
+  const std::int64_t count = w.numel();
+  const std::int64_t out = l.out_channels;
+  const std::int64_t inner = count / out;  // patch (conv) or fan-in (linear)
+  const float lo = min_value(w), hi = max_value(w);
+  l.w_min = lo;
+  l.cell_bits = cell_bits_for(l.bits);
+  l.w_code_sums.assign(static_cast<std::size_t>(out), 0);
+
+  std::vector<std::uint8_t> codes(static_cast<std::size_t>(count), 0);
+  if (hi > lo) {
+    const float levels =
+        static_cast<float>(quant::max_code(std::min(l.bits, 8)));
+    l.w_scale = (hi - lo) / levels;
+    const float inv = levels / (hi - lo);
+    const float* pw = w.data();
+    for (std::int64_t o = 0; o < out; ++o) {
+      std::int32_t row_sum = 0;
+      for (std::int64_t i = 0; i < inner; ++i) {
+        const float v = std::clamp(pw[o * inner + i], lo, hi);
+        const auto q =
+            static_cast<std::uint8_t>(std::nearbyint((v - lo) * inv));
+        codes[static_cast<std::size_t>(transpose ? i * out + o
+                                                 : o * inner + i)] = q;
+        row_sum += q;
+      }
+      l.w_code_sums[static_cast<std::size_t>(o)] = row_sum;
+    }
+  } else {
+    l.w_scale = 0.0f;  // degenerate range: every weight equals w_min
+  }
+  l.weight_codes.resize(
+      static_cast<std::size_t>(packed_bytes(count, l.cell_bits)));
+  pack_codes(codes.data(), count, l.cell_bits, l.weight_codes.data());
+}
+
+// Shared tail of plan_conv / plan_linear: pick the path, snapshot weights,
+// and initialise the identity epilogue.
+void plan_weights(GemmLayerPlan& l, const Tensor& w, bool transpose,
+                  const CompileOptions& opts) {
+  const int ceiling = std::min(opts.max_integer_bits, 8);
+  if (l.quantize_input && l.bits <= ceiling) {
+    l.path = ExecPath::kInteger;
+    quantize_weights(l, w, transpose);
+  } else {
+    l.path = ExecPath::kFloat;
+    l.weight_f = l.quantize_input ? quant::fake_quantize(w, l.bits) : w;
+  }
+  l.epi_scale.assign(static_cast<std::size_t>(l.out_channels), 1.0f);
+  l.epi_shift.assign(static_cast<std::size_t>(l.out_channels), 0.0f);
+}
+
+}  // namespace
+
+std::size_t GemmLayerPlan::weight_bytes() const {
+  if (path == ExecPath::kInteger) return weight_codes.size();
+  return static_cast<std::size_t>(weight_f.numel()) * sizeof(float);
+}
+
+std::size_t InferencePlan::weight_bytes() const {
+  std::size_t total = 0;
+  for (const GemmLayerPlan& l : layers) total += l.weight_bytes();
+  return total;
+}
+
+int InferencePlan::integer_layer_count() const {
+  int n = 0;
+  for (const GemmLayerPlan& l : layers) n += l.path == ExecPath::kInteger;
+  return n;
+}
+
+GemmLayerPlan plan_conv(nn::Conv2d& conv, nn::BatchNorm2d* bn,
+                        bool fuse_relu, const CompileOptions& opts) {
+  GemmLayerPlan l;
+  l.name = conv.name();
+  l.is_conv = true;
+  l.in_channels = conv.in_channels();
+  l.out_channels = conv.out_channels();
+  l.kernel = conv.kernel();
+  l.stride = conv.stride();
+  l.pad = conv.pad();
+  l.bits = conv.bits();
+  l.quantize_input = conv.quantization_enabled() && l.bits < 24;
+  l.relu = fuse_relu;
+  l.active_out = conv.active_out_channels();
+  plan_weights(l, conv.weight().value, /*transpose=*/false, opts);
+
+  if (bn != nullptr && !bn->bypassed()) {
+    const Tensor& mean = bn->running_mean();
+    const Tensor& var = bn->running_var();
+    for (std::int64_t c = 0; c < l.out_channels; ++c) {
+      const float inv_std = 1.0f / std::sqrt(var[c] + bn->eps());
+      const float a = bn->gamma().value[c] * inv_std;
+      l.epi_scale[static_cast<std::size_t>(c)] = a;
+      l.epi_shift[static_cast<std::size_t>(c)] = bn->beta().value[c] - a * mean[c];
+    }
+  }
+  if (nn::Parameter* b = conv.bias()) {
+    for (std::int64_t c = 0; c < l.out_channels; ++c) {
+      l.epi_shift[static_cast<std::size_t>(c)] +=
+          l.epi_scale[static_cast<std::size_t>(c)] * b->value[c];
+    }
+  }
+  return l;
+}
+
+GemmLayerPlan plan_linear(nn::Linear& linear, bool fuse_relu,
+                          const CompileOptions& opts) {
+  GemmLayerPlan l;
+  l.name = linear.name();
+  l.is_conv = false;
+  l.in_channels = linear.in_features();
+  l.out_channels = linear.out_features();
+  l.bits = linear.bits();
+  l.quantize_input = linear.quantization_enabled() && l.bits < 24;
+  l.relu = fuse_relu;
+  l.active_out = l.out_channels;
+  plan_weights(l, linear.weight().value, /*transpose=*/true, opts);
+
+  if (nn::Parameter* b = linear.bias()) {
+    for (std::int64_t c = 0; c < l.out_channels; ++c) {
+      l.epi_shift[static_cast<std::size_t>(c)] = b->value[c];
+    }
+  }
+  return l;
+}
+
+InferencePlan compile(models::QuantizableModel& model,
+                      const CompileOptions& opts) {
+  InferencePlan plan;
+  plan.model_name = model.name();
+  nn::Sequential& net = model.net();
+
+  auto peek = [&](std::size_t j) -> nn::Layer* {
+    return j < net.size() ? &net.at(j) : nullptr;
+  };
+  auto emit_gemm = [&](GemmLayerPlan layer, OpKind kind) {
+    plan.layers.push_back(std::move(layer));
+    OpPlan op;
+    op.kind = kind;
+    op.layer = static_cast<int>(plan.layers.size()) - 1;
+    plan.ops.push_back(op);
+  };
+
+  std::size_t i = 0;
+  while (i < net.size()) {
+    nn::Layer& L = net.at(i);
+    if (auto* conv = dynamic_cast<nn::Conv2d*>(&L)) {
+      auto* bn = dynamic_cast<nn::BatchNorm2d*>(peek(i + 1));
+      std::size_t j = i + 1 + (bn != nullptr ? 1 : 0);
+      auto* relu = dynamic_cast<nn::ReLU*>(peek(j));
+      if (relu != nullptr) ++j;
+      if (conv->bypassed()) {
+        // Removed unit (Table II iter 2a): conv and BN are identities, the
+        // trailing ReLU still rectifies.
+        if (relu != nullptr) {
+          OpPlan op;
+          op.kind = OpKind::kReLU;
+          plan.ops.push_back(op);
+        }
+      } else {
+        emit_gemm(plan_conv(*conv, bn, relu != nullptr, opts), OpKind::kGemm);
+      }
+      i = j;
+    } else if (auto* block = dynamic_cast<nn::ResidualBlock*>(&L)) {
+      const quant::FakeQuantizer& sq = block->skip_quantizer();
+      OpPlan push;
+      push.kind = OpKind::kPushSkip;
+      push.skip_bits = (sq.enabled() && sq.bits() < 24) ? sq.bits() : 0;
+      plan.ops.push_back(push);
+      emit_gemm(plan_conv(block->conv1(), &block->bn1(), /*fuse_relu=*/true,
+                          opts),
+                OpKind::kGemm);
+      emit_gemm(plan_conv(block->conv2(), &block->bn2(), /*fuse_relu=*/false,
+                          opts),
+                OpKind::kGemm);
+      if (block->has_downsample()) {
+        emit_gemm(plan_conv(*block->downsample_conv(), block->downsample_bn(),
+                            /*fuse_relu=*/false, opts),
+                  OpKind::kSkipGemm);
+      }
+      OpPlan add;
+      add.kind = OpKind::kAddSkipRelu;
+      add.mask_channels = block->active_out_channels();
+      plan.ops.push_back(add);
+      ++i;
+    } else if (auto* lin = dynamic_cast<nn::Linear*>(&L)) {
+      auto* relu = dynamic_cast<nn::ReLU*>(peek(i + 1));
+      emit_gemm(plan_linear(*lin, relu != nullptr, opts), OpKind::kGemm);
+      i += relu != nullptr ? 2 : 1;
+    } else if (auto* pool = dynamic_cast<nn::MaxPool2d*>(&L)) {
+      OpPlan op;
+      op.kind = OpKind::kMaxPool;
+      op.pool_kernel = pool->kernel();
+      op.pool_stride = pool->stride();
+      plan.ops.push_back(op);
+      ++i;
+    } else if (dynamic_cast<nn::GlobalAvgPool*>(&L) != nullptr) {
+      OpPlan op;
+      op.kind = OpKind::kGlobalAvgPool;
+      plan.ops.push_back(op);
+      ++i;
+    } else if (dynamic_cast<nn::Flatten*>(&L) != nullptr) {
+      OpPlan op;
+      op.kind = OpKind::kFlatten;
+      plan.ops.push_back(op);
+      ++i;
+    } else if (dynamic_cast<nn::ReLU*>(&L) != nullptr) {
+      OpPlan op;
+      op.kind = OpKind::kReLU;
+      plan.ops.push_back(op);
+      ++i;
+    } else {
+      throw std::invalid_argument("infer::compile: unsupported layer '" +
+                                  L.name() + "'");
+    }
+  }
+  return plan;
+}
+
+}  // namespace adq::infer

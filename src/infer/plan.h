@@ -1,0 +1,149 @@
+// Integer inference engine — the compile step.
+//
+// The AD controller (Algorithm 1) leaves a trained QuantizableModel with a
+// per-layer bit-width vector, but the training graph only *simulates* that
+// precision in float (fake quantization, eqn 1). compile() turns the model
+// into an InferencePlan that realises it:
+//
+//   * weights are quantized ONCE to their eqn-1 integer codes and stored
+//     packed — one byte per code at 5-8 bits, bit-packed 4-/2-/1-bit cells
+//     for sub-byte layers (see tensor/bitpack.h), so a 4-bit layer really
+//     occupies 1/8th of its float footprint;
+//   * BatchNorm (eval-mode running statistics) and the conv bias fold into
+//     a per-channel affine epilogue y = a[c] * raw + b[c], fused with the
+//     following ReLU and the eqn-5 channel mask;
+//   * layers whose bits exceed the integer ceiling (default 8) or whose
+//     quantizers are disabled (the paper's exempt first conv / final FC)
+//     fall back to a float op that reproduces the training-path math.
+//
+// The executed integer arithmetic is algebraically identical to the
+// fake-quant float path: with x = x_min + s_x * q_x for every operand,
+//
+//   sum (a_min + s_a q_a)(w_min + s_w q_w)
+//     = s_a s_w * dot(q_a, q_w)              <- u8 GEMM, int32 exact
+//     + a_min s_w * sum(q_w)                 <- per-output, precomputed
+//     + w_min s_a * sum(q_a)                 <- per-column, one pass
+//     + K * a_min * w_min,                   <- constant
+//
+// so parity with the fake-quant path holds to float rounding at every
+// bit-width, which tests/test_infer.cpp asserts per bit-width.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "models/model.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "tensor/tensor.h"
+
+namespace adq::infer {
+
+enum class ExecPath {
+  kInteger,  // packed codes + u8 GEMM + int32 accumulation
+  kFloat,    // fake-quant float math (wide or quantization-exempt layers)
+};
+
+struct CompileOptions {
+  /// Layers at <= this many bits execute on the integer path; wider layers
+  /// (the 16-bit frozen ends, un-rounded 9..23-bit ablations) run in float.
+  /// Clamped to 8 — codes must fit a byte.
+  int max_integer_bits = 8;
+};
+
+/// One compiled conv or linear layer: pre-quantized weights plus the fused
+/// requantize + BatchNorm + bias + ReLU + channel-mask epilogue.
+struct GemmLayerPlan {
+  std::string name;
+  bool is_conv = true;
+  ExecPath path = ExecPath::kFloat;
+
+  // Geometry. Linear layers use in_channels/out_channels as in/out features.
+  std::int64_t in_channels = 0, out_channels = 0;
+  std::int64_t kernel = 1, stride = 1, pad = 0;
+
+  int bits = 16;               // eqn-1 grid for weights and activations
+  bool quantize_input = false; // false when the layer's quantizers are off
+
+  // Integer path: packed weight codes. Convs store [out, patch] row-major
+  // (GEMM A operand); linears store the transpose [in, out] (GEMM B
+  // operand). cell_bits is the packed cell width {1,2,4,8}.
+  int cell_bits = 8;
+  std::vector<std::uint8_t> weight_codes;
+  float w_min = 0.0f;
+  float w_scale = 0.0f;                 // (w_max - w_min) / (2^bits - 1)
+  std::vector<std::int32_t> w_code_sums;  // per output: sum of its codes
+
+  // Float path: weights already snapped to the eqn-1 grid at compile time
+  // (or raw when quantization is disabled). Convs [out, patch]; linears
+  // [out, in] like nn::Linear.
+  Tensor weight_f;
+
+  // Epilogue: y[c] = epi_scale[c] * raw[c] + epi_shift[c] (BatchNorm eval
+  // affine with the conv bias folded in), then ReLU when `relu`, then
+  // channels >= active_out forced to zero (eqn-5 mask).
+  std::vector<float> epi_scale, epi_shift;
+  bool relu = false;
+  std::int64_t active_out = 0;
+
+  /// GEMM reduction depth: conv patch size or linear fan-in.
+  std::int64_t patch() const {
+    return is_conv ? in_channels * kernel * kernel : in_channels;
+  }
+
+  /// Resident weight bytes of this layer (packed codes or float words).
+  std::size_t weight_bytes() const;
+};
+
+/// Non-GEMM graph steps the engine interprets around the compiled layers.
+enum class OpKind {
+  kGemm,         // layers[op.layer] applied to the current tensor
+  kMaxPool,      // pool_kernel / pool_stride
+  kGlobalAvgPool,
+  kFlatten,
+  kReLU,         // standalone ReLU (left behind by a removed/bypassed conv)
+  kPushSkip,     // save the current tensor (entering a residual block),
+                 // fake-quantized at skip_bits when > 0 (Fig 2: skip
+                 // activations use the destination conv2's precision)
+  kSkipGemm,     // layers[op.layer] applied to the saved skip (downsample)
+  kAddSkipRelu,  // current += saved skip; eqn-5 mask; ReLU
+};
+
+struct OpPlan {
+  OpKind kind = OpKind::kGemm;
+  int layer = -1;                  // kGemm / kSkipGemm
+  int skip_bits = 0;               // kPushSkip (0 = no quantization)
+  std::int64_t pool_kernel = 2, pool_stride = 2;  // kMaxPool
+  std::int64_t mask_channels = -1; // kAddSkipRelu (-1 = no mask)
+};
+
+struct InferencePlan {
+  std::string model_name;
+  std::vector<GemmLayerPlan> layers;
+  std::vector<OpPlan> ops;
+
+  /// Total resident weight bytes across all compiled layers.
+  std::size_t weight_bytes() const;
+
+  /// Number of layers on the integer path.
+  int integer_layer_count() const;
+};
+
+/// Compiles a single conv (+ optional BatchNorm fold + fused ReLU). Exposed
+/// for layer-level parity tests; compile() uses it for every conv it walks.
+GemmLayerPlan plan_conv(nn::Conv2d& conv, nn::BatchNorm2d* bn,
+                        bool fuse_relu, const CompileOptions& opts = {});
+
+/// Compiles a single linear layer (+ fused ReLU).
+GemmLayerPlan plan_linear(nn::Linear& linear, bool fuse_relu,
+                          const CompileOptions& opts = {});
+
+/// Walks the model's layer graph (plain chains, VGG pool/flatten bodies,
+/// ResNet residual blocks) and emits the full plan. Throws on layer types
+/// the engine cannot execute.
+InferencePlan compile(models::QuantizableModel& model,
+                      const CompileOptions& opts = {});
+
+}  // namespace adq::infer

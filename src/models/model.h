@@ -62,6 +62,7 @@ class QuantizableModel {
 
   const std::string& name() const { return name_; }
   nn::Sequential& net() { return *net_; }
+  const nn::Sequential& net() const { return *net_; }
   ModelSpec& spec() { return spec_; }
   const ModelSpec& spec() const { return spec_; }
 

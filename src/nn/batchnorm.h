@@ -22,6 +22,11 @@ class BatchNorm2d : public Layer {
 
   std::int64_t channels() const { return channels_; }
 
+  /// Variance epsilon — needed by the inference compiler to fold the eval
+  /// affine (gamma / sqrt(running_var + eps), beta - ... * running_mean)
+  /// into a conv epilogue.
+  float eps() const { return eps_; }
+
   Parameter& gamma() { return gamma_; }
   Parameter& beta() { return beta_; }
   const Tensor& running_mean() const { return running_mean_; }

@@ -19,6 +19,9 @@ class MaxPool2d : public Layer {
   Tensor backward(const Tensor& grad_out) override;
   std::string name() const override { return name_; }
 
+  std::int64_t kernel() const { return kernel_; }
+  std::int64_t stride() const { return stride_; }
+
  private:
   std::string name_;
   std::int64_t kernel_, stride_;

@@ -17,6 +17,9 @@
 // codes. Tests assert this for every grid precision, which validates that
 // the dataflow (and hence the energy scaling attached to its events) is the
 // real shift-add dataflow rather than an abstract formula.
+//
+// Paper hook: Fig 5 (the precision-scalable PIM architecture) operating on
+// eqn-1 codes at the Table IV grid precisions {2, 4, 8, 16}.
 #pragma once
 
 #include <cstdint>

@@ -14,6 +14,9 @@
 // fitted to Table IV; it exists to show energy scaling is structural
 // (cell ops grow as k^2, accumulator levels activate at 4/8/16 bits), and
 // backs the ablation benches. Fit error vs Table IV is < 5% per point.
+//
+// Paper hook: Table IV (measured E_MAC per precision) decomposed over the
+// Fig 5 event structure; feeds the Table V/VI energy totals via pim/mapper.
 #pragma once
 
 #include <cstdint>

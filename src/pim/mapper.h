@@ -14,6 +14,9 @@
 // k-bit activations the mixed-precision network would come out ~17x
 // cheaper, not ~5x. We default to kFull16 (reproduces the paper's numbers)
 // and keep kMatched as an ablation; bench_table5 prints both.
+//
+// Paper hook: Tables V and VI — per-network PIM energy from N_MAC (section
+// IV-A) x E_MAC|k (Table IV), with eqn-5 pruned channel counts for Table VI.
 #pragma once
 
 #include <string>

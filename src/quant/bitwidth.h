@@ -4,6 +4,9 @@
 // The paper's accelerator supports only 2-/4-/8-/16-bit datapaths, so a
 // 3-bit layer executes as 4-bit and a 5-bit layer as 8-bit ("data precision
 // of 3-bits would be translated to 4-bits, 5-bits to 8-bits, and so on").
+//
+// Paper hook: eqn (3) (k_new = round(k_old * AD)) and the Table IV hardware
+// grid. BitWidthPolicy rows are exactly the bit vectors of Tables II/III.
 #pragma once
 
 #include <string>

@@ -5,6 +5,11 @@
 // snaps values onto a k-bit grid (eqn 1). Backward is the straight-through
 // estimator: layers simply propagate gradients as if the quantizer were the
 // identity, which is why there is no backward method here.
+//
+// Paper hook: eqn (1) applied in-training with per-batch dynamic ranges —
+// the "fake quantization" regime Algorithm 1 trains and measures AD under.
+// The integer engine (infer/engine.h) reproduces exactly this observation
+// rule at inference so its codes match the training grid.
 #pragma once
 
 #include "quant/quantizer.h"

@@ -5,6 +5,10 @@
 // `quantize_codes` produces the integer codes a hardware datapath would see;
 // `dequantize` maps codes back to the float grid; `fake_quantize` fuses both
 // for quantization-aware training (floats snapped to the k-bit grid).
+//
+// Paper hook: eqn (1) — the uniform k-bit quantizer every layer applies to
+// weights and activations. Consumers: quant/fake_quantizer.h (training),
+// pim/accelerator.h (bit-serial codes), infer/plan.h (packed weights).
 #pragma once
 
 #include <cstdint>

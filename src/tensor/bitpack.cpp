@@ -1,0 +1,65 @@
+#include "tensor/bitpack.h"
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace adq {
+namespace {
+
+void check_cell_bits(int cell_bits) {
+  if (cell_bits != 1 && cell_bits != 2 && cell_bits != 4 && cell_bits != 8) {
+    throw std::invalid_argument("bitpack: cell_bits must be 1/2/4/8, got " +
+                                std::to_string(cell_bits));
+  }
+}
+
+}  // namespace
+
+int cell_bits_for(int bits) {
+  if (bits <= 1) return 1;
+  if (bits <= 2) return 2;
+  if (bits <= 4) return 4;
+  return 8;
+}
+
+std::int64_t packed_bytes(std::int64_t count, int cell_bits) {
+  check_cell_bits(cell_bits);
+  const std::int64_t per_byte = 8 / cell_bits;
+  return (count + per_byte - 1) / per_byte;
+}
+
+void pack_codes(const std::uint8_t* codes, std::int64_t count, int cell_bits,
+                std::uint8_t* packed) {
+  check_cell_bits(cell_bits);
+  if (cell_bits == 8) {
+    std::memcpy(packed, codes, static_cast<std::size_t>(count));
+    return;
+  }
+  const std::int64_t per_byte = 8 / cell_bits;
+  const std::uint8_t mask = static_cast<std::uint8_t>((1u << cell_bits) - 1u);
+  const std::int64_t bytes = packed_bytes(count, cell_bits);
+  std::memset(packed, 0, static_cast<std::size_t>(bytes));
+  for (std::int64_t i = 0; i < count; ++i) {
+    const int shift = static_cast<int>(i % per_byte) * cell_bits;
+    packed[i / per_byte] |=
+        static_cast<std::uint8_t>((codes[i] & mask) << shift);
+  }
+}
+
+void unpack_codes(const std::uint8_t* packed, std::int64_t count,
+                  int cell_bits, std::uint8_t* codes) {
+  check_cell_bits(cell_bits);
+  if (cell_bits == 8) {
+    std::memcpy(codes, packed, static_cast<std::size_t>(count));
+    return;
+  }
+  const std::int64_t per_byte = 8 / cell_bits;
+  const std::uint8_t mask = static_cast<std::uint8_t>((1u << cell_bits) - 1u);
+  for (std::int64_t i = 0; i < count; ++i) {
+    const int shift = static_cast<int>(i % per_byte) * cell_bits;
+    codes[i] = static_cast<std::uint8_t>((packed[i / per_byte] >> shift) & mask);
+  }
+}
+
+}  // namespace adq

@@ -1,0 +1,32 @@
+// Sub-byte code packing for the integer inference engine.
+//
+// Quantized weight codes (eqn 1) occupy k bits each; layers driven to k <= 4
+// by the AD controller (eqn 3) store their codes bit-packed so the resident
+// model size actually shrinks with the bit-width — the same memory scaling
+// the paper's N_mem accounting (section IV-A) assumes. Cells are
+// power-of-two widths {1, 2, 4, 8}: a 3-bit layer packs into 4-bit cells,
+// exactly like the PIM grid rounds a 3-bit layer up to the 4-bit datapath.
+// Codes are packed little-endian within each byte (code i occupies bits
+// [(i % per_byte) * cell, ...) of byte i / per_byte).
+#pragma once
+
+#include <cstdint>
+
+namespace adq {
+
+/// Smallest power-of-two cell width in {1, 2, 4, 8} that holds k-bit codes.
+int cell_bits_for(int bits);
+
+/// Bytes needed to store `count` codes at `cell_bits` per code.
+std::int64_t packed_bytes(std::int64_t count, int cell_bits);
+
+/// Packs `count` codes into `packed` (sized packed_bytes(count, cell_bits)).
+/// Each code must be < 2^cell_bits; cell_bits must be one of {1, 2, 4, 8}.
+void pack_codes(const std::uint8_t* codes, std::int64_t count, int cell_bits,
+                std::uint8_t* packed);
+
+/// Inverse of pack_codes: expands `packed` back into one code per byte.
+void unpack_codes(const std::uint8_t* packed, std::int64_t count,
+                  int cell_bits, std::uint8_t* codes);
+
+}  // namespace adq

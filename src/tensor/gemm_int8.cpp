@@ -1,0 +1,112 @@
+#include "tensor/gemm_int8.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "tensor/parallel.h"
+
+namespace adq {
+namespace {
+
+// Same register/cache geometry as the float kernel in gemm.cpp: 4 x 16
+// accumulators, Kc-deep panels. 16 int32 accumulator lanes per row pair
+// with int16 operands map onto the widening-multiply instructions (pmaddwd
+// and friends) the auto-vectoriser emits for this shape.
+constexpr std::int64_t kMr = 4;
+constexpr std::int64_t kNr = 16;
+constexpr std::int64_t kKc = 256;
+constexpr std::int64_t kNc = 256;
+
+// Computes a full MR x NR tile: C[0..mr) x [0..nr) += A_panel * B_panel.
+// Panels are pre-widened to int16; accumulators are int32.
+void micro_kernel(std::int64_t kc, const std::int16_t* a, std::int64_t lda,
+                  const std::int16_t* b, std::int64_t ldb, std::int32_t* c,
+                  std::int64_t ldc, std::int64_t mr, std::int64_t nr) {
+  if (mr == kMr && nr == kNr) {
+    std::int32_t acc[kMr][kNr] = {};
+    for (std::int64_t p = 0; p < kc; ++p) {
+      const std::int16_t* bp = b + p * ldb;
+      for (std::int64_t i = 0; i < kMr; ++i) {
+        const std::int32_t av = a[i * lda + p];
+        for (std::int64_t j = 0; j < kNr; ++j) acc[i][j] += av * bp[j];
+      }
+    }
+    for (std::int64_t i = 0; i < kMr; ++i) {
+      std::int32_t* cp = c + i * ldc;
+      for (std::int64_t j = 0; j < kNr; ++j) cp[j] += acc[i][j];
+    }
+    return;
+  }
+  // Edge tile: same algorithm, runtime bounds.
+  std::int32_t acc[kMr][kNr] = {};
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const std::int16_t* bp = b + p * ldb;
+    for (std::int64_t i = 0; i < mr; ++i) {
+      const std::int32_t av = a[i * lda + p];
+      for (std::int64_t j = 0; j < nr; ++j) acc[i][j] += av * bp[j];
+    }
+  }
+  for (std::int64_t i = 0; i < mr; ++i) {
+    std::int32_t* cp = c + i * ldc;
+    for (std::int64_t j = 0; j < nr; ++j) cp[j] += acc[i][j];
+  }
+}
+
+// Packs (and widens) logical block [r0, r0+mc) x [c0, c0+kc) of the u8
+// matrix into an int16 panel, row-major mc x kc.
+void pack_block_u8(const std::uint8_t* m, std::int64_t ld, std::int64_t r0,
+                   std::int64_t mc, std::int64_t c0, std::int64_t kc,
+                   std::int16_t* dst) {
+  for (std::int64_t i = 0; i < mc; ++i) {
+    const std::uint8_t* src = m + (r0 + i) * ld + c0;
+    std::int16_t* out = dst + i * kc;
+    for (std::int64_t j = 0; j < kc; ++j) out[j] = src[j];
+  }
+}
+
+}  // namespace
+
+void igemm_u8(std::int64_t m, std::int64_t n, std::int64_t k,
+              const std::uint8_t* a, std::int64_t lda, const std::uint8_t* b,
+              std::int64_t ldb, std::int32_t* c, std::int64_t ldc) {
+  if (m <= 0 || n <= 0) return;
+
+  // Overwrite semantics: zero C so the accumulation loop is pure +=.
+  for (std::int64_t i = 0; i < m; ++i) {
+    std::fill(c + i * ldc, c + i * ldc + n, 0);
+  }
+  if (k <= 0) return;
+
+  // Parallelise over row blocks of C; each task packs its own A/B panels.
+  const std::int64_t row_block = std::max<std::int64_t>(
+      kMr, (m + parallel_thread_count() * 2 - 1) /
+               (parallel_thread_count() * 2) / kMr * kMr);
+  parallel_for(0, (m + row_block - 1) / row_block,
+               [&](std::int64_t tb, std::int64_t te) {
+    std::vector<std::int16_t> a_pack(static_cast<std::size_t>(row_block * kKc));
+    std::vector<std::int16_t> b_pack(static_cast<std::size_t>(kKc * kNc));
+    for (std::int64_t t = tb; t < te; ++t) {
+      const std::int64_t i0 = t * row_block;
+      const std::int64_t mc = std::min(row_block, m - i0);
+      for (std::int64_t p0 = 0; p0 < k; p0 += kKc) {
+        const std::int64_t kc = std::min(kKc, k - p0);
+        pack_block_u8(a, lda, i0, mc, p0, kc, a_pack.data());
+        for (std::int64_t j0 = 0; j0 < n; j0 += kNc) {
+          const std::int64_t nc = std::min(kNc, n - j0);
+          pack_block_u8(b, ldb, p0, kc, j0, nc, b_pack.data());
+          for (std::int64_t jr = 0; jr < nc; jr += kNr) {
+            const std::int64_t nr = std::min(kNr, nc - jr);
+            for (std::int64_t ir = 0; ir < mc; ir += kMr) {
+              const std::int64_t mr = std::min(kMr, mc - ir);
+              micro_kernel(kc, a_pack.data() + ir * kc, kc,
+                           b_pack.data() + jr, nc,
+                           c + (i0 + ir) * ldc + (j0 + jr), ldc, mr, nr);
+            }
+          }
+        }
+      }
+    }
+  });
+}
+
+}  // namespace adq

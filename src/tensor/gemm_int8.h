@@ -1,0 +1,29 @@
+// Blocked, multithreaded integer GEMM: u8 x u8 -> i32.
+//
+// C = A * B over unsigned 8-bit quantization codes (eqn-1 output of the
+// quantizer) with 32-bit accumulation. This is the hot loop of the integer
+// inference engine (src/infer): every conv (via a u8 im2col) and linear
+// layer at <= 8 bits lowers to one of these. The structure mirrors the
+// float sgemm in gemm.h — an MR x NR register-accumulator micro-kernel
+// under Kc x Nc cache blocking, parallelised over row blocks — but the
+// panels are widened to int16 once during packing so the inner loop is a
+// pure 16-bit multiply / 32-bit accumulate, which vectorises to wider lanes
+// than the float kernel and streams a quarter of the bytes.
+//
+// Accumulation never overflows: codes are <= 255, so each product is
+// <= 65025 and an int32 holds > 33k of them — far beyond any layer's
+// reduction depth here.
+#pragma once
+
+#include <cstdint>
+
+namespace adq {
+
+/// C[m x n] = A[m x k] * B[k x n] over u8 codes, writing (not accumulating
+/// into) int32 C. Raw-pointer, row-major; lda/ldb/ldc are row strides in
+/// elements.
+void igemm_u8(std::int64_t m, std::int64_t n, std::int64_t k,
+              const std::uint8_t* a, std::int64_t lda, const std::uint8_t* b,
+              std::int64_t ldb, std::int32_t* c, std::int64_t ldc);
+
+}  // namespace adq

@@ -1,30 +1,46 @@
 #include "tensor/im2col.h"
 
 namespace adq {
+namespace {
 
-void im2col(const float* im, const ConvGeometry& g, float* col) {
+// One lowering loop for both element types; only the pad value differs
+// (float path pads exact 0.0, integer path the nearest-grid code).
+template <typename T>
+void im2col_impl(const T* im, const ConvGeometry& g, T* col, T pad_value) {
   const std::int64_t oh = g.out_h(), ow = g.out_w();
   std::int64_t row = 0;
   for (std::int64_t c = 0; c < g.channels; ++c) {
-    const float* im_c = im + c * g.in_h * g.in_w;
+    const T* im_c = im + c * g.in_h * g.in_w;
     for (std::int64_t kh = 0; kh < g.kernel_h; ++kh) {
       for (std::int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
-        float* out = col + row * oh * ow;
+        T* out = col + row * oh * ow;
         for (std::int64_t y = 0; y < oh; ++y) {
           const std::int64_t iy = y * g.stride + kh - g.pad;
           if (iy < 0 || iy >= g.in_h) {
-            for (std::int64_t x = 0; x < ow; ++x) out[y * ow + x] = 0.0f;
+            for (std::int64_t x = 0; x < ow; ++x) out[y * ow + x] = pad_value;
             continue;
           }
-          const float* im_row = im_c + iy * g.in_w;
+          const T* im_row = im_c + iy * g.in_w;
           for (std::int64_t x = 0; x < ow; ++x) {
             const std::int64_t ix = x * g.stride + kw - g.pad;
-            out[y * ow + x] = (ix < 0 || ix >= g.in_w) ? 0.0f : im_row[ix];
+            out[y * ow + x] =
+                (ix < 0 || ix >= g.in_w) ? pad_value : im_row[ix];
           }
         }
       }
     }
   }
+}
+
+}  // namespace
+
+void im2col(const float* im, const ConvGeometry& g, float* col) {
+  im2col_impl(im, g, col, 0.0f);
+}
+
+void im2col_u8(const std::uint8_t* im, const ConvGeometry& g,
+               std::uint8_t* col, std::uint8_t pad_code) {
+  im2col_impl(im, g, col, pad_code);
 }
 
 void col2im(const float* col, const ConvGeometry& g, float* im) {

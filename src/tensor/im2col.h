@@ -24,6 +24,13 @@ struct ConvGeometry {
 /// im: [channels, in_h, in_w] contiguous. col: [patch_size, out_h*out_w].
 void im2col(const float* im, const ConvGeometry& g, float* col);
 
+/// Quantization-code variant for the integer inference engine: lowers an
+/// image of u8 codes instead of floats. Padding positions are filled with
+/// `pad_code` — the code whose dequantized value is closest to 0.0, since
+/// the affine grid of eqn (1) does not necessarily contain an exact zero.
+void im2col_u8(const std::uint8_t* im, const ConvGeometry& g,
+               std::uint8_t* col, std::uint8_t pad_code);
+
 /// Transpose scatter: accumulates col back into im (im must be pre-zeroed).
 void col2im(const float* col, const ConvGeometry& g, float* im);
 

@@ -1,0 +1,436 @@
+// Integer inference engine tests: sub-byte pack/unpack round-trips, the
+// u8 GEMM against integer and float references, layer-level parity of the
+// compiled integer path with the fake-quant training path per bit-width
+// (8/4/2), BatchNorm folding, pruning masks, and whole-model prediction
+// agreement for VGG19 and ResNet18.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "infer/engine.h"
+#include "infer/plan.h"
+#include "models/resnet.h"
+#include "models/vgg.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/init.h"
+#include "nn/linear.h"
+#include "tensor/bitpack.h"
+#include "tensor/gemm.h"
+#include "tensor/gemm_int8.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+
+namespace adq::infer {
+namespace {
+
+// For a SINGLE layer the integer path sees the identical input tensor, so
+// it produces the identical eqn-1 codes and the same real-arithmetic sum as
+// the fake-quant float path (see plan.h) — differences are pure float
+// rounding, and one tight relative bound serves every bit-width.
+//
+// Across a WHOLE model the comparison is statistical instead: each layer
+// re-observes its input's min/max dynamically, so a ~1e-6 rounding drift
+// can flip an activation sitting exactly on a code boundary to the adjacent
+// code. Flips are rare but real, which is why the model-level contract (and
+// the issue's acceptance bar) is top-1 agreement, not elementwise equality.
+float parity_tol(const Tensor& ref) {
+  const float mag =
+      std::max(std::abs(min_value(ref)), std::abs(max_value(ref)));
+  return 1e-4f * std::max(mag, 1.0f);
+}
+
+float mean_abs_diff(const Tensor& a, const Tensor& b) {
+  EXPECT_EQ(a.shape(), b.shape());
+  double total = 0.0;
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    total += std::abs(a[i] - b[i]);
+  }
+  return a.numel() == 0 ? 0.0f
+                        : static_cast<float>(total / static_cast<double>(a.numel()));
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  EXPECT_EQ(a.shape(), b.shape());
+  float worst = 0.0f;
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+TEST(BitPack, CellBitsForRoundsToPowerOfTwo) {
+  EXPECT_EQ(cell_bits_for(1), 1);
+  EXPECT_EQ(cell_bits_for(2), 2);
+  EXPECT_EQ(cell_bits_for(3), 4);
+  EXPECT_EQ(cell_bits_for(4), 4);
+  EXPECT_EQ(cell_bits_for(5), 8);
+  EXPECT_EQ(cell_bits_for(8), 8);
+}
+
+TEST(BitPack, PackedBytes) {
+  EXPECT_EQ(packed_bytes(16, 8), 16);
+  EXPECT_EQ(packed_bytes(16, 4), 8);
+  EXPECT_EQ(packed_bytes(16, 2), 4);
+  EXPECT_EQ(packed_bytes(16, 1), 2);
+  // Ragged tails round up.
+  EXPECT_EQ(packed_bytes(17, 4), 9);
+  EXPECT_EQ(packed_bytes(1, 1), 1);
+  EXPECT_THROW(packed_bytes(8, 3), std::invalid_argument);
+}
+
+TEST(BitPack, RoundTripEveryCellWidth) {
+  Rng rng(11);
+  for (int cell : {1, 2, 4, 8}) {
+    const std::int64_t count = 1000 + cell;  // exercise ragged tails
+    std::vector<std::uint8_t> codes(static_cast<std::size_t>(count));
+    for (auto& c : codes) {
+      c = static_cast<std::uint8_t>(rng.uniform_int(0, (1 << cell) - 1));
+    }
+    std::vector<std::uint8_t> packed(
+        static_cast<std::size_t>(packed_bytes(count, cell)));
+    std::vector<std::uint8_t> back(static_cast<std::size_t>(count), 0xFF);
+    pack_codes(codes.data(), count, cell, packed.data());
+    unpack_codes(packed.data(), count, cell, back.data());
+    EXPECT_EQ(codes, back) << "cell width " << cell;
+  }
+}
+
+TEST(IntGemm, MatchesNaiveReference) {
+  Rng rng(22);
+  // Shapes straddling the 4x16 micro-tile and 256-deep panel boundaries.
+  const std::int64_t shapes[][3] = {
+      {1, 1, 1}, {4, 16, 8}, {5, 17, 3}, {7, 33, 129}, {12, 40, 300}};
+  for (const auto& s : shapes) {
+    const std::int64_t m = s[0], n = s[1], k = s[2];
+    std::vector<std::uint8_t> a(static_cast<std::size_t>(m * k));
+    std::vector<std::uint8_t> b(static_cast<std::size_t>(k * n));
+    for (auto& v : a) v = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    for (auto& v : b) v = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    std::vector<std::int32_t> c(static_cast<std::size_t>(m * n), -7);
+    igemm_u8(m, n, k, a.data(), k, b.data(), n, c.data(), n);
+    for (std::int64_t i = 0; i < m; ++i) {
+      for (std::int64_t j = 0; j < n; ++j) {
+        std::int32_t ref = 0;
+        for (std::int64_t p = 0; p < k; ++p) {
+          ref += static_cast<std::int32_t>(a[static_cast<std::size_t>(i * k + p)]) *
+                 static_cast<std::int32_t>(b[static_cast<std::size_t>(p * n + j)]);
+        }
+        ASSERT_EQ(c[static_cast<std::size_t>(i * n + j)], ref)
+            << m << "x" << n << "x" << k << " at (" << i << ", " << j << ")";
+      }
+    }
+  }
+}
+
+TEST(IntGemm, MatchesFloatGemmOnSmallCodes) {
+  // With k * 255^2 below 2^24 both GEMMs are exact, so they must agree
+  // bit-for-bit after the float result is truncated back to int.
+  Rng rng(33);
+  const std::int64_t m = 9, n = 21, k = 100;
+  std::vector<std::uint8_t> a(static_cast<std::size_t>(m * k));
+  std::vector<std::uint8_t> b(static_cast<std::size_t>(k * n));
+  Tensor af(Shape{m, k}), bf(Shape{k, n});
+  for (std::int64_t i = 0; i < m * k; ++i) {
+    a[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    af[i] = static_cast<float>(a[static_cast<std::size_t>(i)]);
+  }
+  for (std::int64_t i = 0; i < k * n; ++i) {
+    b[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    bf[i] = static_cast<float>(b[static_cast<std::size_t>(i)]);
+  }
+  std::vector<std::int32_t> ci(static_cast<std::size_t>(m * n));
+  igemm_u8(m, n, k, a.data(), k, b.data(), n, ci.data(), n);
+  const Tensor cf = matmul(af, bf);
+  for (std::int64_t i = 0; i < m * n; ++i) {
+    EXPECT_EQ(static_cast<float>(ci[static_cast<std::size_t>(i)]), cf[i]);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Layer-level parity: compiled plan vs the fake-quant training layer.
+// --------------------------------------------------------------------------
+
+// Conv inputs in these networks are post-ReLU, so their dynamic range
+// starts at exactly 0 and the eqn-1 grid contains an exact zero — which
+// makes the engine's padding code dequantize to 0.0, the same value the
+// float path pads with. The tight parity tests use such inputs; the
+// arbitrary-range border effect has its own test below.
+Tensor post_relu_input(Shape shape, Rng& rng) {
+  Tensor x(std::move(shape));
+  rng.fill_normal(x, 0.1f, 1.0f);
+  return relu(x);
+}
+
+TEST(InferConv, ParityPerBitwidth) {
+  for (int bits : {8, 4, 2}) {
+    Rng rng(100 + bits);
+    nn::Conv2d conv(6, 10, 3, 1, 1, /*use_bias=*/true, "conv");
+    nn::init_conv(conv, rng);
+    rng.fill_uniform(conv.bias()->value, -0.3f, 0.3f);
+    conv.set_bits(bits);
+    conv.set_training(false);
+
+    const Tensor x = post_relu_input(Shape{3, 6, 9, 9}, rng);
+    const Tensor ref = conv.forward(x);
+
+    const GemmLayerPlan l = plan_conv(conv, nullptr, /*fuse_relu=*/false);
+    ASSERT_EQ(l.path, ExecPath::kInteger) << "bits " << bits;
+    EXPECT_EQ(l.cell_bits, cell_bits_for(bits));
+    const Tensor out = run_gemm_layer(l, x);
+    EXPECT_LE(max_abs_diff(out, ref), parity_tol(ref)) << "bits " << bits;
+  }
+}
+
+TEST(InferConv, ParityWithBatchNormFoldingAndRelu) {
+  Rng rng(55);
+  nn::Conv2d conv(4, 8, 3, 2, 1, /*use_bias=*/false, "conv");
+  nn::init_conv(conv, rng);
+  conv.set_bits(8);
+  nn::BatchNorm2d bn(8);
+  rng.fill_uniform(bn.gamma().value, 0.5f, 1.5f);
+  rng.fill_uniform(bn.beta().value, -0.2f, 0.2f);
+  // Non-trivial running statistics, as after real training: a few training
+  // forwards over offset data move them away from the (0, 1) init.
+  bn.set_training(true);
+  for (int i = 0; i < 3; ++i) {
+    Tensor warm(Shape{4, 8, 8, 8});
+    rng.fill_normal(warm, 0.4f, 1.7f);
+    bn.forward(warm);
+  }
+  conv.set_training(false);
+  bn.set_training(false);
+
+  const Tensor x = post_relu_input(Shape{2, 4, 8, 8}, rng);
+  Tensor ref = bn.forward(conv.forward(x));
+  ref = relu(ref);
+
+  const GemmLayerPlan l = plan_conv(conv, &bn, /*fuse_relu=*/true);
+  const Tensor out = run_gemm_layer(l, x);
+  EXPECT_LE(max_abs_diff(out, ref), parity_tol(ref));
+}
+
+TEST(InferConv, PrunedChannelsAreZero) {
+  Rng rng(66);
+  nn::Conv2d conv(5, 12, 3, 1, 1, /*use_bias=*/true, "conv");
+  nn::init_conv(conv, rng);
+  conv.set_bits(8);
+  conv.set_active_out_channels(7);
+  conv.set_training(false);
+
+  const Tensor x = post_relu_input(Shape{2, 5, 6, 6}, rng);
+  const Tensor ref = conv.forward(x);
+  const GemmLayerPlan l = plan_conv(conv, nullptr, /*fuse_relu=*/false);
+  const Tensor out = run_gemm_layer(l, x);
+  EXPECT_LE(max_abs_diff(out, ref), parity_tol(ref));
+  // Masked channels are exactly zero on both paths.
+  for (std::int64_t b = 0; b < 2; ++b) {
+    for (std::int64_t c = 7; c < 12; ++c) {
+      EXPECT_EQ(out.at(b, c, 3, 3), 0.0f);
+    }
+  }
+}
+
+TEST(InferConv, ArbitraryRangePaddingIsGridBounded) {
+  // When the input range does not contain zero on-grid (e.g. a conv fed raw
+  // data instead of ReLU output), the engine pads with the nearest-grid
+  // code, off from the float path's exact 0.0 by at most half a step. The
+  // border error is therefore bounded by step/2 * (weight magnitude * pad
+  // taps); interior positions stay at float-rounding parity.
+  Rng rng(44);
+  nn::Conv2d conv(4, 6, 3, 1, 1, /*use_bias=*/false, "conv");
+  nn::init_conv(conv, rng);
+  conv.set_bits(8);
+  conv.set_training(false);
+
+  Tensor x(Shape{2, 4, 8, 8});
+  rng.fill_normal(x, 0.3f, 1.0f);  // range straddles 0 but 0 is off-grid
+  const Tensor ref = conv.forward(x);
+  const GemmLayerPlan l = plan_conv(conv, nullptr, /*fuse_relu=*/false);
+  const Tensor out = run_gemm_layer(l, x);
+
+  const float step = (max_value(x) - min_value(x)) / 255.0f;
+  const float wmag = std::max(std::abs(min_value(conv.weight().value)),
+                              std::abs(max_value(conv.weight().value)));
+  // A 3x3 corner patch has at most 5 padding taps.
+  EXPECT_LE(max_abs_diff(out, ref), 0.5f * step * wmag * 5.0f + 1e-4f);
+  // Interior positions (no padding in their patch) remain tightly matched.
+  float interior_worst = 0.0f;
+  for (std::int64_t b = 0; b < 2; ++b) {
+    for (std::int64_t o = 0; o < 6; ++o) {
+      for (std::int64_t y = 1; y < 7; ++y) {
+        for (std::int64_t xo = 1; xo < 7; ++xo) {
+          interior_worst = std::max(
+              interior_worst, std::abs(out.at(b, o, y, xo) - ref.at(b, o, y, xo)));
+        }
+      }
+    }
+  }
+  EXPECT_LE(interior_worst, parity_tol(ref));
+}
+
+TEST(InferLinear, ParityPerBitwidth) {
+  for (int bits : {8, 4, 2}) {
+    Rng rng(200 + bits);
+    nn::Linear fc(24, 10, /*use_bias=*/true, "fc");
+    nn::init_linear(fc, rng);
+    fc.set_bits(bits);
+    fc.set_training(false);
+
+    Tensor x(Shape{5, 24});
+    rng.fill_normal(x, 0.0f, 1.0f);
+    const Tensor ref = fc.forward(x);
+
+    const GemmLayerPlan l = plan_linear(fc, /*fuse_relu=*/false);
+    ASSERT_EQ(l.path, ExecPath::kInteger) << "bits " << bits;
+    const Tensor out = run_gemm_layer(l, x);
+    EXPECT_LE(max_abs_diff(out, ref), parity_tol(ref)) << "bits " << bits;
+  }
+}
+
+TEST(InferLinear, WideBitsFallBackToFloatAndMatchExactly) {
+  Rng rng(77);
+  nn::Linear fc(16, 6, /*use_bias=*/true, "fc");
+  nn::init_linear(fc, rng);
+  fc.set_bits(16);  // above the integer ceiling
+  fc.set_training(false);
+  Tensor x(Shape{4, 16});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  const Tensor ref = fc.forward(x);
+
+  const GemmLayerPlan l = plan_linear(fc, /*fuse_relu=*/false);
+  EXPECT_EQ(l.path, ExecPath::kFloat);
+  const Tensor out = run_gemm_layer(l, x);
+  EXPECT_LE(max_abs_diff(out, ref), parity_tol(ref));
+}
+
+// --------------------------------------------------------------------------
+// Whole-model parity.
+// --------------------------------------------------------------------------
+
+// Applies `bits` to every non-frozen unit (frozen ends keep their disabled
+// quantizers, mirroring how Algorithm 1 leaves a converged model).
+void set_uniform_bits(models::QuantizableModel& model, int bits) {
+  quant::BitWidthPolicy policy = model.bit_policy();
+  for (int i = 0; i < model.unit_count(); ++i) {
+    if (!model.unit(i).frozen) policy.set(i, bits);
+  }
+  model.apply_bit_policy(policy);
+}
+
+double prediction_agreement(const std::vector<std::int64_t>& a,
+                            const std::vector<std::int64_t>& b) {
+  EXPECT_EQ(a.size(), b.size());
+  std::size_t same = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) same += a[i] == b[i];
+  return a.empty() ? 0.0 : static_cast<double>(same) / static_cast<double>(a.size());
+}
+
+TEST(InferEngine, VggPredictionsMatchFakeQuant) {
+  Rng rng(7);
+  models::VggConfig cfg;
+  cfg.width_mult = 0.0625;
+  cfg.num_classes = 10;
+  auto model = models::build_vgg19(cfg, rng);
+  set_uniform_bits(*model, 8);
+  model->set_training(false);
+
+  Tensor x(Shape{32, 3, 32, 32});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  const Tensor ref_logits = model->forward(x);
+
+  const IntInferenceEngine engine(compile(*model));
+  EXPECT_GE(engine.plan().integer_layer_count(), 15);  // 15 non-frozen convs
+  const Tensor logits = engine.forward(x);
+  const float mag = std::max(std::abs(min_value(ref_logits)),
+                             std::abs(max_value(ref_logits)));
+  EXPECT_LE(mean_abs_diff(logits, ref_logits), 0.02f * std::max(mag, 1.0f));
+  const double agree =
+      prediction_agreement(engine.predict(x), argmax_rows(ref_logits));
+  EXPECT_GE(agree, 0.95);
+}
+
+TEST(InferEngine, VggMixedPrecisionAgreement) {
+  Rng rng(8);
+  models::VggConfig cfg;
+  cfg.width_mult = 0.0625;
+  cfg.num_classes = 10;
+  auto model = models::build_vgg19(cfg, rng);
+  // Mixed 8/4/2 pattern over the non-frozen units, like a converged eqn-3
+  // policy snapped to the hardware grid.
+  quant::BitWidthPolicy policy = model->bit_policy();
+  const int pattern[] = {8, 4, 2};
+  for (int i = 0; i < model->unit_count(); ++i) {
+    if (!model->unit(i).frozen) policy.set(i, pattern[i % 3]);
+  }
+  model->apply_bit_policy(policy);
+  model->set_training(false);
+
+  Tensor x(Shape{24, 3, 32, 32});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  const Tensor ref_logits = model->forward(x);
+  const IntInferenceEngine engine(compile(*model));
+  // Sub-byte grids have coarse steps: an activation sitting on a code
+  // boundary can land one 2-bit level away (a jump of a third of the
+  // layer's range) under ~1e-6 of upstream rounding drift, and this
+  // untrained model's random logits have small top-1 margins. Agreement is
+  // therefore bounded well above chance (10 classes) but below the int8
+  // bar; the per-bitwidth layer tests above pin the arithmetic itself.
+  EXPECT_GE(prediction_agreement(engine.predict(x), argmax_rows(ref_logits)),
+            0.7);
+}
+
+TEST(InferEngine, ResNetPredictionsMatchFakeQuant) {
+  Rng rng(9);
+  models::ResNetConfig cfg;
+  cfg.width_mult = 0.0625;
+  cfg.num_classes = 10;
+  cfg.input_size = 16;
+  auto model = models::build_resnet18(cfg, rng);
+  set_uniform_bits(*model, 8);
+  model->set_training(false);
+
+  Tensor x(Shape{16, 3, 16, 16});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  const Tensor ref_logits = model->forward(x);
+  const IntInferenceEngine engine(compile(*model));
+  const Tensor logits = engine.forward(x);
+  const float mag = std::max(std::abs(min_value(ref_logits)),
+                             std::abs(max_value(ref_logits)));
+  EXPECT_LE(mean_abs_diff(logits, ref_logits), 0.02f * std::max(mag, 1.0f));
+  EXPECT_GE(prediction_agreement(engine.predict(x), argmax_rows(ref_logits)),
+            0.95);
+}
+
+TEST(InferEngine, SubByteWeightsShrinkThePlan) {
+  Rng rng(10);
+  models::VggConfig cfg;
+  cfg.width_mult = 0.0625;
+  cfg.num_classes = 10;
+  auto model = models::build_vgg19(cfg, rng);
+
+  set_uniform_bits(*model, 8);
+  const std::size_t bytes8 = compile(*model).weight_bytes();
+  set_uniform_bits(*model, 4);
+  const std::size_t bytes4 = compile(*model).weight_bytes();
+  set_uniform_bits(*model, 2);
+  const std::size_t bytes2 = compile(*model).weight_bytes();
+
+  // The frozen float ends are shared, so the ordering is strict but not a
+  // clean 2x per halving.
+  EXPECT_LT(bytes4, bytes8);
+  EXPECT_LT(bytes2, bytes4);
+  // The 8-bit plan stores one byte per weight in the integer layers, i.e.
+  // < 1/2 of the all-float footprint even with the frozen 16-bit ends.
+  set_uniform_bits(*model, 16);
+  const std::size_t bytes_float = compile(*model).weight_bytes();
+  EXPECT_LT(bytes8, bytes_float / 2);
+}
+
+}  // namespace
+}  // namespace adq::infer
