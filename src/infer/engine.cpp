@@ -2,9 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <stdexcept>
 #include <string>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
 
 #include "quant/quantizer.h"
 #include "tensor/bitpack.h"
@@ -17,49 +22,174 @@
 namespace adq::infer {
 namespace {
 
-// Activation tensor quantized to eqn-1 codes with its per-batch dynamic
-// range — the same observation FakeQuantizer::apply makes on this tensor in
-// the training path, so code -> value round-trips land on the same grid.
-struct QuantizedActivations {
-  std::vector<std::uint8_t> codes;
+// Slab cap for the batched im2col lowering: a conv chunk never materialises
+// more than this many patch-matrix bytes at once. Besides bounding
+// transient memory for huge batches, the cap keeps the slab + accumulators
+// inside L2 — one oversized chunk streams from L3 and costs more than the
+// panel-packing amortization it buys (measured: a 2.4 MiB slab at batch 16
+// serves ~15% slower than four cache-resident chunks of it).
+constexpr std::int64_t kMaxSlabBytes = 768 << 10;
+
+// Per-thread reusable scratch. Every buffer grows on demand and is reused
+// across forward() calls, so a warm serving loop performs no allocations on
+// the hot path; distinct threads get distinct scratch, which is what makes
+// a shared engine safe under the server's worker pool.
+struct EngineScratch {
+  std::vector<std::uint8_t> act_codes;  // whole-batch activation codes
+  std::vector<std::uint8_t> unpack;     // run_gemm_layer's weight view
+  Im2colWorkspace lower;                // u8 / float patch-matrix slabs
+  std::vector<std::int32_t> acc;        // GEMM accumulators
+  std::vector<std::int32_t> row_sums;   // per-sample code sums (linear)
+  std::vector<float> raw;               // float-path GEMM output
+
+  std::int32_t* ensure_acc(std::int64_t n) {
+    if (static_cast<std::int64_t>(acc.size()) < n) {
+      acc.resize(static_cast<std::size_t>(n));
+    }
+    return acc.data();
+  }
+  float* ensure_raw(std::int64_t n) {
+    if (static_cast<std::int64_t>(raw.size()) < n) {
+      raw.resize(static_cast<std::size_t>(n));
+    }
+    return raw.data();
+  }
+};
+
+EngineScratch& engine_scratch() {
+  thread_local EngineScratch scratch;
+  return scratch;
+}
+
+// One policy for how an integer layer's weights reach the GEMM — shared
+// by the engine's construction-time cache and run_gemm_layer's standalone
+// path, so the two can never diverge:
+//   * integer convs materialise a [O+1, P] byte-per-code buffer whose
+//     last row is all-ones (the GEMM then emits the per-column activation
+//     code sums as its final accumulator row — see run_conv_int);
+//   * sub-byte integer linears materialise the unpacked [in, O] codes;
+//   * 8-bit integer linears read the plan's packed codes in place;
+//   * float layers have no byte-code view at all.
+bool needs_exec_buffer(const GemmLayerPlan& l) {
+  return l.path == ExecPath::kInteger && (l.is_conv || l.cell_bits != 8);
+}
+
+void build_exec_codes(const GemmLayerPlan& l, std::vector<std::uint8_t>& out) {
+  const std::int64_t count = l.out_channels * l.patch();
+  const std::int64_t total = l.is_conv ? count + l.patch() : count;
+  if (static_cast<std::int64_t>(out.size()) < total) {
+    out.resize(static_cast<std::size_t>(total));
+  }
+  if (l.cell_bits == 8) {
+    std::copy(l.weight_codes.begin(), l.weight_codes.end(), out.begin());
+  } else {
+    unpack_codes(l.weight_codes.data(), count, l.cell_bits, out.data());
+  }
+  if (l.is_conv) {
+    std::fill(out.begin() + count, out.begin() + total, 1);
+  }
+}
+
+const std::uint8_t* exec_weight_view(const GemmLayerPlan& l,
+                                     const std::vector<std::uint8_t>& buffer) {
+  if (l.path != ExecPath::kInteger) return nullptr;
+  return needs_exec_buffer(l) ? buffer.data() : l.weight_codes.data();
+}
+
+// Observed dynamic range of an activation tensor quantized to eqn-1 codes —
+// the same observation FakeQuantizer::apply makes on this tensor in the
+// training path, so code -> value round-trips land on the same grid. Codes
+// are written into `codes` (grown on demand, first numel() entries valid).
+struct ActRange {
   float a_min = 0.0f;
-  float a_scale = 0.0f;     // 0 for a degenerate (constant) tensor
+  float a_scale = 0.0f;        // 0 for a degenerate (constant) tensor
   std::uint8_t zero_code = 0;  // grid code closest to the value 0.0 (padding)
 };
 
-QuantizedActivations quantize_activations(const Tensor& x, int bits) {
-  QuantizedActivations q;
+ActRange quantize_activations(const Tensor& x, int bits,
+                              std::vector<std::uint8_t>& codes) {
+  ActRange q;
   const std::int64_t n = x.numel();
-  q.codes.assign(static_cast<std::size_t>(n), 0);
-  const float lo = min_value(x), hi = max_value(x);
+  if (static_cast<std::int64_t>(codes.size()) < n) {
+    codes.resize(static_cast<std::size_t>(n));
+  }
+  if (n == 0) return q;
+  // Fused single-pass min/max over four independent accumulator lanes:
+  // std::min/max reductions cannot be auto-vectorised (NaN ordering), so
+  // the lanes buy instruction-level parallelism instead of a second and
+  // third pass over the activations.
+  const float* px0 = x.data();
+  float lo0 = px0[0], lo1 = px0[0], lo2 = px0[0], lo3 = px0[0];
+  float hi0 = px0[0], hi1 = px0[0], hi2 = px0[0], hi3 = px0[0];
+  std::int64_t i4 = 0;
+  for (; i4 + 4 <= n; i4 += 4) {
+    lo0 = std::min(lo0, px0[i4]);
+    hi0 = std::max(hi0, px0[i4]);
+    lo1 = std::min(lo1, px0[i4 + 1]);
+    hi1 = std::max(hi1, px0[i4 + 1]);
+    lo2 = std::min(lo2, px0[i4 + 2]);
+    hi2 = std::max(hi2, px0[i4 + 2]);
+    lo3 = std::min(lo3, px0[i4 + 3]);
+    hi3 = std::max(hi3, px0[i4 + 3]);
+  }
+  float lo = std::min(std::min(lo0, lo1), std::min(lo2, lo3));
+  float hi = std::max(std::max(hi0, hi1), std::max(hi2, hi3));
+  for (; i4 < n; ++i4) {
+    lo = std::min(lo, px0[i4]);
+    hi = std::max(hi, px0[i4]);
+  }
   q.a_min = lo;
-  if (hi <= lo) return q;  // constant tensor: every code 0, value = a_min
+  if (hi <= lo) {  // constant tensor: every code 0, value = a_min
+    std::fill(codes.begin(), codes.begin() + n, 0);
+    return q;
+  }
 
   const float levels = static_cast<float>(quant::max_code(bits));
   q.a_scale = (hi - lo) / levels;
   const float inv = levels / (hi - lo);
   const float* px = x.data();
-  std::uint8_t* pc = q.codes.data();
+  std::uint8_t* pc = codes.data();
+  // Rounding via the 1.5 * 2^23 magic constant: adding it forces the
+  // scaled value (in [0, 255]) to round to nearest-even into the low
+  // mantissa bits — bit-identical to the std::nearbyint the FakeQuantizer
+  // applies under the default FP environment, but a pure add, which lets
+  // the SSE2 path below encode 16 activations per iteration where
+  // nearbyint is a scalar libm call at baseline -O3.
+  constexpr float kRoundMagic = 12582912.0f;
+  std::uint32_t magic_bits;
+  std::memcpy(&magic_bits, &kRoundMagic, sizeof(magic_bits));
   parallel_for(0, n, [&](std::int64_t b, std::int64_t e) {
-    for (std::int64_t i = b; i < e; ++i) {
+    std::int64_t i = b;
+#if defined(__SSE2__)
+    const __m128 vlo = _mm_set1_ps(lo), vhi = _mm_set1_ps(hi);
+    const __m128 vinv = _mm_set1_ps(inv), vmagic = _mm_set1_ps(kRoundMagic);
+    const __m128i vmbits = _mm_set1_epi32(static_cast<int>(magic_bits));
+    for (; i + 16 <= e; i += 16) {
+      __m128i q[4];
+      for (int part = 0; part < 4; ++part) {
+        __m128 v = _mm_loadu_ps(px + i + 4 * part);
+        v = _mm_min_ps(_mm_max_ps(v, vlo), vhi);
+        v = _mm_add_ps(_mm_mul_ps(_mm_sub_ps(v, vlo), vinv), vmagic);
+        q[part] = _mm_sub_epi32(_mm_castps_si128(v), vmbits);
+      }
+      // Codes are in [0, 255], so the signed saturating packs are exact.
+      const __m128i lo16 = _mm_packs_epi32(q[0], q[1]);
+      const __m128i hi16 = _mm_packs_epi32(q[2], q[3]);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(pc + i),
+                       _mm_packus_epi16(lo16, hi16));
+    }
+#endif
+    for (; i < e; ++i) {
       const float v = std::clamp(px[i], lo, hi);
-      pc[i] = static_cast<std::uint8_t>(std::nearbyint((v - lo) * inv));
+      const float t = (v - lo) * inv + kRoundMagic;
+      std::uint32_t bits_t;
+      std::memcpy(&bits_t, &t, sizeof(bits_t));
+      pc[i] = static_cast<std::uint8_t>(bits_t - magic_bits);
     }
   }, /*grain=*/4096);
   const float zero = std::clamp(0.0f, lo, hi);
   q.zero_code = static_cast<std::uint8_t>(std::nearbyint((zero - lo) * inv));
   return q;
-}
-
-// Unpacks sub-byte weight codes into a scratch buffer; 8-bit cells are used
-// in place. Returns the pointer the GEMM should read.
-const std::uint8_t* unpacked_weights(const GemmLayerPlan& l,
-                                     std::vector<std::uint8_t>& scratch) {
-  const std::int64_t count = l.out_channels * l.patch();
-  if (l.cell_bits == 8) return l.weight_codes.data();
-  scratch.resize(static_cast<std::size_t>(count));
-  unpack_codes(l.weight_codes.data(), count, l.cell_bits, scratch.data());
-  return scratch.data();
 }
 
 // Fused epilogue over one output row (channel o, `n` positions):
@@ -96,7 +226,20 @@ ConvGeometry conv_geometry(const GemmLayerPlan& l, std::int64_t h,
   return g;
 }
 
-Tensor run_conv_int(const GemmLayerPlan& l, const Tensor& x) {
+// Integer conv over the whole batch: each chunk of images lowers into
+// adjacent column blocks of ONE [P, chunk*ohw] slab and runs as a single
+// GEMM. Weight panels therefore pack once per chunk instead of once per
+// image, and deep layers with tiny spatial outputs (ohw of 4 or 16) fill
+// complete 16-wide micro-tiles — this is where batched serving beats
+// request-at-a-time execution even on one core.
+//
+// `wc` is the [O+1, P] execution view of the weights (see
+// conv_exec_codes): rows 0..O-1 are the byte-per-code weight rows, row O
+// is all-ones, so GEMM row O comes out as the per-column activation code
+// sum the zero-point correction needs — computed at full kernel speed
+// instead of a separate scalar pass over the slab.
+Tensor run_conv_int(const GemmLayerPlan& l, const Tensor& x,
+                    const std::uint8_t* wc) {
   const std::int64_t B = x.shape().dim(0);
   const std::int64_t H = x.shape().dim(2), W = x.shape().dim(3);
   const ConvGeometry g = conv_geometry(l, H, W);
@@ -104,9 +247,9 @@ Tensor run_conv_int(const GemmLayerPlan& l, const Tensor& x) {
   const std::int64_t O = l.out_channels, P = l.patch();
   const std::int64_t chw = l.in_channels * H * W;
 
-  const QuantizedActivations qa = quantize_activations(x, l.bits);
-  std::vector<std::uint8_t> w_scratch;
-  const std::uint8_t* wc = unpacked_weights(l, w_scratch);
+  EngineScratch& ws = engine_scratch();
+  const ActRange qa = quantize_activations(x, l.bits, ws.act_codes);
+  const std::uint8_t* act = ws.act_codes.data();
 
   // Affine-correction constants (see plan.h): per-row term uses the weight
   // code sums, per-column term the activation column sums.
@@ -116,27 +259,37 @@ Tensor run_conv_int(const GemmLayerPlan& l, const Tensor& x) {
   const float cc = static_cast<float>(P) * qa.a_min * l.w_min;
 
   Tensor out(Shape{B, O, oh, ow});
-  parallel_for(0, B, [&](std::int64_t b0, std::int64_t b1) {
-    std::vector<std::uint8_t> col(static_cast<std::size_t>(P * ohw));
-    std::vector<std::int32_t> acc(static_cast<std::size_t>(O * ohw));
-    std::vector<std::int32_t> colsum(static_cast<std::size_t>(ohw));
-    for (std::int64_t b = b0; b < b1; ++b) {
-      im2col_u8(qa.codes.data() + b * chw, g, col.data(), qa.zero_code);
-      std::fill(colsum.begin(), colsum.end(), 0);
-      for (std::int64_t r = 0; r < P; ++r) {
-        const std::uint8_t* row = col.data() + r * ohw;
-        for (std::int64_t s = 0; s < ohw; ++s) colsum[static_cast<std::size_t>(s)] += row[s];
+  const std::int64_t max_chunk = std::max<std::int64_t>(
+      1, kMaxSlabBytes / std::max<std::int64_t>(1, P * ohw));
+  for (std::int64_t b0 = 0; b0 < B; b0 += max_chunk) {
+    const std::int64_t bc = std::min(max_chunk, B - b0);
+    const std::int64_t cols = bc * ohw;
+    std::uint8_t* col = ws.lower.ensure_u8(P * cols);
+    parallel_for(0, bc, [&](std::int64_t i0, std::int64_t i1) {
+      for (std::int64_t i = i0; i < i1; ++i) {
+        im2col_u8(act + (b0 + i) * chw, g, col + i * ohw, cols, qa.zero_code);
       }
-      igemm_u8(O, ohw, P, wc, P, col.data(), ohw, acc.data(), ohw);
-      float* out_b = out.data() + b * O * ohw;
-      for (std::int64_t o = 0; o < O; ++o) {
+    });
+    std::int32_t* acc = ws.ensure_acc((O + 1) * cols);
+    igemm_u8(O + 1, cols, P, wc, P, col, cols, acc, cols);
+    const std::int32_t* colsum = acc + O * cols;  // the all-ones weight row
+    // Fused epilogue, channel-parallel, scattering chunk columns back into
+    // the [B, O, oh, ow] layout. Grain keeps tiny layers serial.
+    const std::int64_t grain =
+        std::max<std::int64_t>(1, 16384 / std::max<std::int64_t>(1, cols));
+    parallel_for(0, O, [&](std::int64_t o0, std::int64_t o1) {
+      for (std::int64_t o = o0; o < o1; ++o) {
         const float row_term =
-            cw * static_cast<float>(l.w_code_sums[static_cast<std::size_t>(o)]) + cc;
-        epilogue_row(l, o, acc.data() + o * ohw, colsum.data(), ss, row_term,
-                     ca, ohw, out_b + o * ohw);
+            cw * static_cast<float>(
+                     l.w_code_sums[static_cast<std::size_t>(o)]) +
+            cc;
+        for (std::int64_t i = 0; i < bc; ++i) {
+          epilogue_row(l, o, acc + o * cols + i * ohw, colsum + i * ohw, ss,
+                       row_term, ca, ohw, out.data() + ((b0 + i) * O + o) * ohw);
+        }
       }
-    }
-  });
+    }, grain);
+  }
   return out;
 }
 
@@ -151,12 +304,13 @@ Tensor run_conv_float(const GemmLayerPlan& l, const Tensor& x) {
   const Tensor xq = l.quantize_input ? quant::fake_quantize(x, l.bits) : x;
   Tensor out(Shape{B, O, oh, ow});
   parallel_for(0, B, [&](std::int64_t b0, std::int64_t b1) {
-    std::vector<float> col(static_cast<std::size_t>(P * ohw));
-    std::vector<float> raw(static_cast<std::size_t>(O * ohw));
+    EngineScratch& tws = engine_scratch();
+    float* col = tws.lower.ensure_f32(P * ohw);
+    float* raw = tws.ensure_raw(O * ohw);
     for (std::int64_t b = b0; b < b1; ++b) {
-      im2col(xq.data() + b * chw, g, col.data());
-      sgemm(false, false, O, ohw, P, 1.0f, l.weight_f.data(), P, col.data(),
-            ohw, 0.0f, raw.data(), ohw);
+      im2col(xq.data() + b * chw, g, col);
+      sgemm(false, false, O, ohw, P, 1.0f, l.weight_f.data(), P, col, ohw,
+            0.0f, raw, ohw);
       float* out_b = out.data() + b * O * ohw;
       for (std::int64_t o = 0; o < O; ++o) {
         const float ea = l.epi_scale[static_cast<std::size_t>(o)];
@@ -166,7 +320,7 @@ Tensor run_conv_float(const GemmLayerPlan& l, const Tensor& x) {
           std::fill(dst, dst + ohw, 0.0f);
           continue;
         }
-        const float* src = raw.data() + o * ohw;
+        const float* src = raw + o * ohw;
         for (std::int64_t s = 0; s < ohw; ++s) {
           const float v = ea * src[s] + eb;
           dst[s] = l.relu ? std::max(v, 0.0f) : v;
@@ -177,24 +331,26 @@ Tensor run_conv_float(const GemmLayerPlan& l, const Tensor& x) {
   return out;
 }
 
-Tensor run_linear_int(const GemmLayerPlan& l, const Tensor& x) {
+Tensor run_linear_int(const GemmLayerPlan& l, const Tensor& x,
+                      const std::uint8_t* wt) {
   const std::int64_t B = x.shape().dim(0);
   const std::int64_t in = l.in_channels, O = l.out_channels;
 
-  const QuantizedActivations qa = quantize_activations(x, l.bits);
-  std::vector<std::uint8_t> w_scratch;
-  const std::uint8_t* wt = unpacked_weights(l, w_scratch);  // [in, O]
+  EngineScratch& ws = engine_scratch();
+  const ActRange qa = quantize_activations(x, l.bits, ws.act_codes);
 
-  std::vector<std::int32_t> row_sums(static_cast<std::size_t>(B), 0);
+  if (static_cast<std::int64_t>(ws.row_sums.size()) < B) {
+    ws.row_sums.resize(static_cast<std::size_t>(B));
+  }
   for (std::int64_t b = 0; b < B; ++b) {
     std::int32_t s = 0;
-    const std::uint8_t* row = qa.codes.data() + b * in;
+    const std::uint8_t* row = ws.act_codes.data() + b * in;
     for (std::int64_t i = 0; i < in; ++i) s += row[i];
-    row_sums[static_cast<std::size_t>(b)] = s;
+    ws.row_sums[static_cast<std::size_t>(b)] = s;
   }
 
-  std::vector<std::int32_t> acc(static_cast<std::size_t>(B * O));
-  igemm_u8(B, O, in, qa.codes.data(), in, wt, O, acc.data(), O);
+  std::int32_t* acc = ws.ensure_acc(B * O);
+  igemm_u8(B, O, in, ws.act_codes.data(), in, wt, O, acc, O);
 
   const float ss = qa.a_scale * l.w_scale;
   const float cw = qa.a_min * l.w_scale;   // * w_code_sums[o]
@@ -203,10 +359,10 @@ Tensor run_linear_int(const GemmLayerPlan& l, const Tensor& x) {
 
   Tensor out(Shape{B, O});
   for (std::int64_t b = 0; b < B; ++b) {
-    const std::int32_t* ab = acc.data() + b * O;
+    const std::int32_t* ab = acc + b * O;
     float* ob = out.data() + b * O;
     const float sample_term =
-        ca * static_cast<float>(row_sums[static_cast<std::size_t>(b)]) + cc;
+        ca * static_cast<float>(ws.row_sums[static_cast<std::size_t>(b)]) + cc;
     for (std::int64_t o = 0; o < O; ++o) {
       if (o >= l.active_out) {
         ob[o] = 0.0f;
@@ -245,6 +401,28 @@ Tensor run_linear_float(const GemmLayerPlan& l, const Tensor& x) {
     }
   }
   return out;
+}
+
+// Shared layer dispatch. `wc` is the byte-per-code weight view for integer
+// layers (ignored on the float path).
+Tensor run_layer(const GemmLayerPlan& layer, const Tensor& x,
+                 const std::uint8_t* wc) {
+  if (layer.is_conv) {
+    if (x.shape().rank() != 4 || x.shape().dim(1) != layer.in_channels) {
+      throw std::invalid_argument("infer: " + layer.name + " expected [B, " +
+                                  std::to_string(layer.in_channels) +
+                                  ", H, W], got " + x.shape().to_string());
+    }
+    return layer.path == ExecPath::kInteger ? run_conv_int(layer, x, wc)
+                                            : run_conv_float(layer, x);
+  }
+  if (x.shape().rank() != 2 || x.shape().dim(1) != layer.in_channels) {
+    throw std::invalid_argument("infer: " + layer.name + " expected [B, " +
+                                std::to_string(layer.in_channels) +
+                                "], got " + x.shape().to_string());
+  }
+  return layer.path == ExecPath::kInteger ? run_linear_int(layer, x, wc)
+                                          : run_linear_float(layer, x);
 }
 
 // Inference-only max pool (nn::MaxPool2d caches backward state; the engine
@@ -320,32 +498,36 @@ void add_mask_relu(Tensor& current, const Tensor& skip,
 }  // namespace
 
 Tensor run_gemm_layer(const GemmLayerPlan& layer, const Tensor& x) {
-  if (layer.is_conv) {
-    if (x.shape().rank() != 4 || x.shape().dim(1) != layer.in_channels) {
-      throw std::invalid_argument("infer: " + layer.name + " expected [B, " +
-                                  std::to_string(layer.in_channels) +
-                                  ", H, W], got " + x.shape().to_string());
+  // Standalone call without an engine: build the execution view into this
+  // thread's scratch (the engine proper uses its construction-time cache).
+  EngineScratch& ws = engine_scratch();
+  if (needs_exec_buffer(layer)) build_exec_codes(layer, ws.unpack);
+  return run_layer(layer, x, exec_weight_view(layer, ws.unpack));
+}
+
+IntInferenceEngine::IntInferenceEngine(InferencePlan plan)
+    : plan_(std::move(plan)) {
+  exec_codes_.resize(plan_.layers.size());
+  for (std::size_t i = 0; i < plan_.layers.size(); ++i) {
+    if (needs_exec_buffer(plan_.layers[i])) {
+      build_exec_codes(plan_.layers[i], exec_codes_[i]);
     }
-    return layer.path == ExecPath::kInteger ? run_conv_int(layer, x)
-                                            : run_conv_float(layer, x);
   }
-  if (x.shape().rank() != 2 || x.shape().dim(1) != layer.in_channels) {
-    throw std::invalid_argument("infer: " + layer.name + " expected [B, " +
-                                std::to_string(layer.in_channels) +
-                                "], got " + x.shape().to_string());
-  }
-  return layer.path == ExecPath::kInteger ? run_linear_int(layer, x)
-                                          : run_linear_float(layer, x);
 }
 
 Tensor IntInferenceEngine::forward(const Tensor& x) const {
+  auto weight_view = [this](int layer) -> const std::uint8_t* {
+    return exec_weight_view(plan_.layers[static_cast<std::size_t>(layer)],
+                            exec_codes_[static_cast<std::size_t>(layer)]);
+  };
+
   Tensor current = x;
   std::vector<Tensor> skip_stack;
   for (const OpPlan& op : plan_.ops) {
     switch (op.kind) {
       case OpKind::kGemm:
-        current = run_gemm_layer(
-            plan_.layers[static_cast<std::size_t>(op.layer)], current);
+        current = run_layer(plan_.layers[static_cast<std::size_t>(op.layer)],
+                            current, weight_view(op.layer));
         break;
       case OpKind::kMaxPool:
         current = maxpool_forward(current, op.pool_kernel, op.pool_stride);
@@ -367,9 +549,9 @@ Tensor IntInferenceEngine::forward(const Tensor& x) const {
                                  : current);
         break;
       case OpKind::kSkipGemm:
-        skip_stack.back() = run_gemm_layer(
+        skip_stack.back() = run_layer(
             plan_.layers[static_cast<std::size_t>(op.layer)],
-            skip_stack.back());
+            skip_stack.back(), weight_view(op.layer));
         break;
       case OpKind::kAddSkipRelu:
         if (skip_stack.empty()) {

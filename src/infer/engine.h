@@ -2,16 +2,22 @@
 //
 // Interprets an InferencePlan (see plan.h): integer layers quantize their
 // input activations to eqn-1 codes with the per-batch dynamic range the
-// training-time FakeQuantizer would have observed, lower convolutions with
-// a u8 im2col, run the blocked u8 x u8 -> i32 GEMM, and apply the fused
+// training-time FakeQuantizer would have observed, lower the WHOLE batch
+// with a strided u8 im2col into one [patch, batch * positions] slab, run a
+// single blocked u8 x u8 -> i32 GEMM over it, and apply the fused
 // requantize + BatchNorm + bias + ReLU + channel-mask epilogue in one pass
 // over the int32 accumulators. Float-path layers reproduce the training
 // forward exactly (fake-quantized operands, float GEMM, same epilogue).
-// Batch parallelism mirrors nn::Conv2d: parallel_for over images, with the
-// GEMM's own parallelism collapsing to serial inside a worker.
 //
-// The engine is stateless across calls and const — compile once, serve any
-// batch size and resolution.
+// Thread-safety: forward()/predict() are const and safe to call
+// concurrently from any number of threads on one shared engine — the plan
+// is immutable after construction, sub-byte weight codes are unpacked once
+// into an engine-owned cache (so no caller ever clones packed weights), and
+// all per-call scratch (activation codes, im2col slabs, GEMM accumulators)
+// lives in thread_local workspaces that grow on demand and are reused
+// across calls, keeping the serving hot loop allocation-free. This is what
+// lets the dynamic-batching server (src/serve) share one compiled plan
+// across its whole worker pool.
 #pragma once
 
 #include <cstdint>
@@ -24,11 +30,14 @@ namespace adq::infer {
 
 class IntInferenceEngine {
  public:
-  explicit IntInferenceEngine(InferencePlan plan) : plan_(std::move(plan)) {}
+  /// Takes ownership of the plan and unpacks every sub-byte weight cell
+  /// into a byte-per-code cache so the hot path never touches bitpack.
+  explicit IntInferenceEngine(InferencePlan plan);
 
   const InferencePlan& plan() const { return plan_; }
 
-  /// Runs the whole plan; returns the logits [batch, classes].
+  /// Runs the whole plan; returns the logits [batch, classes]. Const and
+  /// safe to call concurrently (see file comment).
   Tensor forward(const Tensor& x) const;
 
   /// Top-1 class index per sample.
@@ -36,6 +45,12 @@ class IntInferenceEngine {
 
  private:
   InferencePlan plan_;
+  // Per-layer execution view of the integer weights, built once at
+  // construction: convs store [out+1, patch] byte-per-code rows whose last
+  // row is all-ones (the GEMM then emits the zero-point column sums as its
+  // final accumulator row); sub-byte linears store the unpacked [in, out]
+  // codes. Empty where the plan's packed codes are used in place.
+  std::vector<std::vector<std::uint8_t>> exec_codes_;
 };
 
 /// Executes a single compiled layer on `x` (dispatching on path and layer

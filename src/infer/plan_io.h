@@ -1,0 +1,53 @@
+// Compiled-plan serialization — the .adqplan format.
+//
+// save_plan() writes an InferencePlan to a versioned binary file:
+// pre-quantized packed eqn-1 weight cells, the per-layer bit policy,
+// folded BatchNorm epilogues, eqn-5 channel masks, and the op list —
+// everything IntInferenceEngine needs. load_plan() restores it, so a
+// server process cold-starts from the file without retraining, rebuilding
+// the model graph, or recompiling the plan.
+//
+// Layout (little-endian, as every target this repo builds on):
+//
+//   offset  size  field
+//   0       8     magic "ADQPLAN\0"
+//   8       4     u32 format version (kPlanFormatVersion)
+//   12      4     u32 reserved flags (0)
+//   16      N     payload: model name, layers[], ops[] (see plan_io.cpp)
+//   16+N    8     u64 FNV-1a checksum of the payload
+//
+// Loading verifies magic, version and checksum before parsing and throws
+// std::runtime_error with a precise reason (bad magic / unsupported
+// version / truncation / checksum mismatch) otherwise. Serialization is
+// deterministic: saving a plan, loading it, and saving again produces
+// byte-identical files, which tests/test_plan_io.cpp asserts.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "infer/plan.h"
+
+namespace adq::infer {
+
+/// Current .adqplan format version. Bump when the payload layout changes;
+/// load_plan rejects files newer than this.
+constexpr std::uint32_t kPlanFormatVersion = 1;
+
+/// Serializes the plan to a stream (binary).
+void save_plan(const InferencePlan& plan, std::ostream& out);
+
+/// Serializes the plan to a file. Throws std::runtime_error when the file
+/// cannot be written.
+void save_plan(const InferencePlan& plan, const std::string& path);
+
+/// Parses a plan from a stream. Throws std::runtime_error on malformed
+/// input (bad magic, unsupported version, truncation, checksum mismatch).
+InferencePlan load_plan(std::istream& in);
+
+/// Parses a plan from a file. Throws std::runtime_error when the file
+/// cannot be read or is malformed.
+InferencePlan load_plan(const std::string& path);
+
+}  // namespace adq::infer

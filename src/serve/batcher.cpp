@@ -1,0 +1,22 @@
+#include "serve/batcher.h"
+
+#include <stdexcept>
+
+namespace adq::serve {
+
+DynamicBatcher::DynamicBatcher(RequestQueue& queue, BatchPolicy policy)
+    : queue_(&queue), policy_(policy) {
+  if (policy_.max_batch < 1) {
+    throw std::invalid_argument("serve: max_batch must be >= 1");
+  }
+  if (policy_.max_wait_us < 0) {
+    throw std::invalid_argument("serve: max_wait_us must be >= 0");
+  }
+}
+
+std::vector<Request> DynamicBatcher::next_batch() {
+  return queue_->pop_batch(policy_.max_batch,
+                           std::chrono::microseconds(policy_.max_wait_us));
+}
+
+}  // namespace adq::serve

@@ -1,0 +1,44 @@
+// Dynamic batcher: the coalescing policy between the request queue and
+// the engine.
+//
+// A burst of single-sample requests becomes one batched im2col + GEMM
+// call through IntInferenceEngine — the integer engine's per-layer costs
+// (weight panel packing, partial micro-tiles on small spatial maps)
+// amortize across the batch, which is where serving throughput comes
+// from. The policy is the classic two-trigger design: flush when
+// `max_batch` requests have coalesced, or when the oldest waiting request
+// has aged `max_wait_us` — so throughput under load never waits and
+// latency under trickle traffic is bounded.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "serve/request_queue.h"
+
+namespace adq::serve {
+
+struct BatchPolicy {
+  std::int64_t max_batch = 16;   // flush at this many coalesced requests
+  std::int64_t max_wait_us = 200;  // ... or when the oldest aged this long
+};
+
+class DynamicBatcher {
+ public:
+  /// The queue must outlive the batcher. Throws std::invalid_argument on
+  /// a non-positive max_batch or negative max_wait_us.
+  DynamicBatcher(RequestQueue& queue, BatchPolicy policy);
+
+  /// Blocks for the next coalesced batch (FIFO order). Empty result means
+  /// the queue is closed and drained.
+  std::vector<Request> next_batch();
+
+  const BatchPolicy& policy() const { return policy_; }
+
+ private:
+  RequestQueue* queue_;
+  BatchPolicy policy_;
+};
+
+}  // namespace adq::serve

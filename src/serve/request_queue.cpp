@@ -1,0 +1,77 @@
+#include "serve/request_queue.h"
+
+#include <stdexcept>
+
+namespace adq::serve {
+
+std::future<InferenceResult> RequestQueue::push(Tensor sample) {
+  std::future<InferenceResult> future;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) {
+      throw std::runtime_error("serve: submit after shutdown");
+    }
+    Request req;
+    req.id = next_id_++;
+    req.sample = std::move(sample);
+    req.enqueued = Clock::now();
+    future = req.promise.get_future();
+    pending_.push_back(std::move(req));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+std::vector<Request> RequestQueue::pop_batch(std::int64_t max_batch,
+                                             std::chrono::microseconds max_wait) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (static_cast<std::int64_t>(pending_.size()) >= max_batch || closed_) {
+      break;  // full batch ready, or draining after close
+    }
+    if (!pending_.empty()) {
+      // Wait for more arrivals, but no later than the oldest request's
+      // deadline — flush whatever is here when the window closes.
+      const auto deadline = pending_.front().enqueued + max_wait;
+      if (Clock::now() >= deadline) break;
+      cv_.wait_until(lock, deadline);
+      continue;
+    }
+    cv_.wait(lock);
+  }
+  std::vector<Request> batch;
+  const std::int64_t take =
+      std::min<std::int64_t>(max_batch,
+                             static_cast<std::int64_t>(pending_.size()));
+  batch.reserve(static_cast<std::size_t>(take));
+  for (std::int64_t i = 0; i < take; ++i) {
+    batch.push_back(std::move(pending_.front()));
+    pending_.pop_front();
+  }
+  return batch;
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::int64_t RequestQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<std::int64_t>(pending_.size());
+}
+
+std::uint64_t RequestQueue::accepted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_id_;
+}
+
+}  // namespace adq::serve

@@ -1,0 +1,78 @@
+// Lock-guarded FIFO of pending inference requests.
+//
+// Producers (request threads) push single samples and receive a
+// std::future for the result; the consumer side (the server's worker
+// pool, through DynamicBatcher) pops requests in arrival order, up to a
+// batch cap, waiting at most the batching window for a full batch.
+// close() stops intake and wakes every waiting popper; remaining requests
+// drain normally, so shutdown never drops accepted work.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace adq::serve {
+
+using Clock = std::chrono::steady_clock;
+
+/// Completed inference for one request.
+struct InferenceResult {
+  std::uint64_t id = 0;        // arrival order (assigned at push)
+  std::uint64_t sequence = 0;  // completion order across the server
+  Tensor logits;               // [classes]
+  std::int64_t top1 = -1;
+  std::int64_t batch_size = 0;  // size of the coalesced batch it rode in
+  double queue_us = 0.0;        // enqueue -> batch formation
+  double total_us = 0.0;        // enqueue -> completion
+};
+
+/// One pending single-sample request.
+struct Request {
+  std::uint64_t id = 0;
+  Tensor sample;  // sample shape, no batch axis
+  Clock::time_point enqueued;
+  std::promise<InferenceResult> promise;
+};
+
+class RequestQueue {
+ public:
+  /// Enqueues a sample; returns the future its result will complete.
+  /// Throws std::runtime_error after close().
+  std::future<InferenceResult> push(Tensor sample);
+
+  /// Blocks until one of: `max_batch` requests are pending; the OLDEST
+  /// pending request has waited `max_wait`; the queue is closed. Pops up
+  /// to max_batch requests in FIFO order. An empty result means closed
+  /// AND fully drained — the consumer should exit. Anchoring the deadline
+  /// to the oldest request bounds every request's queueing delay by
+  /// max_wait regardless of arrival pattern.
+  std::vector<Request> pop_batch(std::int64_t max_batch,
+                                 std::chrono::microseconds max_wait);
+
+  /// Stops intake and wakes all poppers. Idempotent.
+  void close();
+
+  bool closed() const;
+
+  /// Requests currently waiting (not yet popped into a batch).
+  std::int64_t depth() const;
+
+  /// Total requests ever accepted.
+  std::uint64_t accepted() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Request> pending_;
+  std::uint64_t next_id_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace adq::serve

@@ -1,0 +1,99 @@
+#include "serve/server.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "tensor/ops.h"
+
+namespace adq::serve {
+namespace {
+
+double us_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
+}  // namespace
+
+InferenceServer::InferenceServer(const infer::IntInferenceEngine& engine,
+                                 ServerConfig config)
+    : engine_(&engine),
+      config_(std::move(config)),
+      batcher_(queue_, BatchPolicy{config_.max_batch, config_.max_wait_us}) {
+  if (config_.sample_shape.rank() < 1) {
+    throw std::invalid_argument("serve: config needs a sample_shape");
+  }
+  if (config_.workers < 1) {
+    throw std::invalid_argument("serve: workers must be >= 1");
+  }
+  workers_.reserve(static_cast<std::size_t>(config_.workers));
+  for (int i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+InferenceServer::~InferenceServer() { shutdown(); }
+
+std::future<InferenceResult> InferenceServer::submit(Tensor sample) {
+  if (sample.shape() != config_.sample_shape) {
+    throw std::invalid_argument("serve: sample shape " +
+                                sample.shape().to_string() +
+                                " does not match configured " +
+                                config_.sample_shape.to_string());
+  }
+  return queue_.push(std::move(sample));
+}
+
+void InferenceServer::shutdown() {
+  std::lock_guard<std::mutex> lock(shutdown_mutex_);
+  if (joined_) return;
+  queue_.close();
+  for (std::thread& w : workers_) w.join();
+  workers_.clear();
+  joined_ = true;
+}
+
+void InferenceServer::worker_loop() {
+  for (;;) {
+    std::vector<Request> batch = batcher_.next_batch();
+    if (batch.empty()) return;  // closed and drained
+    const Clock::time_point formed = Clock::now();
+    std::size_t completed = 0;  // promises already satisfied with a value
+    try {
+      std::vector<const Tensor*> samples;
+      samples.reserve(batch.size());
+      for (const Request& req : batch) samples.push_back(&req.sample);
+      const Tensor x = stack_samples(samples);  // batched copy-in
+      const Tensor logits = engine_->forward(x);
+      const std::vector<std::int64_t> top1 = argmax_rows(logits);
+      stats_.record_batch(static_cast<std::int64_t>(batch.size()),
+                          queue_.depth());
+      const Clock::time_point done = Clock::now();
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        Request& req = batch[i];
+        InferenceResult r;
+        r.id = req.id;
+        r.sequence = completed_seq_.fetch_add(1, std::memory_order_relaxed);
+        r.logits = take_sample(logits, static_cast<std::int64_t>(i));
+        r.top1 = top1[i];
+        r.batch_size = static_cast<std::int64_t>(batch.size());
+        r.queue_us = us_between(req.enqueued, formed);
+        r.total_us = us_between(req.enqueued, done);
+        stats_.record_request(r.queue_us, r.total_us);
+        req.promise.set_value(std::move(r));
+        ++completed;
+      }
+    } catch (...) {
+      // A failed batch (shape surprises inside the plan, allocation
+      // failure, ...) must not strand its requests: forward the exception
+      // to every future that has not already received its value — a
+      // promise satisfied before the failure must not be touched again
+      // (set_exception on it would throw out of this handler and take the
+      // worker thread down) — and keep serving.
+      for (std::size_t i = completed; i < batch.size(); ++i) {
+        batch[i].promise.set_exception(std::current_exception());
+      }
+    }
+  }
+}
+
+}  // namespace adq::serve

@@ -1,0 +1,95 @@
+// InferenceServer: a multi-threaded dynamic-batching server over one
+// shared IntInferenceEngine.
+//
+// submit() validates the sample's shape, enqueues it on the lock-guarded
+// RequestQueue, and returns a std::future. Worker threads pull coalesced
+// batches from the DynamicBatcher, stack them into one tensor (batched
+// copy-in), run a single engine forward — so a burst of 1-sample requests
+// executes as one batched im2col + GEMM per layer — and complete each
+// request's promise with its logits row, top-1 class, and latency
+// figures, feeding the ServerStats aggregator along the way.
+//
+// The engine's forward() is const and thread-safe (per-thread scratch,
+// construction-time weight views), so every worker shares the one
+// compiled plan: no packed-weight cloning, and a cold start is just
+// load_plan() + engine + server.
+//
+// Numerics contract: the engine observes each layer's activation range
+// over the WHOLE batch (exactly as the training-time FakeQuantizer would
+// on that batch), so a request's logits depend on which requests it was
+// coalesced with. Results are bit-identical to a direct engine call on
+// the same stacked batch — the guarantee the tests and bench assert — but
+// the same sample can produce slightly different logits under different
+// traffic. Applications that need request-level determinism should serve
+// with max_batch = 1.
+//
+// shutdown() stops intake, drains every accepted request, and joins the
+// workers; the destructor calls it. Requests submitted after shutdown
+// throw; requests accepted before it always complete.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "infer/engine.h"
+#include "serve/batcher.h"
+#include "serve/request_queue.h"
+#include "serve/stats.h"
+#include "tensor/shape.h"
+
+namespace adq::serve {
+
+struct ServerConfig {
+  /// Shape of one request sample, without the batch axis (e.g.
+  /// [3, 32, 32]). submit() rejects anything else.
+  Shape sample_shape;
+  std::int64_t max_batch = 16;
+  std::int64_t max_wait_us = 200;
+  /// Batch-executor threads. Each runs whole batches; the engine itself
+  /// parallelises inside a batch via the ADQ_THREADS pool, so one worker
+  /// is the right default unless forwards leave cores idle.
+  int workers = 1;
+};
+
+class InferenceServer {
+ public:
+  /// The engine must outlive the server. Throws std::invalid_argument on
+  /// a config with no sample shape, workers < 1, or a bad batch policy.
+  InferenceServer(const infer::IntInferenceEngine& engine,
+                  ServerConfig config);
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Enqueues one sample; the future completes with its result (or the
+  /// exception the batch execution raised). Throws on a shape mismatch or
+  /// after shutdown().
+  std::future<InferenceResult> submit(Tensor sample);
+
+  /// Stops intake, drains all accepted requests, joins workers.
+  /// Idempotent.
+  void shutdown();
+
+  ServerStats::Snapshot stats() const { return stats_.snapshot(); }
+  std::int64_t queue_depth() const { return queue_.depth(); }
+  const ServerConfig& config() const { return config_; }
+
+ private:
+  void worker_loop();
+
+  const infer::IntInferenceEngine* engine_;
+  ServerConfig config_;
+  RequestQueue queue_;
+  DynamicBatcher batcher_;
+  ServerStats stats_;
+  std::atomic<std::uint64_t> completed_seq_{0};
+  std::vector<std::thread> workers_;
+  bool joined_ = false;
+  std::mutex shutdown_mutex_;
+};
+
+}  // namespace adq::serve

@@ -1,0 +1,74 @@
+#include "serve/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adq::serve {
+namespace {
+
+// Nearest-rank percentile of an already-sorted sample vector.
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted.size());
+  std::size_t idx = static_cast<std::size_t>(std::ceil(rank));
+  if (idx > 0) --idx;
+  if (idx >= sorted.size()) idx = sorted.size() - 1;
+  return sorted[idx];
+}
+
+}  // namespace
+
+void ServerStats::record_batch(std::int64_t batch_size,
+                               std::int64_t queue_depth_after) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++batches_;
+  ++histogram_[batch_size];
+  max_depth_ = std::max(max_depth_, queue_depth_after);
+}
+
+void ServerStats::record_request(double queue_us, double total_us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++requests_;
+  queue_us_sum_ += queue_us;
+  total_us_sum_ += total_us;
+  if (total_us_.size() < kMaxSamples) total_us_.push_back(total_us);
+}
+
+ServerStats::Snapshot ServerStats::snapshot() const {
+  std::vector<double> sorted;
+  Snapshot s;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    s.requests = requests_;
+    s.batches = batches_;
+    s.max_queue_depth = max_depth_;
+    s.mean_total_us =
+        requests_ == 0 ? 0.0 : total_us_sum_ / static_cast<double>(requests_);
+    s.mean_queue_us =
+        requests_ == 0 ? 0.0 : queue_us_sum_ / static_cast<double>(requests_);
+    s.mean_batch = batches_ == 0
+                       ? 0.0
+                       : static_cast<double>(requests_) /
+                             static_cast<double>(batches_);
+    s.batch_histogram.assign(histogram_.begin(), histogram_.end());
+    sorted = total_us_;
+  }
+  std::sort(sorted.begin(), sorted.end());
+  s.p50_us = percentile(sorted, 0.50);
+  s.p95_us = percentile(sorted, 0.95);
+  s.p99_us = percentile(sorted, 0.99);
+  return s;
+}
+
+void ServerStats::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  total_us_.clear();
+  total_us_sum_ = 0.0;
+  queue_us_sum_ = 0.0;
+  requests_ = 0;
+  batches_ = 0;
+  max_depth_ = 0;
+  histogram_.clear();
+}
+
+}  // namespace adq::serve

@@ -1,0 +1,55 @@
+// Thread-safe serving statistics aggregator.
+//
+// Workers record one entry per completed batch (size, queue depth behind
+// it) and one per completed request (queueing and end-to-end latency).
+// snapshot() folds everything into the numbers an operator watches: tail
+// latencies (p50/p95/p99), mean queue time, request/batch counts, the
+// batch-size histogram (the direct evidence of how well the batcher is
+// coalescing), and the high-water queue depth.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace adq::serve {
+
+class ServerStats {
+ public:
+  struct Snapshot {
+    std::uint64_t requests = 0;
+    std::uint64_t batches = 0;
+    double p50_us = 0.0, p95_us = 0.0, p99_us = 0.0;  // end-to-end latency
+    double mean_total_us = 0.0;
+    double mean_queue_us = 0.0;
+    double mean_batch = 0.0;  // requests / batches
+    std::int64_t max_queue_depth = 0;
+    // (batch size, count), ascending by size.
+    std::vector<std::pair<std::int64_t, std::uint64_t>> batch_histogram;
+  };
+
+  void record_batch(std::int64_t batch_size, std::int64_t queue_depth_after);
+  void record_request(double queue_us, double total_us);
+
+  Snapshot snapshot() const;
+  void reset();
+
+ private:
+  // Latency samples are capped so an unbounded soak cannot grow memory;
+  // counts and means keep aggregating past the cap, percentiles then
+  // reflect the first kMaxSamples requests.
+  static constexpr std::size_t kMaxSamples = 1 << 20;
+
+  mutable std::mutex mutex_;
+  std::vector<double> total_us_;
+  double total_us_sum_ = 0.0;
+  double queue_us_sum_ = 0.0;
+  std::uint64_t requests_ = 0;
+  std::uint64_t batches_ = 0;
+  std::int64_t max_depth_ = 0;
+  std::map<std::int64_t, std::uint64_t> histogram_;
+};
+
+}  // namespace adq::serve

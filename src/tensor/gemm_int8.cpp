@@ -1,6 +1,8 @@
 #include "tensor/gemm_int8.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <vector>
 
 #include "tensor/parallel.h"
@@ -64,49 +66,127 @@ void pack_block_u8(const std::uint8_t* m, std::int64_t ld, std::int64_t r0,
   }
 }
 
+// Per-thread packing panels, reused across calls. A fresh std::vector per
+// GEMM call zero-fills ~128 KiB of panel before packing overwrites it —
+// measurable against the small per-image GEMMs the inference engine issues.
+// Pool worker threads persist, so each thread pays the allocation once.
+std::int16_t* thread_panel(std::int64_t count, int which) {
+  thread_local std::vector<std::int16_t> panels[2];
+  std::vector<std::int16_t>& p = panels[which];
+  if (static_cast<std::int64_t>(p.size()) < count) {
+    p.resize(static_cast<std::size_t>(count));
+  }
+  return p.data();
+}
+
+// Runs the blocked loop nest over C rows [i0, i0+mc) x columns [j0, j0+nc).
+void gemm_block(std::int64_t k, const std::uint8_t* a, std::int64_t lda,
+                const std::uint8_t* b, std::int64_t ldb, std::int32_t* c,
+                std::int64_t ldc, std::int64_t i0, std::int64_t mc,
+                std::int64_t j0, std::int64_t nc_total) {
+  std::int16_t* a_pack = thread_panel(mc * kKc, 0);
+  std::int16_t* b_pack = thread_panel(kKc * kNc, 1);
+  for (std::int64_t p0 = 0; p0 < k; p0 += kKc) {
+    const std::int64_t kc = std::min(kKc, k - p0);
+    pack_block_u8(a, lda, i0, mc, p0, kc, a_pack);
+    for (std::int64_t jb = 0; jb < nc_total; jb += kNc) {
+      const std::int64_t nc = std::min(kNc, nc_total - jb);
+      pack_block_u8(b, ldb, p0, kc, j0 + jb, nc, b_pack);
+      for (std::int64_t jr = 0; jr < nc; jr += kNr) {
+        const std::int64_t nr = std::min(kNr, nc - jr);
+        for (std::int64_t ir = 0; ir < mc; ir += kMr) {
+          const std::int64_t mr = std::min(kMr, mc - ir);
+          micro_kernel(kc, a_pack + ir * kc, kc, b_pack + jr, nc,
+                       c + (i0 + ir) * ldc + (j0 + jb + jr), ldc, mr, nr);
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 
-void igemm_u8(std::int64_t m, std::int64_t n, std::int64_t k,
-              const std::uint8_t* a, std::int64_t lda, const std::uint8_t* b,
-              std::int64_t ldb, std::int32_t* c, std::int64_t ldc) {
+namespace detail {
+
+void igemm_blocked(std::int64_t m, std::int64_t n, std::int64_t k,
+                   const std::uint8_t* a, std::int64_t lda,
+                   const std::uint8_t* b, std::int64_t ldb, std::int32_t* c,
+                   std::int64_t ldc, GemmBlockFn block) {
   if (m <= 0 || n <= 0) return;
 
-  // Overwrite semantics: zero C so the accumulation loop is pure +=.
+  // Overwrite semantics: zero C so the accumulation loops are pure +=.
   for (std::int64_t i = 0; i < m; ++i) {
     std::fill(c + i * ldc, c + i * ldc + n, 0);
   }
   if (k <= 0) return;
 
-  // Parallelise over row blocks of C; each task packs its own A/B panels.
+  const int threads = parallel_thread_count();
   const std::int64_t row_block = std::max<std::int64_t>(
-      kMr, (m + parallel_thread_count() * 2 - 1) /
-               (parallel_thread_count() * 2) / kMr * kMr);
-  parallel_for(0, (m + row_block - 1) / row_block,
-               [&](std::int64_t tb, std::int64_t te) {
-    std::vector<std::int16_t> a_pack(static_cast<std::size_t>(row_block * kKc));
-    std::vector<std::int16_t> b_pack(static_cast<std::size_t>(kKc * kNc));
+      kMr, (m + threads * 2 - 1) / (threads * 2) / kMr * kMr);
+  const std::int64_t row_tasks = (m + row_block - 1) / row_block;
+
+  // Wide-and-short C — the batched-conv slab shape (m = out channels, n =
+  // batch * positions) — cannot feed every worker from row blocks alone, so
+  // parallelise over column blocks instead. Each task re-packs the (small)
+  // A panel; that redundancy is at most 1/kNc of the task's MACs.
+  if (row_tasks < threads && n >= 2 * kNc) {
+    const std::int64_t col_block = std::max<std::int64_t>(
+        kNc, (n + threads * 2 - 1) / (threads * 2) / kNc * kNc);
+    parallel_for(0, (n + col_block - 1) / col_block,
+                 [&](std::int64_t tb, std::int64_t te) {
+      for (std::int64_t t = tb; t < te; ++t) {
+        const std::int64_t j0 = t * col_block;
+        block(k, a, lda, b, ldb, c, ldc, 0, m, j0,
+              std::min(col_block, n - j0));
+      }
+    });
+    return;
+  }
+
+  // Parallelise over row blocks of C; each task packs its own A/B panels.
+  parallel_for(0, row_tasks, [&](std::int64_t tb, std::int64_t te) {
     for (std::int64_t t = tb; t < te; ++t) {
       const std::int64_t i0 = t * row_block;
-      const std::int64_t mc = std::min(row_block, m - i0);
-      for (std::int64_t p0 = 0; p0 < k; p0 += kKc) {
-        const std::int64_t kc = std::min(kKc, k - p0);
-        pack_block_u8(a, lda, i0, mc, p0, kc, a_pack.data());
-        for (std::int64_t j0 = 0; j0 < n; j0 += kNc) {
-          const std::int64_t nc = std::min(kNc, n - j0);
-          pack_block_u8(b, ldb, p0, kc, j0, nc, b_pack.data());
-          for (std::int64_t jr = 0; jr < nc; jr += kNr) {
-            const std::int64_t nr = std::min(kNr, nc - jr);
-            for (std::int64_t ir = 0; ir < mc; ir += kMr) {
-              const std::int64_t mr = std::min(kMr, mc - ir);
-              micro_kernel(kc, a_pack.data() + ir * kc, kc,
-                           b_pack.data() + jr, nc,
-                           c + (i0 + ir) * ldc + (j0 + jr), ldc, mr, nr);
-            }
-          }
-        }
-      }
+      block(k, a, lda, b, ldb, c, ldc, i0, std::min(row_block, m - i0), 0, n);
     }
   });
+}
+
+}  // namespace detail
+
+void igemm_u8_generic(std::int64_t m, std::int64_t n, std::int64_t k,
+                      const std::uint8_t* a, std::int64_t lda,
+                      const std::uint8_t* b, std::int64_t ldb, std::int32_t* c,
+                      std::int64_t ldc) {
+  detail::igemm_blocked(m, n, k, a, lda, b, ldb, c, ldc, &gemm_block);
+}
+
+void igemm_u8(std::int64_t m, std::int64_t n, std::int64_t k,
+              const std::uint8_t* a, std::int64_t lda, const std::uint8_t* b,
+              std::int64_t ldb, std::int32_t* c, std::int64_t ldc) {
+  // One-time dispatch: best kernel the build + host support, with
+  // ADQ_SIMD=generic|avx2 capping the choice for debugging and A/B runs.
+  enum class Kernel { kGeneric, kAvx2, kVnni };
+  static const Kernel kernel = [] {
+    const char* env = std::getenv("ADQ_SIMD");
+    const bool cap_generic = env != nullptr && std::strcmp(env, "generic") == 0;
+    const bool cap_avx2 = env != nullptr && std::strcmp(env, "avx2") == 0;
+    if (cap_generic) return Kernel::kGeneric;
+    if (!cap_avx2 && igemm_vnni_available()) return Kernel::kVnni;
+    if (igemm_avx2_available()) return Kernel::kAvx2;
+    return Kernel::kGeneric;
+  }();
+  switch (kernel) {
+    case Kernel::kVnni:
+      igemm_u8_vnni(m, n, k, a, lda, b, ldb, c, ldc);
+      break;
+    case Kernel::kAvx2:
+      igemm_u8_avx2(m, n, k, a, lda, b, ldb, c, ldc);
+      break;
+    case Kernel::kGeneric:
+      igemm_u8_generic(m, n, k, a, lda, b, ldb, c, ldc);
+      break;
+  }
 }
 
 }  // namespace adq

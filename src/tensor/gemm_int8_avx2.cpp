@@ -1,0 +1,286 @@
+// AVX2 variant of the blocked u8 x u8 -> i32 GEMM (see gemm_int8.h).
+//
+// Same Kc x Nc cache blocking and 4 x 16 tile shape as the portable
+// kernel, but the inner loop consumes the int16 panels in k-PAIRS through
+// vpmaddwd: each madd multiplies 16 int16 lanes and adds adjacent pairs
+// into 8 int32 lanes, i.e. 16 MACs per instruction. To feed it, the B
+// panel is packed k-pair interleaved — element (2p, j) sits next to
+// (2p+1, j) — while the A panel stays row-major (a row's adjacent k
+// entries ARE the pair, broadcast as one 32-bit lane). Products are at
+// most 255 * 255, so a pair sum fits int32 with no saturation, and int32
+// accumulation is exact like the portable kernel — the two variants agree
+// bit for bit (asserted in tests/test_infer.cpp).
+//
+// This translation unit is the only one compiled with -mavx2 (CMake adds
+// the flag together with ADQ_AVX2_BUILD when the compiler supports it);
+// igemm_u8 only dispatches here after __builtin_cpu_supports("avx2"), so
+// the library binary stays runnable on any x86-64 host.
+#include "tensor/gemm_int8.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "tensor/parallel.h"
+
+#if defined(ADQ_AVX2_BUILD)
+#include <immintrin.h>
+#endif
+
+namespace adq {
+
+#if defined(ADQ_AVX2_BUILD)
+
+namespace {
+
+constexpr std::int64_t kMr = 4;
+constexpr std::int64_t kNr = 16;
+constexpr std::int64_t kKc = 256;
+constexpr std::int64_t kNc = 256;
+
+std::int16_t* thread_panel(std::int64_t count, int which) {
+  thread_local std::vector<std::int16_t> panels[2];
+  std::vector<std::int16_t>& p = panels[which];
+  if (static_cast<std::int64_t>(p.size()) < count) {
+    p.resize(static_cast<std::size_t>(count));
+  }
+  return p.data();
+}
+
+// Widens block [r0, r0+mc) x [c0, c0+kc) of A row-major into int16 rows of
+// stride kc_even; an odd tail column is zero-padded so k-pair loads read a
+// harmless 0.
+void pack_a(const std::uint8_t* m, std::int64_t ld, std::int64_t r0,
+            std::int64_t mc, std::int64_t c0, std::int64_t kc,
+            std::int64_t kc_even, std::int16_t* dst) {
+  for (std::int64_t i = 0; i < mc; ++i) {
+    const std::uint8_t* src = m + (r0 + i) * ld + c0;
+    std::int16_t* out = dst + i * kc_even;
+    std::int64_t j = 0;
+    for (; j + 16 <= kc; j += 16) {
+      const __m128i v =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + j));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + j),
+                          _mm256_cvtepu8_epi16(v));
+    }
+    for (; j < kc; ++j) out[j] = src[j];
+    if (kc_even != kc) out[kc] = 0;
+  }
+}
+
+// Widens block [c0, c0+kc) x [j0, j0+nc) of B into the k-pair interleaved
+// panel: pair p of columns j lands at dst[p * 2 * nc + 2 * j + {0, 1}]. An
+// odd trailing k row is paired with zeros. This pack touches every slab
+// byte once per GEMM, so the bulk path widens 16 columns of both rows and
+// interleaves them with one unpack pair per store.
+void pack_b_interleaved(const std::uint8_t* m, std::int64_t ld,
+                        std::int64_t c0, std::int64_t kc, std::int64_t j0,
+                        std::int64_t nc, std::int16_t* dst) {
+  const std::int64_t pairs = (kc + 1) / 2;
+  for (std::int64_t p = 0; p < pairs; ++p) {
+    const std::uint8_t* row0 = m + (c0 + 2 * p) * ld + j0;
+    const bool has_row1 = 2 * p + 1 < kc;
+    const std::uint8_t* row1 = has_row1 ? row0 + ld : nullptr;
+    std::int16_t* out = dst + p * 2 * nc;
+    std::int64_t j = 0;
+    if (has_row1) {
+      for (; j + 16 <= nc; j += 16) {
+        const __m256i w0 = _mm256_cvtepu8_epi16(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(row0 + j)));
+        const __m256i w1 = _mm256_cvtepu8_epi16(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(row1 + j)));
+        // Interleave within 128-bit lanes, then fix lane order so column
+        // pairs land in ascending column order.
+        const __m256i lo = _mm256_unpacklo_epi16(w0, w1);  // cols 0-3, 8-11
+        const __m256i hi = _mm256_unpackhi_epi16(w0, w1);  // cols 4-7, 12-15
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i*>(out + 2 * j),
+            _mm256_permute2x128_si256(lo, hi, 0x20));  // cols 0-7
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i*>(out + 2 * j + 16),
+            _mm256_permute2x128_si256(lo, hi, 0x31));  // cols 8-15
+      }
+    }
+    for (; j < nc; ++j) {
+      out[2 * j] = row0[j];
+      out[2 * j + 1] = has_row1 ? row1[j] : 0;
+    }
+  }
+}
+
+// Full 4 x 16 tile over `pairs` k-pairs. `a` rows have stride lda (even);
+// `b` is the interleaved panel with row-pair stride 2 * ldb_cols.
+void micro_kernel_avx2(std::int64_t pairs, const std::int16_t* a,
+                       std::int64_t lda, const std::int16_t* b,
+                       std::int64_t ldb_cols, std::int32_t* c,
+                       std::int64_t ldc) {
+  __m256i acc00 = _mm256_setzero_si256(), acc01 = _mm256_setzero_si256();
+  __m256i acc10 = _mm256_setzero_si256(), acc11 = _mm256_setzero_si256();
+  __m256i acc20 = _mm256_setzero_si256(), acc21 = _mm256_setzero_si256();
+  __m256i acc30 = _mm256_setzero_si256(), acc31 = _mm256_setzero_si256();
+  for (std::int64_t p = 0; p < pairs; ++p) {
+    const std::int16_t* bp = b + p * 2 * ldb_cols;
+    const __m256i b0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bp));
+    const __m256i b1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bp + 16));
+    std::int32_t pair0, pair1, pair2, pair3;
+    std::memcpy(&pair0, a + 0 * lda + 2 * p, sizeof(pair0));
+    std::memcpy(&pair1, a + 1 * lda + 2 * p, sizeof(pair1));
+    std::memcpy(&pair2, a + 2 * lda + 2 * p, sizeof(pair2));
+    std::memcpy(&pair3, a + 3 * lda + 2 * p, sizeof(pair3));
+    const __m256i a0 = _mm256_set1_epi32(pair0);
+    const __m256i a1 = _mm256_set1_epi32(pair1);
+    const __m256i a2 = _mm256_set1_epi32(pair2);
+    const __m256i a3 = _mm256_set1_epi32(pair3);
+    acc00 = _mm256_add_epi32(acc00, _mm256_madd_epi16(a0, b0));
+    acc01 = _mm256_add_epi32(acc01, _mm256_madd_epi16(a0, b1));
+    acc10 = _mm256_add_epi32(acc10, _mm256_madd_epi16(a1, b0));
+    acc11 = _mm256_add_epi32(acc11, _mm256_madd_epi16(a1, b1));
+    acc20 = _mm256_add_epi32(acc20, _mm256_madd_epi16(a2, b0));
+    acc21 = _mm256_add_epi32(acc21, _mm256_madd_epi16(a2, b1));
+    acc30 = _mm256_add_epi32(acc30, _mm256_madd_epi16(a3, b0));
+    acc31 = _mm256_add_epi32(acc31, _mm256_madd_epi16(a3, b1));
+  }
+  const __m256i accs[4][2] = {
+      {acc00, acc01}, {acc10, acc11}, {acc20, acc21}, {acc30, acc31}};
+  for (int i = 0; i < 4; ++i) {
+    std::int32_t* cp = c + i * ldc;
+    for (int half = 0; half < 2; ++half) {
+      __m256i* dst = reinterpret_cast<__m256i*>(cp + 8 * half);
+      _mm256_storeu_si256(
+          dst, _mm256_add_epi32(_mm256_loadu_si256(dst), accs[i][half]));
+    }
+  }
+}
+
+// Partial-row tile at full width (mr < 4, nr == 16) — the tail rows of a
+// small weight matrix and the engine's all-ones column-sum row land here,
+// at every batch size, so it stays vectorised.
+template <int MR>
+void micro_kernel_rows_avx2(std::int64_t pairs, const std::int16_t* a,
+                            std::int64_t lda, const std::int16_t* b,
+                            std::int64_t ldb_cols, std::int32_t* c,
+                            std::int64_t ldc) {
+  __m256i acc[MR][2];
+  for (int i = 0; i < MR; ++i) {
+    acc[i][0] = _mm256_setzero_si256();
+    acc[i][1] = _mm256_setzero_si256();
+  }
+  for (std::int64_t p = 0; p < pairs; ++p) {
+    const std::int16_t* bp = b + p * 2 * ldb_cols;
+    const __m256i b0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bp));
+    const __m256i b1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bp + 16));
+    for (int i = 0; i < MR; ++i) {
+      std::int32_t pair;
+      std::memcpy(&pair, a + i * lda + 2 * p, sizeof(pair));
+      const __m256i av = _mm256_set1_epi32(pair);
+      acc[i][0] = _mm256_add_epi32(acc[i][0], _mm256_madd_epi16(av, b0));
+      acc[i][1] = _mm256_add_epi32(acc[i][1], _mm256_madd_epi16(av, b1));
+    }
+  }
+  for (int i = 0; i < MR; ++i) {
+    std::int32_t* cp = c + i * ldc;
+    for (int half = 0; half < 2; ++half) {
+      __m256i* dst = reinterpret_cast<__m256i*>(cp + 8 * half);
+      _mm256_storeu_si256(
+          dst, _mm256_add_epi32(_mm256_loadu_si256(dst), acc[i][half]));
+    }
+  }
+}
+
+// Edge tile (nr < 16) on the same interleaved panel, scalar.
+void edge_kernel(std::int64_t pairs, const std::int16_t* a, std::int64_t lda,
+                 const std::int16_t* b, std::int64_t ldb_cols, std::int32_t* c,
+                 std::int64_t ldc, std::int64_t mr, std::int64_t nr) {
+  std::int32_t acc[kMr][kNr] = {};
+  for (std::int64_t p = 0; p < pairs; ++p) {
+    const std::int16_t* bp = b + p * 2 * ldb_cols;
+    for (std::int64_t i = 0; i < mr; ++i) {
+      const std::int32_t a0 = a[i * lda + 2 * p];
+      const std::int32_t a1 = a[i * lda + 2 * p + 1];
+      for (std::int64_t j = 0; j < nr; ++j) {
+        acc[i][j] += a0 * bp[2 * j] + a1 * bp[2 * j + 1];
+      }
+    }
+  }
+  for (std::int64_t i = 0; i < mr; ++i) {
+    std::int32_t* cp = c + i * ldc;
+    for (std::int64_t j = 0; j < nr; ++j) cp[j] += acc[i][j];
+  }
+}
+
+void gemm_block_avx2(std::int64_t k, const std::uint8_t* a, std::int64_t lda,
+                     const std::uint8_t* b, std::int64_t ldb, std::int32_t* c,
+                     std::int64_t ldc, std::int64_t i0, std::int64_t mc,
+                     std::int64_t j0, std::int64_t nc_total) {
+  std::int16_t* a_pack = thread_panel(mc * (kKc + 1), 0);
+  std::int16_t* b_pack = thread_panel((kKc + 1) * kNc, 1);
+  for (std::int64_t p0 = 0; p0 < k; p0 += kKc) {
+    const std::int64_t kc = std::min(kKc, k - p0);
+    const std::int64_t kc_even = kc + (kc & 1);
+    const std::int64_t pairs = kc_even / 2;
+    pack_a(a, lda, i0, mc, p0, kc, kc_even, a_pack);
+    for (std::int64_t jb = 0; jb < nc_total; jb += kNc) {
+      const std::int64_t nc = std::min(kNc, nc_total - jb);
+      pack_b_interleaved(b, ldb, p0, kc, j0 + jb, nc, b_pack);
+      for (std::int64_t jr = 0; jr < nc; jr += kNr) {
+        const std::int64_t nr = std::min(kNr, nc - jr);
+        for (std::int64_t ir = 0; ir < mc; ir += kMr) {
+          const std::int64_t mr = std::min(kMr, mc - ir);
+          std::int32_t* ct = c + (i0 + ir) * ldc + (j0 + jb + jr);
+          const std::int16_t* at = a_pack + ir * kc_even;
+          const std::int16_t* bt = b_pack + 2 * jr;
+          if (nr == kNr) {
+            switch (mr) {
+              case kMr:
+                micro_kernel_avx2(pairs, at, kc_even, bt, nc, ct, ldc);
+                break;
+              case 3:
+                micro_kernel_rows_avx2<3>(pairs, at, kc_even, bt, nc, ct, ldc);
+                break;
+              case 2:
+                micro_kernel_rows_avx2<2>(pairs, at, kc_even, bt, nc, ct, ldc);
+                break;
+              default:
+                micro_kernel_rows_avx2<1>(pairs, at, kc_even, bt, nc, ct, ldc);
+                break;
+            }
+          } else {
+            edge_kernel(pairs, at, kc_even, bt, nc, ct, ldc, mr, nr);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+bool igemm_avx2_available() {
+  static const bool ok = __builtin_cpu_supports("avx2") != 0;
+  return ok;
+}
+
+void igemm_u8_avx2(std::int64_t m, std::int64_t n, std::int64_t k,
+                   const std::uint8_t* a, std::int64_t lda,
+                   const std::uint8_t* b, std::int64_t ldb, std::int32_t* c,
+                   std::int64_t ldc) {
+  detail::igemm_blocked(m, n, k, a, lda, b, ldb, c, ldc, &gemm_block_avx2);
+}
+
+#else  // !ADQ_AVX2_BUILD — non-x86 toolchains: fall through to the
+       // portable kernel so the symbols still link.
+
+bool igemm_avx2_available() { return false; }
+
+void igemm_u8_avx2(std::int64_t m, std::int64_t n, std::int64_t k,
+                   const std::uint8_t* a, std::int64_t lda,
+                   const std::uint8_t* b, std::int64_t ldb, std::int32_t* c,
+                   std::int64_t ldc) {
+  igemm_u8_generic(m, n, k, a, lda, b, ldb, c, ldc);
+}
+
+#endif
+
+}  // namespace adq

@@ -1,0 +1,326 @@
+// AVX-512 VNNI variant of the blocked u8 x u8 -> i32 GEMM (see
+// gemm_int8.h).
+//
+// vpdpbusd accumulates four u8 x s8 products per int32 lane in one
+// instruction — 64 MACs per zmm op, with no int16 widening pass at all.
+// Operands are arranged so the unsigned side is the activation panel and
+// the signed side the weights:
+//
+//   * B (activations) packs into k-quad interleaved u8: quad q of column j
+//     holds rows 4q..4q+3 — a plain 4 x 16 byte transpose per group, with
+//     zero-padded tail rows. While packing (the one pass that touches
+//     every slab byte anyway) the per-column code sums accumulate into an
+//     int32 row.
+//   * A (weights) packs into s8 as w - 128, which always fits. The GEMM
+//     then computes sum (w - 128) * a = C - 128 * colsum, so adding
+//     128 * colsum back per column — one cheap pass over C — restores the
+//     exact unsigned result. Every value stays well inside int32
+//     (vpdpbusd's 4-product sums don't saturate at these magnitudes), so
+//     this variant agrees bit for bit with the portable kernel.
+//
+// Like the AVX2 variant, only this translation unit is compiled with the
+// AVX-512 flags (ADQ_VNNI_BUILD), and igemm_u8 dispatches here only after
+// runtime __builtin_cpu_supports checks.
+#include "tensor/gemm_int8.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "tensor/parallel.h"
+
+#if defined(ADQ_VNNI_BUILD)
+#include <immintrin.h>
+#endif
+
+namespace adq {
+
+#if defined(ADQ_VNNI_BUILD)
+
+namespace {
+
+constexpr std::int64_t kMr = 4;
+constexpr std::int64_t kNr = 16;
+constexpr std::int64_t kKc = 256;  // k-block; always a multiple of 4
+constexpr std::int64_t kNc = 256;
+
+std::uint8_t* thread_buf(std::int64_t count, int which) {
+  thread_local std::vector<std::uint8_t> bufs[3];
+  std::vector<std::uint8_t>& b = bufs[which];
+  if (static_cast<std::int64_t>(b.size()) < count) {
+    b.resize(static_cast<std::size_t>(count));
+  }
+  return b.data();
+}
+
+// Packs block [r0, r0+mc) x [c0, c0+kc) of the u8 weights as s8 (w - 128),
+// rows padded with zeros to kc4 (a zero A byte annihilates whatever the
+// padded B byte holds).
+void pack_a_s8(const std::uint8_t* m, std::int64_t ld, std::int64_t r0,
+               std::int64_t mc, std::int64_t c0, std::int64_t kc,
+               std::int64_t kc4, std::int8_t* dst) {
+  const __m512i bias = _mm512_set1_epi8(-128);
+  for (std::int64_t i = 0; i < mc; ++i) {
+    const std::uint8_t* src = m + (r0 + i) * ld + c0;
+    std::int8_t* out = dst + i * kc4;
+    std::int64_t j = 0;
+    for (; j + 64 <= kc; j += 64) {
+      const __m512i v = _mm512_loadu_si512(src + j);
+      _mm512_storeu_si512(out + j, _mm512_add_epi8(v, bias));
+    }
+    for (; j < kc; ++j) {
+      out[j] = static_cast<std::int8_t>(static_cast<int>(src[j]) - 128);
+    }
+    for (; j < kc4; ++j) out[j] = 0;
+  }
+}
+
+// Packs block [c0, c0+kc) x [j0, j0+nc) of B into the k-quad interleaved
+// panel (quad q, column j -> dst[q * 4 * nc + 4 * j + r]) and accumulates
+// the block's per-column sums into colsum[0, nc).
+void pack_b_quads(const std::uint8_t* m, std::int64_t ld, std::int64_t c0,
+                  std::int64_t kc, std::int64_t j0, std::int64_t nc,
+                  std::uint8_t* dst, std::int32_t* colsum) {
+  const std::int64_t quads = (kc + 3) / 4;
+  for (std::int64_t q = 0; q < quads; ++q) {
+    const std::int64_t rows = std::min<std::int64_t>(4, kc - 4 * q);
+    const std::uint8_t* r0 = m + (c0 + 4 * q) * ld + j0;
+    std::uint8_t* out = dst + q * 4 * nc;
+    if (rows == 4) {
+      const std::uint8_t* r1 = r0 + ld;
+      const std::uint8_t* r2 = r1 + ld;
+      const std::uint8_t* r3 = r2 + ld;
+      std::int64_t j = 0;
+      for (; j + 16 <= nc; j += 16) {
+        // 4 x 16 byte transpose: unpack pairs of rows, then pairs of pairs.
+        const __m128i a = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(r0 + j));
+        const __m128i b = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(r1 + j));
+        const __m128i c = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(r2 + j));
+        const __m128i d = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(r3 + j));
+        const __m128i ab_lo = _mm_unpacklo_epi8(a, b);
+        const __m128i ab_hi = _mm_unpackhi_epi8(a, b);
+        const __m128i cd_lo = _mm_unpacklo_epi8(c, d);
+        const __m128i cd_hi = _mm_unpackhi_epi8(c, d);
+        __m128i* o = reinterpret_cast<__m128i*>(out + 4 * j);
+        _mm_storeu_si128(o + 0, _mm_unpacklo_epi16(ab_lo, cd_lo));
+        _mm_storeu_si128(o + 1, _mm_unpackhi_epi16(ab_lo, cd_lo));
+        _mm_storeu_si128(o + 2, _mm_unpacklo_epi16(ab_hi, cd_hi));
+        _mm_storeu_si128(o + 3, _mm_unpackhi_epi16(ab_hi, cd_hi));
+        // Column sums of the quad: widen each row to u16 (4 * 255 fits),
+        // then to i32 against the accumulator row.
+        const __m128i zero = _mm_setzero_si128();
+        const __m128i s16 = _mm_add_epi16(
+            _mm_add_epi16(_mm_unpacklo_epi8(a, zero),
+                          _mm_unpacklo_epi8(b, zero)),
+            _mm_add_epi16(_mm_unpacklo_epi8(c, zero),
+                          _mm_unpacklo_epi8(d, zero)));
+        const __m128i s16h = _mm_add_epi16(
+            _mm_add_epi16(_mm_unpackhi_epi8(a, zero),
+                          _mm_unpackhi_epi8(b, zero)),
+            _mm_add_epi16(_mm_unpackhi_epi8(c, zero),
+                          _mm_unpackhi_epi8(d, zero)));
+        __m128i* cs = reinterpret_cast<__m128i*>(colsum + j);
+        _mm_storeu_si128(
+            cs + 0, _mm_add_epi32(_mm_loadu_si128(cs + 0),
+                                  _mm_unpacklo_epi16(s16, zero)));
+        _mm_storeu_si128(
+            cs + 1, _mm_add_epi32(_mm_loadu_si128(cs + 1),
+                                  _mm_unpackhi_epi16(s16, zero)));
+        _mm_storeu_si128(
+            cs + 2, _mm_add_epi32(_mm_loadu_si128(cs + 2),
+                                  _mm_unpacklo_epi16(s16h, zero)));
+        _mm_storeu_si128(
+            cs + 3, _mm_add_epi32(_mm_loadu_si128(cs + 3),
+                                  _mm_unpackhi_epi16(s16h, zero)));
+      }
+      for (; j < nc; ++j) {
+        out[4 * j + 0] = r0[j];
+        out[4 * j + 1] = r1[j];
+        out[4 * j + 2] = r2[j];
+        out[4 * j + 3] = r3[j];
+        colsum[j] += static_cast<std::int32_t>(r0[j]) + r1[j] + r2[j] + r3[j];
+      }
+    } else {
+      for (std::int64_t j = 0; j < nc; ++j) {
+        std::int32_t s = 0;
+        for (std::int64_t r = 0; r < 4; ++r) {
+          const std::uint8_t v = r < rows ? r0[r * ld + j] : 0;
+          out[4 * j + r] = v;
+          s += v;
+        }
+        colsum[j] += s;
+      }
+    }
+  }
+}
+
+// Full 4 x 16 tile: per k-quad, one 64-byte B load feeds four vpdpbusd
+// against broadcast A quads.
+void micro_kernel_vnni(std::int64_t quads, const std::int8_t* a,
+                       std::int64_t lda, const std::uint8_t* b,
+                       std::int64_t ldb_cols, std::int32_t* c,
+                       std::int64_t ldc) {
+  __m512i acc0 = _mm512_setzero_si512();
+  __m512i acc1 = _mm512_setzero_si512();
+  __m512i acc2 = _mm512_setzero_si512();
+  __m512i acc3 = _mm512_setzero_si512();
+  for (std::int64_t q = 0; q < quads; ++q) {
+    const __m512i bv = _mm512_loadu_si512(b + q * 4 * ldb_cols);
+    std::int32_t qa0, qa1, qa2, qa3;
+    std::memcpy(&qa0, a + 0 * lda + 4 * q, sizeof(qa0));
+    std::memcpy(&qa1, a + 1 * lda + 4 * q, sizeof(qa1));
+    std::memcpy(&qa2, a + 2 * lda + 4 * q, sizeof(qa2));
+    std::memcpy(&qa3, a + 3 * lda + 4 * q, sizeof(qa3));
+    acc0 = _mm512_dpbusd_epi32(acc0, bv, _mm512_set1_epi32(qa0));
+    acc1 = _mm512_dpbusd_epi32(acc1, bv, _mm512_set1_epi32(qa1));
+    acc2 = _mm512_dpbusd_epi32(acc2, bv, _mm512_set1_epi32(qa2));
+    acc3 = _mm512_dpbusd_epi32(acc3, bv, _mm512_set1_epi32(qa3));
+  }
+  const __m512i accs[4] = {acc0, acc1, acc2, acc3};
+  for (int i = 0; i < 4; ++i) {
+    std::int32_t* cp = c + i * ldc;
+    _mm512_storeu_si512(
+        cp, _mm512_add_epi32(_mm512_loadu_si512(cp), accs[i]));
+  }
+}
+
+// Partial-row tile at full width (mr < 4, nr == 16) — small weight
+// matrices and the engine's all-ones column-sum row.
+template <int MR>
+void micro_kernel_rows_vnni(std::int64_t quads, const std::int8_t* a,
+                            std::int64_t lda, const std::uint8_t* b,
+                            std::int64_t ldb_cols, std::int32_t* c,
+                            std::int64_t ldc) {
+  __m512i acc[MR];
+  for (int i = 0; i < MR; ++i) acc[i] = _mm512_setzero_si512();
+  for (std::int64_t q = 0; q < quads; ++q) {
+    const __m512i bv = _mm512_loadu_si512(b + q * 4 * ldb_cols);
+    for (int i = 0; i < MR; ++i) {
+      std::int32_t qa;
+      std::memcpy(&qa, a + i * lda + 4 * q, sizeof(qa));
+      acc[i] = _mm512_dpbusd_epi32(acc[i], bv, _mm512_set1_epi32(qa));
+    }
+  }
+  for (int i = 0; i < MR; ++i) {
+    std::int32_t* cp = c + i * ldc;
+    _mm512_storeu_si512(
+        cp, _mm512_add_epi32(_mm512_loadu_si512(cp), acc[i]));
+  }
+}
+
+// Edge tile (nr < 16), scalar on the same quad-interleaved panel.
+void edge_kernel(std::int64_t quads, const std::int8_t* a, std::int64_t lda,
+                 const std::uint8_t* b, std::int64_t ldb_cols, std::int32_t* c,
+                 std::int64_t ldc, std::int64_t mr, std::int64_t nr) {
+  std::int32_t acc[kMr][kNr] = {};
+  for (std::int64_t q = 0; q < quads; ++q) {
+    const std::uint8_t* bq = b + q * 4 * ldb_cols;
+    for (std::int64_t i = 0; i < mr; ++i) {
+      const std::int8_t* aq = a + i * lda + 4 * q;
+      for (std::int64_t j = 0; j < nr; ++j) {
+        const std::uint8_t* bj = bq + 4 * j;
+        acc[i][j] += static_cast<std::int32_t>(aq[0]) * bj[0] +
+                     static_cast<std::int32_t>(aq[1]) * bj[1] +
+                     static_cast<std::int32_t>(aq[2]) * bj[2] +
+                     static_cast<std::int32_t>(aq[3]) * bj[3];
+      }
+    }
+  }
+  for (std::int64_t i = 0; i < mr; ++i) {
+    std::int32_t* cp = c + i * ldc;
+    for (std::int64_t j = 0; j < nr; ++j) cp[j] += acc[i][j];
+  }
+}
+
+void gemm_block_vnni(std::int64_t k, const std::uint8_t* a, std::int64_t lda,
+                     const std::uint8_t* b, std::int64_t ldb, std::int32_t* c,
+                     std::int64_t ldc, std::int64_t i0, std::int64_t mc,
+                     std::int64_t j0, std::int64_t nc_total) {
+  const std::int64_t kc4_max = kKc;  // kKc is a multiple of 4
+  std::int8_t* a_pack =
+      reinterpret_cast<std::int8_t*>(thread_buf(mc * (kc4_max + 4), 0));
+  std::uint8_t* b_pack = thread_buf((kc4_max + 4) * kNc, 1);
+  std::int32_t* colsum = reinterpret_cast<std::int32_t*>(
+      thread_buf(nc_total * static_cast<std::int64_t>(sizeof(std::int32_t)),
+                 2));
+  std::fill(colsum, colsum + nc_total, 0);
+
+  for (std::int64_t p0 = 0; p0 < k; p0 += kKc) {
+    const std::int64_t kc = std::min(kKc, k - p0);
+    const std::int64_t kc4 = (kc + 3) / 4 * 4;
+    const std::int64_t quads = kc4 / 4;
+    pack_a_s8(a, lda, i0, mc, p0, kc, kc4, a_pack);
+    for (std::int64_t jb = 0; jb < nc_total; jb += kNc) {
+      const std::int64_t nc = std::min(kNc, nc_total - jb);
+      pack_b_quads(b, ldb, p0, kc, j0 + jb, nc, b_pack, colsum + jb);
+      for (std::int64_t jr = 0; jr < nc; jr += kNr) {
+        const std::int64_t nr = std::min(kNr, nc - jr);
+        for (std::int64_t ir = 0; ir < mc; ir += kMr) {
+          const std::int64_t mr = std::min(kMr, mc - ir);
+          std::int32_t* ct = c + (i0 + ir) * ldc + (j0 + jb + jr);
+          const std::int8_t* at = a_pack + ir * kc4;
+          const std::uint8_t* bt = b_pack + 4 * jr;
+          if (nr == kNr) {
+            switch (mr) {
+              case kMr:
+                micro_kernel_vnni(quads, at, kc4, bt, nc, ct, ldc);
+                break;
+              case 3:
+                micro_kernel_rows_vnni<3>(quads, at, kc4, bt, nc, ct, ldc);
+                break;
+              case 2:
+                micro_kernel_rows_vnni<2>(quads, at, kc4, bt, nc, ct, ldc);
+                break;
+              default:
+                micro_kernel_rows_vnni<1>(quads, at, kc4, bt, nc, ct, ldc);
+                break;
+            }
+          } else {
+            edge_kernel(quads, at, kc4, bt, nc, ct, ldc, mr, nr);
+          }
+        }
+      }
+    }
+  }
+
+  // Undo the -128 weight offset: C += 128 * colsum per column, every row.
+  for (std::int64_t i = 0; i < mc; ++i) {
+    std::int32_t* cp = c + (i0 + i) * ldc + j0;
+    for (std::int64_t j = 0; j < nc_total; ++j) cp[j] += 128 * colsum[j];
+  }
+}
+
+}  // namespace
+
+bool igemm_vnni_available() {
+  static const bool ok = __builtin_cpu_supports("avx512vnni") != 0 &&
+                         __builtin_cpu_supports("avx512bw") != 0 &&
+                         __builtin_cpu_supports("avx512vl") != 0;
+  return ok;
+}
+
+void igemm_u8_vnni(std::int64_t m, std::int64_t n, std::int64_t k,
+                   const std::uint8_t* a, std::int64_t lda,
+                   const std::uint8_t* b, std::int64_t ldb, std::int32_t* c,
+                   std::int64_t ldc) {
+  detail::igemm_blocked(m, n, k, a, lda, b, ldb, c, ldc, &gemm_block_vnni);
+}
+
+#else  // !ADQ_VNNI_BUILD
+
+bool igemm_vnni_available() { return false; }
+
+void igemm_u8_vnni(std::int64_t m, std::int64_t n, std::int64_t k,
+                   const std::uint8_t* a, std::int64_t lda,
+                   const std::uint8_t* b, std::int64_t ldb, std::int32_t* c,
+                   std::int64_t ldc) {
+  igemm_u8_generic(m, n, k, a, lda, b, ldb, c, ldc);
+}
+
+#endif
+
+}  // namespace adq

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 namespace adq {
 
@@ -24,12 +25,39 @@ struct ConvGeometry {
 /// im: [channels, in_h, in_w] contiguous. col: [patch_size, out_h*out_w].
 void im2col(const float* im, const ConvGeometry& g, float* col);
 
+/// Strided variant for batched lowering: writes patch row r starting at
+/// col + r * col_stride (col_stride >= out_h*out_w), so B images can land
+/// as adjacent column blocks of one [patch_size, B * out_h*out_w] slab and
+/// the whole batch runs as a single GEMM.
+void im2col(const float* im, const ConvGeometry& g, float* col,
+            std::int64_t col_stride);
+
 /// Quantization-code variant for the integer inference engine: lowers an
 /// image of u8 codes instead of floats. Padding positions are filled with
 /// `pad_code` — the code whose dequantized value is closest to 0.0, since
 /// the affine grid of eqn (1) does not necessarily contain an exact zero.
 void im2col_u8(const std::uint8_t* im, const ConvGeometry& g,
                std::uint8_t* col, std::uint8_t pad_code);
+
+/// Strided u8 variant (see the strided float overload above).
+void im2col_u8(const std::uint8_t* im, const ConvGeometry& g,
+               std::uint8_t* col, std::int64_t col_stride,
+               std::uint8_t pad_code);
+
+/// Reusable lowering buffers. The patch matrices are the largest transient
+/// allocation on the inference hot path; a serving loop that re-lowers
+/// every batch keeps one of these (typically thread_local) so the steady
+/// state is allocation-free. Buffers grow on demand and never shrink.
+struct Im2colWorkspace {
+  std::vector<std::uint8_t> u8;
+  std::vector<float> f32;
+
+  /// Grows the u8 buffer to at least `count` and returns its data pointer.
+  std::uint8_t* ensure_u8(std::int64_t count);
+
+  /// Grows the float buffer to at least `count` and returns its data pointer.
+  float* ensure_f32(std::int64_t count);
+};
 
 /// Transpose scatter: accumulates col back into im (im must be pre-zeroed).
 void col2im(const float* col, const ConvGeometry& g, float* im);

@@ -128,6 +128,41 @@ std::vector<std::int64_t> argmax_rows(const Tensor& x) {
   return out;
 }
 
+Tensor stack_samples(const std::vector<const Tensor*>& samples) {
+  if (samples.empty()) {
+    throw std::invalid_argument("stack_samples: no samples");
+  }
+  const Shape& sample_shape = samples.front()->shape();
+  Tensor out(sample_shape.prepended(static_cast<std::int64_t>(samples.size())));
+  const std::int64_t n = samples.front()->numel();
+  float* dst = out.data();
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (samples[i]->shape() != sample_shape) {
+      throw std::invalid_argument("stack_samples: shape mismatch " +
+                                  samples[i]->shape().to_string() + " vs " +
+                                  sample_shape.to_string());
+    }
+    const float* src = samples[i]->data();
+    std::copy(src, src + n, dst + static_cast<std::int64_t>(i) * n);
+  }
+  return out;
+}
+
+Tensor take_sample(const Tensor& batch, std::int64_t index) {
+  const std::int64_t count =
+      batch.shape().rank() == 0 ? 0 : batch.shape().dim(0);
+  if (index < 0 || index >= count) {
+    throw std::out_of_range("take_sample: index " + std::to_string(index) +
+                            " out of range for batch " +
+                            batch.shape().to_string());
+  }
+  Tensor out(batch.shape().tail());
+  const std::int64_t n = out.numel();
+  const float* src = batch.data() + index * n;
+  std::copy(src, src + n, out.data());
+  return out;
+}
+
 bool allclose(const Tensor& a, const Tensor& b, float atol) {
   if (a.shape() != b.shape()) return false;
   const float* pa = a.data();

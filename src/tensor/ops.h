@@ -56,4 +56,13 @@ std::vector<std::int64_t> argmax_rows(const Tensor& x);
 /// True when shapes match and every element differs by at most atol.
 bool allclose(const Tensor& a, const Tensor& b, float atol = 1e-5f);
 
+/// Batched copy-in: stacks equal-shaped samples into one [N, ...sample]
+/// tensor. The serving batcher uses this to coalesce single-sample requests
+/// into an engine batch. Throws on an empty list or mismatched shapes.
+Tensor stack_samples(const std::vector<const Tensor*>& samples);
+
+/// Batched scatter-out: copies row `index` of a batched tensor out as a
+/// standalone sample of shape batch.shape().tail().
+Tensor take_sample(const Tensor& batch, std::int64_t index);
+
 }  // namespace adq

@@ -46,6 +46,26 @@ Shape Shape::with_dim(int axis, std::int64_t value) const {
   return out;
 }
 
+Shape Shape::prepended(std::int64_t dim) const {
+  if (dim < 0) throw std::invalid_argument("Shape: negative dimension");
+  if (rank_ == kMaxRank) {
+    throw std::invalid_argument("Shape: rank exceeds kMaxRank");
+  }
+  Shape out;
+  out.rank_ = rank_ + 1;
+  out.dims_[0] = dim;
+  for (int i = 0; i < rank_; ++i) out.dims_[i + 1] = dims_[i];
+  return out;
+}
+
+Shape Shape::tail() const {
+  if (rank_ == 0) throw std::out_of_range("Shape: tail of a rank-0 shape");
+  Shape out;
+  out.rank_ = rank_ - 1;
+  for (int i = 1; i < rank_; ++i) out.dims_[i - 1] = dims_[i];
+  return out;
+}
+
 bool Shape::operator==(const Shape& other) const {
   if (rank_ != other.rank_) return false;
   for (int i = 0; i < rank_; ++i) {

@@ -34,6 +34,14 @@ class Shape {
   /// Returns a copy with axis `axis` set to `value`.
   Shape with_dim(int axis, std::int64_t value) const;
 
+  /// Returns [dim, ...this] — the shape of `dim` stacked samples of this
+  /// shape (batched copy-in, see stack_samples in tensor/ops.h).
+  Shape prepended(std::int64_t dim) const;
+
+  /// Returns this shape without its leading axis — the shape of one sample
+  /// of a batch (scatter-out, see take_sample in tensor/ops.h).
+  Shape tail() const;
+
   bool operator==(const Shape& other) const;
   bool operator!=(const Shape& other) const { return !(*this == other); }
 

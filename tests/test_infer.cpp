@@ -126,6 +126,40 @@ TEST(IntGemm, MatchesNaiveReference) {
   }
 }
 
+TEST(IntGemm, SimdVariantsMatchGenericBitForBit) {
+  // The AVX2 (vpmaddwd over int16 pairs) and VNNI (vpdpbusd over offset s8
+  // quads, corrected by packed column sums) kernels must agree exactly
+  // with the portable kernel — integer accumulation has one right answer.
+  Rng rng(55);
+  const std::int64_t shapes[][3] = {
+      {1, 1, 1},    {4, 16, 8},    {5, 17, 3},   {9, 1024, 27},
+      {7, 33, 129}, {12, 40, 300}, {65, 64, 576}, {3, 4, 257}};
+  for (const auto& s : shapes) {
+    const std::int64_t m = s[0], n = s[1], k = s[2];
+    std::vector<std::uint8_t> a(static_cast<std::size_t>(m * k));
+    std::vector<std::uint8_t> b(static_cast<std::size_t>(k * n));
+    for (auto& v : a) v = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    for (auto& v : b) v = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    std::vector<std::int32_t> ref(static_cast<std::size_t>(m * n), -1);
+    igemm_u8_generic(m, n, k, a.data(), k, b.data(), n, ref.data(), n);
+
+    std::vector<std::int32_t> got(static_cast<std::size_t>(m * n), -2);
+    if (igemm_avx2_available()) {
+      igemm_u8_avx2(m, n, k, a.data(), k, b.data(), n, got.data(), n);
+      ASSERT_EQ(got, ref) << "avx2 " << m << "x" << n << "x" << k;
+    }
+    if (igemm_vnni_available()) {
+      std::fill(got.begin(), got.end(), -3);
+      igemm_u8_vnni(m, n, k, a.data(), k, b.data(), n, got.data(), n);
+      ASSERT_EQ(got, ref) << "vnni " << m << "x" << n << "x" << k;
+    }
+    // And whatever igemm_u8 dispatched to agrees as well.
+    std::fill(got.begin(), got.end(), -4);
+    igemm_u8(m, n, k, a.data(), k, b.data(), n, got.data(), n);
+    ASSERT_EQ(got, ref) << "dispatch " << m << "x" << n << "x" << k;
+  }
+}
+
 TEST(IntGemm, MatchesFloatGemmOnSmallCodes) {
   // With k * 255^2 below 2^24 both GEMMs are exact, so they must agree
   // bit-for-bit after the float result is truncated back to int.

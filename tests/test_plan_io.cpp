@@ -1,0 +1,230 @@
+// .adqplan serialization tests: byte-stable round-trips that reproduce
+// predictions exactly for int8/int4/int2 mixed plans (VGG19 and ResNet18,
+// so the residual ops serialize too), plus rejection of bad magic,
+// unsupported versions, truncation, and corrupt payloads with clear
+// errors.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "infer/engine.h"
+#include "infer/plan.h"
+#include "infer/plan_io.h"
+#include "models/resnet.h"
+#include "models/vgg.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+
+namespace adq::infer {
+namespace {
+
+std::string to_bytes(const InferencePlan& plan) {
+  std::ostringstream out(std::ios::binary);
+  save_plan(plan, out);
+  return out.str();
+}
+
+InferencePlan from_bytes(const std::string& bytes) {
+  std::istringstream in(bytes, std::ios::binary);
+  return load_plan(in);
+}
+
+std::unique_ptr<models::QuantizableModel> small_vgg(
+    const std::vector<int>& bit_pattern, std::uint64_t seed = 21) {
+  Rng rng(seed);
+  models::VggConfig cfg;
+  cfg.width_mult = 0.0625;
+  cfg.num_classes = 10;
+  auto model = models::build_vgg19(cfg, rng);
+  model->set_training(false);
+  for (int i = 0; i < model->unit_count(); ++i) {
+    if (!model->unit(i).frozen) {
+      model->unit(i).set_bits(
+          bit_pattern[static_cast<std::size_t>(i) % bit_pattern.size()]);
+    }
+  }
+  return model;
+}
+
+void expect_identical_forward(const InferencePlan& a, const InferencePlan& b,
+                              const Tensor& x) {
+  const IntInferenceEngine ea(a), eb(b);
+  const Tensor ya = ea.forward(x);
+  const Tensor yb = eb.forward(x);
+  ASSERT_EQ(ya.shape(), yb.shape());
+  for (std::int64_t i = 0; i < ya.numel(); ++i) {
+    ASSERT_EQ(ya[i], yb[i]) << "logit " << i;
+  }
+}
+
+TEST(PlanIo, RoundTripIsByteStableAndPredictionIdentical) {
+  // Mixed int8/int4/int2 cells plus the float frozen ends — every storage
+  // form the format has.
+  auto model = small_vgg({8, 4, 2});
+  const InferencePlan plan = compile(*model);
+
+  const std::string bytes = to_bytes(plan);
+  const InferencePlan loaded = from_bytes(bytes);
+
+  EXPECT_EQ(loaded.model_name, plan.model_name);
+  ASSERT_EQ(loaded.layers.size(), plan.layers.size());
+  ASSERT_EQ(loaded.ops.size(), plan.ops.size());
+  EXPECT_EQ(loaded.weight_bytes(), plan.weight_bytes());
+  EXPECT_EQ(loaded.integer_layer_count(), plan.integer_layer_count());
+
+  // save(load(save(p))) must be byte-identical — the format has no
+  // nondeterminism (no timestamps, no map iteration, no padding noise).
+  EXPECT_EQ(to_bytes(loaded), bytes);
+
+  Rng rng(31);
+  Tensor x(Shape{8, 3, 32, 32});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  expect_identical_forward(plan, loaded, x);
+}
+
+TEST(PlanIo, PerBitwidthRoundTripPreservesCells) {
+  for (int bits : {8, 4, 2}) {
+    auto model = small_vgg({bits});
+    const InferencePlan plan = compile(*model);
+    const InferencePlan loaded = from_bytes(to_bytes(plan));
+    for (std::size_t i = 0; i < plan.layers.size(); ++i) {
+      EXPECT_EQ(loaded.layers[i].cell_bits, plan.layers[i].cell_bits);
+      EXPECT_EQ(loaded.layers[i].weight_codes, plan.layers[i].weight_codes);
+      EXPECT_EQ(loaded.layers[i].bits, plan.layers[i].bits);
+    }
+    Rng rng(40 + static_cast<std::uint64_t>(bits));
+    Tensor x(Shape{4, 3, 32, 32});
+    rng.fill_normal(x, 0.0f, 1.0f);
+    expect_identical_forward(plan, loaded, x);
+  }
+}
+
+TEST(PlanIo, ResNetRoundTripSerializesResidualOps) {
+  Rng rng(22);
+  models::ResNetConfig cfg;
+  cfg.width_mult = 0.0625;
+  cfg.num_classes = 10;
+  cfg.input_size = 16;
+  auto model = models::build_resnet18(cfg, rng);
+  model->set_training(false);
+  for (int i = 0; i < model->unit_count(); ++i) {
+    if (!model->unit(i).frozen) model->unit(i).set_bits(i % 2 == 0 ? 8 : 4);
+  }
+  const InferencePlan plan = compile(*model);
+  const InferencePlan loaded = from_bytes(to_bytes(plan));
+
+  // The residual graph ops (push/skip-gemm/add) survive verbatim.
+  ASSERT_EQ(loaded.ops.size(), plan.ops.size());
+  int skips = 0;
+  for (std::size_t i = 0; i < plan.ops.size(); ++i) {
+    EXPECT_EQ(static_cast<int>(loaded.ops[i].kind),
+              static_cast<int>(plan.ops[i].kind));
+    EXPECT_EQ(loaded.ops[i].layer, plan.ops[i].layer);
+    EXPECT_EQ(loaded.ops[i].skip_bits, plan.ops[i].skip_bits);
+    EXPECT_EQ(loaded.ops[i].mask_channels, plan.ops[i].mask_channels);
+    skips += plan.ops[i].kind == OpKind::kPushSkip;
+  }
+  EXPECT_EQ(skips, 8);  // ResNet18: eight residual blocks
+
+  Tensor x(Shape{4, 3, 16, 16});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  expect_identical_forward(plan, loaded, x);
+}
+
+TEST(PlanIo, FileRoundTrip) {
+  auto model = small_vgg({8, 4});
+  const InferencePlan plan = compile(*model);
+  const std::string path =
+      testing::TempDir() + "/test_plan_io_roundtrip.adqplan";
+  save_plan(plan, path);
+  const InferencePlan loaded = load_plan(path);
+  EXPECT_EQ(to_bytes(loaded), to_bytes(plan));
+  std::remove(path.c_str());
+}
+
+TEST(PlanIo, RejectsBadMagic) {
+  auto model = small_vgg({8});
+  std::string bytes = to_bytes(compile(*model));
+  bytes[0] = 'X';
+  try {
+    from_bytes(bytes);
+    FAIL() << "bad magic accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("magic"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(PlanIo, RejectsNewerVersion) {
+  auto model = small_vgg({8});
+  std::string bytes = to_bytes(compile(*model));
+  const std::uint32_t future_version = 999;
+  bytes.replace(8, 4, reinterpret_cast<const char*>(&future_version), 4);
+  try {
+    from_bytes(bytes);
+    FAIL() << "future version accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(PlanIo, RejectsTruncatedFile) {
+  auto model = small_vgg({8});
+  const std::string bytes = to_bytes(compile(*model));
+  // Chopping anywhere — inside the payload or the checksum — must fail
+  // loudly, never return a half-parsed plan.
+  for (const std::size_t keep :
+       {bytes.size() - 1, bytes.size() / 2, std::size_t{20}, std::size_t{3}}) {
+    EXPECT_THROW(from_bytes(bytes.substr(0, keep)), std::runtime_error)
+        << "kept " << keep << " of " << bytes.size();
+  }
+}
+
+TEST(PlanIo, RejectsCorruptPayload) {
+  auto model = small_vgg({8});
+  std::string bytes = to_bytes(compile(*model));
+  bytes[bytes.size() / 2] ^= 0x40;  // flip one payload bit
+  try {
+    from_bytes(bytes);
+    FAIL() << "corrupt payload accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(PlanIo, RejectsWideBitsOnIntegerPath) {
+  // compile() clamps the integer path to <= 8 bits; a file claiming an
+  // integer layer at 16 bits would silently wrap activation codes, so the
+  // loader must reject it even though every size field is consistent.
+  auto model = small_vgg({8});
+  InferencePlan plan = compile(*model);
+  for (GemmLayerPlan& l : plan.layers) {
+    if (l.path == ExecPath::kInteger) {
+      l.bits = 16;
+      break;
+    }
+  }
+  try {
+    from_bytes(to_bytes(plan));
+    FAIL() << "16-bit integer-path layer accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("bits"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(PlanIo, MissingFileError) {
+  EXPECT_THROW(load_plan("/nonexistent/dir/model.adqplan"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace adq::infer

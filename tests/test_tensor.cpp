@@ -58,6 +58,142 @@ TEST(Shape, NegativeDimThrows) {
   EXPECT_THROW(Shape({2, -1}), std::invalid_argument);
 }
 
+TEST(Shape, PrependedAndTail) {
+  const Shape sample{3, 32, 32};
+  const Shape batch = sample.prepended(16);
+  EXPECT_EQ(batch, (Shape{16, 3, 32, 32}));
+  EXPECT_EQ(batch.tail(), sample);
+  EXPECT_EQ(Shape{5}.tail().rank(), 0);
+  EXPECT_THROW(Shape{}.tail(), std::out_of_range);
+  EXPECT_THROW(sample.prepended(-1), std::invalid_argument);
+  const Shape full{1, 2, 3, 4, 5, 6};  // already at kMaxRank
+  EXPECT_THROW(full.prepended(7), std::invalid_argument);
+}
+
+TEST(Ops, StackSamplesAndTakeSample) {
+  Tensor a(Shape{2, 3});
+  Tensor b(Shape{2, 3});
+  for (std::int64_t i = 0; i < 6; ++i) {
+    a[i] = static_cast<float>(i);
+    b[i] = static_cast<float>(100 + i);
+  }
+  const Tensor batch = stack_samples({&a, &b});
+  EXPECT_EQ(batch.shape(), (Shape{2, 2, 3}));
+  for (std::int64_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(batch[i], a[i]);
+    EXPECT_EQ(batch[6 + i], b[i]);
+  }
+  const Tensor back = take_sample(batch, 1);
+  EXPECT_EQ(back.shape(), (Shape{2, 3}));
+  for (std::int64_t i = 0; i < 6; ++i) EXPECT_EQ(back[i], b[i]);
+
+  EXPECT_THROW(stack_samples({}), std::invalid_argument);
+  Tensor wrong(Shape{3, 2});
+  EXPECT_THROW(stack_samples({&a, &wrong}), std::invalid_argument);
+  EXPECT_THROW(take_sample(batch, 2), std::out_of_range);
+  EXPECT_THROW(take_sample(batch, -1), std::out_of_range);
+}
+
+TEST(Im2col, StridedVariantMatchesContiguous) {
+  // Two "images" lowered as adjacent column blocks of one slab must hold
+  // exactly the per-image contiguous lowering — the invariant the batched
+  // conv path relies on. Covers the 3x3/s1/p1 fast path and a strided
+  // geometry.
+  Rng rng(77);
+  ConvGeometry geos[2];
+  geos[0].channels = 3; geos[0].in_h = 6; geos[0].in_w = 6;
+  geos[0].kernel_h = 3; geos[0].kernel_w = 3; geos[0].stride = 1;
+  geos[0].pad = 1;
+  geos[1].channels = 2; geos[1].in_h = 9; geos[1].in_w = 7;
+  geos[1].kernel_h = 3; geos[1].kernel_w = 2; geos[1].stride = 2;
+  geos[1].pad = 1;
+  for (const ConvGeometry& g : geos) {
+    const std::int64_t chw = g.channels * g.in_h * g.in_w;
+    const std::int64_t ohw = g.out_h() * g.out_w(), P = g.patch_size();
+    std::vector<std::uint8_t> im(static_cast<std::size_t>(2 * chw));
+    for (auto& v : im) v = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+
+    std::vector<std::uint8_t> slab(static_cast<std::size_t>(P * 2 * ohw), 0xEE);
+    std::vector<std::uint8_t> single(static_cast<std::size_t>(P * ohw));
+    for (std::int64_t b = 0; b < 2; ++b) {
+      im2col_u8(im.data() + b * chw, g, slab.data() + b * ohw, 2 * ohw, 7);
+      im2col_u8(im.data() + b * chw, g, single.data(), 7);
+      for (std::int64_t r = 0; r < P; ++r) {
+        for (std::int64_t s = 0; s < ohw; ++s) {
+          ASSERT_EQ(slab[static_cast<std::size_t>(r * 2 * ohw + b * ohw + s)],
+                    single[static_cast<std::size_t>(r * ohw + s)])
+              << "b=" << b << " r=" << r << " s=" << s;
+        }
+      }
+    }
+  }
+}
+
+TEST(Im2col, LoweringMatchesBruteForceDefinition) {
+  // Element-by-element check against the im2col definition, over
+  // geometries chosen to hit every code path: the 3x3/s1/p1 fused
+  // specialisation, the generic unit-stride pad/copy/pad branch (5x5/p2,
+  // 3x3/p0, asymmetric kernel), and the strided fallback.
+  Rng rng(88);
+  struct G { std::int64_t c, h, w, kh, kw, s, p; };
+  const G cases[] = {
+      {3, 8, 8, 3, 3, 1, 1},   // fused specialisation
+      {2, 7, 9, 5, 5, 1, 2},   // generic unit stride, wide kernel
+      {3, 6, 6, 3, 3, 1, 0},   // generic unit stride, no padding
+      {1, 5, 4, 1, 2, 1, 1},   // generic unit stride, asymmetric kernel
+      {2, 9, 7, 3, 3, 2, 1},   // strided fallback
+  };
+  for (const G& gc : cases) {
+    ConvGeometry g;
+    g.channels = gc.c; g.in_h = gc.h; g.in_w = gc.w;
+    g.kernel_h = gc.kh; g.kernel_w = gc.kw; g.stride = gc.s; g.pad = gc.p;
+    const std::int64_t oh = g.out_h(), ow = g.out_w(), P = g.patch_size();
+    const std::uint8_t pad_code = 9;
+
+    std::vector<std::uint8_t> im(static_cast<std::size_t>(gc.c * gc.h * gc.w));
+    for (auto& v : im) v = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    std::vector<std::uint8_t> col(static_cast<std::size_t>(P * oh * ow), 0xCC);
+    im2col_u8(im.data(), g, col.data(), pad_code);
+
+    std::int64_t row = 0;
+    for (std::int64_t c = 0; c < gc.c; ++c) {
+      for (std::int64_t kh = 0; kh < gc.kh; ++kh) {
+        for (std::int64_t kw = 0; kw < gc.kw; ++kw, ++row) {
+          for (std::int64_t y = 0; y < oh; ++y) {
+            for (std::int64_t x = 0; x < ow; ++x) {
+              const std::int64_t iy = y * gc.s + kh - gc.p;
+              const std::int64_t ix = x * gc.s + kw - gc.p;
+              const bool inside =
+                  iy >= 0 && iy < gc.h && ix >= 0 && ix < gc.w;
+              const std::uint8_t want =
+                  inside ? im[static_cast<std::size_t>((c * gc.h + iy) * gc.w +
+                                                       ix)]
+                         : pad_code;
+              ASSERT_EQ(col[static_cast<std::size_t>(row * oh * ow + y * ow +
+                                                     x)],
+                        want)
+                  << "geometry " << gc.kh << "x" << gc.kw << "/s" << gc.s
+                  << "/p" << gc.p << " at row " << row << " y " << y << " x "
+                  << x;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Im2col, WorkspaceGrowsAndReuses) {
+  Im2colWorkspace ws;
+  std::uint8_t* p8 = ws.ensure_u8(100);
+  ASSERT_NE(p8, nullptr);
+  EXPECT_EQ(ws.ensure_u8(50), p8);  // no shrink, same buffer
+  EXPECT_GE(ws.u8.size(), 100u);
+  float* pf = ws.ensure_f32(64);
+  ASSERT_NE(pf, nullptr);
+  EXPECT_EQ(ws.ensure_f32(64), pf);
+}
+
 TEST(Tensor, ZeroInitialised) {
   const Tensor t(Shape{3, 4});
   EXPECT_EQ(t.numel(), 12);
