@@ -1,0 +1,205 @@
+#include "graph/build.h"
+
+#include <stdexcept>
+
+#include "models/model.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/depthwise.h"
+#include "nn/flatten.h"
+#include "nn/linear.h"
+#include "nn/pool.h"
+#include "nn/relu.h"
+#include "nn/residual.h"
+#include "nn/sequential.h"
+#include "quant/fake_quantizer.h"
+
+namespace adq::graph {
+namespace {
+
+// Incrementally appends nodes while tracking the id of the node producing
+// the "current" value of the straight-line walk.
+struct Builder {
+  Graph& g;
+  int current;
+
+  int node(Node n, int producer) {
+    if (producer >= 0) n.inputs.push_back(producer);
+    return g.add(std::move(n));
+  }
+
+  // The layer's input fake-quantizer made explicit: emitted only when it is
+  // live (enabled, grid coarser than float), exactly the condition under
+  // which the training forward actually snaps the activations.
+  void input_quantize(const quant::FakeQuantizer& q, const std::string& name) {
+    if (!q.enabled() || q.bits() >= 24) return;
+    Node n;
+    n.kind = NodeKind::kQuantize;
+    n.name = name;
+    n.bits = q.bits();
+    n.quant_enabled = true;
+    current = node(std::move(n), current);
+  }
+
+  void conv(nn::Conv2d& layer) {
+    if (layer.bypassed()) return;  // removed unit: identity in training too
+    input_quantize(layer.input_quantizer(), layer.name() + ".qin");
+    Node n;
+    n.kind = NodeKind::kConv;
+    n.name = layer.name();
+    n.conv = &layer;
+    n.bits = layer.bits();
+    current = node(std::move(n), current);
+  }
+
+  void depthwise(nn::DepthwiseConv2d& layer) {
+    input_quantize(layer.input_quantizer(), layer.name() + ".qin");
+    Node n;
+    n.kind = NodeKind::kDepthwiseConv;
+    n.name = layer.name();
+    n.dwconv = &layer;
+    n.bits = layer.bits();
+    current = node(std::move(n), current);
+  }
+
+  void linear(nn::Linear& layer) {
+    input_quantize(layer.input_quantizer(), layer.name() + ".qin");
+    Node n;
+    n.kind = NodeKind::kLinear;
+    n.name = layer.name();
+    n.linear = &layer;
+    n.bits = layer.bits();
+    current = node(std::move(n), current);
+  }
+
+  void batchnorm(nn::BatchNorm2d& layer) {
+    Node n;
+    n.kind = NodeKind::kBatchNorm;
+    n.name = layer.name();
+    n.bn = &layer;
+    current = node(std::move(n), current);
+  }
+
+  void relu(const std::string& name) {
+    Node n;
+    n.kind = NodeKind::kReLU;
+    n.name = name;
+    current = node(std::move(n), current);
+  }
+
+  void residual(nn::ResidualBlock& block) {
+    const int entry = current;
+
+    // Skip branch: Fig 2 quantization at the destination (conv2) precision,
+    // then the optional 1x1 downsample. Emitted first so the quantize node
+    // is explicit dataflow even when it is an identity (elision removes it).
+    const quant::FakeQuantizer& sq = block.skip_quantizer();
+    Node q;
+    q.kind = NodeKind::kQuantize;
+    q.name = block.name() + ".skip_q";
+    q.bits = sq.bits();
+    q.quant_enabled = sq.enabled();
+    int skip = node(std::move(q), entry);
+    if (block.has_downsample()) {
+      current = skip;
+      input_quantize(block.downsample_conv()->input_quantizer(),
+                     block.downsample_conv()->name() + ".qin");
+      Node d;
+      d.kind = NodeKind::kConv;
+      d.name = block.downsample_conv()->name();
+      d.conv = block.downsample_conv();
+      d.bits = block.downsample_conv()->bits();
+      skip = node(std::move(d), current);
+      current = skip;
+      batchnorm(*block.downsample_bn());
+      skip = current;
+    }
+
+    // Main branch: conv1 -> bn1 -> relu1 -> conv2 -> bn2.
+    current = entry;
+    conv(block.conv1());
+    batchnorm(block.bn1());
+    relu(block.relu1().name());
+    conv(block.conv2());
+    batchnorm(block.bn2());
+    const int main_tail = current;
+
+    Node add;
+    add.kind = NodeKind::kAdd;
+    add.name = block.name() + ".add";
+    add.inputs = {main_tail, skip};  // convention: [main, skip]
+    add.mask_channels = block.active_out_channels();
+    current = g.add(std::move(add));
+    relu(block.relu2().name());
+  }
+};
+
+}  // namespace
+
+Graph build_from_model(models::QuantizableModel& model,
+                       const ValueType& input) {
+  Graph g(model.name());
+  Node in;
+  in.kind = NodeKind::kInput;
+  in.name = "input";
+  in.type = input;
+  Builder b{g, -1};
+  g.set_input(b.node(std::move(in), -1));
+  b.current = g.input();
+
+  nn::Sequential& net = model.net();
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    nn::Layer& L = net.at(i);
+    if (auto* conv = dynamic_cast<nn::Conv2d*>(&L)) {
+      b.conv(*conv);
+    } else if (auto* dw = dynamic_cast<nn::DepthwiseConv2d*>(&L)) {
+      b.depthwise(*dw);
+    } else if (auto* block = dynamic_cast<nn::ResidualBlock*>(&L)) {
+      b.residual(*block);
+    } else if (auto* lin = dynamic_cast<nn::Linear*>(&L)) {
+      b.linear(*lin);
+    } else if (auto* bn = dynamic_cast<nn::BatchNorm2d*>(&L)) {
+      b.batchnorm(*bn);
+    } else if (auto* pool = dynamic_cast<nn::MaxPool2d*>(&L)) {
+      Node n;
+      n.kind = NodeKind::kMaxPool;
+      n.name = pool->name();
+      n.pool_kernel = pool->kernel();
+      n.pool_stride = pool->stride();
+      b.current = b.node(std::move(n), b.current);
+    } else if (dynamic_cast<nn::GlobalAvgPool*>(&L) != nullptr) {
+      Node n;
+      n.kind = NodeKind::kGlobalAvgPool;
+      n.name = L.name();
+      b.current = b.node(std::move(n), b.current);
+    } else if (dynamic_cast<nn::Flatten*>(&L) != nullptr) {
+      Node n;
+      n.kind = NodeKind::kFlatten;
+      n.name = L.name();
+      b.current = b.node(std::move(n), b.current);
+    } else if (dynamic_cast<nn::ReLU*>(&L) != nullptr) {
+      b.relu(L.name());
+    } else {
+      throw std::invalid_argument("graph::build_from_model: unsupported layer '" +
+                                  L.name() + "'");
+    }
+  }
+
+  Node out;
+  out.kind = NodeKind::kOutput;
+  out.name = "output";
+  g.set_output(b.node(std::move(out), b.current));
+  return g;
+}
+
+Graph build_from_model(models::QuantizableModel& model) {
+  const models::ModelSpec& spec = model.spec();
+  if (spec.layers.empty()) {
+    throw std::invalid_argument("graph::build_from_model: empty model spec");
+  }
+  const models::LayerSpec& first = spec.layers.front();
+  return build_from_model(
+      model, ValueType::chw(first.in_channels, first.in_size, first.in_size));
+}
+
+}  // namespace adq::graph

@@ -1,0 +1,36 @@
+// Model importer: lowers a trained QuantizableModel's nn::Sequential into
+// the graph IR.
+//
+// This is the ONLY place that inspects concrete nn layer types; everything
+// downstream (passes, lowering) operates on NodeKind. The builder is
+// deliberately naive — it emits the *unfused* dataflow exactly as the
+// training forward executes it:
+//
+//   * every quantizing conv/linear gets an explicit kQuantize node in front
+//     of it (the layer's input fake-quantizer made visible as dataflow);
+//   * BatchNorm and ReLU stay standalone nodes;
+//   * a ResidualBlock flattens into explicit branch + add nodes: the skip
+//     quantizer (Fig 2: destination precision), the optional downsample
+//     conv/BN on the skip edge, and a mask-carrying kAdd join;
+//   * a bypassed conv (Table II iter 2a removed unit) contributes no node —
+//     it is an identity in the training graph too.
+//
+// The legalization passes (graph/passes.h) then fold/fuse/elide that naive
+// graph into what the integer engine executes.
+#pragma once
+
+#include "graph/graph.h"
+
+namespace adq::models {
+class QuantizableModel;
+}
+
+namespace adq::graph {
+
+/// Builds the unfused dataflow graph. The input value type is taken from
+/// `input`; the overload without it derives [C, N, N] from the model spec's
+/// first layer.
+Graph build_from_model(models::QuantizableModel& model, const ValueType& input);
+Graph build_from_model(models::QuantizableModel& model);
+
+}  // namespace adq::graph

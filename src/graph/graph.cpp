@@ -1,0 +1,149 @@
+#include "graph/graph.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace adq::graph {
+
+const char* kind_name(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kInput: return "input";
+    case NodeKind::kConv: return "conv";
+    case NodeKind::kDepthwiseConv: return "dwconv";
+    case NodeKind::kLinear: return "linear";
+    case NodeKind::kBatchNorm: return "batchnorm";
+    case NodeKind::kReLU: return "relu";
+    case NodeKind::kMaxPool: return "maxpool";
+    case NodeKind::kGlobalAvgPool: return "gap";
+    case NodeKind::kFlatten: return "flatten";
+    case NodeKind::kQuantize: return "quantize";
+    case NodeKind::kAdd: return "add";
+    case NodeKind::kOutput: return "output";
+  }
+  return "?";
+}
+
+std::string ValueType::to_string() const {
+  std::ostringstream s;
+  switch (rank) {
+    case 0: s << "?"; break;
+    case 1: s << "[" << channels << "]"; break;
+    default: s << "[" << channels << ", " << height << ", " << width << "]";
+  }
+  return s.str();
+}
+
+int Graph::add(Node node) {
+  nodes_.push_back(std::move(node));
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+int Graph::live_count() const {
+  int n = 0;
+  for (const Node& node : nodes_) n += !node.dead;
+  return n;
+}
+
+std::vector<int> Graph::consumers(int id) const {
+  std::vector<int> out;
+  for (int i = 0; i < size(); ++i) {
+    const Node& n = at(i);
+    if (n.dead) continue;
+    for (int in : n.inputs) {
+      if (in == id) {
+        out.push_back(i);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<int> Graph::topo_order() const {
+  // Kahn's algorithm over the live nodes.
+  std::vector<int> indegree(static_cast<std::size_t>(size()), 0);
+  for (int i = 0; i < size(); ++i) {
+    if (at(i).dead) continue;
+    for (int in : at(i).inputs) {
+      if (in < 0 || in >= size() || at(in).dead) {
+        throw std::runtime_error("graph '" + name_ + "': node '" +
+                                 at(i).name + "' has an edge to a " +
+                                 (in < 0 || in >= size() ? "nonexistent"
+                                                         : "removed") +
+                                 " node");
+      }
+    }
+    indegree[static_cast<std::size_t>(i)] =
+        static_cast<int>(at(i).inputs.size());
+  }
+  std::vector<int> ready;
+  for (int i = 0; i < size(); ++i) {
+    if (!at(i).dead && indegree[static_cast<std::size_t>(i)] == 0) {
+      ready.push_back(i);
+    }
+  }
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(live_count()));
+  for (std::size_t head = 0; head < ready.size(); ++head) {
+    const int id = ready[head];
+    order.push_back(id);
+    for (int c : consumers(id)) {
+      // A consumer may reference `id` on several edges; decrement per edge.
+      for (int in : at(c).inputs) {
+        if (in == id && --indegree[static_cast<std::size_t>(c)] == 0) {
+          ready.push_back(c);
+        }
+      }
+    }
+  }
+  if (static_cast<int>(order.size()) != live_count()) {
+    throw std::runtime_error("graph '" + name_ + "': cycle detected");
+  }
+  return order;
+}
+
+void Graph::remove(int id) {
+  Node& n = at(id);
+  if (!consumers(id).empty()) {
+    throw std::logic_error("graph '" + name_ + "': removing node '" + n.name +
+                           "' while it still has consumers");
+  }
+  n.dead = true;
+}
+
+void Graph::replace_input(int node, int old_producer, int new_producer) {
+  for (int& in : at(node).inputs) {
+    if (in == old_producer) in = new_producer;
+  }
+}
+
+void Graph::rewire_consumers(int from, int to) {
+  for (int c : consumers(from)) replace_input(c, from, to);
+}
+
+std::string to_dot(const Graph& g) {
+  std::ostringstream out;
+  out << "digraph \"" << g.name() << "\" {\n"
+      << "  rankdir=TB;\n"
+      << "  node [shape=record, fontsize=10];\n";
+  for (int i = 0; i < g.size(); ++i) {
+    const Node& n = g.at(i);
+    if (n.dead) continue;
+    out << "  n" << i << " [label=\"{" << kind_name(n.kind) << " " << n.name
+        << "|" << n.type.to_string();
+    if (n.bits > 0) out << " @" << n.bits << "b";
+    if (n.quantize_input) out << " qin";
+    if (n.bn != nullptr && n.kind != NodeKind::kBatchNorm) out << " +bn";
+    if (n.fused_relu) out << " +relu";
+    out << "}\"];\n";
+  }
+  for (int i = 0; i < g.size(); ++i) {
+    const Node& n = g.at(i);
+    if (n.dead) continue;
+    for (int in : n.inputs) out << "  n" << in << " -> n" << i << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace adq::graph

@@ -1,0 +1,147 @@
+// Typed dataflow IR for the model -> plan compile pipeline.
+//
+// A Graph is a DAG of Nodes with explicit input edges, one source (kInput)
+// and one sink (kOutput). Every node names the value it produces and, after
+// shape inference, carries that value's batch-agnostic type ([C, H, W]
+// feature maps or [C] feature vectors). GEMM-shaped nodes (conv, depthwise
+// conv, linear) bind non-owning pointers to the trained nn layers whose
+// weights the lowering reads; pass-computed attributes (folded BatchNorm,
+// fused ReLU epilogue, absorbed input quantizer) accumulate on the node.
+//
+// The IR exists so that lowering decisions (what fuses into what, which
+// quantizers are real ops and which are absorbed by the integer GEMM) are
+// explicit graph rewrites (graph/passes.h) instead of a type-switch walk
+// over nn::Sequential — new topologies only need a builder that emits
+// nodes, not a new compiler.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace adq::nn {
+class BatchNorm2d;
+class Conv2d;
+class DepthwiseConv2d;
+class Linear;
+}  // namespace adq::nn
+
+namespace adq::graph {
+
+enum class NodeKind {
+  kInput,          // the graph's single source; type set by the builder
+  kConv,           // nn::Conv2d (+ optionally folded BN, fused ReLU)
+  kDepthwiseConv,  // nn::DepthwiseConv2d (per-channel spatial conv)
+  kLinear,         // nn::Linear
+  kBatchNorm,      // standalone BN; folded into its producer by bn-fold
+  kReLU,           // standalone ReLU; fused into a GEMM/add epilogue
+  kMaxPool,
+  kGlobalAvgPool,
+  kFlatten,
+  kQuantize,  // eqn-1 fake-quantize at `bits`; elided/absorbed by passes
+  kAdd,       // residual join: inputs[0] = main branch, inputs[1] = skip
+  kOutput,    // the graph's single sink
+};
+
+const char* kind_name(NodeKind kind);
+
+/// Batch-agnostic value type: rank 3 for [C, H, W] feature maps, rank 1 for
+/// [C] feature vectors, rank 0 before shape inference has run.
+struct ValueType {
+  int rank = 0;
+  std::int64_t channels = 0, height = 0, width = 0;
+
+  static ValueType chw(std::int64_t c, std::int64_t h, std::int64_t w) {
+    return ValueType{3, c, h, w};
+  }
+  static ValueType features(std::int64_t c) { return ValueType{1, c, 0, 0}; }
+
+  bool operator==(const ValueType& o) const {
+    return rank == o.rank && channels == o.channels && height == o.height &&
+           width == o.width;
+  }
+  bool operator!=(const ValueType& o) const { return !(*this == o); }
+
+  std::string to_string() const;
+};
+
+struct Node {
+  NodeKind kind = NodeKind::kInput;
+  std::string name;         // name of the value this node produces
+  std::vector<int> inputs;  // producer node ids (explicit dataflow edges)
+  ValueType type;           // output value type, filled by infer_shapes()
+
+  // Non-owning layer bindings. Which pointer is set depends on `kind`;
+  // weights and live bit-widths are read from the layer at lowering time.
+  nn::Conv2d* conv = nullptr;
+  nn::DepthwiseConv2d* dwconv = nullptr;
+  nn::Linear* linear = nullptr;
+  nn::BatchNorm2d* bn = nullptr;  // kBatchNorm, or folded into a GEMM node
+
+  // Pass-computed GEMM attributes.
+  bool fused_relu = false;      // ReLU fused into this node's epilogue
+  bool quantize_input = false;  // input fake-quantizer absorbed into the op
+
+  // kQuantize: eqn-1 grid width; also mirrors the GEMM's bit-width on
+  // conv/depthwise/linear nodes for display and elision matching.
+  int bits = 0;
+  bool quant_enabled = true;  // kQuantize: false = identity (elided)
+
+  std::int64_t pool_kernel = 2, pool_stride = 2;  // kMaxPool
+  std::int64_t mask_channels = -1;                // kAdd eqn-5 output mask
+
+  bool dead = false;  // tombstone; set via Graph::remove()
+};
+
+class Graph {
+ public:
+  explicit Graph(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Appends a node and returns its id. Ids are stable for the graph's
+  /// lifetime (removal tombstones instead of compacting).
+  int add(Node node);
+
+  Node& at(int id) { return nodes_.at(static_cast<std::size_t>(id)); }
+  const Node& at(int id) const {
+    return nodes_.at(static_cast<std::size_t>(id));
+  }
+
+  /// Total slots, including tombstones (valid id range is [0, size())).
+  int size() const { return static_cast<int>(nodes_.size()); }
+  int live_count() const;
+
+  int input() const { return input_; }
+  int output() const { return output_; }
+  void set_input(int id) { input_ = id; }
+  void set_output(int id) { output_ = id; }
+
+  /// Live nodes consuming `id`'s value, in id order.
+  std::vector<int> consumers(int id) const;
+
+  /// Topological order over live nodes. Throws std::runtime_error when the
+  /// graph contains a cycle.
+  std::vector<int> topo_order() const;
+
+  /// Marks a node dead. The caller must have rewired its consumers first.
+  void remove(int id);
+
+  /// In `node`, replaces every input edge from `old_producer` with
+  /// `new_producer`.
+  void replace_input(int node, int old_producer, int new_producer);
+
+  /// Rewires every live consumer of `from` to consume `to` instead.
+  void rewire_consumers(int from, int to);
+
+ private:
+  std::string name_;
+  std::vector<Node> nodes_;
+  int input_ = -1, output_ = -1;
+};
+
+/// Graphviz rendering of the live graph: one record per node (kind, value
+/// name, inferred type, bit/fusion annotations), one edge per input.
+std::string to_dot(const Graph& g);
+
+}  // namespace adq::graph

@@ -1,0 +1,338 @@
+#include "graph/passes.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/depthwise.h"
+#include "nn/linear.h"
+
+namespace adq::graph {
+namespace {
+
+[[noreturn]] void fail(const Graph& g, const Node& n, const std::string& why) {
+  throw std::invalid_argument("graph '" + g.name() + "', node '" + n.name +
+                              "' (" + kind_name(n.kind) + "): " + why);
+}
+
+bool is_gemm(NodeKind k) {
+  return k == NodeKind::kConv || k == NodeKind::kDepthwiseConv ||
+         k == NodeKind::kLinear;
+}
+
+int gemm_bits(const Node& n) {
+  switch (n.kind) {
+    case NodeKind::kConv: return n.conv->bits();
+    case NodeKind::kDepthwiseConv: return n.dwconv->bits();
+    case NodeKind::kLinear: return n.linear->bits();
+    default: return 0;
+  }
+}
+
+void expect_rank(const Graph& g, const Node& n, const ValueType& in,
+                 int rank) {
+  if (in.rank != rank) {
+    fail(g, n, "expects a rank-" + std::to_string(rank) + " input, got " +
+                   in.to_string());
+  }
+}
+
+}  // namespace
+
+void infer_shapes(Graph& g) {
+  for (int id : g.topo_order()) {
+    Node& n = g.at(id);
+    // Arity is verify()'s job, but inference must not read past a
+    // malformed node's input list when called on its own.
+    if (n.kind != NodeKind::kInput && n.inputs.empty()) {
+      fail(g, n, "has no input edge");
+    }
+    if (n.kind == NodeKind::kAdd && n.inputs.size() != 2) {
+      fail(g, n, "expects 2 operands, has " +
+                     std::to_string(n.inputs.size()));
+    }
+    const ValueType* in =
+        n.inputs.empty() ? nullptr : &g.at(n.inputs[0]).type;
+    switch (n.kind) {
+      case NodeKind::kInput:
+        if (n.type.rank == 0) fail(g, n, "input node has no value type");
+        break;
+      case NodeKind::kConv: {
+        expect_rank(g, n, *in, 3);
+        if (in->channels != n.conv->in_channels()) {
+          fail(g, n, "expects " + std::to_string(n.conv->in_channels()) +
+                         " channels, got " + in->to_string());
+        }
+        const std::int64_t k = n.conv->kernel(), s = n.conv->stride(),
+                           p = n.conv->pad();
+        n.type = ValueType::chw(n.conv->out_channels(),
+                                (in->height + 2 * p - k) / s + 1,
+                                (in->width + 2 * p - k) / s + 1);
+        break;
+      }
+      case NodeKind::kDepthwiseConv: {
+        expect_rank(g, n, *in, 3);
+        if (in->channels != n.dwconv->channels()) {
+          fail(g, n, "expects " + std::to_string(n.dwconv->channels()) +
+                         " channels, got " + in->to_string());
+        }
+        const std::int64_t k = n.dwconv->kernel(), s = n.dwconv->stride(),
+                           p = n.dwconv->pad();
+        n.type = ValueType::chw(n.dwconv->channels(),
+                                (in->height + 2 * p - k) / s + 1,
+                                (in->width + 2 * p - k) / s + 1);
+        break;
+      }
+      case NodeKind::kLinear:
+        expect_rank(g, n, *in, 1);
+        if (in->channels != n.linear->in_features()) {
+          fail(g, n, "expects " + std::to_string(n.linear->in_features()) +
+                         " features, got " + in->to_string());
+        }
+        n.type = ValueType::features(n.linear->out_features());
+        break;
+      case NodeKind::kBatchNorm:
+        expect_rank(g, n, *in, 3);
+        if (!n.bn->bypassed() && in->channels != n.bn->channels()) {
+          fail(g, n, "normalises " + std::to_string(n.bn->channels()) +
+                         " channels, got " + in->to_string());
+        }
+        n.type = *in;
+        break;
+      case NodeKind::kReLU:
+      case NodeKind::kQuantize:
+      case NodeKind::kOutput:
+        n.type = *in;
+        break;
+      case NodeKind::kMaxPool:
+        expect_rank(g, n, *in, 3);
+        n.type = ValueType::chw(
+            in->channels, (in->height - n.pool_kernel) / n.pool_stride + 1,
+            (in->width - n.pool_kernel) / n.pool_stride + 1);
+        break;
+      case NodeKind::kGlobalAvgPool:
+        expect_rank(g, n, *in, 3);
+        n.type = ValueType::features(in->channels);
+        break;
+      case NodeKind::kFlatten:
+        if (in->rank == 1) {
+          n.type = *in;
+        } else {
+          expect_rank(g, n, *in, 3);
+          n.type = ValueType::features(in->channels * in->height * in->width);
+        }
+        break;
+      case NodeKind::kAdd: {
+        const ValueType& a = g.at(n.inputs[0]).type;
+        const ValueType& b = g.at(n.inputs[1]).type;
+        if (a != b) {
+          fail(g, n, "operand shapes disagree: " + a.to_string() + " vs " +
+                         b.to_string());
+        }
+        n.type = a;
+        break;
+      }
+    }
+  }
+}
+
+void verify(const Graph& g) {
+  // topo_order() validates edge targets and acyclicity.
+  const std::vector<int> order = g.topo_order();
+
+  int inputs = 0, outputs = 0;
+  for (int id : order) {
+    const Node& n = g.at(id);
+    const std::size_t arity = n.kind == NodeKind::kInput ? 0
+                              : n.kind == NodeKind::kAdd ? 2
+                                                         : 1;
+    if (n.inputs.size() != arity) {
+      fail(g, n, "expects " + std::to_string(arity) + " input(s), has " +
+                     std::to_string(n.inputs.size()));
+    }
+    inputs += n.kind == NodeKind::kInput;
+    outputs += n.kind == NodeKind::kOutput;
+    switch (n.kind) {
+      case NodeKind::kConv:
+        if (n.conv == nullptr) fail(g, n, "has no bound Conv2d");
+        break;
+      case NodeKind::kDepthwiseConv:
+        if (n.dwconv == nullptr) fail(g, n, "has no bound DepthwiseConv2d");
+        break;
+      case NodeKind::kLinear:
+        if (n.linear == nullptr) fail(g, n, "has no bound Linear");
+        break;
+      case NodeKind::kBatchNorm:
+        if (n.bn == nullptr) fail(g, n, "has no bound BatchNorm2d");
+        break;
+      case NodeKind::kQuantize:
+        if (n.quant_enabled && n.bits < 1) fail(g, n, "has no bit-width");
+        break;
+      case NodeKind::kAdd:
+        if (n.type.rank != 0 &&
+            g.at(n.inputs[0]).type != g.at(n.inputs[1]).type) {
+          fail(g, n, "operand shapes disagree");
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  if (inputs != 1 || outputs != 1) {
+    throw std::invalid_argument(
+        "graph '" + g.name() + "': expected exactly one input and one " +
+        "output node, found " + std::to_string(inputs) + " / " +
+        std::to_string(outputs));
+  }
+}
+
+bool fold_batchnorm(Graph& g) {
+  bool changed = false;
+  for (int id : g.topo_order()) {
+    Node& n = g.at(id);
+    if (n.dead || n.kind != NodeKind::kBatchNorm) continue;
+    const int producer_id = n.inputs[0];
+    Node& p = g.at(producer_id);
+    if (n.bn->bypassed()) {
+      // Identity (removed unit): route consumers straight to the producer.
+      g.rewire_consumers(id, producer_id);
+      g.remove(id);
+      changed = true;
+    } else if ((p.kind == NodeKind::kConv ||
+                p.kind == NodeKind::kDepthwiseConv) &&
+               p.bn == nullptr && g.consumers(producer_id).size() == 1) {
+      p.bn = n.bn;
+      g.rewire_consumers(id, producer_id);
+      g.remove(id);
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+bool fuse_relu_epilogue(Graph& g) {
+  bool changed = false;
+  for (int id : g.topo_order()) {
+    Node& n = g.at(id);
+    if (n.dead || n.kind != NodeKind::kReLU) continue;
+    const int producer_id = n.inputs[0];
+    Node& p = g.at(producer_id);
+    if ((is_gemm(p.kind) || p.kind == NodeKind::kAdd) && !p.fused_relu &&
+        g.consumers(producer_id).size() == 1) {
+      p.fused_relu = true;
+      g.rewire_consumers(id, producer_id);
+      g.remove(id);
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+bool elide_quantize(Graph& g) {
+  bool changed = false;
+  // Absorptions can expose further elisions (a chain of quantizers thins
+  // front to back), so sweep to a fixpoint.
+  for (bool sweep_changed = true; sweep_changed;) {
+    sweep_changed = false;
+    for (int id : g.topo_order()) {
+      Node& n = g.at(id);
+      if (n.dead || n.kind != NodeKind::kQuantize) continue;
+      if (!n.quant_enabled || n.bits >= 24) {
+        // FakeQuantizer::apply is the identity here.
+        g.rewire_consumers(id, n.inputs[0]);
+        g.remove(id);
+        sweep_changed = true;
+        continue;
+      }
+      const std::vector<int> cs = g.consumers(id);
+      if (cs.size() != 1) continue;
+      Node& c = g.at(cs[0]);
+      // The integer GEMM performs exactly this observation + rounding on
+      // its input, so a preceding same-grid quantizer is the op's own input
+      // quantizer written as dataflow — absorb it. A consumer that already
+      // quantizes (e.g. a downsample conv behind the Fig-2 skip quantizer)
+      // genuinely double-quantizes in training; its quantizer stays.
+      if (is_gemm(c.kind) && !c.quantize_input && gemm_bits(c) == n.bits) {
+        c.quantize_input = true;
+        g.rewire_consumers(id, n.inputs[0]);
+        g.remove(id);
+        sweep_changed = true;
+      }
+    }
+    changed = changed || sweep_changed;
+  }
+  return changed;
+}
+
+bool eliminate_dead_nodes(Graph& g) {
+  std::vector<bool> reachable(static_cast<std::size_t>(g.size()), false);
+  std::vector<int> stack;
+  if (g.output() >= 0 && !g.at(g.output()).dead) stack.push_back(g.output());
+  while (!stack.empty()) {
+    const int id = stack.back();
+    stack.pop_back();
+    if (reachable[static_cast<std::size_t>(id)]) continue;
+    reachable[static_cast<std::size_t>(id)] = true;
+    for (int in : g.at(id).inputs) stack.push_back(in);
+  }
+  bool changed = false;
+  // Reverse order so a dead chain's consumers die before their producers
+  // (remove() insists on consumer-free nodes).
+  for (int id = g.size() - 1; id >= 0; --id) {
+    Node& n = g.at(id);
+    if (n.dead || reachable[static_cast<std::size_t>(id)] ||
+        n.kind == NodeKind::kInput) {
+      continue;
+    }
+    g.remove(id);
+    changed = true;
+  }
+  return changed;
+}
+
+namespace {
+
+void maybe_dump(const Graph& g, int stage_index, const char* stage) {
+  const char* dir = std::getenv("ADQ_DUMP_GRAPH");
+  if (dir == nullptr || *dir == '\0') return;
+  char index[8];
+  std::snprintf(index, sizeof(index), "%02d", stage_index);
+  const std::string path = std::string(dir) + "/" + g.name() + "_" + index +
+                           "_" + stage + ".dot";
+  std::ofstream out(path);
+  if (!out) return;  // an unwritable dump dir must never fail a compile
+  out << to_dot(g);
+}
+
+}  // namespace
+
+void legalize(Graph& g) {
+  int stage = 0;
+  maybe_dump(g, stage++, "built");
+  // Structural checks first — they need no types and make the malformed
+  // cases (bad arity, dangling edges, cycles) fail with a clean error
+  // before inference walks the edges.
+  verify(g);
+  infer_shapes(g);
+  maybe_dump(g, stage++, "verified");
+  fold_batchnorm(g);
+  maybe_dump(g, stage++, "bn_fold");
+  fuse_relu_epilogue(g);
+  maybe_dump(g, stage++, "fuse_relu");
+  elide_quantize(g);
+  maybe_dump(g, stage++, "elide_quantize");
+  eliminate_dead_nodes(g);
+  maybe_dump(g, stage++, "dce");
+  // Passes must leave a well-formed graph; re-run inference so fused nodes
+  // carry final types, then re-verify.
+  infer_shapes(g);
+  verify(g);
+  maybe_dump(g, stage++, "legal");
+}
+
+}  // namespace adq::graph

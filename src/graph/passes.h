@@ -1,0 +1,62 @@
+// Legalization passes over the graph IR.
+//
+// Pipeline order (legalize()) and why it matters:
+//
+//   1. verify        — acyclicity, arity, edge validity (structural checks
+//      need no types and reject malformed graphs with clean errors first)
+//   2. infer_shapes  — propagate [C, H, W] / [C] value types from the input
+//   3. fold_batchnorm — eval-mode BN folds into its producer conv's affine
+//      epilogue; MUST run before ReLU fusion, else the conv -> bn -> relu
+//      chain hides the conv from the ReLU's producer slot
+//   4. fuse_relu_epilogue — a ReLU whose sole producer is a GEMM or
+//      residual add becomes that node's fused epilogue
+//   5. elide_quantize — identity quantizers (disabled / >= 24-bit grid)
+//      vanish; a live quantizer whose only consumer is a GEMM at the same
+//      bit-width is absorbed into the op (the integer engine performs
+//      exactly that observation + rounding internally), leaving explicit
+//      kQuantize nodes only where a value is quantized for a NON-GEMM
+//      consumer (e.g. the residual skip edge, Fig 2)
+//   6. eliminate_dead_nodes — anything no longer reachable from the output
+//   7. infer_shapes + verify again — passes must leave a well-formed graph
+//
+// Every pass is idempotent: a second run returns false and leaves the graph
+// unchanged (tests/test_graph.cpp asserts this).
+//
+// With ADQ_DUMP_GRAPH=<dir> set, legalize() writes
+// <dir>/<model>_<NN>_<stage>.dot after every stage for visual inspection.
+#pragma once
+
+#include "graph/graph.h"
+
+namespace adq::graph {
+
+/// Propagates value types from the input node. Throws std::invalid_argument
+/// on rank/channel mismatches (a conv fed the wrong channel count, a linear
+/// fed unflattened maps, disagreeing add operands, ...).
+void infer_shapes(Graph& g);
+
+/// Structural checks: single live input/output, per-kind arity, edges
+/// reference live nodes, acyclicity, and (when shapes are inferred) add
+/// operand agreement. Throws std::invalid_argument / std::runtime_error.
+void verify(const Graph& g);
+
+/// Folds eval-mode BatchNorm into its producer conv/depthwise node and
+/// removes bypassed (identity) BN nodes. Returns true when anything changed.
+bool fold_batchnorm(Graph& g);
+
+/// Fuses a standalone ReLU into the epilogue of its producer GEMM or
+/// residual add (when it is the sole consumer and nothing is fused yet).
+bool fuse_relu_epilogue(Graph& g);
+
+/// Removes identity quantize nodes and absorbs input quantizers into their
+/// sole GEMM consumer (same bit-width, not already quantizing).
+bool elide_quantize(Graph& g);
+
+/// Removes nodes unreachable from the output (the input node is kept).
+bool eliminate_dead_nodes(Graph& g);
+
+/// Runs the full pipeline above, dumping per-stage .dot files when
+/// ADQ_DUMP_GRAPH is set.
+void legalize(Graph& g);
+
+}  // namespace adq::graph

@@ -67,16 +67,20 @@ EngineScratch& engine_scratch() {
 //   * integer convs materialise a [O+1, P] byte-per-code buffer whose
 //     last row is all-ones (the GEMM then emits the per-column activation
 //     code sums as its final accumulator row — see run_conv_int);
-//   * sub-byte integer linears materialise the unpacked [in, O] codes;
-//   * 8-bit integer linears read the plan's packed codes in place;
+//   * sub-byte integer linears and depthwise convs materialise their
+//     unpacked codes (no ones row — the depthwise loop sums its own
+//     activation patches);
+//   * 8-bit integer linears/depthwise read the plan's packed codes in place;
 //   * float layers have no byte-code view at all.
 bool needs_exec_buffer(const GemmLayerPlan& l) {
-  return l.path == ExecPath::kInteger && (l.is_conv || l.cell_bits != 8);
+  return l.path == ExecPath::kInteger &&
+         ((l.is_conv && !l.is_depthwise) || l.cell_bits != 8);
 }
 
 void build_exec_codes(const GemmLayerPlan& l, std::vector<std::uint8_t>& out) {
   const std::int64_t count = l.out_channels * l.patch();
-  const std::int64_t total = l.is_conv ? count + l.patch() : count;
+  const std::int64_t total =
+      l.is_conv && !l.is_depthwise ? count + l.patch() : count;
   if (static_cast<std::int64_t>(out.size()) < total) {
     out.resize(static_cast<std::size_t>(total));
   }
@@ -85,7 +89,7 @@ void build_exec_codes(const GemmLayerPlan& l, std::vector<std::uint8_t>& out) {
   } else {
     unpack_codes(l.weight_codes.data(), count, l.cell_bits, out.data());
   }
-  if (l.is_conv) {
+  if (l.is_conv && !l.is_depthwise) {
     std::fill(out.begin() + count, out.begin() + total, 1);
   }
 }
@@ -331,6 +335,114 @@ Tensor run_conv_float(const GemmLayerPlan& l, const Tensor& x) {
   return out;
 }
 
+// Integer depthwise conv: each output channel reduces only its own input
+// plane over kernel^2 taps, so there is no GEMM to amortise — a direct
+// loop over the quantized codes with the same per-channel zero-point
+// correction as the GEMM path (plan.h, K = kernel^2). Padding taps use the
+// grid code closest to 0.0, exactly like im2col_u8's padding.
+Tensor run_depthwise_int(const GemmLayerPlan& l, const Tensor& x,
+                         const std::uint8_t* wc) {
+  const std::int64_t B = x.shape().dim(0);
+  const std::int64_t C = l.out_channels;
+  const std::int64_t H = x.shape().dim(2), W = x.shape().dim(3);
+  const ConvGeometry g = conv_geometry(l, H, W);
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+  const std::int64_t k = l.kernel, stride = l.stride, pad = l.pad;
+
+  EngineScratch& ws = engine_scratch();
+  const ActRange qa = quantize_activations(x, l.bits, ws.act_codes);
+  const std::uint8_t* act = ws.act_codes.data();
+
+  const float ss = qa.a_scale * l.w_scale;
+  const float cw = qa.a_min * l.w_scale;  // * w_code_sums[c]
+  const float ca = l.w_min * qa.a_scale;  // * patch activation-code sum
+  const float cc = static_cast<float>(k * k) * qa.a_min * l.w_min;
+
+  Tensor out(Shape{B, C, oh, ow});
+  parallel_for(0, B * C, [&](std::int64_t p0, std::int64_t p1) {
+    for (std::int64_t p = p0; p < p1; ++p) {
+      const std::int64_t c = p % C;
+      float* dst = out.data() + p * oh * ow;
+      if (c >= l.active_out) {
+        std::fill(dst, dst + oh * ow, 0.0f);
+        continue;
+      }
+      const std::uint8_t* plane = act + p * H * W;
+      const std::uint8_t* w = wc + c * k * k;
+      const float row_term =
+          cw * static_cast<float>(l.w_code_sums[static_cast<std::size_t>(c)]) +
+          cc;
+      const float ea = l.epi_scale[static_cast<std::size_t>(c)];
+      const float eb = l.epi_shift[static_cast<std::size_t>(c)];
+      for (std::int64_t y = 0; y < oh; ++y) {
+        for (std::int64_t xo = 0; xo < ow; ++xo) {
+          std::int32_t acc = 0, asum = 0;
+          for (std::int64_t ky = 0; ky < k; ++ky) {
+            const std::int64_t iy = y * stride + ky - pad;
+            for (std::int64_t kx = 0; kx < k; ++kx) {
+              const std::int64_t ix = xo * stride + kx - pad;
+              const std::int32_t code =
+                  (iy < 0 || iy >= H || ix < 0 || ix >= W)
+                      ? qa.zero_code
+                      : plane[iy * W + ix];
+              acc += static_cast<std::int32_t>(w[ky * k + kx]) * code;
+              asum += code;
+            }
+          }
+          float v = ss * static_cast<float>(acc) + row_term +
+                    ca * static_cast<float>(asum);
+          v = ea * v + eb;
+          dst[y * ow + xo] = l.relu ? std::max(v, 0.0f) : v;
+        }
+      }
+    }
+  });
+  return out;
+}
+
+Tensor run_depthwise_float(const GemmLayerPlan& l, const Tensor& x) {
+  const std::int64_t B = x.shape().dim(0);
+  const std::int64_t C = l.out_channels;
+  const std::int64_t H = x.shape().dim(2), W = x.shape().dim(3);
+  const ConvGeometry g = conv_geometry(l, H, W);
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+  const std::int64_t k = l.kernel, stride = l.stride, pad = l.pad;
+
+  const Tensor xq = l.quantize_input ? quant::fake_quantize(x, l.bits) : x;
+  Tensor out(Shape{B, C, oh, ow});
+  parallel_for(0, B * C, [&](std::int64_t p0, std::int64_t p1) {
+    for (std::int64_t p = p0; p < p1; ++p) {
+      const std::int64_t c = p % C;
+      float* dst = out.data() + p * oh * ow;
+      if (c >= l.active_out) {
+        std::fill(dst, dst + oh * ow, 0.0f);
+        continue;
+      }
+      const float* plane = xq.data() + p * H * W;
+      const float* w = l.weight_f.data() + c * k * k;
+      const float ea = l.epi_scale[static_cast<std::size_t>(c)];
+      const float eb = l.epi_shift[static_cast<std::size_t>(c)];
+      for (std::int64_t y = 0; y < oh; ++y) {
+        for (std::int64_t xo = 0; xo < ow; ++xo) {
+          float acc = 0.0f;
+          for (std::int64_t ky = 0; ky < k; ++ky) {
+            const std::int64_t iy = y * stride + ky - pad;
+            if (iy < 0 || iy >= H) continue;
+            for (std::int64_t kx = 0; kx < k; ++kx) {
+              const std::int64_t ix = xo * stride + kx - pad;
+              if (ix < 0 || ix >= W) continue;
+              acc += w[ky * k + kx] * plane[iy * W + ix];
+            }
+          }
+          const float v = ea * acc + eb;
+          dst[y * ow + xo] = l.relu ? std::max(v, 0.0f) : v;
+        }
+      }
+    }
+  });
+  return out;
+}
+
 Tensor run_linear_int(const GemmLayerPlan& l, const Tensor& x,
                       const std::uint8_t* wt) {
   const std::int64_t B = x.shape().dim(0);
@@ -412,6 +524,11 @@ Tensor run_layer(const GemmLayerPlan& layer, const Tensor& x,
       throw std::invalid_argument("infer: " + layer.name + " expected [B, " +
                                   std::to_string(layer.in_channels) +
                                   ", H, W], got " + x.shape().to_string());
+    }
+    if (layer.is_depthwise) {
+      return layer.path == ExecPath::kInteger
+                 ? run_depthwise_int(layer, x, wc)
+                 : run_depthwise_float(layer, x);
     }
     return layer.path == ExecPath::kInteger ? run_conv_int(layer, x, wc)
                                             : run_conv_float(layer, x);
@@ -559,6 +676,9 @@ Tensor IntInferenceEngine::forward(const Tensor& x) const {
         }
         add_mask_relu(current, skip_stack.back(), op.mask_channels);
         skip_stack.pop_back();
+        break;
+      case OpKind::kQuantize:
+        current = quant::fake_quantize(current, op.skip_bits);
         break;
     }
   }

@@ -4,12 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "graph/build.h"
+#include "graph/passes.h"
 #include "nn/batchnorm.h"
-#include "nn/flatten.h"
-#include "nn/pool.h"
-#include "nn/relu.h"
-#include "nn/residual.h"
-#include "nn/sequential.h"
 #include "quant/quantizer.h"
 #include "tensor/bitpack.h"
 #include "tensor/ops.h"
@@ -58,8 +55,8 @@ void quantize_weights(GemmLayerPlan& l, const Tensor& w, bool transpose) {
   pack_codes(codes.data(), count, l.cell_bits, l.weight_codes.data());
 }
 
-// Shared tail of plan_conv / plan_linear: pick the path, snapshot weights,
-// and initialise the identity epilogue.
+// Shared tail of the plan_* builders: pick the path, snapshot weights, and
+// initialise the identity epilogue.
 void plan_weights(GemmLayerPlan& l, const Tensor& w, bool transpose,
                   const CompileOptions& opts) {
   const int ceiling = std::min(opts.max_integer_bits, 8);
@@ -73,6 +70,272 @@ void plan_weights(GemmLayerPlan& l, const Tensor& w, bool transpose,
   l.epi_scale.assign(static_cast<std::size_t>(l.out_channels), 1.0f);
   l.epi_shift.assign(static_cast<std::size_t>(l.out_channels), 0.0f);
 }
+
+// Folds the eval-mode BatchNorm affine and then the conv bias into the
+// per-channel epilogue.
+void fold_bn_and_bias(GemmLayerPlan& l, nn::BatchNorm2d* bn,
+                      nn::Parameter* bias) {
+  if (bn != nullptr && !bn->bypassed()) {
+    const Tensor& mean = bn->running_mean();
+    const Tensor& var = bn->running_var();
+    for (std::int64_t c = 0; c < l.out_channels; ++c) {
+      const float inv_std = 1.0f / std::sqrt(var[c] + bn->eps());
+      const float a = bn->gamma().value[c] * inv_std;
+      l.epi_scale[static_cast<std::size_t>(c)] = a;
+      l.epi_shift[static_cast<std::size_t>(c)] = bn->beta().value[c] - a * mean[c];
+    }
+  }
+  if (bias != nullptr) {
+    for (std::int64_t c = 0; c < l.out_channels; ++c) {
+      l.epi_shift[static_cast<std::size_t>(c)] +=
+          l.epi_scale[static_cast<std::size_t>(c)] * bias->value[c];
+    }
+  }
+}
+
+// The plan_* internals take quantize_input explicitly: the graph pipeline
+// decides it by pass (elide_quantize absorbs the layer's input quantizer);
+// the public wrappers below re-derive the training-forward condition for
+// callers compiling a bare layer.
+//
+// Conv2d and DepthwiseConv2d share every accessor the plan needs except
+// the channel counts, so one templated builder serves both — a change to
+// the shared tail can never reach one layer kind and miss the other.
+template <typename ConvLike>
+GemmLayerPlan plan_conv_like(ConvLike& conv, bool is_depthwise,
+                             std::int64_t in_channels,
+                             std::int64_t out_channels, nn::BatchNorm2d* bn,
+                             bool fuse_relu, bool quantize_input,
+                             const CompileOptions& opts) {
+  GemmLayerPlan l;
+  l.name = conv.name();
+  l.is_conv = true;
+  l.is_depthwise = is_depthwise;
+  l.in_channels = in_channels;
+  l.out_channels = out_channels;
+  l.kernel = conv.kernel();
+  l.stride = conv.stride();
+  l.pad = conv.pad();
+  l.bits = conv.bits();
+  l.quantize_input = quantize_input;
+  l.relu = fuse_relu;
+  l.active_out = conv.active_out_channels();
+  plan_weights(l, conv.weight().value, /*transpose=*/false, opts);
+  fold_bn_and_bias(l, bn, conv.bias());
+  return l;
+}
+
+GemmLayerPlan plan_conv_node(nn::Conv2d& conv, nn::BatchNorm2d* bn,
+                             bool fuse_relu, bool quantize_input,
+                             const CompileOptions& opts) {
+  return plan_conv_like(conv, /*is_depthwise=*/false, conv.in_channels(),
+                        conv.out_channels(), bn, fuse_relu, quantize_input,
+                        opts);
+}
+
+GemmLayerPlan plan_depthwise_node(nn::DepthwiseConv2d& conv,
+                                  nn::BatchNorm2d* bn, bool fuse_relu,
+                                  bool quantize_input,
+                                  const CompileOptions& opts) {
+  return plan_conv_like(conv, /*is_depthwise=*/true, conv.channels(),
+                        conv.channels(), bn, fuse_relu, quantize_input, opts);
+}
+
+GemmLayerPlan plan_linear_node(nn::Linear& linear, bool fuse_relu,
+                               bool quantize_input,
+                               const CompileOptions& opts) {
+  GemmLayerPlan l;
+  l.name = linear.name();
+  l.is_conv = false;
+  l.in_channels = linear.in_features();
+  l.out_channels = linear.out_features();
+  l.bits = linear.bits();
+  l.quantize_input = quantize_input;
+  l.relu = fuse_relu;
+  l.active_out = l.out_channels;
+  plan_weights(l, linear.weight().value, /*transpose=*/true, opts);
+  if (nn::Parameter* b = linear.bias()) {
+    for (std::int64_t c = 0; c < l.out_channels; ++c) {
+      l.epi_shift[static_cast<std::size_t>(c)] = b->value[c];
+    }
+  }
+  return l;
+}
+
+// ---------------------------------------------------------------------------
+// Graph -> plan emission.
+//
+// The engine is a stack machine over one "current" tensor plus a skip
+// stack, so lowering walks the legalized DAG recursively: chains emit in
+// producer order, and a residual diamond emits as
+//   PushSkip -> <main-branch ops> -> [SkipGemm] -> AddSkipRelu.
+// The skip branch may hold at most the Fig-2 quantizer and one
+// (BN-folded) conv — exactly what kPushSkip/kSkipGemm can express; deeper
+// skip branches are an IR capability the engine does not have yet, and
+// lowering says so rather than miscompiling.
+// ---------------------------------------------------------------------------
+
+class Lowerer {
+ public:
+  Lowerer(const graph::Graph& g, const CompileOptions& opts)
+      : g_(g), opts_(opts) {}
+
+  InferencePlan run() {
+    plan_.model_name = g_.name();
+    emit_value(g_.output());
+    return std::move(plan_);
+  }
+
+ private:
+  [[noreturn]] void cannot_lower(const graph::Node& n,
+                                 const std::string& why) {
+    throw std::invalid_argument("infer::lower_to_plan: node '" + n.name +
+                                "' (" + graph::kind_name(n.kind) + "): " +
+                                why);
+  }
+
+  void emit_gemm(GemmLayerPlan layer, OpKind kind) {
+    plan_.layers.push_back(std::move(layer));
+    OpPlan op;
+    op.kind = kind;
+    op.layer = static_cast<int>(plan_.layers.size()) - 1;
+    plan_.ops.push_back(op);
+  }
+
+  GemmLayerPlan plan_for(const graph::Node& n) {
+    switch (n.kind) {
+      case graph::NodeKind::kConv:
+        return plan_conv_node(*n.conv, n.bn, n.fused_relu, n.quantize_input,
+                              opts_);
+      case graph::NodeKind::kDepthwiseConv:
+        return plan_depthwise_node(*n.dwconv, n.bn, n.fused_relu,
+                                   n.quantize_input, opts_);
+      case graph::NodeKind::kLinear:
+        return plan_linear_node(*n.linear, n.fused_relu, n.quantize_input,
+                                opts_);
+      default:
+        cannot_lower(n, "not a GEMM node");
+    }
+  }
+
+  // Emits the op consuming the current tensor and producing n's value.
+  void emit_op(const graph::Node& n) {
+    OpPlan op;
+    switch (n.kind) {
+      case graph::NodeKind::kConv:
+      case graph::NodeKind::kDepthwiseConv:
+      case graph::NodeKind::kLinear:
+        emit_gemm(plan_for(n), OpKind::kGemm);
+        return;
+      case graph::NodeKind::kReLU:
+        op.kind = OpKind::kReLU;
+        break;
+      case graph::NodeKind::kMaxPool:
+        op.kind = OpKind::kMaxPool;
+        op.pool_kernel = n.pool_kernel;
+        op.pool_stride = n.pool_stride;
+        break;
+      case graph::NodeKind::kGlobalAvgPool:
+        op.kind = OpKind::kGlobalAvgPool;
+        break;
+      case graph::NodeKind::kFlatten:
+        op.kind = OpKind::kFlatten;
+        break;
+      case graph::NodeKind::kQuantize:
+        // A quantizer no pass could fuse (e.g. hand-built graphs): executed
+        // as an explicit eqn-1 snap of the current tensor.
+        op.kind = OpKind::kQuantize;
+        op.skip_bits = n.bits;
+        break;
+      case graph::NodeKind::kBatchNorm:
+        cannot_lower(n, "BatchNorm was not folded into a conv "
+                        "(run graph::legalize first)");
+      default:
+        cannot_lower(n, "unsupported op");
+    }
+    plan_.ops.push_back(op);
+  }
+
+  // Ensures the engine's current tensor holds node `id`'s value.
+  void emit_value(int id) {
+    const graph::Node& n = g_.at(id);
+    switch (n.kind) {
+      case graph::NodeKind::kInput:
+        return;  // current = the engine's input tensor
+      case graph::NodeKind::kOutput:
+        emit_value(n.inputs[0]);
+        return;
+      case graph::NodeKind::kAdd:
+        emit_add(n);
+        return;
+      default:
+        emit_value(n.inputs[0]);
+        emit_op(n);
+        return;
+    }
+  }
+
+  void emit_add(const graph::Node& add) {
+    // Build convention: inputs[0] = main branch, inputs[1] = skip branch.
+    // The skip branch may hold [quantize] [conv]; beneath it is the fork
+    // value both branches share. A node that feeds anything besides the
+    // skip branch IS the fork (e.g. an identity skip whose quantizer was
+    // elided lands the add directly on the shared producer — even when
+    // that producer happens to be a conv), so only sole-consumer nodes are
+    // consumed into the skip chain.
+    int skip = add.inputs[1];
+    int down = -1, quantize = -1;
+    if ((g_.at(skip).kind == graph::NodeKind::kConv ||
+         g_.at(skip).kind == graph::NodeKind::kDepthwiseConv) &&
+        g_.consumers(skip).size() == 1) {
+      down = skip;
+      skip = g_.at(skip).inputs[0];
+    }
+    if (g_.at(skip).kind == graph::NodeKind::kQuantize &&
+        g_.consumers(skip).size() == 1) {
+      quantize = skip;
+      skip = g_.at(skip).inputs[0];
+    }
+    const int fork = skip;
+
+    // Main-branch chain from the fork (exclusive) to the add (exclusive).
+    std::vector<int> chain;
+    for (int m = add.inputs[0]; m != fork;) {
+      const graph::Node& node = g_.at(m);
+      if (node.kind == graph::NodeKind::kAdd ||
+          node.kind == graph::NodeKind::kInput || node.inputs.empty()) {
+        cannot_lower(add, "main and skip branches do not meet at a common "
+                          "fork the skip stack can express");
+      }
+      chain.push_back(m);
+      m = node.inputs[0];
+    }
+
+    emit_value(fork);
+    OpPlan push;
+    push.kind = OpKind::kPushSkip;
+    push.skip_bits = quantize >= 0 ? g_.at(quantize).bits : 0;
+    plan_.ops.push_back(push);
+
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      emit_op(g_.at(*it));
+    }
+    if (down >= 0) emit_gemm(plan_for(g_.at(down)), OpKind::kSkipGemm);
+
+    if (!add.fused_relu) {
+      cannot_lower(add, "the engine's residual add always rectifies; an add "
+                        "without a fused ReLU cannot execute");
+    }
+    OpPlan op;
+    op.kind = OpKind::kAddSkipRelu;
+    op.mask_channels = add.mask_channels;
+    plan_.ops.push_back(op);
+  }
+
+  const graph::Graph& g_;
+  const CompileOptions& opts_;
+  InferencePlan plan_;
+};
 
 }  // namespace
 
@@ -95,151 +358,35 @@ int InferencePlan::integer_layer_count() const {
 
 GemmLayerPlan plan_conv(nn::Conv2d& conv, nn::BatchNorm2d* bn,
                         bool fuse_relu, const CompileOptions& opts) {
-  GemmLayerPlan l;
-  l.name = conv.name();
-  l.is_conv = true;
-  l.in_channels = conv.in_channels();
-  l.out_channels = conv.out_channels();
-  l.kernel = conv.kernel();
-  l.stride = conv.stride();
-  l.pad = conv.pad();
-  l.bits = conv.bits();
-  l.quantize_input = conv.quantization_enabled() && l.bits < 24;
-  l.relu = fuse_relu;
-  l.active_out = conv.active_out_channels();
-  plan_weights(l, conv.weight().value, /*transpose=*/false, opts);
+  return plan_conv_node(conv, bn, fuse_relu,
+                        conv.quantization_enabled() && conv.bits() < 24,
+                        opts);
+}
 
-  if (bn != nullptr && !bn->bypassed()) {
-    const Tensor& mean = bn->running_mean();
-    const Tensor& var = bn->running_var();
-    for (std::int64_t c = 0; c < l.out_channels; ++c) {
-      const float inv_std = 1.0f / std::sqrt(var[c] + bn->eps());
-      const float a = bn->gamma().value[c] * inv_std;
-      l.epi_scale[static_cast<std::size_t>(c)] = a;
-      l.epi_shift[static_cast<std::size_t>(c)] = bn->beta().value[c] - a * mean[c];
-    }
-  }
-  if (nn::Parameter* b = conv.bias()) {
-    for (std::int64_t c = 0; c < l.out_channels; ++c) {
-      l.epi_shift[static_cast<std::size_t>(c)] +=
-          l.epi_scale[static_cast<std::size_t>(c)] * b->value[c];
-    }
-  }
-  return l;
+GemmLayerPlan plan_depthwise(nn::DepthwiseConv2d& conv, nn::BatchNorm2d* bn,
+                             bool fuse_relu, const CompileOptions& opts) {
+  return plan_depthwise_node(conv, bn, fuse_relu,
+                             conv.quantization_enabled() && conv.bits() < 24,
+                             opts);
 }
 
 GemmLayerPlan plan_linear(nn::Linear& linear, bool fuse_relu,
                           const CompileOptions& opts) {
-  GemmLayerPlan l;
-  l.name = linear.name();
-  l.is_conv = false;
-  l.in_channels = linear.in_features();
-  l.out_channels = linear.out_features();
-  l.bits = linear.bits();
-  l.quantize_input = linear.quantization_enabled() && l.bits < 24;
-  l.relu = fuse_relu;
-  l.active_out = l.out_channels;
-  plan_weights(l, linear.weight().value, /*transpose=*/true, opts);
+  return plan_linear_node(linear, fuse_relu,
+                          linear.quantization_enabled() && linear.bits() < 24,
+                          opts);
+}
 
-  if (nn::Parameter* b = linear.bias()) {
-    for (std::int64_t c = 0; c < l.out_channels; ++c) {
-      l.epi_shift[static_cast<std::size_t>(c)] = b->value[c];
-    }
-  }
-  return l;
+InferencePlan lower_to_plan(const graph::Graph& g,
+                            const CompileOptions& opts) {
+  return Lowerer(g, opts).run();
 }
 
 InferencePlan compile(models::QuantizableModel& model,
                       const CompileOptions& opts) {
-  InferencePlan plan;
-  plan.model_name = model.name();
-  nn::Sequential& net = model.net();
-
-  auto peek = [&](std::size_t j) -> nn::Layer* {
-    return j < net.size() ? &net.at(j) : nullptr;
-  };
-  auto emit_gemm = [&](GemmLayerPlan layer, OpKind kind) {
-    plan.layers.push_back(std::move(layer));
-    OpPlan op;
-    op.kind = kind;
-    op.layer = static_cast<int>(plan.layers.size()) - 1;
-    plan.ops.push_back(op);
-  };
-
-  std::size_t i = 0;
-  while (i < net.size()) {
-    nn::Layer& L = net.at(i);
-    if (auto* conv = dynamic_cast<nn::Conv2d*>(&L)) {
-      auto* bn = dynamic_cast<nn::BatchNorm2d*>(peek(i + 1));
-      std::size_t j = i + 1 + (bn != nullptr ? 1 : 0);
-      auto* relu = dynamic_cast<nn::ReLU*>(peek(j));
-      if (relu != nullptr) ++j;
-      if (conv->bypassed()) {
-        // Removed unit (Table II iter 2a): conv and BN are identities, the
-        // trailing ReLU still rectifies.
-        if (relu != nullptr) {
-          OpPlan op;
-          op.kind = OpKind::kReLU;
-          plan.ops.push_back(op);
-        }
-      } else {
-        emit_gemm(plan_conv(*conv, bn, relu != nullptr, opts), OpKind::kGemm);
-      }
-      i = j;
-    } else if (auto* block = dynamic_cast<nn::ResidualBlock*>(&L)) {
-      const quant::FakeQuantizer& sq = block->skip_quantizer();
-      OpPlan push;
-      push.kind = OpKind::kPushSkip;
-      push.skip_bits = (sq.enabled() && sq.bits() < 24) ? sq.bits() : 0;
-      plan.ops.push_back(push);
-      emit_gemm(plan_conv(block->conv1(), &block->bn1(), /*fuse_relu=*/true,
-                          opts),
-                OpKind::kGemm);
-      emit_gemm(plan_conv(block->conv2(), &block->bn2(), /*fuse_relu=*/false,
-                          opts),
-                OpKind::kGemm);
-      if (block->has_downsample()) {
-        emit_gemm(plan_conv(*block->downsample_conv(), block->downsample_bn(),
-                            /*fuse_relu=*/false, opts),
-                  OpKind::kSkipGemm);
-      }
-      OpPlan add;
-      add.kind = OpKind::kAddSkipRelu;
-      add.mask_channels = block->active_out_channels();
-      plan.ops.push_back(add);
-      ++i;
-    } else if (auto* lin = dynamic_cast<nn::Linear*>(&L)) {
-      auto* relu = dynamic_cast<nn::ReLU*>(peek(i + 1));
-      emit_gemm(plan_linear(*lin, relu != nullptr, opts), OpKind::kGemm);
-      i += relu != nullptr ? 2 : 1;
-    } else if (auto* pool = dynamic_cast<nn::MaxPool2d*>(&L)) {
-      OpPlan op;
-      op.kind = OpKind::kMaxPool;
-      op.pool_kernel = pool->kernel();
-      op.pool_stride = pool->stride();
-      plan.ops.push_back(op);
-      ++i;
-    } else if (dynamic_cast<nn::GlobalAvgPool*>(&L) != nullptr) {
-      OpPlan op;
-      op.kind = OpKind::kGlobalAvgPool;
-      plan.ops.push_back(op);
-      ++i;
-    } else if (dynamic_cast<nn::Flatten*>(&L) != nullptr) {
-      OpPlan op;
-      op.kind = OpKind::kFlatten;
-      plan.ops.push_back(op);
-      ++i;
-    } else if (dynamic_cast<nn::ReLU*>(&L) != nullptr) {
-      OpPlan op;
-      op.kind = OpKind::kReLU;
-      plan.ops.push_back(op);
-      ++i;
-    } else {
-      throw std::invalid_argument("infer::compile: unsupported layer '" +
-                                  L.name() + "'");
-    }
-  }
-  return plan;
+  graph::Graph g = graph::build_from_model(model);
+  graph::legalize(g);
+  return lower_to_plan(g, opts);
 }
 
 }  // namespace adq::infer

@@ -16,6 +16,14 @@
 //     quantizers are disabled (the paper's exempt first conv / final FC)
 //     fall back to a float op that reproduces the training-path math.
 //
+// compile() works in two stages: graph::build_from_model() lowers the
+// trained network into the typed dataflow IR (src/graph), the legalization
+// passes fold BN, fuse ReLU epilogues, and elide/absorb quantizers, and
+// lower_to_plan() walks the legalized graph emitting the op list the
+// engine interprets. Any topology the IR can express (plain chains,
+// residual diamonds, depthwise-separable blocks) compiles without touching
+// this file again.
+//
 // The executed integer arithmetic is algebraically identical to the
 // fake-quant float path: with x = x_min + s_x * q_x for every operand,
 //
@@ -26,7 +34,8 @@
 //     + K * a_min * w_min,                   <- constant
 //
 // so parity with the fake-quant path holds to float rounding at every
-// bit-width, which tests/test_infer.cpp asserts per bit-width.
+// bit-width, which tests/test_infer.cpp asserts per bit-width. The same
+// identity applies per channel to depthwise convolutions (K = kernel^2).
 #pragma once
 
 #include <cstddef>
@@ -34,8 +43,10 @@
 #include <string>
 #include <vector>
 
+#include "graph/graph.h"
 #include "models/model.h"
 #include "nn/conv2d.h"
+#include "nn/depthwise.h"
 #include "nn/linear.h"
 #include "tensor/tensor.h"
 
@@ -53,11 +64,16 @@ struct CompileOptions {
   int max_integer_bits = 8;
 };
 
-/// One compiled conv or linear layer: pre-quantized weights plus the fused
-/// requantize + BatchNorm + bias + ReLU + channel-mask epilogue.
+/// One compiled conv, depthwise-conv or linear layer: pre-quantized weights
+/// plus the fused requantize + BatchNorm + bias + ReLU + channel-mask
+/// epilogue.
 struct GemmLayerPlan {
   std::string name;
   bool is_conv = true;
+  /// Depthwise spatial conv (is_conv is also true): each output channel
+  /// convolves only its own input channel, so the reduction depth is
+  /// kernel^2 and in_channels == out_channels.
+  bool is_depthwise = false;
   ExecPath path = ExecPath::kFloat;
 
   // Geometry. Linear layers use in_channels/out_channels as in/out features.
@@ -68,8 +84,9 @@ struct GemmLayerPlan {
   bool quantize_input = false; // false when the layer's quantizers are off
 
   // Integer path: packed weight codes. Convs store [out, patch] row-major
-  // (GEMM A operand); linears store the transpose [in, out] (GEMM B
-  // operand). cell_bits is the packed cell width {1,2,4,8}.
+  // (GEMM A operand; depthwise [channels, kernel^2]); linears store the
+  // transpose [in, out] (GEMM B operand). cell_bits is the packed cell
+  // width {1,2,4,8}.
   int cell_bits = 8;
   std::vector<std::uint8_t> weight_codes;
   float w_min = 0.0f;
@@ -88,9 +105,11 @@ struct GemmLayerPlan {
   bool relu = false;
   std::int64_t active_out = 0;
 
-  /// GEMM reduction depth: conv patch size or linear fan-in.
+  /// GEMM reduction depth: conv patch size, depthwise kernel^2, or linear
+  /// fan-in.
   std::int64_t patch() const {
-    return is_conv ? in_channels * kernel * kernel : in_channels;
+    if (!is_conv) return in_channels;
+    return is_depthwise ? kernel * kernel : in_channels * kernel * kernel;
   }
 
   /// Resident weight bytes of this layer (packed codes or float words).
@@ -109,12 +128,14 @@ enum class OpKind {
                  // activations use the destination conv2's precision)
   kSkipGemm,     // layers[op.layer] applied to the saved skip (downsample)
   kAddSkipRelu,  // current += saved skip; eqn-5 mask; ReLU
+  kQuantize,     // current = fake_quantize(current, skip_bits) — a
+                 // standalone quantizer no pass could fuse (format v2+)
 };
 
 struct OpPlan {
   OpKind kind = OpKind::kGemm;
   int layer = -1;                  // kGemm / kSkipGemm
-  int skip_bits = 0;               // kPushSkip (0 = no quantization)
+  int skip_bits = 0;               // kPushSkip / kQuantize (0 = no quantization)
   std::int64_t pool_kernel = 2, pool_stride = 2;  // kMaxPool
   std::int64_t mask_channels = -1; // kAddSkipRelu (-1 = no mask)
 };
@@ -132,17 +153,30 @@ struct InferencePlan {
 };
 
 /// Compiles a single conv (+ optional BatchNorm fold + fused ReLU). Exposed
-/// for layer-level parity tests; compile() uses it for every conv it walks.
+/// for layer-level parity tests; lowering uses it for every conv node.
 GemmLayerPlan plan_conv(nn::Conv2d& conv, nn::BatchNorm2d* bn,
                         bool fuse_relu, const CompileOptions& opts = {});
+
+/// Compiles a single depthwise conv (+ optional BatchNorm fold + fused
+/// ReLU).
+GemmLayerPlan plan_depthwise(nn::DepthwiseConv2d& conv, nn::BatchNorm2d* bn,
+                             bool fuse_relu, const CompileOptions& opts = {});
 
 /// Compiles a single linear layer (+ fused ReLU).
 GemmLayerPlan plan_linear(nn::Linear& linear, bool fuse_relu,
                           const CompileOptions& opts = {});
 
-/// Walks the model's layer graph (plain chains, VGG pool/flatten bodies,
-/// ResNet residual blocks) and emits the full plan. Throws on layer types
-/// the engine cannot execute.
+/// Emits the plan for an already-legalized graph (see graph/passes.h).
+/// Throws std::invalid_argument when the graph contains structures the
+/// engine's stack machine cannot execute (an unfused BatchNorm, a residual
+/// add without a fused ReLU, a skip branch deeper than quantize + one
+/// conv).
+InferencePlan lower_to_plan(const graph::Graph& g,
+                            const CompileOptions& opts = {});
+
+/// build_from_model + legalize + lower_to_plan in one call: compiles the
+/// trained model (plain chains, VGG pool/flatten bodies, ResNet residual
+/// blocks, depthwise-separable stacks) into the full plan.
 InferencePlan compile(models::QuantizableModel& model,
                       const CompileOptions& opts = {});
 

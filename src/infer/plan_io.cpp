@@ -58,21 +58,27 @@ class Writer {
     out_.append(s);
   }
 
+  // Empty-array guards mirror the Reader's: data() of an empty vector is
+  // null, and append/memcpy from null is UB even at length 0.
   void bytes(const std::uint8_t* p, std::size_t n) {
     scalar<std::uint64_t>(n);
-    out_.append(reinterpret_cast<const char*>(p), n);
+    if (n != 0) out_.append(reinterpret_cast<const char*>(p), n);
   }
 
   void i32s(const std::vector<std::int32_t>& v) {
     scalar<std::uint64_t>(v.size());
-    out_.append(reinterpret_cast<const char*>(v.data()),
-                v.size() * sizeof(std::int32_t));
+    if (!v.empty()) {
+      out_.append(reinterpret_cast<const char*>(v.data()),
+                  v.size() * sizeof(std::int32_t));
+    }
   }
 
   void f32s(const std::vector<float>& v) {
     scalar<std::uint64_t>(v.size());
-    out_.append(reinterpret_cast<const char*>(v.data()),
-                v.size() * sizeof(float));
+    if (!v.empty()) {
+      out_.append(reinterpret_cast<const char*>(v.data()),
+                  v.size() * sizeof(float));
+    }
   }
 
   void tensor(const Tensor& t) {
@@ -116,11 +122,14 @@ class Reader {
     return s;
   }
 
+  // The n != 0 guards: float-path layers store empty code/sum arrays, and
+  // an empty vector's data() is null — memcpy with a null source is UB
+  // even at length 0 (UBSan flags it in the sanitizer CI jobs).
   std::vector<std::uint8_t> bytes() {
     const auto n = scalar<std::uint64_t>();
     need(n, "byte array");
     std::vector<std::uint8_t> v(n);
-    std::memcpy(v.data(), p_ + pos_, n);
+    if (n != 0) std::memcpy(v.data(), p_ + pos_, n);
     pos_ += n;
     return v;
   }
@@ -128,7 +137,7 @@ class Reader {
   std::vector<std::int32_t> i32s() {
     const auto n = count_of(sizeof(std::int32_t), "int32 array");
     std::vector<std::int32_t> v(n);
-    std::memcpy(v.data(), p_ + pos_, n * sizeof(std::int32_t));
+    if (n != 0) std::memcpy(v.data(), p_ + pos_, n * sizeof(std::int32_t));
     pos_ += n * sizeof(std::int32_t);
     return v;
   }
@@ -136,7 +145,7 @@ class Reader {
   std::vector<float> f32s() {
     const auto n = count_of(sizeof(float), "float array");
     std::vector<float> v(n);
-    std::memcpy(v.data(), p_ + pos_, n * sizeof(float));
+    if (n != 0) std::memcpy(v.data(), p_ + pos_, n * sizeof(float));
     pos_ += n * sizeof(float);
     return v;
   }
@@ -205,9 +214,10 @@ class Reader {
   std::size_t pos_ = 0;
 };
 
-void write_layer(Writer& w, const GemmLayerPlan& l) {
+void write_layer(Writer& w, const GemmLayerPlan& l, std::uint32_t version) {
   w.str(l.name);
   w.scalar<std::uint8_t>(l.is_conv ? 1 : 0);
+  if (version >= 2) w.scalar<std::uint8_t>(l.is_depthwise ? 1 : 0);
   w.scalar<std::uint8_t>(l.path == ExecPath::kInteger ? 1 : 0);
   w.scalar<std::int64_t>(l.in_channels);
   w.scalar<std::int64_t>(l.out_channels);
@@ -228,10 +238,12 @@ void write_layer(Writer& w, const GemmLayerPlan& l) {
   w.scalar<std::int64_t>(l.active_out);
 }
 
-GemmLayerPlan read_layer(Reader& r) {
+GemmLayerPlan read_layer(Reader& r, std::uint32_t version) {
   GemmLayerPlan l;
   l.name = r.str();
   l.is_conv = r.scalar<std::uint8_t>() != 0;
+  // v1 payloads predate depthwise layers and carry no flag byte.
+  l.is_depthwise = version >= 2 ? r.scalar<std::uint8_t>() != 0 : false;
   const auto path = r.scalar<std::uint8_t>();
   if (path > 1) fail("invalid execution path tag");
   l.path = path == 1 ? ExecPath::kInteger : ExecPath::kFloat;
@@ -273,11 +285,16 @@ GemmLayerPlan read_layer(Reader& r) {
     fail("integer-path layer '" + l.name + "' claims " +
          std::to_string(l.bits) + " bits (max 8)");
   }
-  const std::int64_t count =
-      checked_mul(l.out_channels,
-                  l.is_conv ? checked_mul(l.in_channels,
-                                          checked_mul(l.kernel, l.kernel))
-                            : l.in_channels);
+  if (l.is_depthwise && (!l.is_conv || l.in_channels != l.out_channels)) {
+    fail("invalid depthwise geometry in layer '" + l.name + "'");
+  }
+  const std::int64_t inner =
+      !l.is_conv ? l.in_channels
+                 : (l.is_depthwise
+                        ? checked_mul(l.kernel, l.kernel)
+                        : checked_mul(l.in_channels,
+                                      checked_mul(l.kernel, l.kernel)));
+  const std::int64_t count = checked_mul(l.out_channels, inner);
   if (l.path == ExecPath::kInteger) {
     if (static_cast<std::int64_t>(l.weight_codes.size()) !=
         packed_bytes(count, l.cell_bits)) {
@@ -310,11 +327,14 @@ void write_op(Writer& w, const OpPlan& op) {
   w.scalar<std::int64_t>(op.mask_channels);
 }
 
-OpPlan read_op(Reader& r, std::size_t layer_count) {
+OpPlan read_op(Reader& r, std::size_t layer_count, std::uint32_t version) {
   OpPlan op;
   const auto kind = r.scalar<std::uint8_t>();
-  if (kind > static_cast<std::uint8_t>(OpKind::kAddSkipRelu)) {
-    fail("invalid op kind tag " + std::to_string(kind));
+  const OpKind max_kind =
+      version >= 2 ? OpKind::kQuantize : OpKind::kAddSkipRelu;
+  if (kind > static_cast<std::uint8_t>(max_kind)) {
+    fail("invalid op kind tag " + std::to_string(kind) +
+         " for format version " + std::to_string(version));
   }
   op.kind = static_cast<OpKind>(kind);
   op.layer = r.scalar<std::int32_t>();
@@ -338,22 +358,46 @@ OpPlan read_op(Reader& r, std::size_t layer_count) {
   if (op.kind == OpKind::kAddSkipRelu && op.mask_channels < -1) {
     fail("invalid residual mask");
   }
+  if (op.kind == OpKind::kQuantize &&
+      (op.skip_bits < 1 || op.skip_bits > 32)) {
+    fail("invalid quantize bit-width");
+  }
   return op;
 }
 
 }  // namespace
 
-void save_plan(const InferencePlan& plan, std::ostream& out) {
+void save_plan(const InferencePlan& plan, std::ostream& out,
+               std::uint32_t version) {
+  if (version == 0 || version > kPlanFormatVersion) {
+    fail("cannot write format version " + std::to_string(version) +
+         " (this build writes up to " + std::to_string(kPlanFormatVersion) +
+         ")");
+  }
+  if (version < 2) {
+    for (const GemmLayerPlan& l : plan.layers) {
+      if (l.is_depthwise) {
+        fail("depthwise layer '" + l.name +
+             "' requires format version 2; cannot write version " +
+             std::to_string(version));
+      }
+    }
+    for (const OpPlan& op : plan.ops) {
+      if (op.kind == OpKind::kQuantize) {
+        fail("standalone quantize op requires format version 2; cannot "
+             "write version " + std::to_string(version));
+      }
+    }
+  }
   Writer w;
   w.str(plan.model_name);
   w.scalar<std::uint32_t>(static_cast<std::uint32_t>(plan.layers.size()));
-  for (const GemmLayerPlan& l : plan.layers) write_layer(w, l);
+  for (const GemmLayerPlan& l : plan.layers) write_layer(w, l, version);
   w.scalar<std::uint32_t>(static_cast<std::uint32_t>(plan.ops.size()));
   for (const OpPlan& op : plan.ops) write_op(w, op);
 
   const std::string& payload = w.payload();
   out.write(kMagic, sizeof(kMagic));
-  const std::uint32_t version = kPlanFormatVersion;
   const std::uint32_t flags = 0;
   out.write(reinterpret_cast<const char*>(&version), sizeof(version));
   out.write(reinterpret_cast<const char*>(&flags), sizeof(flags));
@@ -408,12 +452,12 @@ InferencePlan load_plan(std::istream& in) {
   const auto layer_count = r.scalar<std::uint32_t>();
   plan.layers.reserve(layer_count);
   for (std::uint32_t i = 0; i < layer_count; ++i) {
-    plan.layers.push_back(read_layer(r));
+    plan.layers.push_back(read_layer(r, version));
   }
   const auto op_count = r.scalar<std::uint32_t>();
   plan.ops.reserve(op_count);
   for (std::uint32_t i = 0; i < op_count; ++i) {
-    plan.ops.push_back(read_op(r, plan.layers.size()));
+    plan.ops.push_back(read_op(r, plan.layers.size(), version));
   }
   if (!r.exhausted()) fail("trailing bytes after the op list");
   return plan;

@@ -32,11 +32,19 @@
 namespace adq::infer {
 
 /// Current .adqplan format version. Bump when the payload layout changes;
-/// load_plan rejects files newer than this.
-constexpr std::uint32_t kPlanFormatVersion = 1;
+/// load_plan rejects files newer than this and still reads every older
+/// version. History:
+///   1 — initial format (PR 3)
+///   2 — per-layer `is_depthwise` flag; OpKind::kQuantize standalone
+///       quantize ops (graph-IR compiler)
+constexpr std::uint32_t kPlanFormatVersion = 2;
 
-/// Serializes the plan to a stream (binary).
-void save_plan(const InferencePlan& plan, std::ostream& out);
+/// Serializes the plan to a stream (binary). `version` selects the format
+/// emitted (for consumers still reading an older version); it throws
+/// std::runtime_error when the plan uses features the requested version
+/// cannot express (depthwise layers / standalone quantize ops at v1).
+void save_plan(const InferencePlan& plan, std::ostream& out,
+               std::uint32_t version = kPlanFormatVersion);
 
 /// Serializes the plan to a file. Throws std::runtime_error when the file
 /// cannot be written.

@@ -1,0 +1,168 @@
+#include "models/mobilenet.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/depthwise.h"
+#include "nn/init.h"
+#include "nn/pool.h"
+
+namespace adq::models {
+namespace {
+
+// Per-block pointwise output channels and depthwise strides (CIFAR scale:
+// two stride-2 stages take 32x32 down to 8x8 before global pooling).
+constexpr std::int64_t kBlockChannels[5] = {64, 128, 128, 256, 256};
+constexpr std::int64_t kBlockStrides[5] = {1, 2, 1, 2, 1};
+constexpr std::int64_t kStemChannels = 32;
+
+std::int64_t scaled(std::int64_t c, double width_mult) {
+  return std::max<std::int64_t>(1, std::llround(c * width_mult));
+}
+
+}  // namespace
+
+ModelSpec mobilenet_small_spec(const MobileNetConfig& cfg) {
+  ModelSpec spec;
+  spec.name = "mobilenet_small";
+  std::int64_t size = cfg.input_size;
+  const std::int64_t stem_c = scaled(kStemChannels, cfg.width_mult);
+
+  LayerSpec stem;
+  stem.name = "stem";
+  stem.kind = LayerKind::kConv;
+  stem.in_channels = cfg.in_channels;
+  stem.out_channels = stem_c;
+  stem.kernel = 3;
+  stem.in_size = size;
+  stem.out_size = size;
+  stem.bits = cfg.initial_bits;
+  stem.active_in = cfg.in_channels;
+  stem.active_out = stem_c;
+  spec.layers.push_back(stem);
+
+  std::int64_t in_c = stem_c;
+  for (int b = 0; b < 5; ++b) {
+    const std::int64_t out_c = scaled(kBlockChannels[b], cfg.width_mult);
+    const std::int64_t stride = kBlockStrides[b];
+    const std::int64_t out_size = size / stride;
+    const std::string base = "b" + std::to_string(b + 1);
+
+    LayerSpec dw;
+    dw.name = base + ".dw";
+    dw.kind = LayerKind::kDepthwise;
+    dw.in_channels = in_c;
+    dw.out_channels = in_c;
+    dw.kernel = 3;
+    dw.in_size = size;
+    dw.out_size = out_size;
+    dw.bits = cfg.initial_bits;
+    dw.active_in = in_c;
+    dw.active_out = in_c;
+    spec.layers.push_back(dw);
+
+    LayerSpec pw;
+    pw.name = base + ".pw";
+    pw.kind = LayerKind::kConv;
+    pw.in_channels = in_c;
+    pw.out_channels = out_c;
+    pw.kernel = 1;
+    pw.in_size = out_size;
+    pw.out_size = out_size;
+    pw.bits = cfg.initial_bits;
+    pw.active_in = in_c;
+    pw.active_out = out_c;
+    spec.layers.push_back(pw);
+
+    in_c = out_c;
+    size = out_size;
+  }
+
+  LayerSpec fc;
+  fc.name = "fc";
+  fc.kind = LayerKind::kLinear;
+  fc.in_channels = in_c;  // after global average pooling
+  fc.out_channels = cfg.num_classes;
+  fc.kernel = 1;
+  fc.in_size = 1;
+  fc.out_size = 1;
+  fc.bits = cfg.initial_bits;
+  fc.active_in = in_c;
+  fc.active_out = cfg.num_classes;
+  spec.layers.push_back(fc);
+  return spec;
+}
+
+std::unique_ptr<QuantizableModel> build_mobilenet_small(
+    const MobileNetConfig& cfg, Rng& rng) {
+  auto net = std::make_unique<nn::Sequential>("mobilenet_small");
+  std::vector<std::unique_ptr<QuantUnit>> units;
+  const std::int64_t stem_c = scaled(kStemChannels, cfg.width_mult);
+
+  auto stem = std::make_unique<QuantUnit>();
+  stem->name = "stem";
+  stem->role = UnitRole::kConv;
+  stem->frozen = true;  // first conv is never quantized
+  stem->conv = net->emplace<nn::Conv2d>(cfg.in_channels, stem_c, 3, 1, 1,
+                                        /*use_bias=*/false, "stem");
+  stem->bn = net->emplace<nn::BatchNorm2d>(stem_c, 0.1f, 1e-5f, "stem.bn");
+  stem->relu = net->emplace<nn::ReLU>("stem.relu");
+  stem->relu->attach_meter(&stem->meter);
+  stem->conv->set_bits(cfg.initial_bits);
+  stem->conv->set_quantization_enabled(false);
+  nn::init_conv(*stem->conv, rng);
+  units.push_back(std::move(stem));
+
+  std::int64_t in_c = stem_c;
+  for (int b = 0; b < 5; ++b) {
+    const std::int64_t out_c = scaled(kBlockChannels[b], cfg.width_mult);
+    const std::int64_t stride = kBlockStrides[b];
+    const std::string base = "b" + std::to_string(b + 1);
+
+    auto dw = std::make_unique<QuantUnit>();
+    dw->name = base + ".dw";
+    dw->role = UnitRole::kDepthwise;
+    dw->dwconv = net->emplace<nn::DepthwiseConv2d>(in_c, 3, stride, 1,
+                                                   /*use_bias=*/false,
+                                                   base + ".dw");
+    dw->bn = net->emplace<nn::BatchNorm2d>(in_c, 0.1f, 1e-5f, base + ".dw_bn");
+    dw->relu = net->emplace<nn::ReLU>(base + ".dw_relu");
+    dw->relu->attach_meter(&dw->meter);
+    dw->dwconv->set_bits(cfg.initial_bits);
+    nn::init_depthwise(*dw->dwconv, rng);
+    units.push_back(std::move(dw));
+
+    auto pw = std::make_unique<QuantUnit>();
+    pw->name = base + ".pw";
+    pw->role = UnitRole::kConv;
+    pw->conv = net->emplace<nn::Conv2d>(in_c, out_c, 1, 1, 0,
+                                        /*use_bias=*/false, base + ".pw");
+    pw->bn = net->emplace<nn::BatchNorm2d>(out_c, 0.1f, 1e-5f, base + ".pw_bn");
+    pw->relu = net->emplace<nn::ReLU>(base + ".pw_relu");
+    pw->relu->attach_meter(&pw->meter);
+    pw->conv->set_bits(cfg.initial_bits);
+    nn::init_conv(*pw->conv, rng);
+    units.push_back(std::move(pw));
+
+    in_c = out_c;
+  }
+
+  net->emplace<nn::GlobalAvgPool>("gap");
+  auto fc_unit = std::make_unique<QuantUnit>();
+  fc_unit->name = "fc";
+  fc_unit->role = UnitRole::kLinear;
+  fc_unit->frozen = true;  // final FC is never quantized
+  fc_unit->linear = net->emplace<nn::Linear>(in_c, cfg.num_classes,
+                                             /*use_bias=*/true, "fc");
+  fc_unit->linear->attach_meter(&fc_unit->meter);
+  fc_unit->linear->set_bits(cfg.initial_bits);
+  fc_unit->linear->set_quantization_enabled(false);
+  nn::init_linear(*fc_unit->linear, rng);
+  units.push_back(std::move(fc_unit));
+
+  return std::make_unique<QuantizableModel>("mobilenet_small", std::move(net),
+                                            std::move(units),
+                                            mobilenet_small_spec(cfg));
+}
+
+}  // namespace adq::models

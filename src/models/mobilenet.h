@@ -1,0 +1,38 @@
+// MobileNet-style depthwise-separable CIFAR model.
+//
+// A stem conv followed by depthwise-separable blocks — depthwise 3x3
+// (spatial) then pointwise 1x1 (channel mixing), each with BN + ReLU — and
+// a GAP + FC head. This is the topology the old dynamic_cast compiler could
+// not express; it exists to prove the graph pipeline is retargetable:
+// every depthwise and pointwise conv is a quantizable unit with its own AD
+// meter, so Algorithm 1 allocates bits for it exactly like for VGG/ResNet,
+// and infer::compile lowers it through the same IR passes to the integer
+// engine.
+#pragma once
+
+#include <memory>
+
+#include "models/model.h"
+#include "tensor/rng.h"
+
+namespace adq::models {
+
+struct MobileNetConfig {
+  std::int64_t input_size = 32;
+  std::int64_t in_channels = 3;
+  std::int64_t num_classes = 10;
+  double width_mult = 1.0;
+  int initial_bits = 16;
+};
+
+/// Quantizable units: stem + 5 x (depthwise + pointwise) + FC.
+inline constexpr int kMobileNetSmallUnits = 12;
+
+/// Shape-only spec (no weights allocated).
+ModelSpec mobilenet_small_spec(const MobileNetConfig& cfg);
+
+/// Trainable model with units, meters, and Kaiming init.
+std::unique_ptr<QuantizableModel> build_mobilenet_small(
+    const MobileNetConfig& cfg, Rng& rng);
+
+}  // namespace adq::models

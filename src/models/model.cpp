@@ -6,6 +6,7 @@ namespace adq::models {
 
 int QuantUnit::bits() const {
   if (conv != nullptr) return conv->bits();
+  if (dwconv != nullptr) return dwconv->bits();
   if (linear != nullptr) return linear->bits();
   throw std::logic_error("QuantUnit " + name + ": no layer bound");
 }
@@ -21,6 +22,9 @@ void QuantUnit::set_bits(int b) {
       // and the downsample conv (Fig 2).
       block->set_bits_conv2(b);
       break;
+    case UnitRole::kDepthwise:
+      dwconv->set_bits(b);
+      break;
     case UnitRole::kLinear:
       linear->set_bits(b);
       break;
@@ -29,17 +33,20 @@ void QuantUnit::set_bits(int b) {
 
 void QuantUnit::set_quantization_enabled(bool enabled) {
   if (conv != nullptr) conv->set_quantization_enabled(enabled);
+  if (dwconv != nullptr) dwconv->set_quantization_enabled(enabled);
   if (linear != nullptr) linear->set_quantization_enabled(enabled);
 }
 
 std::int64_t QuantUnit::out_channels() const {
   if (conv != nullptr) return conv->out_channels();
+  if (dwconv != nullptr) return dwconv->channels();
   if (linear != nullptr) return linear->out_features();
   throw std::logic_error("QuantUnit " + name + ": no layer bound");
 }
 
 std::int64_t QuantUnit::active_out_channels() const {
   if (conv != nullptr) return conv->active_out_channels();
+  if (dwconv != nullptr) return dwconv->active_out_channels();
   if (linear != nullptr) return linear->out_features();
   throw std::logic_error("QuantUnit " + name + ": no layer bound");
 }
@@ -48,6 +55,11 @@ void QuantUnit::set_active_out_channels(std::int64_t n) {
   switch (role) {
     case UnitRole::kConv:
       conv->set_active_out_channels(n);
+      if (bn != nullptr) bn->set_active_channels(n);
+      if (relu != nullptr) relu->set_metered_channels(n);
+      break;
+    case UnitRole::kDepthwise:
+      dwconv->set_active_out_channels(n);
       if (bn != nullptr) bn->set_active_channels(n);
       if (relu != nullptr) relu->set_metered_channels(n);
       break;

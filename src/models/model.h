@@ -16,6 +16,7 @@
 #include "models/spec.h"
 #include "nn/batchnorm.h"
 #include "nn/conv2d.h"
+#include "nn/depthwise.h"
 #include "nn/linear.h"
 #include "nn/residual.h"
 #include "nn/sequential.h"
@@ -24,9 +25,10 @@
 namespace adq::models {
 
 enum class UnitRole {
-  kConv,        // plain conv (VGG body, ResNet stem)
+  kConv,        // plain conv (VGG body, ResNet stem, pointwise 1x1)
   kBlockConv1,  // first conv of a residual block
   kBlockConv2,  // second conv of a residual block (skip destination)
+  kDepthwise,   // depthwise spatial conv (MobileNet-style blocks)
   kLinear,      // fully connected
 };
 
@@ -37,6 +39,7 @@ struct QuantUnit {
   bool removed = false;  // layer dropped entirely (Table II iter 2a)
 
   nn::Conv2d* conv = nullptr;      // set for conv roles
+  nn::DepthwiseConv2d* dwconv = nullptr;  // set for kDepthwise
   nn::Linear* linear = nullptr;    // set for kLinear
   nn::BatchNorm2d* bn = nullptr;   // BN paired with the conv (pruning mask)
   nn::ReLU* relu = nullptr;        // post-activation carrying the meter

@@ -21,7 +21,7 @@
 
 namespace adq::models {
 
-enum class LayerKind { kConv, kLinear };
+enum class LayerKind { kConv, kLinear, kDepthwise };
 
 struct LayerSpec {
   std::string name;
@@ -38,15 +38,23 @@ struct LayerSpec {
   int controller = -1;          // unit index whose bits this aux layer follows
   bool removed = false;         // layer dropped entirely (Table II iter 2a)
 
-  /// Paper N_MAC with pruning-aware channel counts.
+  /// Paper N_MAC with pruning-aware channel counts. Depthwise convs reduce
+  /// only their own channel, so the input-channel factor drops out.
   std::int64_t macs() const {
     if (removed) return 0;
+    if (kind == LayerKind::kDepthwise) {
+      return out_size * out_size * kernel * kernel * active_out;
+    }
     return out_size * out_size * active_in * kernel * kernel * active_out;
   }
 
-  /// Paper N_mem with pruning-aware channel counts.
+  /// Paper N_mem with pruning-aware channel counts (depthwise weights are
+  /// one kernel^2 filter per channel).
   std::int64_t mem_accesses() const {
     if (removed) return 0;
+    if (kind == LayerKind::kDepthwise) {
+      return in_size * in_size * active_in + kernel * kernel * active_out;
+    }
     return in_size * in_size * active_in + kernel * kernel * active_in * active_out;
   }
 };

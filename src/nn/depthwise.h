@@ -1,0 +1,75 @@
+// Depthwise 2-D convolution (channel multiplier 1) with the same
+// fake-quantization contract as Conv2d: weights and input activations snap
+// to the layer's k-bit eqn-1 grid in forward, backward is straight-through.
+//
+// Each output channel c convolves ONLY input channel c with its own
+// kernel*kernel filter — the spatial half of a depthwise-separable block
+// (the pointwise half is a plain 1x1 Conv2d). The old dynamic_cast compiler
+// could not express this layer; the graph pipeline lowers it to a
+// per-channel integer op with the same zero-point-corrected arithmetic as
+// the GEMM path (see infer/plan.h).
+//
+// Channel masking matches Conv2d: channels >= active_out_channels() are
+// forced to zero in forward and their gradients dropped in backward, so
+// eqn-5 pruning applies unchanged.
+#pragma once
+
+#include "nn/layer.h"
+#include "quant/fake_quantizer.h"
+
+namespace adq::nn {
+
+class DepthwiseConv2d : public Layer {
+ public:
+  DepthwiseConv2d(std::int64_t channels, std::int64_t kernel,
+                  std::int64_t stride, std::int64_t pad, bool use_bias,
+                  std::string name = "dwconv");
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+  std::string name() const override { return name_; }
+
+  std::int64_t channels() const { return channels_; }
+  std::int64_t kernel() const { return kernel_; }
+  std::int64_t stride() const { return stride_; }
+  std::int64_t pad() const { return pad_; }
+
+  /// Weight matrix, [channels, kernel * kernel] — one filter row per channel.
+  Parameter& weight() { return weight_; }
+  const Parameter& weight() const { return weight_; }
+  Parameter* bias() { return use_bias_ ? &bias_ : nullptr; }
+
+  void set_bits(int bits);
+  int bits() const { return weight_quant_.bits(); }
+  void set_quantization_enabled(bool enabled);
+  bool quantization_enabled() const { return weight_quant_.enabled(); }
+
+  void set_active_out_channels(std::int64_t n);
+  std::int64_t active_out_channels() const { return active_out_channels_; }
+
+  quant::FakeQuantizer& weight_quantizer() { return weight_quant_; }
+  quant::FakeQuantizer& input_quantizer() { return input_quant_; }
+
+ private:
+  std::int64_t out_h(std::int64_t h) const {
+    return (h + 2 * pad_ - kernel_) / stride_ + 1;
+  }
+  void mask_pruned_channels(Tensor& nchw) const;
+
+  std::string name_;
+  std::int64_t channels_, kernel_, stride_, pad_;
+  bool use_bias_;
+  std::int64_t active_out_channels_;
+
+  Parameter weight_;
+  Parameter bias_;
+  quant::FakeQuantizer weight_quant_;
+  quant::FakeQuantizer input_quant_;
+
+  // Backward caches (valid between one forward and the next backward).
+  Tensor cached_input_q_;
+  Tensor cached_weight_q_;
+};
+
+}  // namespace adq::nn

@@ -15,6 +15,11 @@ void init_conv(Conv2d& conv, Rng& rng) {
   if (conv.bias() != nullptr) conv.bias()->value.zero();
 }
 
+void init_depthwise(DepthwiseConv2d& conv, Rng& rng) {
+  kaiming_normal(conv.weight().value, conv.kernel() * conv.kernel(), rng);
+  if (conv.bias() != nullptr) conv.bias()->value.zero();
+}
+
 void init_linear(Linear& linear, Rng& rng) {
   kaiming_normal(linear.weight().value, linear.in_features(), rng);
   if (linear.bias() != nullptr) linear.bias()->value.zero();

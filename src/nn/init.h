@@ -6,6 +6,7 @@
 #pragma once
 
 #include "nn/conv2d.h"
+#include "nn/depthwise.h"
 #include "nn/linear.h"
 #include "nn/residual.h"
 #include "nn/sequential.h"
@@ -17,6 +18,7 @@ namespace adq::nn {
 void kaiming_normal(Tensor& weight, std::int64_t fan_in, Rng& rng);
 
 void init_conv(Conv2d& conv, Rng& rng);
+void init_depthwise(DepthwiseConv2d& conv, Rng& rng);
 void init_linear(Linear& linear, Rng& rng);
 void init_residual_block(ResidualBlock& block, Rng& rng);
 
