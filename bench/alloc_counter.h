@@ -1,0 +1,47 @@
+// Global heap-allocation counter shared by the zero-allocation test and
+// the allocs-per-forward bench metrics.
+//
+// Including this header REPLACES the global ::operator new/delete for the
+// whole binary (replacement functions must not be inline, so include it
+// from exactly ONE translation unit per binary — which is the case for
+// the single-TU test/bench executables that use it). Counting is gated by
+// `g_count_allocs` so harness allocations (gtest, benchmark, stdio)
+// outside the bracketed region never pollute the measurement:
+//
+//   adq::alloccount::g_alloc_count.store(0);
+//   adq::alloccount::g_count_allocs.store(true);
+//   ... hot region ...
+//   adq::alloccount::g_count_allocs.store(false);
+//   // g_alloc_count.load() == allocations inside the bracket
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace adq::alloccount {
+
+inline std::atomic<bool> g_count_allocs{false};
+inline std::atomic<std::int64_t> g_alloc_count{0};
+
+inline void* counted_alloc(std::size_t n) {
+  if (g_count_allocs.load(std::memory_order_relaxed)) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* p = std::malloc(n == 0 ? 1 : n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace adq::alloccount
+
+void* operator new(std::size_t n) { return adq::alloccount::counted_alloc(n); }
+void* operator new[](std::size_t n) {
+  return adq::alloccount::counted_alloc(n);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }

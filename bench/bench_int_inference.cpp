@@ -16,7 +16,12 @@
 #include <functional>
 #include <numeric>
 
+// Replaces global operator new/delete for the allocs-per-forward metric:
+// the arena executor's contract is ZERO steady-state heap allocations,
+// and this bench measures (rather than assumes) it on every run.
+#include "bench/alloc_counter.h"
 #include "bench/common.h"
+#include "energy/analytical.h"
 #include "infer/engine.h"
 #include "infer/plan.h"
 #include "report/table.h"
@@ -25,6 +30,19 @@
 namespace {
 
 using adq::Tensor;
+
+// Mean heap allocations of one forward_into() after warm-up.
+double allocs_per_forward(const adq::infer::IntInferenceEngine& engine,
+                          const Tensor& x) {
+  Tensor out;
+  for (int i = 0; i < 3; ++i) engine.forward_into(x, out);
+  constexpr int kReps = 10;
+  adq::alloccount::g_alloc_count.store(0);
+  adq::alloccount::g_count_allocs.store(true);
+  for (int i = 0; i < kReps; ++i) engine.forward_into(x, out);
+  adq::alloccount::g_count_allocs.store(false);
+  return static_cast<double>(adq::alloccount::g_alloc_count.load()) / kReps;
+}
 
 double time_best_ms(int reps, const std::function<Tensor()>& fn) {
   double best = 1e300;
@@ -160,5 +178,59 @@ int main() {
               int8_wins_at_8plus ? "yes" : "NO");
   json.add("int8_wins_at_batch_ge8", int8_wins_at_8plus ? 1.0 : 0.0, "bool");
   json.add("weight_bytes_float", static_cast<double>(float_bytes), "bytes");
+
+  // -- static memory plan: peak activation footprint, per-layer activation
+  //    traffic (the paper's E_Mem|k term), and allocs per forward ---------
+  set_quant_enabled(true);
+  set_bits(uniform8);
+  const infer::InferencePlan plan8 = infer::compile(*model);
+  const infer::IntInferenceEngine engine8(plan8);
+  for (const std::int64_t B : batches) {
+    json.add("peak_activation_bytes_b" + std::to_string(B),
+             static_cast<double>(plan8.peak_activation_bytes(B)), "bytes");
+  }
+  json.add("arena_bytes_per_sample", static_cast<double>(plan8.arena_bytes),
+           "bytes");
+
+  const infer::ActivationReport traffic = plan8.activation_report(1);
+  report::Table mem_table(
+      "Activation memory & traffic — int8 plan, batch 1 (E_Mem|k = 2.5k pJ)");
+  mem_table.set_header(
+      {"op", "bits", "in KiB", "out KiB", "E_mem nJ"});
+  double total_mem_nj = 0.0;
+  for (const infer::OpActivation& op : traffic.ops) {
+    if (op.in_bytes == 0 && op.out_bytes == 0) continue;  // pure views
+    const double e_nj =
+        (static_cast<double>(op.in_elems) *
+             energy::mem_access_energy_pj(op.bits) +
+         static_cast<double>(op.out_elems) * energy::mem_access_energy_pj(32)) *
+        1e-3;
+    total_mem_nj += e_nj;
+    mem_table.add_row({op.name, std::to_string(op.bits),
+                       report::fmt(static_cast<double>(op.in_bytes) / 1024.0),
+                       report::fmt(static_cast<double>(op.out_bytes) / 1024.0),
+                       report::fmt(e_nj, 1)});
+  }
+  mem_table.add_row({"TOTAL", "-",
+                     report::fmt(static_cast<double>(traffic.total_bytes) / 1024.0),
+                     report::fmt(static_cast<double>(traffic.peak_bytes) / 1024.0) +
+                         " peak",
+                     report::fmt(total_mem_nj, 1)});
+  std::printf("\n%s\n", mem_table.to_markdown().c_str());
+  json.add("activation_traffic_bytes_b1",
+           static_cast<double>(traffic.total_bytes), "bytes");
+  json.add("activation_mem_energy_nj_b1", total_mem_nj, "nJ");
+
+  {
+    std::vector<std::int64_t> idx(8);
+    std::iota(idx.begin(), idx.end(), 0);
+    const Tensor x8 = split.test.gather(idx).images;
+    const double allocs = allocs_per_forward(engine8, x8);
+    std::printf("allocations per forward (b8, arena executor): %.1f  "
+                "(peak activations %.1f KiB)\n",
+                allocs,
+                static_cast<double>(plan8.peak_activation_bytes(8)) / 1024.0);
+    json.add("allocs_per_forward_b8", allocs, "allocs");
+  }
   return 0;
 }

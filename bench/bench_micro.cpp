@@ -4,7 +4,12 @@
 // training benches' wall-clock budget depends on them.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+
 #include "ad/density_meter.h"
+#include "infer/engine.h"
+#include "infer/plan.h"
+#include "models/vgg.h"
 #include "nn/conv2d.h"
 #include "nn/init.h"
 #include "pim/accelerator.h"
@@ -103,6 +108,52 @@ void BM_DensityObserve(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * x.numel() * sizeof(float));
 }
 BENCHMARK(BM_DensityObserve);
+
+// Arena vs malloc execution of the whole compiled int8 VGG19 forward: the
+// same engine, same kernels, same input — only where activations live
+// differs (planned per-thread slots vs a fresh heap tensor per op). The
+// gap is the price of allocator traffic + cold pages on the hot path.
+const infer::IntInferenceEngine& int8_vgg_engine() {
+  static const infer::IntInferenceEngine* engine = [] {
+    Rng rng(8);
+    models::VggConfig cfg;
+    cfg.width_mult = 0.125;
+    cfg.num_classes = 10;
+    auto model = models::build_vgg19(cfg, rng);
+    model->set_training(false);
+    for (int i = 0; i < model->unit_count(); ++i) {
+      if (!model->unit(i).frozen) model->unit(i).set_bits(8);
+    }
+    return new infer::IntInferenceEngine(infer::compile(*model));
+  }();
+  return *engine;
+}
+
+void int_forward_bench(benchmark::State& state, const char* arena_env) {
+  const infer::IntInferenceEngine& engine = int8_vgg_engine();
+  const std::int64_t batch = state.range(0);
+  Rng rng(9);
+  Tensor x(Shape{batch, 3, 32, 32});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  setenv("ADQ_ARENA", arena_env, 1);
+  Tensor out;
+  for (auto _ : state) {
+    engine.forward_into(x, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  unsetenv("ADQ_ARENA");
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+
+void BM_IntForwardArena(benchmark::State& state) {
+  int_forward_bench(state, "1");
+}
+BENCHMARK(BM_IntForwardArena)->Arg(1)->Arg(8);
+
+void BM_IntForwardMalloc(benchmark::State& state) {
+  int_forward_bench(state, "0");
+}
+BENCHMARK(BM_IntForwardMalloc)->Arg(1)->Arg(8);
 
 void BM_PimDotProduct(benchmark::State& state) {
   const int bits = static_cast<int>(state.range(0));

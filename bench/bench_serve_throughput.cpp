@@ -33,6 +33,10 @@
 #include <thread>
 #include <vector>
 
+// Replaces global operator new/delete for the allocs-per-forward metric
+// (the worker hot loop's engine calls must be allocation-free under the
+// arena executor).
+#include "bench/alloc_counter.h"
 #include "bench/common.h"
 #include "infer/engine.h"
 #include "infer/plan.h"
@@ -85,10 +89,36 @@ int main() {
   infer::save_plan(compiled, plan_path);
   const infer::InferencePlan loaded = infer::load_plan(plan_path);
   const infer::IntInferenceEngine engine(loaded);
-  std::printf("plan: %s (%.1f KiB weights, %d integer layers) -> %s\n",
+  std::printf("plan: %s (%.1f KiB weights, %d integer layers, "
+              "%.1f KiB activation arena/sample) -> %s\n",
               compiled.model_name.c_str(),
               static_cast<double>(compiled.weight_bytes()) / 1024.0,
-              compiled.integer_layer_count(), plan_path.c_str());
+              compiled.integer_layer_count(),
+              static_cast<double>(compiled.arena_bytes) / 1024.0,
+              plan_path.c_str());
+  json.add("arena_bytes_per_sample", static_cast<double>(loaded.arena_bytes),
+           "bytes");
+
+  // Allocs per forward of the served engine (batch 16, the default cap a
+  // worker runs): zero under the arena executor, measured every run.
+  {
+    data::SyntheticSpec warm = data::synthetic_cifar10_spec();
+    warm.train_count = 8;
+    warm.test_count = 16;
+    const data::TrainTestSplit wsplit = data::make_synthetic(warm);
+    const Tensor x16 = wsplit.test.images();
+    Tensor out;
+    for (int i = 0; i < 3; ++i) engine.forward_into(x16, out);
+    constexpr int kReps = 5;
+    adq::alloccount::g_alloc_count.store(0);
+    adq::alloccount::g_count_allocs.store(true);
+    for (int i = 0; i < kReps; ++i) engine.forward_into(x16, out);
+    adq::alloccount::g_count_allocs.store(false);
+    const double allocs =
+        static_cast<double>(adq::alloccount::g_alloc_count.load()) / kReps;
+    std::printf("allocs per b16 forward: %.1f\n", allocs);
+    json.add("allocs_per_forward_b16", allocs, "allocs");
+  }
 
   // Eval pool the requests draw from.
   data::SyntheticSpec dspec = data::synthetic_cifar10_spec();
@@ -197,6 +227,9 @@ int main() {
                    report::fmt(st.mean_batch),
                    report::fmt_percent(agree, 1)});
     const std::string c = std::to_string(cap);
+    json.add("cap" + c + "_peak_activation_bytes_per_worker",
+             static_cast<double>(st.peak_activation_bytes_per_worker),
+             "bytes");
     json.add("cap" + c + "_rps", rps, "req/s");
     json.add("cap" + c + "_p50_ms", st.p50_us / 1000.0, "ms");
     json.add("cap" + c + "_p95_ms", st.p95_us / 1000.0, "ms");

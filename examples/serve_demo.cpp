@@ -15,6 +15,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <future>
 #include <thread>
@@ -75,6 +76,20 @@ int main(int argc, char** argv) {
   cfg.max_wait_us = 1000;
   cfg.workers = 1;
   serve::InferenceServer server(engine, cfg);
+
+  // The static memory contract: the plan's compile-time activation arena
+  // bounds the planned activation slots one worker ever touches (kernel
+  // scratch is additional) — the first-order number an operator multiplies
+  // by the worker count to size a deployment.
+  {
+    const serve::ServerStats::Snapshot st = server.stats();
+    std::printf("activation arena: %.1f KiB/sample -> %.1f KiB "
+                "per worker at max_batch %lld\n",
+                static_cast<double>(st.arena_bytes_per_sample) / 1024.0,
+                static_cast<double>(st.peak_activation_bytes_per_worker) /
+                    1024.0,
+                static_cast<long long>(cfg.max_batch));
+  }
 
   // 3. Traffic: two producers, 128 single-sample requests.
   data::SyntheticSpec dspec = data::synthetic_cifar10_spec();
@@ -151,5 +166,47 @@ int main(int argc, char** argv) {
   std::printf("\ntop-1 agreement vs direct engine calls on the same "
               "batches: %zu/%zu\n",
               agree, done.size());
+
+  // 4. Arena/heap serving equivalence: serve the same deterministic
+  //    request stream once on the slot-based arena executor (ADQ_ARENA=1,
+  //    forced, so a pre-set ADQ_ARENA=0 cannot make the check vacuous) and
+  //    once on the heap fallback (ADQ_ARENA=0). One producer + a
+  //    full-batch window makes batch composition identical, so every
+  //    served logit must match BIT for bit — the demo exits nonzero
+  //    otherwise. The caller's ADQ_ARENA value is restored afterwards.
+  const char* prior_arena_env = std::getenv("ADQ_ARENA");
+  const std::string prior_arena =
+      prior_arena_env != nullptr ? prior_arena_env : "";
+  auto serve_logits = [&](const char* arena_env) {
+    setenv("ADQ_ARENA", arena_env, 1);
+    serve::ServerConfig dcfg;
+    dcfg.sample_shape = Shape{3, 32, 32};
+    dcfg.max_batch = 16;
+    dcfg.max_wait_us = 200'000;  // full batches: submit outruns the window
+    dcfg.workers = 1;
+    serve::InferenceServer dserver(engine, dcfg);
+    std::vector<std::future<serve::InferenceResult>> futs;
+    for (std::size_t i = 0; i < 64; ++i) futs.push_back(dserver.submit(samples[i]));
+    std::vector<Tensor> logits;
+    for (auto& f : futs) logits.push_back(f.get().logits);
+    return logits;
+  };
+  const std::vector<Tensor> arena_logits = serve_logits("1");
+  const std::vector<Tensor> heap_logits = serve_logits("0");
+  if (prior_arena_env != nullptr) {
+    setenv("ADQ_ARENA", prior_arena.c_str(), 1);
+  } else {
+    unsetenv("ADQ_ARENA");
+  }
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < arena_logits.size(); ++i) {
+    for (std::int64_t j = 0; j < arena_logits[i].numel(); ++j) {
+      mismatches += arena_logits[i][j] != heap_logits[i][j];
+    }
+  }
+  std::printf("arena vs ADQ_ARENA=0 serving: %zu logit mismatches across "
+              "%zu requests (must be 0)\n",
+              mismatches, arena_logits.size());
+  if (mismatches != 0) return 1;
   return 0;
 }

@@ -135,6 +135,19 @@ std::string to_dot(const Graph& g) {
     if (n.quantize_input) out << " qin";
     if (n.bn != nullptr && n.kind != NodeKind::kBatchNorm) out << " +bn";
     if (n.fused_relu) out << " +relu";
+    // Memory-planner annotations (plan_memory in graph/passes.h): the
+    // value's live interval in execution-schedule steps and its arena slot,
+    // so planner decisions are auditable straight from the dump.
+    if (n.mem.def >= 0) {
+      out << "|live [" << n.mem.def << ", " << n.mem.last_use << "] "
+          << n.mem.bytes << "B @";
+      if (n.mem.offset >= 0) {
+        out << n.mem.offset;
+      } else {
+        out << (n.kind == NodeKind::kInput ? "extern" : "alias");
+      }
+      if (n.mem.inplace) out << " inplace";
+    }
     out << "}\"];\n";
   }
   for (int i = 0; i < g.size(); ++i) {

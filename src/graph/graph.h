@@ -65,11 +65,26 @@ struct ValueType {
   std::string to_string() const;
 };
 
+/// Activation-memory annotations for one value, filled by plan_memory().
+/// Lifetimes are positions in the execution schedule (see
+/// execution_schedule() in graph/passes.h), NOT topological order: the
+/// executor materialises a residual skip quantizer lazily (just before the
+/// add), and liveness must describe what the executor actually does.
+struct ValueMem {
+  std::int64_t bytes = 0;    // per-sample float bytes of this value
+  std::int64_t offset = -1;  // arena byte offset of its storage slot
+                             // (-1 = unplanned, or external caller memory)
+  int def = -1;              // schedule step that produces the value
+  int last_use = -1;         // last schedule step that reads it
+  bool inplace = false;      // writes into (aliases) its input's slot
+};
+
 struct Node {
   NodeKind kind = NodeKind::kInput;
   std::string name;         // name of the value this node produces
   std::vector<int> inputs;  // producer node ids (explicit dataflow edges)
   ValueType type;           // output value type, filled by infer_shapes()
+  ValueMem mem;             // arena slot + lifetime, filled by plan_memory()
 
   // Non-owning layer bindings. Which pointer is set depends on `kind`;
   // weights and live bit-widths are read from the layer at lowering time.
@@ -134,10 +149,16 @@ class Graph {
   /// Rewires every live consumer of `from` to consume `to` instead.
   void rewire_consumers(int from, int to);
 
+  /// Per-sample activation arena footprint in bytes; 0 until plan_memory()
+  /// has run.
+  std::int64_t arena_bytes() const { return arena_bytes_; }
+  void set_arena_bytes(std::int64_t bytes) { arena_bytes_ = bytes; }
+
  private:
   std::string name_;
   std::vector<Node> nodes_;
   int input_ = -1, output_ = -1;
+  std::int64_t arena_bytes_ = 0;
 };
 
 /// Graphviz rendering of the live graph: one record per node (kind, value

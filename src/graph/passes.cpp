@@ -1,5 +1,6 @@
 #include "graph/passes.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -333,6 +334,238 @@ void legalize(Graph& g) {
   infer_shapes(g);
   verify(g);
   maybe_dump(g, stage++, "legal");
+}
+
+// ---------------------------------------------------------------------------
+// Static activation-memory planning.
+// ---------------------------------------------------------------------------
+
+ResidualParts decompose_residual(const Graph& g, int add_id) {
+  const Node& add = g.at(add_id);
+  // Build convention: inputs[0] = main branch, inputs[1] = skip branch.
+  // The skip branch may hold [quantize] [conv]; beneath it is the fork
+  // value both branches share. A node that feeds anything besides the
+  // skip branch IS the fork (e.g. an identity skip whose quantizer was
+  // elided lands the add directly on the shared producer — even when
+  // that producer happens to be a conv), so only sole-consumer nodes are
+  // consumed into the skip chain.
+  ResidualParts parts;
+  int skip = add.inputs[1];
+  if ((g.at(skip).kind == NodeKind::kConv ||
+       g.at(skip).kind == NodeKind::kDepthwiseConv) &&
+      g.consumers(skip).size() == 1) {
+    parts.downsample = skip;
+    skip = g.at(skip).inputs[0];
+  }
+  if (g.at(skip).kind == NodeKind::kQuantize &&
+      g.consumers(skip).size() == 1) {
+    parts.quantize = skip;
+    skip = g.at(skip).inputs[0];
+  }
+  parts.fork = skip;
+
+  // Main-branch chain from the fork (exclusive) to the add (exclusive).
+  std::vector<int> chain;
+  for (int m = add.inputs[0]; m != parts.fork;) {
+    const Node& node = g.at(m);
+    if (node.kind == NodeKind::kAdd || node.kind == NodeKind::kInput ||
+        node.inputs.empty()) {
+      fail(g, add, "main and skip branches do not meet at a common fork "
+                   "the skip stack can express");
+    }
+    chain.push_back(m);
+    m = node.inputs[0];
+  }
+  parts.main_chain.assign(chain.rbegin(), chain.rend());
+  return parts;
+}
+
+namespace {
+
+// Recursive mirror of the op emission in infer::lower_to_plan: appends the
+// ids of every node producing a value, in the order the executor
+// materialises them. The skip quantizer and downsample conv of a residual
+// diamond land AFTER the main chain — the executor defers them to just
+// before the add so the quantize can run in place once the main branch is
+// done reading the fork.
+void schedule_value(const Graph& g, int id, std::vector<int>& order) {
+  const Node& n = g.at(id);
+  switch (n.kind) {
+    case NodeKind::kInput:
+      order.push_back(id);
+      return;
+    case NodeKind::kAdd: {
+      const ResidualParts parts = decompose_residual(g, id);
+      schedule_value(g, parts.fork, order);
+      for (int m : parts.main_chain) order.push_back(m);
+      if (parts.quantize >= 0) order.push_back(parts.quantize);
+      if (parts.downsample >= 0) order.push_back(parts.downsample);
+      order.push_back(id);
+      return;
+    }
+    default:
+      schedule_value(g, n.inputs[0], order);
+      order.push_back(id);
+      return;
+  }
+}
+
+std::int64_t value_bytes(const ValueType& t) {
+  const std::int64_t elems =
+      t.rank == 3 ? t.channels * t.height * t.width : t.channels;
+  return elems * static_cast<std::int64_t>(sizeof(float));
+}
+
+// Slots are aligned so that batch-scaling offsets (offset * B) preserves
+// cache-line alignment for any batch size.
+constexpr std::int64_t kSlotAlign = 64;
+
+std::int64_t align_up(std::int64_t n) {
+  return (n + kSlotAlign - 1) / kSlotAlign * kSlotAlign;
+}
+
+}  // namespace
+
+std::vector<int> execution_schedule(const Graph& g) {
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(g.live_count()));
+  schedule_value(g, g.output(), order);
+  return order;
+}
+
+std::int64_t plan_memory(Graph& g) {
+  const std::vector<int> schedule = execution_schedule(g);
+  std::vector<int> pos(static_cast<std::size_t>(g.size()), -1);
+  for (std::size_t p = 0; p < schedule.size(); ++p) {
+    pos[static_cast<std::size_t>(schedule[p])] = static_cast<int>(p);
+  }
+  std::vector<std::vector<int>> consumers(static_cast<std::size_t>(g.size()));
+  for (int id = 0; id < g.size(); ++id) {
+    if (pos[static_cast<std::size_t>(id)] >= 0) {
+      consumers[static_cast<std::size_t>(id)] = g.consumers(id);
+    }
+  }
+
+  // Per-value annotations: definition step and the last step that reads
+  // the value (its own step when nothing consumes it — the output value).
+  for (int id : schedule) {
+    Node& n = g.at(id);
+    n.mem = ValueMem{};
+    n.mem.def = pos[static_cast<std::size_t>(id)];
+    n.mem.last_use = n.mem.def;
+    for (int c : consumers[static_cast<std::size_t>(id)]) {
+      n.mem.last_use = std::max(n.mem.last_use, pos[static_cast<std::size_t>(c)]);
+    }
+    if (n.kind != NodeKind::kInput && n.type.rank == 0) {
+      fail(g, n, "has no inferred shape — run legalize() before plan_memory()");
+    }
+    n.mem.bytes = value_bytes(n.type);
+  }
+
+  // Storage groups: every value either owns a slot (its own id as root) or
+  // aliases its input's storage. Pure views (flatten, output) always alias;
+  // write-aliases (standalone quantize/ReLU, the residual add into its main
+  // operand) are legal only when no later step still reads the aliased
+  // slot and the slot is not the caller-owned input tensor.
+  std::vector<int> root(static_cast<std::size_t>(g.size()), -1);
+  std::vector<std::vector<int>> members(static_cast<std::size_t>(g.size()));
+  const auto group_read_after = [&](int r, int p) {
+    for (int m : members[static_cast<std::size_t>(r)]) {
+      for (int c : consumers[static_cast<std::size_t>(m)]) {
+        if (pos[static_cast<std::size_t>(c)] > p) return true;
+      }
+    }
+    return false;
+  };
+  for (int id : schedule) {
+    Node& n = g.at(id);
+    const int p = pos[static_cast<std::size_t>(id)];
+    int r = id;
+    switch (n.kind) {
+      case NodeKind::kFlatten:
+      case NodeKind::kOutput:
+        r = root[static_cast<std::size_t>(n.inputs[0])];  // pure view
+        break;
+      case NodeKind::kReLU:
+      case NodeKind::kQuantize:
+      case NodeKind::kAdd: {
+        const int in_root = root[static_cast<std::size_t>(n.inputs[0])];
+        if (in_root != g.input() && !group_read_after(in_root, p)) {
+          r = in_root;
+          n.mem.inplace = true;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    root[static_cast<std::size_t>(id)] = r;
+    members[static_cast<std::size_t>(r)].push_back(id);
+  }
+
+  // Pack the slot-owning groups with greedy first-fit by size. Two groups
+  // may share bytes only when their live intervals (closed, in schedule
+  // steps) are disjoint. Ordering is fully tie-broken, so offsets are
+  // deterministic across runs — a plan compiled twice is byte-identical.
+  struct Slot {
+    int root;
+    std::int64_t bytes;  // aligned
+    int def, last;
+    std::int64_t offset = -1;
+  };
+  std::vector<Slot> slots;
+  for (int id : schedule) {
+    if (root[static_cast<std::size_t>(id)] != id || id == g.input()) continue;
+    Slot s;
+    s.root = id;
+    s.bytes = 0;
+    s.def = g.at(id).mem.def;
+    s.last = g.at(id).mem.def;
+    for (int m : members[static_cast<std::size_t>(id)]) {
+      s.bytes = std::max(s.bytes, g.at(m).mem.bytes);
+      s.last = std::max(s.last, g.at(m).mem.last_use);
+    }
+    s.bytes = align_up(s.bytes);
+    slots.push_back(s);
+  }
+  std::vector<std::size_t> by_size(slots.size());
+  for (std::size_t i = 0; i < slots.size(); ++i) by_size[i] = i;
+  std::sort(by_size.begin(), by_size.end(), [&](std::size_t a, std::size_t b) {
+    if (slots[a].bytes != slots[b].bytes) return slots[a].bytes > slots[b].bytes;
+    if (slots[a].def != slots[b].def) return slots[a].def < slots[b].def;
+    return slots[a].root < slots[b].root;
+  });
+  std::int64_t arena_bytes = 0;
+  std::vector<std::size_t> placed;
+  std::vector<std::pair<std::int64_t, std::int64_t>> busy;  // [begin, end)
+  for (std::size_t i : by_size) {
+    Slot& s = slots[i];
+    busy.clear();
+    for (std::size_t j : placed) {
+      const Slot& o = slots[j];
+      if (s.def <= o.last && o.def <= s.last) {
+        busy.emplace_back(o.offset, o.offset + o.bytes);
+      }
+    }
+    std::sort(busy.begin(), busy.end());
+    std::int64_t off = 0;
+    for (const auto& [b, e] : busy) {
+      if (off + s.bytes <= b) break;  // fits in the gap before this interval
+      off = std::max(off, e);
+    }
+    s.offset = off;
+    arena_bytes = std::max(arena_bytes, off + s.bytes);
+    placed.push_back(i);
+  }
+
+  for (const Slot& s : slots) {
+    for (int m : members[static_cast<std::size_t>(s.root)]) {
+      g.at(m).mem.offset = s.offset;
+    }
+  }
+  g.set_arena_bytes(arena_bytes);
+  maybe_dump(g, 7, "memplan");
+  return arena_bytes;
 }
 
 }  // namespace adq::graph

@@ -59,4 +59,42 @@ bool eliminate_dead_nodes(Graph& g);
 /// ADQ_DUMP_GRAPH is set.
 void legalize(Graph& g);
 
+/// One residual diamond decomposed the way the skip-stack executor runs
+/// it. The skip branch may hold at most the Fig-2 quantizer and one
+/// (BN-folded) downsample conv; the main chain is the straight line from
+/// the fork (exclusive) to the add (exclusive), in execution order. Both
+/// infer::lower_to_plan and execution_schedule() build on this one helper
+/// so op emission and memory liveness can never disagree about what
+/// executes when. Throws std::invalid_argument when the branches do not
+/// meet at a fork the skip stack can express.
+struct ResidualParts {
+  int fork = -1;        // shared producer both branches read
+  int quantize = -1;    // Fig-2 skip quantizer (-1 when elided)
+  int downsample = -1;  // skip 1x1 conv (-1 for identity skips)
+  std::vector<int> main_chain;  // execution order, may be empty
+};
+ResidualParts decompose_residual(const Graph& g, int add_id);
+
+/// The order the slot-based executor materialises values, mirroring
+/// infer::lower_to_plan's op emission: straight-line chains in producer
+/// order; a residual diamond as fork, main branch, then the skip chain
+/// (quantize, downsample) lazily just before the add. Liveness for
+/// activation-memory planning MUST be computed over this order — a plain
+/// topological order could schedule the skip quantizer early and call the
+/// fork value dead while the executor still needs it. Requires a legalized
+/// graph; throws std::invalid_argument on residual topologies the executor
+/// cannot express.
+std::vector<int> execution_schedule(const Graph& g);
+
+/// Static activation-memory planner. Computes per-value lifetimes over
+/// execution_schedule(), marks in-place-eligible ops (standalone
+/// quantize/ReLU whose input has no later reader; the residual add, which
+/// accumulates into its main operand; flatten and output, which are pure
+/// views), and packs every remaining value into a per-sample arena with a
+/// greedy first-fit-by-size allocator (64-byte-aligned slots, deterministic
+/// placement). Results land on each node's `mem` annotation and in
+/// Graph::arena_bytes(); returns the arena size in bytes. Requires inferred
+/// shapes (run legalize() first).
+std::int64_t plan_memory(Graph& g);
+
 }  // namespace adq::graph

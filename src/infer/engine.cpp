@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <limits>
 #include <stdexcept>
@@ -30,6 +31,15 @@ namespace {
 // serves ~15% slower than four cache-resident chunks of it).
 constexpr std::int64_t kMaxSlabBytes = 768 << 10;
 
+// A value flowing through the slot-based executor: where its bytes live
+// (the caller's input tensor or an arena slot) and their logical shape.
+// `off` is the per-sample arena byte offset, -1 for caller-owned memory.
+struct View {
+  const float* p = nullptr;
+  std::int64_t off = -1;
+  Shape shape;
+};
+
 // Per-thread reusable scratch. Every buffer grows on demand and is reused
 // across forward() calls, so a warm serving loop performs no allocations on
 // the hot path; distinct threads get distinct scratch, which is what makes
@@ -41,6 +51,9 @@ struct EngineScratch {
   std::vector<std::int32_t> acc;        // GEMM accumulators
   std::vector<std::int32_t> row_sums;   // per-sample code sums (linear)
   std::vector<float> raw;               // float-path GEMM output
+  std::vector<float> fq;                // float-path fake-quantized input
+  std::vector<float> arena;             // the slot executor's activations
+  std::vector<View> skip_views;         // arena-path skip stack
 
   std::int32_t* ensure_acc(std::int64_t n) {
     if (static_cast<std::int64_t>(acc.size()) < n) {
@@ -53,6 +66,18 @@ struct EngineScratch {
       raw.resize(static_cast<std::size_t>(n));
     }
     return raw.data();
+  }
+  float* ensure_fq(std::int64_t n) {
+    if (static_cast<std::int64_t>(fq.size()) < n) {
+      fq.resize(static_cast<std::size_t>(n));
+    }
+    return fq.data();
+  }
+  float* ensure_arena(std::int64_t n) {
+    if (static_cast<std::int64_t>(arena.size()) < n) {
+      arena.resize(static_cast<std::size_t>(n));
+    }
+    return arena.data();
   }
 };
 
@@ -103,17 +128,16 @@ const std::uint8_t* exec_weight_view(const GemmLayerPlan& l,
 // Observed dynamic range of an activation tensor quantized to eqn-1 codes —
 // the same observation FakeQuantizer::apply makes on this tensor in the
 // training path, so code -> value round-trips land on the same grid. Codes
-// are written into `codes` (grown on demand, first numel() entries valid).
+// are written into `codes` (grown on demand, first `n` entries valid).
 struct ActRange {
   float a_min = 0.0f;
   float a_scale = 0.0f;        // 0 for a degenerate (constant) tensor
   std::uint8_t zero_code = 0;  // grid code closest to the value 0.0 (padding)
 };
 
-ActRange quantize_activations(const Tensor& x, int bits,
+ActRange quantize_activations(const float* px0, std::int64_t n, int bits,
                               std::vector<std::uint8_t>& codes) {
   ActRange q;
-  const std::int64_t n = x.numel();
   if (static_cast<std::int64_t>(codes.size()) < n) {
     codes.resize(static_cast<std::size_t>(n));
   }
@@ -122,7 +146,6 @@ ActRange quantize_activations(const Tensor& x, int bits,
   // std::min/max reductions cannot be auto-vectorised (NaN ordering), so
   // the lanes buy instruction-level parallelism instead of a second and
   // third pass over the activations.
-  const float* px0 = x.data();
   float lo0 = px0[0], lo1 = px0[0], lo2 = px0[0], lo3 = px0[0];
   float hi0 = px0[0], hi1 = px0[0], hi2 = px0[0], hi3 = px0[0];
   std::int64_t i4 = 0;
@@ -151,7 +174,7 @@ ActRange quantize_activations(const Tensor& x, int bits,
   const float levels = static_cast<float>(quant::max_code(bits));
   q.a_scale = (hi - lo) / levels;
   const float inv = levels / (hi - lo);
-  const float* px = x.data();
+  const float* px = px0;
   std::uint8_t* pc = codes.data();
   // Rounding via the 1.5 * 2^23 magic constant: adding it forces the
   // scaled value (in [0, 255]) to round to nearest-even into the low
@@ -230,6 +253,24 @@ ConvGeometry conv_geometry(const GemmLayerPlan& l, std::int64_t h,
   return g;
 }
 
+// The float-path layers consume the fake-quantized input the training
+// graph would have seen. Snapped into per-thread scratch so neither
+// execution path allocates for it.
+const float* float_path_input(const GemmLayerPlan& l, const float* x,
+                              std::int64_t n, EngineScratch& ws) {
+  if (!l.quantize_input) return x;
+  float* fq = ws.ensure_fq(n);
+  quant::fake_quantize_into(x, n, l.bits, fq);
+  return fq;
+}
+
+// ---------------------------------------------------------------------------
+// Layer kernels. Every kernel takes its input as a raw view and a
+// caller-provided output buffer: the arena executor points them at
+// compile-time-planned slots, the heap path at freshly allocated tensors —
+// one implementation, so the two paths are bit-identical by construction.
+// ---------------------------------------------------------------------------
+
 // Integer conv over the whole batch: each chunk of images lowers into
 // adjacent column blocks of ONE [P, chunk*ohw] slab and runs as a single
 // GEMM. Weight panels therefore pack once per chunk instead of once per
@@ -238,21 +279,21 @@ ConvGeometry conv_geometry(const GemmLayerPlan& l, std::int64_t h,
 // request-at-a-time execution even on one core.
 //
 // `wc` is the [O+1, P] execution view of the weights (see
-// conv_exec_codes): rows 0..O-1 are the byte-per-code weight rows, row O
+// build_exec_codes): rows 0..O-1 are the byte-per-code weight rows, row O
 // is all-ones, so GEMM row O comes out as the per-column activation code
 // sum the zero-point correction needs — computed at full kernel speed
 // instead of a separate scalar pass over the slab.
-Tensor run_conv_int(const GemmLayerPlan& l, const Tensor& x,
-                    const std::uint8_t* wc) {
-  const std::int64_t B = x.shape().dim(0);
-  const std::int64_t H = x.shape().dim(2), W = x.shape().dim(3);
+void run_conv_int(const GemmLayerPlan& l, const float* x, std::int64_t B,
+                  std::int64_t H, std::int64_t W, const std::uint8_t* wc,
+                  float* out) {
   const ConvGeometry g = conv_geometry(l, H, W);
   const std::int64_t oh = g.out_h(), ow = g.out_w(), ohw = oh * ow;
   const std::int64_t O = l.out_channels, P = l.patch();
   const std::int64_t chw = l.in_channels * H * W;
 
   EngineScratch& ws = engine_scratch();
-  const ActRange qa = quantize_activations(x, l.bits, ws.act_codes);
+  const ActRange qa =
+      quantize_activations(x, B * chw, l.bits, ws.act_codes);
   const std::uint8_t* act = ws.act_codes.data();
 
   // Affine-correction constants (see plan.h): per-row term uses the weight
@@ -262,7 +303,6 @@ Tensor run_conv_int(const GemmLayerPlan& l, const Tensor& x,
   const float ca = l.w_min * qa.a_scale;   // * colsum[s]
   const float cc = static_cast<float>(P) * qa.a_min * l.w_min;
 
-  Tensor out(Shape{B, O, oh, ow});
   const std::int64_t max_chunk = std::max<std::int64_t>(
       1, kMaxSlabBytes / std::max<std::int64_t>(1, P * ohw));
   for (std::int64_t b0 = 0; b0 < B; b0 += max_chunk) {
@@ -289,33 +329,30 @@ Tensor run_conv_int(const GemmLayerPlan& l, const Tensor& x,
             cc;
         for (std::int64_t i = 0; i < bc; ++i) {
           epilogue_row(l, o, acc + o * cols + i * ohw, colsum + i * ohw, ss,
-                       row_term, ca, ohw, out.data() + ((b0 + i) * O + o) * ohw);
+                       row_term, ca, ohw, out + ((b0 + i) * O + o) * ohw);
         }
       }
     }, grain);
   }
-  return out;
 }
 
-Tensor run_conv_float(const GemmLayerPlan& l, const Tensor& x) {
-  const std::int64_t B = x.shape().dim(0);
-  const std::int64_t H = x.shape().dim(2), W = x.shape().dim(3);
+void run_conv_float(const GemmLayerPlan& l, const float* x, std::int64_t B,
+                    std::int64_t H, std::int64_t W, float* out) {
   const ConvGeometry g = conv_geometry(l, H, W);
   const std::int64_t oh = g.out_h(), ow = g.out_w(), ohw = oh * ow;
   const std::int64_t O = l.out_channels, P = l.patch();
   const std::int64_t chw = l.in_channels * H * W;
 
-  const Tensor xq = l.quantize_input ? quant::fake_quantize(x, l.bits) : x;
-  Tensor out(Shape{B, O, oh, ow});
+  const float* xq = float_path_input(l, x, B * chw, engine_scratch());
   parallel_for(0, B, [&](std::int64_t b0, std::int64_t b1) {
     EngineScratch& tws = engine_scratch();
     float* col = tws.lower.ensure_f32(P * ohw);
     float* raw = tws.ensure_raw(O * ohw);
     for (std::int64_t b = b0; b < b1; ++b) {
-      im2col(xq.data() + b * chw, g, col);
+      im2col(xq + b * chw, g, col);
       sgemm(false, false, O, ohw, P, 1.0f, l.weight_f.data(), P, col, ohw,
             0.0f, raw, ohw);
-      float* out_b = out.data() + b * O * ohw;
+      float* out_b = out + b * O * ohw;
       for (std::int64_t o = 0; o < O; ++o) {
         const float ea = l.epi_scale[static_cast<std::size_t>(o)];
         const float eb = l.epi_shift[static_cast<std::size_t>(o)];
@@ -332,7 +369,6 @@ Tensor run_conv_float(const GemmLayerPlan& l, const Tensor& x) {
       }
     }
   });
-  return out;
 }
 
 // Integer depthwise conv: each output channel reduces only its own input
@@ -340,17 +376,17 @@ Tensor run_conv_float(const GemmLayerPlan& l, const Tensor& x) {
 // loop over the quantized codes with the same per-channel zero-point
 // correction as the GEMM path (plan.h, K = kernel^2). Padding taps use the
 // grid code closest to 0.0, exactly like im2col_u8's padding.
-Tensor run_depthwise_int(const GemmLayerPlan& l, const Tensor& x,
-                         const std::uint8_t* wc) {
-  const std::int64_t B = x.shape().dim(0);
+void run_depthwise_int(const GemmLayerPlan& l, const float* x, std::int64_t B,
+                       std::int64_t H, std::int64_t W, const std::uint8_t* wc,
+                       float* out) {
   const std::int64_t C = l.out_channels;
-  const std::int64_t H = x.shape().dim(2), W = x.shape().dim(3);
   const ConvGeometry g = conv_geometry(l, H, W);
   const std::int64_t oh = g.out_h(), ow = g.out_w();
   const std::int64_t k = l.kernel, stride = l.stride, pad = l.pad;
 
   EngineScratch& ws = engine_scratch();
-  const ActRange qa = quantize_activations(x, l.bits, ws.act_codes);
+  const ActRange qa =
+      quantize_activations(x, B * C * H * W, l.bits, ws.act_codes);
   const std::uint8_t* act = ws.act_codes.data();
 
   const float ss = qa.a_scale * l.w_scale;
@@ -358,11 +394,10 @@ Tensor run_depthwise_int(const GemmLayerPlan& l, const Tensor& x,
   const float ca = l.w_min * qa.a_scale;  // * patch activation-code sum
   const float cc = static_cast<float>(k * k) * qa.a_min * l.w_min;
 
-  Tensor out(Shape{B, C, oh, ow});
   parallel_for(0, B * C, [&](std::int64_t p0, std::int64_t p1) {
     for (std::int64_t p = p0; p < p1; ++p) {
       const std::int64_t c = p % C;
-      float* dst = out.data() + p * oh * ow;
+      float* dst = out + p * oh * ow;
       if (c >= l.active_out) {
         std::fill(dst, dst + oh * ow, 0.0f);
         continue;
@@ -397,28 +432,26 @@ Tensor run_depthwise_int(const GemmLayerPlan& l, const Tensor& x,
       }
     }
   });
-  return out;
 }
 
-Tensor run_depthwise_float(const GemmLayerPlan& l, const Tensor& x) {
-  const std::int64_t B = x.shape().dim(0);
+void run_depthwise_float(const GemmLayerPlan& l, const float* x,
+                         std::int64_t B, std::int64_t H, std::int64_t W,
+                         float* out) {
   const std::int64_t C = l.out_channels;
-  const std::int64_t H = x.shape().dim(2), W = x.shape().dim(3);
   const ConvGeometry g = conv_geometry(l, H, W);
   const std::int64_t oh = g.out_h(), ow = g.out_w();
   const std::int64_t k = l.kernel, stride = l.stride, pad = l.pad;
 
-  const Tensor xq = l.quantize_input ? quant::fake_quantize(x, l.bits) : x;
-  Tensor out(Shape{B, C, oh, ow});
+  const float* xq = float_path_input(l, x, B * C * H * W, engine_scratch());
   parallel_for(0, B * C, [&](std::int64_t p0, std::int64_t p1) {
     for (std::int64_t p = p0; p < p1; ++p) {
       const std::int64_t c = p % C;
-      float* dst = out.data() + p * oh * ow;
+      float* dst = out + p * oh * ow;
       if (c >= l.active_out) {
         std::fill(dst, dst + oh * ow, 0.0f);
         continue;
       }
-      const float* plane = xq.data() + p * H * W;
+      const float* plane = xq + p * H * W;
       const float* w = l.weight_f.data() + c * k * k;
       const float ea = l.epi_scale[static_cast<std::size_t>(c)];
       const float eb = l.epi_shift[static_cast<std::size_t>(c)];
@@ -440,16 +473,14 @@ Tensor run_depthwise_float(const GemmLayerPlan& l, const Tensor& x) {
       }
     }
   });
-  return out;
 }
 
-Tensor run_linear_int(const GemmLayerPlan& l, const Tensor& x,
-                      const std::uint8_t* wt) {
-  const std::int64_t B = x.shape().dim(0);
+void run_linear_int(const GemmLayerPlan& l, const float* x, std::int64_t B,
+                    const std::uint8_t* wt, float* out) {
   const std::int64_t in = l.in_channels, O = l.out_channels;
 
   EngineScratch& ws = engine_scratch();
-  const ActRange qa = quantize_activations(x, l.bits, ws.act_codes);
+  const ActRange qa = quantize_activations(x, B * in, l.bits, ws.act_codes);
 
   if (static_cast<std::int64_t>(ws.row_sums.size()) < B) {
     ws.row_sums.resize(static_cast<std::size_t>(B));
@@ -469,10 +500,9 @@ Tensor run_linear_int(const GemmLayerPlan& l, const Tensor& x,
   const float ca = l.w_min * qa.a_scale;   // * row_sums[b]
   const float cc = static_cast<float>(in) * qa.a_min * l.w_min;
 
-  Tensor out(Shape{B, O});
   for (std::int64_t b = 0; b < B; ++b) {
     const std::int32_t* ab = acc + b * O;
-    float* ob = out.data() + b * O;
+    float* ob = out + b * O;
     const float sample_term =
         ca * static_cast<float>(ws.row_sums[static_cast<std::size_t>(b)]) + cc;
     for (std::int64_t o = 0; o < O; ++o) {
@@ -489,19 +519,17 @@ Tensor run_linear_int(const GemmLayerPlan& l, const Tensor& x,
       ob[o] = l.relu ? std::max(v, 0.0f) : v;
     }
   }
-  return out;
 }
 
-Tensor run_linear_float(const GemmLayerPlan& l, const Tensor& x) {
-  const std::int64_t B = x.shape().dim(0);
+void run_linear_float(const GemmLayerPlan& l, const float* x, std::int64_t B,
+                      float* out) {
   const std::int64_t in = l.in_channels, O = l.out_channels;
-  const Tensor xq = l.quantize_input ? quant::fake_quantize(x, l.bits) : x;
-  Tensor out(Shape{B, O});
+  const float* xq = float_path_input(l, x, B * in, engine_scratch());
   // y[B, O] = x_q * W^T, like nn::Linear::forward.
-  sgemm(false, true, B, O, in, 1.0f, xq.data(), in, l.weight_f.data(), in,
-        0.0f, out.data(), O);
+  sgemm(false, true, B, O, in, 1.0f, xq, in, l.weight_f.data(), in, 0.0f,
+        out, O);
   for (std::int64_t b = 0; b < B; ++b) {
-    float* ob = out.data() + b * O;
+    float* ob = out + b * O;
     for (std::int64_t o = 0; o < O; ++o) {
       if (o >= l.active_out) {
         ob[o] = 0.0f;
@@ -512,49 +540,80 @@ Tensor run_linear_float(const GemmLayerPlan& l, const Tensor& x) {
       ob[o] = l.relu ? std::max(v, 0.0f) : v;
     }
   }
-  return out;
+}
+
+void check_layer_input(const GemmLayerPlan& layer, const Shape& shape) {
+  if (layer.is_conv) {
+    if (shape.rank() != 4 || shape.dim(1) != layer.in_channels) {
+      throw std::invalid_argument("infer: " + layer.name + " expected [B, " +
+                                  std::to_string(layer.in_channels) +
+                                  ", H, W], got " + shape.to_string());
+    }
+    return;
+  }
+  if (shape.rank() != 2 || shape.dim(1) != layer.in_channels) {
+    throw std::invalid_argument("infer: " + layer.name + " expected [B, " +
+                                std::to_string(layer.in_channels) + "], got " +
+                                shape.to_string());
+  }
+}
+
+Shape layer_out_shape(const GemmLayerPlan& l, const Shape& in) {
+  if (!l.is_conv) return Shape{in.dim(0), l.out_channels};
+  return Shape{in.dim(0), l.out_channels, l.out_extent(in.dim(2)),
+               l.out_extent(in.dim(3))};
 }
 
 // Shared layer dispatch. `wc` is the byte-per-code weight view for integer
-// layers (ignored on the float path).
-Tensor run_layer(const GemmLayerPlan& layer, const Tensor& x,
-                 const std::uint8_t* wc) {
+// layers (ignored on the float path). The input must already have passed
+// check_layer_input; `out` must hold layer_out_shape(...).numel() floats.
+void run_layer(const GemmLayerPlan& layer, const float* x, const Shape& shape,
+               const std::uint8_t* wc, float* out) {
+  const std::int64_t B = shape.dim(0);
   if (layer.is_conv) {
-    if (x.shape().rank() != 4 || x.shape().dim(1) != layer.in_channels) {
-      throw std::invalid_argument("infer: " + layer.name + " expected [B, " +
-                                  std::to_string(layer.in_channels) +
-                                  ", H, W], got " + x.shape().to_string());
-    }
+    const std::int64_t H = shape.dim(2), W = shape.dim(3);
     if (layer.is_depthwise) {
-      return layer.path == ExecPath::kInteger
-                 ? run_depthwise_int(layer, x, wc)
-                 : run_depthwise_float(layer, x);
+      if (layer.path == ExecPath::kInteger) {
+        run_depthwise_int(layer, x, B, H, W, wc, out);
+      } else {
+        run_depthwise_float(layer, x, B, H, W, out);
+      }
+      return;
     }
-    return layer.path == ExecPath::kInteger ? run_conv_int(layer, x, wc)
-                                            : run_conv_float(layer, x);
+    if (layer.path == ExecPath::kInteger) {
+      run_conv_int(layer, x, B, H, W, wc, out);
+    } else {
+      run_conv_float(layer, x, B, H, W, out);
+    }
+    return;
   }
-  if (x.shape().rank() != 2 || x.shape().dim(1) != layer.in_channels) {
-    throw std::invalid_argument("infer: " + layer.name + " expected [B, " +
-                                std::to_string(layer.in_channels) +
-                                "], got " + x.shape().to_string());
+  if (layer.path == ExecPath::kInteger) {
+    run_linear_int(layer, x, B, wc, out);
+  } else {
+    run_linear_float(layer, x, B, out);
   }
-  return layer.path == ExecPath::kInteger ? run_linear_int(layer, x, wc)
-                                          : run_linear_float(layer, x);
+}
+
+// Heap-path convenience: allocates the output tensor and runs the kernel.
+Tensor run_layer_tensor(const GemmLayerPlan& layer, const Tensor& x,
+                        const std::uint8_t* wc) {
+  check_layer_input(layer, x.shape());
+  Tensor out(layer_out_shape(layer, x.shape()));
+  run_layer(layer, x.data(), x.shape(), wc, out.data());
+  return out;
 }
 
 // Inference-only max pool (nn::MaxPool2d caches backward state; the engine
 // needs a stateless pass).
-Tensor maxpool_forward(const Tensor& x, std::int64_t kernel,
-                       std::int64_t stride) {
-  const std::int64_t B = x.shape().dim(0), C = x.shape().dim(1);
-  const std::int64_t H = x.shape().dim(2), W = x.shape().dim(3);
+void maxpool_forward(const float* x, std::int64_t B, std::int64_t C,
+                     std::int64_t H, std::int64_t W, std::int64_t kernel,
+                     std::int64_t stride, float* out) {
   const std::int64_t oh = (H - kernel) / stride + 1;
   const std::int64_t ow = (W - kernel) / stride + 1;
-  Tensor out(Shape{B, C, oh, ow});
   parallel_for(0, B * C, [&](std::int64_t p0, std::int64_t p1) {
     for (std::int64_t p = p0; p < p1; ++p) {
-      const float* plane = x.data() + p * H * W;
-      float* dst = out.data() + p * oh * ow;
+      const float* plane = x + p * H * W;
+      float* dst = out + p * oh * ow;
       for (std::int64_t y = 0; y < oh; ++y) {
         for (std::int64_t xo = 0; xo < ow; ++xo) {
           float best = -std::numeric_limits<float>::infinity();
@@ -569,44 +628,190 @@ Tensor maxpool_forward(const Tensor& x, std::int64_t kernel,
       }
     }
   });
-  return out;
 }
 
-Tensor gap_forward(const Tensor& x) {
-  const std::int64_t B = x.shape().dim(0), C = x.shape().dim(1);
-  const std::int64_t hw = x.shape().dim(2) * x.shape().dim(3);
-  Tensor out(Shape{B, C});
+void gap_forward(const float* x, std::int64_t B, std::int64_t C,
+                 std::int64_t hw, float* out) {
   for (std::int64_t p = 0; p < B * C; ++p) {
-    const float* plane = x.data() + p * hw;
+    const float* plane = x + p * hw;
     float s = 0.0f;
     for (std::int64_t i = 0; i < hw; ++i) s += plane[i];
     out[p] = s / static_cast<float>(hw);
   }
-  return out;
 }
 
-// current += skip, channels >= mask zeroed, then ReLU — the tail of a
-// residual block, fused into one pass.
-void add_mask_relu(Tensor& current, const Tensor& skip,
-                   std::int64_t mask_channels) {
-  if (current.shape() != skip.shape()) {
-    throw std::invalid_argument("infer: residual add shape mismatch " +
-                                current.shape().to_string() + " vs " +
-                                skip.shape().to_string());
-  }
-  const std::int64_t B = current.shape().dim(0), C = current.shape().dim(1);
-  const std::int64_t hw = current.shape().dim(2) * current.shape().dim(3);
+// dst = ReLU(cur + skip) with channels >= mask zeroed — the tail of a
+// residual block, fused into one pass. dst may alias cur (the planner's
+// in-place case; reads and writes are index-aligned).
+void add_mask_relu(const float* cur, const float* skip, std::int64_t B,
+                   std::int64_t C, std::int64_t hw, std::int64_t mask_channels,
+                   float* dst) {
   const std::int64_t live = mask_channels < 0 ? C : mask_channels;
   for (std::int64_t b = 0; b < B; ++b) {
     for (std::int64_t c = 0; c < C; ++c) {
-      float* cur = current.data() + (b * C + c) * hw;
+      float* d = dst + (b * C + c) * hw;
       if (c >= live) {
-        std::fill(cur, cur + hw, 0.0f);
+        std::fill(d, d + hw, 0.0f);
         continue;
       }
-      const float* sk = skip.data() + (b * C + c) * hw;
+      const float* cu = cur + (b * C + c) * hw;
+      const float* sk = skip + (b * C + c) * hw;
       for (std::int64_t i = 0; i < hw; ++i) {
-        cur[i] = std::max(cur[i] + sk[i], 0.0f);
+        d[i] = std::max(cu[i] + sk[i], 0.0f);
+      }
+    }
+  }
+}
+
+void check_add_shapes(const Shape& current, const Shape& skip) {
+  if (current != skip) {
+    throw std::invalid_argument("infer: residual add shape mismatch " +
+                                current.to_string() + " vs " +
+                                skip.to_string());
+  }
+}
+
+// ADQ_ARENA=0 disables the slot executor (heap fallback for A/B checks and
+// paranoia); anything else — including unset — leaves it on. Read per
+// forward so a process can toggle it between runs.
+bool arena_env_enabled() {
+  const char* e = std::getenv("ADQ_ARENA");
+  return e == nullptr || !(e[0] == '0' && e[1] == '\0');
+}
+
+// One-time validation of a loaded/compiled memory plan: replays the op
+// walk over a 64-byte-granule stamp map, proving that every slot lies
+// inside the arena, no op's output overlaps an operand it is still
+// reading (in-place ops excepted — their reads and writes are
+// index-aligned), and no op overwrites bytes a later op still consumes.
+// The checksum only proves a file arrived as written, not that its
+// writer's planner was correct; without this check a hand-edited plan
+// could silently compute wrong logits.
+void validate_memory_plan(const InferencePlan& plan) {
+  std::vector<std::int64_t> out_elems;
+  try {
+    out_elems = plan.op_out_elems();
+  } catch (const std::logic_error& e) {
+    throw std::runtime_error(e.what());
+  }
+  const auto fail = [&plan](std::size_t i, const std::string& why) {
+    throw std::runtime_error("infer: plan '" + plan.model_name + "' op " +
+                             std::to_string(i) + " " + why);
+  };
+
+  struct Val {
+    int id = 0;          // 0 = the caller-owned input tensor
+    std::int64_t off = -1, bytes = 0;
+  };
+  const std::int64_t granules = (plan.arena_bytes + 63) / 64;
+  std::vector<int> stamp(static_cast<std::size_t>(granules), -1);
+  const auto span = [](const Val& v) {
+    return std::pair<std::int64_t, std::int64_t>{v.off / 64,
+                                                 (v.off + v.bytes + 63) / 64};
+  };
+  const auto check_live = [&](const Val& v, std::size_t i) {
+    if (v.off < 0) return;
+    const auto [g0, g1] = span(v);
+    for (std::int64_t g = g0; g < g1; ++g) {
+      if (stamp[static_cast<std::size_t>(g)] != v.id) {
+        fail(i, "reads a value whose arena slot was overwritten "
+                "(inconsistent memory plan)");
+      }
+    }
+  };
+  int next_id = 1;
+  // Writes value `id` into a fresh slot, checking bounds and that the
+  // slot is disjoint from every operand the op reads while writing.
+  const auto write_slot = [&](Val& v, std::int64_t off, std::int64_t bytes,
+                              std::initializer_list<const Val*> reads,
+                              std::size_t i) {
+    if (off < 0) fail(i, "is missing its arena slot");
+    if (off % 64 != 0 || off + bytes > plan.arena_bytes) {
+      fail(i, "has an arena slot outside the planned footprint");
+    }
+    const std::int64_t g0 = off / 64, g1 = (off + bytes + 63) / 64;
+    for (const Val* r : reads) {
+      if (r->off < 0) continue;
+      const auto [r0, r1] = span(*r);
+      if (g0 < r1 && r0 < g1) {
+        fail(i, "writes its output over an operand it is still reading");
+      }
+    }
+    v = Val{next_id++, off, bytes};
+    for (std::int64_t g = g0; g < g1; ++g) {
+      stamp[static_cast<std::size_t>(g)] = v.id;
+    }
+  };
+  // In-place rewrite of v's own slot: the old value dies, a new one takes
+  // over the same bytes.
+  const auto rewrite_inplace = [&](Val& v, std::int64_t bytes,
+                                   std::size_t i) {
+    if (v.off < 0) fail(i, "executes in place over the caller-owned input");
+    v.bytes = bytes;
+    v.id = next_id++;
+    const auto [g0, g1] = span(v);
+    for (std::int64_t g = g0; g < g1; ++g) {
+      stamp[static_cast<std::size_t>(g)] = v.id;
+    }
+  };
+
+  Val cur;  // the caller's input tensor
+  std::vector<Val> skips;
+  for (std::size_t i = 0; i < plan.ops.size(); ++i) {
+    const OpPlan& op = plan.ops[i];
+    const std::int64_t bytes =
+        out_elems[i] * static_cast<std::int64_t>(sizeof(float));
+    switch (op.kind) {
+      case OpKind::kGemm:
+      case OpKind::kMaxPool:
+      case OpKind::kGlobalAvgPool:
+        check_live(cur, i);
+        write_slot(cur, op.out_offset, bytes, {&cur}, i);
+        break;
+      case OpKind::kFlatten:
+        break;  // pure view
+      case OpKind::kReLU:
+      case OpKind::kQuantize:
+        check_live(cur, i);
+        if (op.out_offset < 0) {
+          rewrite_inplace(cur, bytes, i);
+        } else {
+          write_slot(cur, op.out_offset, bytes, {&cur}, i);
+        }
+        break;
+      case OpKind::kPushSkip:
+        check_live(cur, i);
+        if (op.skip_bits > 0) {
+          Val skip;
+          write_slot(skip, op.out_offset, bytes, {&cur}, i);
+          skips.push_back(skip);
+        } else {
+          skips.push_back(cur);  // alias — shares the stamp
+        }
+        break;
+      case OpKind::kQuantizeSkip:
+        check_live(skips.back(), i);
+        if (op.out_offset < 0) {
+          rewrite_inplace(skips.back(), bytes, i);
+        } else {
+          write_slot(skips.back(), op.out_offset, bytes, {&skips.back()}, i);
+        }
+        break;
+      case OpKind::kSkipGemm:
+        check_live(skips.back(), i);
+        write_slot(skips.back(), op.out_offset, bytes, {&skips.back()}, i);
+        break;
+      case OpKind::kAddSkipRelu: {
+        check_live(cur, i);
+        check_live(skips.back(), i);
+        const Val top = skips.back();
+        skips.pop_back();
+        if (op.out_offset < 0) {
+          rewrite_inplace(cur, bytes, i);
+        } else {
+          write_slot(cur, op.out_offset, bytes, {&cur, &top}, i);
+        }
+        break;
       }
     }
   }
@@ -619,7 +824,7 @@ Tensor run_gemm_layer(const GemmLayerPlan& layer, const Tensor& x) {
   // thread's scratch (the engine proper uses its construction-time cache).
   EngineScratch& ws = engine_scratch();
   if (needs_exec_buffer(layer)) build_exec_codes(layer, ws.unpack);
-  return run_layer(layer, x, exec_weight_view(layer, ws.unpack));
+  return run_layer_tensor(layer, x, exec_weight_view(layer, ws.unpack));
 }
 
 IntInferenceEngine::IntInferenceEngine(InferencePlan plan)
@@ -630,9 +835,201 @@ IntInferenceEngine::IntInferenceEngine(InferencePlan plan)
       build_exec_codes(plan_.layers[i], exec_codes_[i]);
     }
   }
+  if (plan_.arena_bytes > 0) validate_memory_plan(plan_);
+}
+
+bool IntInferenceEngine::uses_arena(const Tensor& x) const {
+  if (plan_.arena_bytes <= 0 || !arena_env_enabled()) return false;
+  const PlannedInput& in = plan_.planned_input;
+  if (in.rank == 3) {
+    return x.shape().rank() == 4 && x.shape().dim(1) == in.channels &&
+           x.shape().dim(2) == in.height && x.shape().dim(3) == in.width;
+  }
+  return in.rank == 1 && x.shape().rank() == 2 &&
+         x.shape().dim(1) == in.channels;
 }
 
 Tensor IntInferenceEngine::forward(const Tensor& x) const {
+  Tensor out;
+  forward_into(x, out);
+  return out;
+}
+
+void IntInferenceEngine::forward_into(const Tensor& x, Tensor& out) const {
+  if (uses_arena(x)) {
+    forward_arena(x, out);
+    return;
+  }
+  out = forward_heap(x);
+}
+
+// The slot-based executor: one preallocated per-thread arena, every op
+// writing into its planner-assigned slot (per-sample offsets scale by the
+// batch size — 64-byte slot alignment keeps the scaled offsets aligned and
+// float-indexable). In-place ops (out_offset < 0) snap or rectify their
+// input's slot directly; flatten is a pure reinterpretation of the current
+// view. Steady state performs zero heap allocations: the arena, code and
+// slab buffers all grow once and are reused.
+void IntInferenceEngine::forward_arena(const Tensor& x, Tensor& out) const {
+  const std::int64_t B = x.shape().dim(0);
+  EngineScratch& ws = engine_scratch();
+  float* arena =
+      ws.ensure_arena(plan_.arena_bytes / static_cast<std::int64_t>(sizeof(float)) * B);
+  const auto slot = [&](std::int64_t off) {
+    return arena + off / static_cast<std::int64_t>(sizeof(float)) * B;
+  };
+  const auto require_slot = [&](const OpPlan& op) {
+    if (op.out_offset < 0) {
+      throw std::logic_error("infer: op is missing its arena slot");
+    }
+    return slot(op.out_offset);
+  };
+  // Writable pointer for an in-place op: the planner never aliases the
+  // caller-owned input tensor, so a view without a slot here is a plan bug.
+  const auto inplace_ptr = [&](const View& v) {
+    if (v.off < 0) {
+      throw std::logic_error("infer: in-place op over caller-owned input");
+    }
+    return slot(v.off);
+  };
+
+  const auto weight_view = [this](int layer) -> const std::uint8_t* {
+    return exec_weight_view(plan_.layers[static_cast<std::size_t>(layer)],
+                            exec_codes_[static_cast<std::size_t>(layer)]);
+  };
+
+  View cur{x.data(), -1, x.shape()};
+  std::vector<View>& skips = ws.skip_views;
+  skips.clear();
+  for (const OpPlan& op : plan_.ops) {
+    switch (op.kind) {
+      case OpKind::kGemm: {
+        const GemmLayerPlan& l =
+            plan_.layers[static_cast<std::size_t>(op.layer)];
+        check_layer_input(l, cur.shape);
+        float* dst = require_slot(op);
+        run_layer(l, cur.p, cur.shape, weight_view(op.layer), dst);
+        cur = View{dst, op.out_offset, layer_out_shape(l, cur.shape)};
+        break;
+      }
+      case OpKind::kMaxPool: {
+        float* dst = require_slot(op);
+        const std::int64_t C = cur.shape.dim(1), H = cur.shape.dim(2),
+                           W = cur.shape.dim(3);
+        maxpool_forward(cur.p, B, C, H, W, op.pool_kernel, op.pool_stride,
+                        dst);
+        cur = View{dst, op.out_offset,
+                   Shape{B, C, (H - op.pool_kernel) / op.pool_stride + 1,
+                         (W - op.pool_kernel) / op.pool_stride + 1}};
+        break;
+      }
+      case OpKind::kGlobalAvgPool: {
+        float* dst = require_slot(op);
+        const std::int64_t C = cur.shape.dim(1);
+        gap_forward(cur.p, B, C, cur.shape.dim(2) * cur.shape.dim(3), dst);
+        cur = View{dst, op.out_offset, Shape{B, C}};
+        break;
+      }
+      case OpKind::kFlatten:
+        cur.shape = Shape{B, cur.shape.numel() / B};
+        break;
+      case OpKind::kReLU: {
+        const std::int64_t n = cur.shape.numel();
+        if (op.out_offset < 0) {
+          float* p = inplace_ptr(cur);
+          for (std::int64_t i = 0; i < n; ++i) p[i] = std::max(p[i], 0.0f);
+        } else {
+          float* dst = require_slot(op);
+          for (std::int64_t i = 0; i < n; ++i) {
+            dst[i] = std::max(cur.p[i], 0.0f);
+          }
+          cur = View{dst, op.out_offset, cur.shape};
+        }
+        break;
+      }
+      case OpKind::kQuantize: {
+        const std::int64_t n = cur.shape.numel();
+        if (op.out_offset < 0) {
+          quant::fake_quantize_into(cur.p, n, op.skip_bits, inplace_ptr(cur));
+        } else {
+          float* dst = require_slot(op);
+          quant::fake_quantize_into(cur.p, n, op.skip_bits, dst);
+          cur = View{dst, op.out_offset, cur.shape};
+        }
+        break;
+      }
+      case OpKind::kPushSkip:
+        if (op.skip_bits > 0) {
+          // Eager skip quantization (v1/v2-era plans; v3 lowering defers it
+          // to kQuantizeSkip so it can run in place).
+          float* dst = require_slot(op);
+          quant::fake_quantize_into(cur.p, cur.shape.numel(), op.skip_bits,
+                                    dst);
+          skips.push_back(View{dst, op.out_offset, cur.shape});
+        } else {
+          skips.push_back(cur);  // alias — the planner keeps the slot live
+        }
+        break;
+      case OpKind::kQuantizeSkip: {
+        if (skips.empty()) {
+          throw std::logic_error("infer: quantize-skip without a saved skip");
+        }
+        View& top = skips.back();
+        const std::int64_t n = top.shape.numel();
+        if (op.out_offset < 0) {
+          quant::fake_quantize_into(top.p, n, op.skip_bits, inplace_ptr(top));
+        } else {
+          float* dst = require_slot(op);
+          quant::fake_quantize_into(top.p, n, op.skip_bits, dst);
+          top = View{dst, op.out_offset, top.shape};
+        }
+        break;
+      }
+      case OpKind::kSkipGemm: {
+        if (skips.empty()) {
+          throw std::logic_error("infer: skip gemm without a saved skip");
+        }
+        View& top = skips.back();
+        const GemmLayerPlan& l =
+            plan_.layers[static_cast<std::size_t>(op.layer)];
+        check_layer_input(l, top.shape);
+        float* dst = require_slot(op);
+        run_layer(l, top.p, top.shape, weight_view(op.layer), dst);
+        top = View{dst, op.out_offset, layer_out_shape(l, top.shape)};
+        break;
+      }
+      case OpKind::kAddSkipRelu: {
+        if (skips.empty()) {
+          throw std::logic_error("infer: residual add without a saved skip");
+        }
+        const View top = skips.back();
+        skips.pop_back();
+        check_add_shapes(cur.shape, top.shape);
+        const std::int64_t C = cur.shape.dim(1);
+        const std::int64_t hw = cur.shape.dim(2) * cur.shape.dim(3);
+        if (op.out_offset < 0) {
+          float* p = inplace_ptr(cur);
+          add_mask_relu(p, top.p, B, C, hw, op.mask_channels, p);
+        } else {
+          float* dst = require_slot(op);
+          add_mask_relu(cur.p, top.p, B, C, hw, op.mask_channels, dst);
+          cur = View{dst, op.out_offset, cur.shape};
+        }
+        break;
+      }
+    }
+  }
+
+  if (out.shape() != cur.shape) out = Tensor(cur.shape);
+  std::memcpy(out.data(), cur.p,
+              static_cast<std::size_t>(cur.shape.numel()) * sizeof(float));
+}
+
+// The heap fallback: the pre-arena executor, one freshly allocated tensor
+// per op. Shares every kernel with the arena path, so the two are
+// bit-identical; used for v1/v2 plans (no memory plan), off-plan input
+// shapes, and ADQ_ARENA=0.
+Tensor IntInferenceEngine::forward_heap(const Tensor& x) const {
   auto weight_view = [this](int layer) -> const std::uint8_t* {
     return exec_weight_view(plan_.layers[static_cast<std::size_t>(layer)],
                             exec_codes_[static_cast<std::size_t>(layer)]);
@@ -643,15 +1040,32 @@ Tensor IntInferenceEngine::forward(const Tensor& x) const {
   for (const OpPlan& op : plan_.ops) {
     switch (op.kind) {
       case OpKind::kGemm:
-        current = run_layer(plan_.layers[static_cast<std::size_t>(op.layer)],
-                            current, weight_view(op.layer));
+        current = run_layer_tensor(
+            plan_.layers[static_cast<std::size_t>(op.layer)], current,
+            weight_view(op.layer));
         break;
-      case OpKind::kMaxPool:
-        current = maxpool_forward(current, op.pool_kernel, op.pool_stride);
+      case OpKind::kMaxPool: {
+        const std::int64_t B = current.shape().dim(0),
+                           C = current.shape().dim(1),
+                           H = current.shape().dim(2),
+                           W = current.shape().dim(3);
+        Tensor out(Shape{B, C, (H - op.pool_kernel) / op.pool_stride + 1,
+                         (W - op.pool_kernel) / op.pool_stride + 1});
+        maxpool_forward(current.data(), B, C, H, W, op.pool_kernel,
+                        op.pool_stride, out.data());
+        current = std::move(out);
         break;
-      case OpKind::kGlobalAvgPool:
-        current = gap_forward(current);
+      }
+      case OpKind::kGlobalAvgPool: {
+        const std::int64_t B = current.shape().dim(0),
+                           C = current.shape().dim(1);
+        Tensor out(Shape{B, C});
+        gap_forward(current.data(), B, C,
+                    current.shape().dim(2) * current.shape().dim(3),
+                    out.data());
+        current = std::move(out);
         break;
+      }
       case OpKind::kFlatten:
         current = current.reshaped(
             Shape{current.shape().dim(0),
@@ -665,18 +1079,34 @@ Tensor IntInferenceEngine::forward(const Tensor& x) const {
                                  ? quant::fake_quantize(current, op.skip_bits)
                                  : current);
         break;
+      case OpKind::kQuantizeSkip:
+        if (skip_stack.empty()) {
+          throw std::logic_error("infer: quantize-skip without a saved skip");
+        }
+        skip_stack.back() =
+            quant::fake_quantize(skip_stack.back(), op.skip_bits);
+        break;
       case OpKind::kSkipGemm:
-        skip_stack.back() = run_layer(
+        if (skip_stack.empty()) {
+          throw std::logic_error("infer: skip gemm without a saved skip");
+        }
+        skip_stack.back() = run_layer_tensor(
             plan_.layers[static_cast<std::size_t>(op.layer)],
             skip_stack.back(), weight_view(op.layer));
         break;
-      case OpKind::kAddSkipRelu:
+      case OpKind::kAddSkipRelu: {
         if (skip_stack.empty()) {
           throw std::logic_error("infer: residual add without a saved skip");
         }
-        add_mask_relu(current, skip_stack.back(), op.mask_channels);
+        const Tensor& skip = skip_stack.back();
+        check_add_shapes(current.shape(), skip.shape());
+        add_mask_relu(current.data(), skip.data(), current.shape().dim(0),
+                      current.shape().dim(1),
+                      current.shape().dim(2) * current.shape().dim(3),
+                      op.mask_channels, current.data());
         skip_stack.pop_back();
         break;
+      }
       case OpKind::kQuantize:
         current = quant::fake_quantize(current, op.skip_bits);
         break;

@@ -9,15 +9,26 @@
 // over the int32 accumulators. Float-path layers reproduce the training
 // forward exactly (fake-quantized operands, float GEMM, same epilogue).
 //
+// Execution is slot-based: when the plan carries a static memory plan
+// (arena_bytes > 0, format v3), every op writes its output into a
+// preallocated per-thread arena at the compile-time offset the planner
+// assigned — in-place where the planner proved it safe (standalone
+// ReLU/quantize, the deferred Fig-2 skip quantizer, the residual add) — so
+// a steady-state forward() performs ZERO heap allocations and its peak
+// activation footprint is exactly plan.arena_bytes * batch. Plans without
+// a memory plan (v1/v2 files), inputs whose shape differs from the planned
+// one, and runs with ADQ_ARENA=0 fall back to the heap path (a fresh
+// tensor per op). Both paths share the same kernels and are bit-identical.
+//
 // Thread-safety: forward()/predict() are const and safe to call
 // concurrently from any number of threads on one shared engine — the plan
 // is immutable after construction, sub-byte weight codes are unpacked once
 // into an engine-owned cache (so no caller ever clones packed weights), and
-// all per-call scratch (activation codes, im2col slabs, GEMM accumulators)
-// lives in thread_local workspaces that grow on demand and are reused
-// across calls, keeping the serving hot loop allocation-free. This is what
-// lets the dynamic-batching server (src/serve) share one compiled plan
-// across its whole worker pool.
+// all per-call state (the activation arena, activation codes, im2col slabs,
+// GEMM accumulators) lives in thread_local workspaces that grow on demand
+// and are reused across calls. This is what lets the dynamic-batching
+// server (src/serve) share one compiled plan across its whole worker pool
+// with a bounded, known activation footprint per worker.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +43,11 @@ class IntInferenceEngine {
  public:
   /// Takes ownership of the plan and unpacks every sub-byte weight cell
   /// into a byte-per-code cache so the hot path never touches bitpack.
+  /// For memory-planned plans, replays the op walk over the planned slots
+  /// once and throws std::runtime_error on an inconsistent layout — a slot
+  /// outside the arena, an output overlapping an operand the op still
+  /// reads, or a slot overwritten while a later op still consumes it (a
+  /// corrupt or hand-edited file; see validate_memory_plan).
   explicit IntInferenceEngine(InferencePlan plan);
 
   const InferencePlan& plan() const { return plan_; }
@@ -40,10 +56,32 @@ class IntInferenceEngine {
   /// safe to call concurrently (see file comment).
   Tensor forward(const Tensor& x) const;
 
+  /// As forward(), but writes the logits into `out`, reusing its storage
+  /// when the shape already matches — the steady-state serving loop then
+  /// allocates nothing at all (asserted by test).
+  void forward_into(const Tensor& x, Tensor& out) const;
+
   /// Top-1 class index per sample.
   std::vector<std::int64_t> predict(const Tensor& x) const;
 
+  /// Per-sample activation arena footprint (0 = no memory plan).
+  std::int64_t arena_bytes_per_sample() const { return plan_.arena_bytes; }
+
+  /// Exact peak activation bytes of a batch-`batch` forward on the arena
+  /// path (offsets and sizes scale linearly with the batch).
+  std::int64_t peak_activation_bytes(std::int64_t batch) const {
+    return plan_.peak_activation_bytes(batch);
+  }
+
+  /// True when forward(x) will execute out of the planned arena: the plan
+  /// carries a memory plan, x matches the planned input shape, and
+  /// ADQ_ARENA is not set to 0.
+  bool uses_arena(const Tensor& x) const;
+
  private:
+  Tensor forward_heap(const Tensor& x) const;
+  void forward_arena(const Tensor& x, Tensor& out) const;
+
   InferencePlan plan_;
   // Per-layer execution view of the integer weights, built once at
   // construction: convs store [out+1, patch] byte-per-code rows whose last

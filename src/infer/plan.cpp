@@ -168,21 +168,41 @@ GemmLayerPlan plan_linear_node(nn::Linear& linear, bool fuse_relu,
 // The engine is a stack machine over one "current" tensor plus a skip
 // stack, so lowering walks the legalized DAG recursively: chains emit in
 // producer order, and a residual diamond emits as
-//   PushSkip -> <main-branch ops> -> [SkipGemm] -> AddSkipRelu.
-// The skip branch may hold at most the Fig-2 quantizer and one
-// (BN-folded) conv — exactly what kPushSkip/kSkipGemm can express; deeper
-// skip branches are an IR capability the engine does not have yet, and
-// lowering says so rather than miscompiling.
+//   PushSkip -> <main-branch ops> -> [QuantizeSkip] -> [SkipGemm]
+//   -> AddSkipRelu.
+// The Fig-2 skip quantizer is deferred to just before the add (it reads
+// the untouched fork value either way), which lets the arena executor
+// quantize the fork slot in place once the main branch is done with it.
+// The skip branch may hold at most that quantizer and one (BN-folded)
+// conv — exactly what the skip stack can express; deeper skip branches
+// are an IR capability the engine does not have yet, and lowering says so
+// rather than miscompiling. Branch decomposition is shared with the
+// memory planner (graph::decompose_residual), so op emission and slot
+// liveness agree by construction.
+//
+// When graph::plan_memory has annotated the graph, every op carries the
+// arena slot its output occupies (out_offset; -1 = in place / pure view)
+// and the plan records the arena footprint + planned input shape.
 // ---------------------------------------------------------------------------
 
 class Lowerer {
  public:
   Lowerer(const graph::Graph& g, const CompileOptions& opts)
-      : g_(g), opts_(opts) {}
+      : g_(g),
+        opts_(opts),
+        planned_(g.output() >= 0 && g.at(g.output()).mem.def >= 0) {}
 
   InferencePlan run() {
     plan_.model_name = g_.name();
     emit_value(g_.output());
+    if (planned_) {
+      plan_.arena_bytes = g_.arena_bytes();
+      const graph::ValueType& in = g_.at(g_.input()).type;
+      plan_.planned_input.rank = in.rank;
+      plan_.planned_input.channels = in.channels;
+      plan_.planned_input.height = in.height;
+      plan_.planned_input.width = in.width;
+    }
     return std::move(plan_);
   }
 
@@ -194,11 +214,19 @@ class Lowerer {
                                 why);
   }
 
-  void emit_gemm(GemmLayerPlan layer, OpKind kind) {
+  // Arena slot the op producing `n`'s value writes to: -1 (in place /
+  // pure view / unplanned graph) or the planner's byte offset.
+  std::int64_t out_slot(const graph::Node& n) const {
+    if (!planned_ || n.mem.inplace) return -1;
+    return n.mem.offset;
+  }
+
+  void emit_gemm(GemmLayerPlan layer, OpKind kind, const graph::Node& n) {
     plan_.layers.push_back(std::move(layer));
     OpPlan op;
     op.kind = kind;
     op.layer = static_cast<int>(plan_.layers.size()) - 1;
+    op.out_offset = out_slot(n);
     plan_.ops.push_back(op);
   }
 
@@ -225,7 +253,7 @@ class Lowerer {
       case graph::NodeKind::kConv:
       case graph::NodeKind::kDepthwiseConv:
       case graph::NodeKind::kLinear:
-        emit_gemm(plan_for(n), OpKind::kGemm);
+        emit_gemm(plan_for(n), OpKind::kGemm, n);
         return;
       case graph::NodeKind::kReLU:
         op.kind = OpKind::kReLU;
@@ -253,6 +281,7 @@ class Lowerer {
       default:
         cannot_lower(n, "unsupported op");
     }
+    op.out_offset = n.kind == graph::NodeKind::kFlatten ? -1 : out_slot(n);
     plan_.ops.push_back(op);
   }
 
@@ -266,7 +295,7 @@ class Lowerer {
         emit_value(n.inputs[0]);
         return;
       case graph::NodeKind::kAdd:
-        emit_add(n);
+        emit_add(id);
         return;
       default:
         emit_value(n.inputs[0]);
@@ -275,52 +304,32 @@ class Lowerer {
     }
   }
 
-  void emit_add(const graph::Node& add) {
-    // Build convention: inputs[0] = main branch, inputs[1] = skip branch.
-    // The skip branch may hold [quantize] [conv]; beneath it is the fork
-    // value both branches share. A node that feeds anything besides the
-    // skip branch IS the fork (e.g. an identity skip whose quantizer was
-    // elided lands the add directly on the shared producer — even when
-    // that producer happens to be a conv), so only sole-consumer nodes are
-    // consumed into the skip chain.
-    int skip = add.inputs[1];
-    int down = -1, quantize = -1;
-    if ((g_.at(skip).kind == graph::NodeKind::kConv ||
-         g_.at(skip).kind == graph::NodeKind::kDepthwiseConv) &&
-        g_.consumers(skip).size() == 1) {
-      down = skip;
-      skip = g_.at(skip).inputs[0];
-    }
-    if (g_.at(skip).kind == graph::NodeKind::kQuantize &&
-        g_.consumers(skip).size() == 1) {
-      quantize = skip;
-      skip = g_.at(skip).inputs[0];
-    }
-    const int fork = skip;
+  void emit_add(int add_id) {
+    const graph::Node& add = g_.at(add_id);
+    // Shared decomposition with the memory planner's execution schedule
+    // (see graph::decompose_residual): fork, lazily-quantized skip, at
+    // most one downsample conv.
+    const graph::ResidualParts parts = graph::decompose_residual(g_, add_id);
 
-    // Main-branch chain from the fork (exclusive) to the add (exclusive).
-    std::vector<int> chain;
-    for (int m = add.inputs[0]; m != fork;) {
-      const graph::Node& node = g_.at(m);
-      if (node.kind == graph::NodeKind::kAdd ||
-          node.kind == graph::NodeKind::kInput || node.inputs.empty()) {
-        cannot_lower(add, "main and skip branches do not meet at a common "
-                          "fork the skip stack can express");
-      }
-      chain.push_back(m);
-      m = node.inputs[0];
-    }
-
-    emit_value(fork);
+    emit_value(parts.fork);
     OpPlan push;
     push.kind = OpKind::kPushSkip;
-    push.skip_bits = quantize >= 0 ? g_.at(quantize).bits : 0;
-    plan_.ops.push_back(push);
+    plan_.ops.push_back(push);  // bits 0: the skip aliases the fork slot
 
-    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
-      emit_op(g_.at(*it));
+    for (int m : parts.main_chain) emit_op(g_.at(m));
+
+    if (parts.quantize >= 0) {
+      const graph::Node& q = g_.at(parts.quantize);
+      OpPlan quant;
+      quant.kind = OpKind::kQuantizeSkip;
+      quant.skip_bits = q.bits;
+      quant.out_offset = out_slot(q);
+      plan_.ops.push_back(quant);
     }
-    if (down >= 0) emit_gemm(plan_for(g_.at(down)), OpKind::kSkipGemm);
+    if (parts.downsample >= 0) {
+      emit_gemm(plan_for(g_.at(parts.downsample)), OpKind::kSkipGemm,
+                g_.at(parts.downsample));
+    }
 
     if (!add.fused_relu) {
       cannot_lower(add, "the engine's residual add always rectifies; an add "
@@ -329,15 +338,184 @@ class Lowerer {
     OpPlan op;
     op.kind = OpKind::kAddSkipRelu;
     op.mask_channels = add.mask_channels;
+    op.out_offset = out_slot(add);
     plan_.ops.push_back(op);
   }
 
   const graph::Graph& g_;
   const CompileOptions& opts_;
+  const bool planned_;  // graph carries plan_memory() annotations
   InferencePlan plan_;
 };
 
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// Shape simulation over the op list — the same walk the executor performs,
+// on batch-agnostic shapes. Used for slot validation (engine ctor), the
+// activation-traffic report, and tests.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::int64_t shape_elems(const PlannedInput& s) {
+  return s.rank == 3 ? s.channels * s.height * s.width : s.channels;
+}
+
+PlannedInput gemm_out_shape(const GemmLayerPlan& l, const PlannedInput& in) {
+  if (!l.is_conv) {
+    PlannedInput out;
+    out.rank = 1;
+    out.channels = l.out_channels;
+    return out;
+  }
+  PlannedInput out;
+  out.rank = 3;
+  out.channels = l.out_channels;
+  out.height = l.out_extent(in.height);
+  out.width = l.out_extent(in.width);
+  return out;
+}
+
+// Walks the op list from `input`, reporting each op's consumed and
+// produced value shapes to `visit(op_index, in_elems, out_shape)`.
+// in_elems counts every operand (the residual add reads main + skip).
+template <typename Visit>
+void walk_op_shapes(const InferencePlan& plan, Visit&& visit) {
+  if (plan.planned_input.rank == 0) {
+    throw std::logic_error(
+        "infer: plan '" + plan.model_name +
+        "' carries no planned input shape (format v1/v2) — "
+        "activation accounting needs a memory-planned (v3) plan");
+  }
+  PlannedInput cur = plan.planned_input;
+  std::vector<PlannedInput> skips;
+  for (std::size_t i = 0; i < plan.ops.size(); ++i) {
+    const OpPlan& op = plan.ops[i];
+    switch (op.kind) {
+      case OpKind::kGemm: {
+        const GemmLayerPlan& l =
+            plan.layers[static_cast<std::size_t>(op.layer)];
+        const std::int64_t in = shape_elems(cur);
+        cur = gemm_out_shape(l, cur);
+        visit(i, in, cur);
+        break;
+      }
+      case OpKind::kMaxPool: {
+        const std::int64_t in = shape_elems(cur);
+        cur.height = (cur.height - op.pool_kernel) / op.pool_stride + 1;
+        cur.width = (cur.width - op.pool_kernel) / op.pool_stride + 1;
+        visit(i, in, cur);
+        break;
+      }
+      case OpKind::kGlobalAvgPool: {
+        const std::int64_t in = shape_elems(cur);
+        cur.rank = 1;
+        cur.height = cur.width = 0;
+        visit(i, in, cur);
+        break;
+      }
+      case OpKind::kFlatten: {
+        const std::int64_t in = shape_elems(cur);
+        cur.channels = in;
+        cur.rank = 1;
+        cur.height = cur.width = 0;
+        visit(i, in, cur);
+        break;
+      }
+      case OpKind::kReLU:
+      case OpKind::kQuantize:
+        visit(i, shape_elems(cur), cur);
+        break;
+      case OpKind::kPushSkip:
+        skips.push_back(cur);
+        visit(i, shape_elems(cur), cur);
+        break;
+      case OpKind::kQuantizeSkip:
+        if (skips.empty()) {
+          throw std::logic_error("infer: quantize-skip without a saved skip");
+        }
+        visit(i, shape_elems(skips.back()), skips.back());
+        break;
+      case OpKind::kSkipGemm: {
+        if (skips.empty()) {
+          throw std::logic_error("infer: skip gemm without a saved skip");
+        }
+        const GemmLayerPlan& l =
+            plan.layers[static_cast<std::size_t>(op.layer)];
+        const std::int64_t in = shape_elems(skips.back());
+        skips.back() = gemm_out_shape(l, skips.back());
+        visit(i, in, skips.back());
+        break;
+      }
+      case OpKind::kAddSkipRelu: {
+        if (skips.empty()) {
+          throw std::logic_error("infer: residual add without a saved skip");
+        }
+        const std::int64_t in = shape_elems(cur) + shape_elems(skips.back());
+        skips.pop_back();
+        visit(i, in, cur);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::int64_t> InferencePlan::op_out_elems() const {
+  std::vector<std::int64_t> out(ops.size(), 0);
+  walk_op_shapes(*this, [&](std::size_t i, std::int64_t, const PlannedInput& o) {
+    out[i] = shape_elems(o);
+  });
+  return out;
+}
+
+ActivationReport InferencePlan::activation_report(std::int64_t batch) const {
+  ActivationReport report;
+  report.arena_bytes = arena_bytes;
+  report.peak_bytes = arena_bytes * batch;
+  report.ops.resize(ops.size());
+  walk_op_shapes(*this, [&](std::size_t i, std::int64_t in_elems,
+                            const PlannedInput& out_shape) {
+    const OpPlan& op = ops[i];
+    OpActivation& a = report.ops[i];
+    a.in_elems = in_elems * batch;
+    a.out_elems = shape_elems(out_shape) * batch;
+    a.bits = 32;
+    switch (op.kind) {
+      case OpKind::kGemm:
+      case OpKind::kSkipGemm: {
+        const GemmLayerPlan& l = layers[static_cast<std::size_t>(op.layer)];
+        a.name = l.name;
+        a.integer_path = l.path == ExecPath::kInteger;
+        if (a.integer_path) a.bits = l.bits;
+        break;
+      }
+      case OpKind::kMaxPool: a.name = "maxpool"; break;
+      case OpKind::kGlobalAvgPool: a.name = "gap"; break;
+      case OpKind::kFlatten: a.name = "flatten"; break;
+      case OpKind::kReLU: a.name = "relu"; break;
+      case OpKind::kPushSkip: a.name = "push_skip"; break;
+      case OpKind::kQuantize: a.name = "quantize"; break;
+      case OpKind::kQuantizeSkip: a.name = "quantize_skip"; break;
+      case OpKind::kAddSkipRelu: a.name = "add_skip_relu"; break;
+    }
+    // Integer GEMMs read activations as k-bit codes packed one per byte;
+    // everything else moves 32-bit float words. Flatten is a pure view and
+    // an un-quantized push aliases its input, so neither moves data.
+    const bool no_traffic =
+        op.kind == OpKind::kFlatten || op.kind == OpKind::kPushSkip;
+    if (!no_traffic) {
+      a.in_bytes = a.integer_path ? a.in_elems
+                                  : a.in_elems *
+                                        static_cast<std::int64_t>(sizeof(float));
+      a.out_bytes = a.out_elems * static_cast<std::int64_t>(sizeof(float));
+    }
+    report.total_bytes += a.in_bytes + a.out_bytes;
+  });
+  return report;
+}
 
 std::size_t GemmLayerPlan::weight_bytes() const {
   if (path == ExecPath::kInteger) return weight_codes.size();
@@ -386,6 +564,7 @@ InferencePlan compile(models::QuantizableModel& model,
                       const CompileOptions& opts) {
   graph::Graph g = graph::build_from_model(model);
   graph::legalize(g);
+  graph::plan_memory(g);
   return lower_to_plan(g, opts);
 }
 

@@ -112,6 +112,16 @@ struct GemmLayerPlan {
     return is_depthwise ? kernel * kernel : in_channels * kernel * kernel;
   }
 
+  /// Spatial output extent of this conv for input extent `in` (identity
+  /// for linears). The ONE copy of the conv output arithmetic that both
+  /// the executor's shape tracking and the plan-level slot validation /
+  /// traffic simulation use, so the validator can never disagree with
+  /// what the kernels (whose im2col ConvGeometry contract mirrors this
+  /// formula) actually write.
+  std::int64_t out_extent(std::int64_t in) const {
+    return is_conv ? (in + 2 * pad - kernel) / stride + 1 : in;
+  }
+
   /// Resident weight bytes of this layer (packed codes or float words).
   std::size_t weight_bytes() const;
 };
@@ -130,14 +140,51 @@ enum class OpKind {
   kAddSkipRelu,  // current += saved skip; eqn-5 mask; ReLU
   kQuantize,     // current = fake_quantize(current, skip_bits) — a
                  // standalone quantizer no pass could fuse (format v2+)
+  kQuantizeSkip, // saved skip = fake_quantize(saved skip, skip_bits) — the
+                 // Fig-2 skip quantizer deferred to just before the add so
+                 // the arena executor can snap the fork slot in place once
+                 // the main branch is done reading it (format v3+)
 };
 
 struct OpPlan {
   OpKind kind = OpKind::kGemm;
   int layer = -1;                  // kGemm / kSkipGemm
-  int skip_bits = 0;               // kPushSkip / kQuantize (0 = no quantization)
+  int skip_bits = 0;               // kPushSkip / kQuantize[Skip] (0 = none)
   std::int64_t pool_kernel = 2, pool_stride = 2;  // kMaxPool
   std::int64_t mask_channels = -1; // kAddSkipRelu (-1 = no mask)
+  /// Arena byte offset (per sample, 64-aligned; scaled by the batch size at
+  /// run time) where this op writes its output. -1 means the op has no slot
+  /// of its own: it executes in place over its input's slot (ReLU/quantize/
+  /// residual add), is a pure view (flatten), or the plan predates memory
+  /// planning (format v1/v2 — the engine then falls back to heap tensors).
+  std::int64_t out_offset = -1;
+};
+
+/// Batch-agnostic shape of the value a plan's input op consumes — the
+/// anchor the memory plan was computed against. rank 0 on v1/v2 plans
+/// (no memory plan).
+struct PlannedInput {
+  int rank = 0;  // 3 = [C, H, W] feature maps, 1 = [C] features
+  std::int64_t channels = 0, height = 0, width = 0;
+};
+
+/// Per-op activation traffic of one forward pass — what the paper's
+/// E_Mem|k term charges. Integer-path GEMMs read their input as k-bit
+/// codes packed one per byte (in_bytes = in_elems); float-path ops move
+/// 32-bit words. Outputs are always float words.
+struct OpActivation {
+  std::string name;   // layer name, or the op kind for non-GEMM steps
+  int bits = 32;      // grid the input activations are read at
+  bool integer_path = false;
+  std::int64_t in_elems = 0, out_elems = 0;
+  std::int64_t in_bytes = 0, out_bytes = 0;
+};
+
+struct ActivationReport {
+  std::int64_t arena_bytes = 0;   // per-sample planned arena footprint
+  std::int64_t peak_bytes = 0;    // arena_bytes scaled by the batch
+  std::int64_t total_bytes = 0;   // summed per-op traffic (batch-scaled)
+  std::vector<OpActivation> ops;  // batch-scaled, one entry per op
 };
 
 struct InferencePlan {
@@ -145,11 +192,34 @@ struct InferencePlan {
   std::vector<GemmLayerPlan> layers;
   std::vector<OpPlan> ops;
 
+  /// Per-sample activation arena footprint in bytes (the static memory
+  /// planner's exact peak). 0 when the plan carries no memory plan
+  /// (v1/v2 files); the engine then executes on heap tensors.
+  std::int64_t arena_bytes = 0;
+
+  /// Input value shape the memory plan (and traffic report) assume.
+  PlannedInput planned_input;
+
   /// Total resident weight bytes across all compiled layers.
   std::size_t weight_bytes() const;
 
   /// Number of layers on the integer path.
   int integer_layer_count() const;
+
+  /// Exact peak activation bytes of a batch-`batch` forward on the arena
+  /// executor (arena_bytes scales linearly with the batch).
+  std::int64_t peak_activation_bytes(std::int64_t batch) const {
+    return arena_bytes * batch;
+  }
+
+  /// Per-sample output element count of every op, in op order, simulated
+  /// from planned_input — the shape walk the executor performs. Throws
+  /// std::logic_error when the plan has no planned input (v1/v2).
+  std::vector<std::int64_t> op_out_elems() const;
+
+  /// Per-layer activation traffic + peak footprint at the given batch
+  /// size. Throws std::logic_error when the plan has no planned input.
+  ActivationReport activation_report(std::int64_t batch = 1) const;
 };
 
 /// Compiles a single conv (+ optional BatchNorm fold + fused ReLU). Exposed

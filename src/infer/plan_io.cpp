@@ -318,20 +318,23 @@ GemmLayerPlan read_layer(Reader& r, std::uint32_t version) {
   return l;
 }
 
-void write_op(Writer& w, const OpPlan& op) {
+void write_op(Writer& w, const OpPlan& op, std::uint32_t version) {
   w.scalar<std::uint8_t>(static_cast<std::uint8_t>(op.kind));
   w.scalar<std::int32_t>(op.layer);
   w.scalar<std::int32_t>(op.skip_bits);
   w.scalar<std::int64_t>(op.pool_kernel);
   w.scalar<std::int64_t>(op.pool_stride);
   w.scalar<std::int64_t>(op.mask_channels);
+  if (version >= 3) w.scalar<std::int64_t>(op.out_offset);
 }
 
-OpPlan read_op(Reader& r, std::size_t layer_count, std::uint32_t version) {
+OpPlan read_op(Reader& r, std::size_t layer_count, std::uint32_t version,
+               std::int64_t arena_bytes) {
   OpPlan op;
   const auto kind = r.scalar<std::uint8_t>();
-  const OpKind max_kind =
-      version >= 2 ? OpKind::kQuantize : OpKind::kAddSkipRelu;
+  const OpKind max_kind = version >= 3   ? OpKind::kQuantizeSkip
+                          : version >= 2 ? OpKind::kQuantize
+                                         : OpKind::kAddSkipRelu;
   if (kind > static_cast<std::uint8_t>(max_kind)) {
     fail("invalid op kind tag " + std::to_string(kind) +
          " for format version " + std::to_string(version));
@@ -342,6 +345,8 @@ OpPlan read_op(Reader& r, std::size_t layer_count, std::uint32_t version) {
   op.pool_kernel = r.scalar<std::int64_t>();
   op.pool_stride = r.scalar<std::int64_t>();
   op.mask_channels = r.scalar<std::int64_t>();
+  // v1/v2 payloads predate memory planning and carry no slot offsets.
+  op.out_offset = version >= 3 ? r.scalar<std::int64_t>() : -1;
   if (op.kind == OpKind::kGemm || op.kind == OpKind::kSkipGemm) {
     if (op.layer < 0 || static_cast<std::size_t>(op.layer) >= layer_count) {
       fail("op references layer " + std::to_string(op.layer) +
@@ -358,9 +363,18 @@ OpPlan read_op(Reader& r, std::size_t layer_count, std::uint32_t version) {
   if (op.kind == OpKind::kAddSkipRelu && op.mask_channels < -1) {
     fail("invalid residual mask");
   }
-  if (op.kind == OpKind::kQuantize &&
+  if ((op.kind == OpKind::kQuantize || op.kind == OpKind::kQuantizeSkip) &&
       (op.skip_bits < 1 || op.skip_bits > 32)) {
     fail("invalid quantize bit-width");
+  }
+  // Slot offsets must land inside the declared arena on a 64-byte
+  // boundary (the engine scales both by the batch size, which preserves
+  // alignment only for aligned per-sample offsets).
+  if (op.out_offset < -1) fail("invalid arena slot offset");
+  if (op.out_offset >= 0 &&
+      (op.out_offset % 64 != 0 || op.out_offset >= arena_bytes)) {
+    fail("arena slot offset " + std::to_string(op.out_offset) +
+         " outside the declared arena");
   }
   return op;
 }
@@ -389,12 +403,31 @@ void save_plan(const InferencePlan& plan, std::ostream& out,
       }
     }
   }
+  if (version < 3) {
+    // The arena annotations are derivable metadata and are silently
+    // dropped (the loaded plan runs on the heap path, bit-identically);
+    // a deferred skip-quantize OP, however, is semantics an older reader
+    // cannot execute.
+    for (const OpPlan& op : plan.ops) {
+      if (op.kind == OpKind::kQuantizeSkip) {
+        fail("deferred skip-quantize op requires format version 3; cannot "
+             "write version " + std::to_string(version));
+      }
+    }
+  }
   Writer w;
   w.str(plan.model_name);
+  if (version >= 3) {
+    w.scalar<std::int64_t>(plan.arena_bytes);
+    w.scalar<std::uint8_t>(static_cast<std::uint8_t>(plan.planned_input.rank));
+    w.scalar<std::int64_t>(plan.planned_input.channels);
+    w.scalar<std::int64_t>(plan.planned_input.height);
+    w.scalar<std::int64_t>(plan.planned_input.width);
+  }
   w.scalar<std::uint32_t>(static_cast<std::uint32_t>(plan.layers.size()));
   for (const GemmLayerPlan& l : plan.layers) write_layer(w, l, version);
   w.scalar<std::uint32_t>(static_cast<std::uint32_t>(plan.ops.size()));
-  for (const OpPlan& op : plan.ops) write_op(w, op);
+  for (const OpPlan& op : plan.ops) write_op(w, op, version);
 
   const std::string& payload = w.payload();
   out.write(kMagic, sizeof(kMagic));
@@ -449,6 +482,29 @@ InferencePlan load_plan(std::istream& in) {
   Reader r(payload, payload_size);
   InferencePlan plan;
   plan.model_name = r.str();
+  if (version >= 3) {
+    plan.arena_bytes = r.scalar<std::int64_t>();
+    plan.planned_input.rank = r.scalar<std::uint8_t>();
+    plan.planned_input.channels = r.scalar<std::int64_t>();
+    plan.planned_input.height = r.scalar<std::int64_t>();
+    plan.planned_input.width = r.scalar<std::int64_t>();
+    if (plan.arena_bytes < 0 || plan.arena_bytes > kMaxElems) {
+      fail("invalid arena size");
+    }
+    if (plan.planned_input.rank != 0 && plan.planned_input.rank != 1 &&
+        plan.planned_input.rank != 3) {
+      fail("invalid planned input rank");
+    }
+    if (plan.arena_bytes > 0 && plan.planned_input.rank == 0) {
+      fail("memory-planned file is missing its planned input shape");
+    }
+    if (plan.planned_input.rank != 0 &&
+        (plan.planned_input.channels < 1 ||
+         (plan.planned_input.rank == 3 && (plan.planned_input.height < 1 ||
+                                           plan.planned_input.width < 1)))) {
+      fail("invalid planned input shape");
+    }
+  }
   const auto layer_count = r.scalar<std::uint32_t>();
   plan.layers.reserve(layer_count);
   for (std::uint32_t i = 0; i < layer_count; ++i) {
@@ -457,7 +513,8 @@ InferencePlan load_plan(std::istream& in) {
   const auto op_count = r.scalar<std::uint32_t>();
   plan.ops.reserve(op_count);
   for (std::uint32_t i = 0; i < op_count; ++i) {
-    plan.ops.push_back(read_op(r, plan.layers.size(), version));
+    plan.ops.push_back(read_op(r, plan.layers.size(), version,
+                               plan.arena_bytes));
   }
   if (!r.exhausted()) fail("trailing bytes after the op list");
   return plan;

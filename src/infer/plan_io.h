@@ -13,7 +13,8 @@
 //   0       8     magic "ADQPLAN\0"
 //   8       4     u32 format version (kPlanFormatVersion)
 //   12      4     u32 reserved flags (0)
-//   16      N     payload: model name, layers[], ops[] (see plan_io.cpp)
+//   16      N     payload: model name, [v3+: arena bytes + planned input
+//                 shape], layers[], ops[] (see plan_io.cpp)
 //   16+N    8     u64 FNV-1a checksum of the payload
 //
 // Loading verifies magic, version and checksum before parsing and throws
@@ -37,12 +38,20 @@ namespace adq::infer {
 ///   1 — initial format (PR 3)
 ///   2 — per-layer `is_depthwise` flag; OpKind::kQuantize standalone
 ///       quantize ops (graph-IR compiler)
-constexpr std::uint32_t kPlanFormatVersion = 2;
+///   3 — static activation-memory plan: per-plan arena footprint + planned
+///       input shape, per-op arena slot offsets, OpKind::kQuantizeSkip
+///       (the deferred Fig-2 skip quantizer the arena executor runs in
+///       place)
+constexpr std::uint32_t kPlanFormatVersion = 3;
 
 /// Serializes the plan to a stream (binary). `version` selects the format
 /// emitted (for consumers still reading an older version); it throws
-/// std::runtime_error when the plan uses features the requested version
-/// cannot express (depthwise layers / standalone quantize ops at v1).
+/// std::runtime_error when the plan contains OPS the requested version
+/// cannot express (depthwise layers / standalone quantize ops at v1,
+/// deferred skip-quantize ops at v2 — every freshly compiled residual
+/// plan has those). The v3 memory-plan annotations, by contrast, are
+/// derivable metadata: writing v1/v2 silently drops them and the loaded
+/// plan executes on the engine's heap path with identical results.
 void save_plan(const InferencePlan& plan, std::ostream& out,
                std::uint32_t version = kPlanFormatVersion);
 

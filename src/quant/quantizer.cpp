@@ -39,20 +39,47 @@ Tensor fake_quantize(const Tensor& x, int bits) {
   return fake_quantize(x, min_value(x), max_value(x), bits);
 }
 
-Tensor fake_quantize(const Tensor& x, float x_min, float x_max, int bits) {
-  if (bits >= 24 || x.numel() == 0 || x_max <= x_min) return x;
+namespace {
+
+// Shared kernel of the tensor and buffer entry points, so the arena
+// executor's in-place snap is bit-identical to the training-path tensor
+// version by construction. Identity cases (wide grid, degenerate range)
+// copy when the caller gave a distinct output buffer.
+void fake_quantize_buf(const float* px, std::int64_t n, float x_min,
+                       float x_max, int bits, float* po) {
+  if (bits >= 24 || n == 0 || x_max <= x_min) {
+    if (po != px && n != 0) std::copy(px, px + n, po);
+    return;
+  }
   const std::int64_t levels = max_code(bits);
   const float scale = (x_max - x_min) / static_cast<float>(levels);
   const float inv_scale = static_cast<float>(levels) / (x_max - x_min);
-  Tensor out(x.shape());
-  const float* px = x.data();
-  float* po = out.data();
-  for (std::int64_t i = 0; i < x.numel(); ++i) {
+  for (std::int64_t i = 0; i < n; ++i) {
     const float clamped = std::clamp(px[i], x_min, x_max);
     const float code = std::nearbyint((clamped - x_min) * inv_scale);
     po[i] = x_min + code * scale;
   }
+}
+
+}  // namespace
+
+Tensor fake_quantize(const Tensor& x, float x_min, float x_max, int bits) {
+  if (bits >= 24 || x.numel() == 0 || x_max <= x_min) return x;
+  Tensor out(x.shape());
+  fake_quantize_buf(x.data(), x.numel(), x_min, x_max, bits, out.data());
   return out;
+}
+
+void fake_quantize_into(const float* x, std::int64_t n, int bits, float* out) {
+  if (n == 0) return;
+  // Same observation fake_quantize(Tensor, bits) makes via min_value /
+  // max_value: a plain sequential reduction.
+  float lo = x[0], hi = x[0];
+  for (std::int64_t i = 1; i < n; ++i) {
+    lo = std::min(lo, x[i]);
+    hi = std::max(hi, x[i]);
+  }
+  fake_quantize_buf(x, n, lo, hi, bits, out);
 }
 
 std::vector<std::int64_t> quantize_codes(const Tensor& x, float x_min,

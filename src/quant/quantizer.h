@@ -35,6 +35,13 @@ float fake_quantize_value(float x, float x_min, float x_max, int bits);
 /// grid would be finer than float precision anyway.
 Tensor fake_quantize(const Tensor& x, int bits);
 
+/// Buffer variant of the per-tensor fake_quantize above, bit-identical to
+/// it: observes min/max over x[0..n), then writes the snapped values to
+/// `out`. out == x is allowed (the range is observed before any write) —
+/// this is what lets the arena executor snap a slot in place without a
+/// temporary. Performs no allocation.
+void fake_quantize_into(const float* x, std::int64_t n, int bits, float* out);
+
 /// As above but with an externally supplied range (e.g. from an observer).
 Tensor fake_quantize(const Tensor& x, float x_min, float x_max, int bits);
 

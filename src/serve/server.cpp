@@ -25,6 +25,13 @@ InferenceServer::InferenceServer(const infer::IntInferenceEngine& engine,
   if (config_.workers < 1) {
     throw std::invalid_argument("serve: workers must be >= 1");
   }
+  // The static memory contract: each worker runs at most one batch of at
+  // most max_batch samples at a time, so under the slot executor its
+  // planned activation slots occupy exactly arena x max_batch bytes (the
+  // per-thread kernel scratch — code buffers, im2col slabs, accumulators —
+  // comes on top of this).
+  stats_.set_memory_contract(engine.arena_bytes_per_sample(),
+                             engine.peak_activation_bytes(config_.max_batch));
   workers_.reserve(static_cast<std::size_t>(config_.workers));
   for (int i = 0; i < config_.workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });

@@ -34,6 +34,13 @@ void ServerStats::record_request(double queue_us, double total_us) {
   if (total_us_.size() < kMaxSamples) total_us_.push_back(total_us);
 }
 
+void ServerStats::set_memory_contract(std::int64_t arena_bytes_per_sample,
+                                      std::int64_t peak_bytes_per_worker) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  arena_bytes_per_sample_ = arena_bytes_per_sample;
+  peak_bytes_per_worker_ = peak_bytes_per_worker;
+}
+
 ServerStats::Snapshot ServerStats::snapshot() const {
   std::vector<double> sorted;
   Snapshot s;
@@ -42,6 +49,8 @@ ServerStats::Snapshot ServerStats::snapshot() const {
     s.requests = requests_;
     s.batches = batches_;
     s.max_queue_depth = max_depth_;
+    s.arena_bytes_per_sample = arena_bytes_per_sample_;
+    s.peak_activation_bytes_per_worker = peak_bytes_per_worker_;
     s.mean_total_us =
         requests_ == 0 ? 0.0 : total_us_sum_ / static_cast<double>(requests_);
     s.mean_queue_us =

@@ -5,7 +5,12 @@
 // snapshot() folds everything into the numbers an operator watches: tail
 // latencies (p50/p95/p99), mean queue time, request/batch counts, the
 // batch-size histogram (the direct evidence of how well the batcher is
-// coalescing), and the high-water queue depth.
+// coalescing), the high-water queue depth, and the static memory
+// contract — the per-sample activation arena of the compiled plan and its
+// per-worker bound at the batch cap (arena x max_batch, exact for the
+// planned activation slots; per-thread kernel scratch — activation code
+// buffers, im2col slabs, GEMM accumulators — is additional), set once by
+// the server at construction.
 #pragma once
 
 #include <cstdint>
@@ -28,10 +33,20 @@ class ServerStats {
     std::int64_t max_queue_depth = 0;
     // (batch size, count), ascending by size.
     std::vector<std::pair<std::int64_t, std::uint64_t>> batch_histogram;
+    // Static memory contract (0 when the plan carries no memory plan):
+    // the planned activation-slot footprint; kernel scratch is extra.
+    std::int64_t arena_bytes_per_sample = 0;
+    std::int64_t peak_activation_bytes_per_worker = 0;  // arena x max_batch
   };
 
   void record_batch(std::int64_t batch_size, std::int64_t queue_depth_after);
   void record_request(double queue_us, double total_us);
+
+  /// Records the engine's planned activation footprint (per sample) and
+  /// the per-worker worst case at the server's batch cap. Called once by
+  /// the server constructor.
+  void set_memory_contract(std::int64_t arena_bytes_per_sample,
+                           std::int64_t peak_bytes_per_worker);
 
   Snapshot snapshot() const;
   void reset();
@@ -50,6 +65,8 @@ class ServerStats {
   std::uint64_t batches_ = 0;
   std::int64_t max_depth_ = 0;
   std::map<std::int64_t, std::uint64_t> histogram_;
+  std::int64_t arena_bytes_per_sample_ = 0;
+  std::int64_t peak_bytes_per_worker_ = 0;
 };
 
 }  // namespace adq::serve

@@ -100,28 +100,38 @@ void sgemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
   const MatView vb{b, k, n, ldb, trans_b};
 
   // Parallelise over row blocks of C; each task packs its own A/B panels.
+  // The panels are per-thread grow-once scratch: a serving loop calls
+  // sgemm once per float-path layer per forward, and those calls must not
+  // allocate (the engine's zero-allocation steady-state contract).
   const std::int64_t row_block = std::max<std::int64_t>(kMr, (m + parallel_thread_count() * 2 - 1) / (parallel_thread_count() * 2) / kMr * kMr);
   parallel_for(0, (m + row_block - 1) / row_block, [&](std::int64_t tb, std::int64_t te) {
-    std::vector<float> a_pack(static_cast<std::size_t>(row_block * kKc));
-    std::vector<float> b_pack(static_cast<std::size_t>(kKc * kNc));
+    thread_local std::vector<float> a_buf, b_buf;
+    if (static_cast<std::int64_t>(a_buf.size()) < row_block * kKc) {
+      a_buf.resize(static_cast<std::size_t>(row_block * kKc));
+    }
+    if (static_cast<std::int64_t>(b_buf.size()) < kKc * kNc) {
+      b_buf.resize(static_cast<std::size_t>(kKc * kNc));
+    }
+    float* const a_pack = a_buf.data();
+    float* const b_pack = b_buf.data();
     for (std::int64_t t = tb; t < te; ++t) {
       const std::int64_t i0 = t * row_block;
       const std::int64_t mc = std::min(row_block, m - i0);
       for (std::int64_t p0 = 0; p0 < k; p0 += kKc) {
         const std::int64_t kc = std::min(kKc, k - p0);
-        pack_block(va, i0, mc, p0, kc, a_pack.data());
+        pack_block(va, i0, mc, p0, kc, a_pack);
         if (alpha != 1.0f) {
-          for (std::int64_t idx = 0; idx < mc * kc; ++idx) a_pack[static_cast<std::size_t>(idx)] *= alpha;
+          for (std::int64_t idx = 0; idx < mc * kc; ++idx) a_pack[idx] *= alpha;
         }
         for (std::int64_t j0 = 0; j0 < n; j0 += kNc) {
           const std::int64_t nc = std::min(kNc, n - j0);
-          pack_block(vb, p0, kc, j0, nc, b_pack.data());
+          pack_block(vb, p0, kc, j0, nc, b_pack);
           for (std::int64_t jr = 0; jr < nc; jr += kNr) {
             const std::int64_t nr = std::min(kNr, nc - jr);
             for (std::int64_t ir = 0; ir < mc; ir += kMr) {
               const std::int64_t mr = std::min(kMr, mc - ir);
-              micro_kernel(kc, a_pack.data() + ir * kc, kc,
-                           b_pack.data() + jr, nc,
+              micro_kernel(kc, a_pack + ir * kc, kc,
+                           b_pack + jr, nc,
                            c + (i0 + ir) * ldc + (j0 + jr), ldc, mr, nr);
             }
           }

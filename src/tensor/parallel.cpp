@@ -134,16 +134,14 @@ std::mutex run_mutex;
 
 int parallel_thread_count() { return pool().size(); }
 
-void parallel_for(std::int64_t begin, std::int64_t end,
-                  const std::function<void(std::int64_t, std::int64_t)>& fn,
-                  std::int64_t grain) {
-  if (begin >= end) return;
+namespace detail {
+
+bool in_parallel_region() { return t_in_parallel_region; }
+
+void parallel_run(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn) {
   const std::int64_t n = end - begin;
   const int threads = parallel_thread_count();
-  if (threads == 1 || n <= grain || t_in_parallel_region) {
-    fn(begin, end);
-    return;
-  }
   // 4 chunks per thread gives the atomic-counter scheduler room to balance
   // without shrinking chunks below the caller's grain.
   const std::int64_t chunk = std::max(grain, (n + threads * 4 - 1) / (threads * 4));
@@ -156,5 +154,7 @@ void parallel_for(std::int64_t begin, std::int64_t end,
   std::lock_guard<std::mutex> lock(run_mutex);
   pool().run(begin, end, chunk, wrapped);
 }
+
+}  // namespace detail
 
 }  // namespace adq

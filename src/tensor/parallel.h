@@ -4,6 +4,13 @@
 // end) into contiguous chunks, one per worker. Workloads in adq are large
 // regular loops (GEMM row blocks, im2col patches), so static chunking is the
 // right trade-off and keeps the scheduler trivial.
+//
+// parallel_for is a template on the callable: the serial fast path invokes
+// it directly and the pool path wraps it in a one-pointer adapter that fits
+// std::function's inline buffer, so dispatching NEVER heap-allocates — a
+// capture-heavy lambda passed through the old `const std::function&`
+// signature allocated on every call, which is what made the inference
+// engine's "zero allocations per forward" contract impossible to honour.
 #pragma once
 
 #include <cstdint>
@@ -15,11 +22,36 @@ namespace adq {
 /// via the ADQ_THREADS environment variable; minimum 1).
 int parallel_thread_count();
 
+namespace detail {
+
+/// True when the calling thread is already inside a parallel region (nested
+/// parallel_for calls run serially — the pool has a single dispatch epoch).
+bool in_parallel_region();
+
+/// Dispatches fn over the pool. fn's target must be small enough to sit in
+/// std::function's inline storage (parallel_for passes a single-reference
+/// adapter); chunking and the serial fallback are the caller's job.
+void parallel_run(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+}  // namespace detail
+
 /// Runs fn(begin_i, end_i) on disjoint chunks covering [begin, end).
 /// Falls back to a serial call when the range is small or the pool has a
 /// single worker. fn must be safe to invoke concurrently on disjoint ranges.
-void parallel_for(std::int64_t begin, std::int64_t end,
-                  const std::function<void(std::int64_t, std::int64_t)>& fn,
-                  std::int64_t grain = 1);
+template <typename Fn>
+void parallel_for(std::int64_t begin, std::int64_t end, const Fn& fn,
+                  std::int64_t grain = 1) {
+  if (begin >= end) return;
+  if (parallel_thread_count() == 1 || end - begin <= grain ||
+      detail::in_parallel_region()) {
+    fn(begin, end);
+    return;
+  }
+  // The adapter captures one reference — guaranteed to fit std::function's
+  // small-buffer storage, so no allocation on the dispatch path.
+  detail::parallel_run(begin, end, grain,
+                       [&fn](std::int64_t b, std::int64_t e) { fn(b, e); });
+}
 
 }  // namespace adq

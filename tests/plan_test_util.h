@@ -1,0 +1,18 @@
+// Shared helpers for plan-level test suites.
+#pragma once
+
+#include "infer/plan.h"
+
+namespace adq::infer::testutil {
+
+/// Strips the derivable v3 memory-plan annotations — exactly what
+/// save_plan(..., version <= 2) drops on the way down. Used by suites
+/// that byte-compare against references predating the memory planner.
+inline InferencePlan without_memory_plan(InferencePlan plan) {
+  plan.arena_bytes = 0;
+  plan.planned_input = PlannedInput{};
+  for (OpPlan& op : plan.ops) op.out_offset = -1;
+  return plan;
+}
+
+}  // namespace adq::infer::testutil

@@ -20,6 +20,7 @@
 #include "models/mobilenet.h"
 #include "models/resnet.h"
 #include "models/vgg.h"
+#include "plan_test_util.h"
 #include "tensor/ops.h"
 #include "tensor/rng.h"
 
@@ -36,6 +37,9 @@ InferencePlan from_bytes(const std::string& bytes) {
   std::istringstream in(bytes, std::ios::binary);
   return load_plan(in);
 }
+
+// What an older-version save drops: the derivable memory-plan annotations.
+using testutil::without_memory_plan;
 
 std::unique_ptr<models::QuantizableModel> small_vgg(
     const std::vector<int>& bit_pattern, std::uint64_t seed = 21) {
@@ -139,6 +143,132 @@ TEST(PlanIo, ResNetRoundTripSerializesResidualOps) {
   expect_identical_forward(plan, loaded, x);
 }
 
+TEST(PlanIo, V3RoundTripPreservesMemoryPlan) {
+  // The v3 memory plan — arena footprint, planned input shape, per-op slot
+  // offsets, deferred skip-quantize ops — survives a round trip byte for
+  // byte and the loaded plan still executes on the arena path.
+  Rng rng(24);
+  models::ResNetConfig cfg;
+  cfg.width_mult = 0.0625;
+  cfg.num_classes = 10;
+  cfg.input_size = 16;
+  auto model = models::build_resnet18(cfg, rng);
+  model->set_training(false);
+  for (int i = 0; i < model->unit_count(); ++i) {
+    if (!model->unit(i).frozen) model->unit(i).set_bits(4);
+  }
+  const InferencePlan plan = compile(*model);
+  ASSERT_GT(plan.arena_bytes, 0);
+  ASSERT_EQ(plan.planned_input.rank, 3);
+
+  const std::string bytes = to_bytes(plan);
+  const InferencePlan loaded = from_bytes(bytes);
+  EXPECT_EQ(to_bytes(loaded), bytes);
+  EXPECT_EQ(loaded.arena_bytes, plan.arena_bytes);
+  EXPECT_EQ(loaded.planned_input.channels, 3);
+  int quantize_skips = 0, slotted = 0;
+  ASSERT_EQ(loaded.ops.size(), plan.ops.size());
+  for (std::size_t i = 0; i < plan.ops.size(); ++i) {
+    EXPECT_EQ(loaded.ops[i].out_offset, plan.ops[i].out_offset);
+    quantize_skips += loaded.ops[i].kind == OpKind::kQuantizeSkip;
+    slotted += loaded.ops[i].out_offset >= 0;
+  }
+  EXPECT_EQ(quantize_skips, 8);  // one deferred Fig-2 quantizer per block
+  EXPECT_GT(slotted, 0);
+
+  Tensor x(Shape{3, 3, 16, 16});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  const IntInferenceEngine engine(loaded);
+  EXPECT_TRUE(engine.uses_arena(x));
+  expect_identical_forward(plan, loaded, x);
+}
+
+TEST(PlanIo, RefusesWritingDeferredSkipQuantizeAtVersion2) {
+  // A residual plan's deferred skip-quantize op is v3 semantics a v2
+  // reader cannot execute: writing it at version 2 must fail loudly, with
+  // the op and version named, never silently drop the quantization.
+  Rng rng(25);
+  models::ResNetConfig cfg;
+  cfg.width_mult = 0.0625;
+  cfg.num_classes = 10;
+  cfg.input_size = 16;
+  auto model = models::build_resnet18(cfg, rng);
+  model->set_training(false);
+  for (int i = 0; i < model->unit_count(); ++i) {
+    if (!model->unit(i).frozen) model->unit(i).set_bits(8);
+  }
+  const InferencePlan plan = compile(*model);
+  std::ostringstream out(std::ios::binary);
+  try {
+    save_plan(plan, out, /*version=*/2);
+    FAIL() << "deferred skip-quantize written at v2";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("skip-quantize"), std::string::npos) << what;
+    EXPECT_NE(what.find("version 2"), std::string::npos) << what;
+  }
+}
+
+TEST(PlanIo, Version2WritingDropsMemoryPlanButExecutesIdentically) {
+  // A plain chain (no residual ops) IS expressible at v2; the write drops
+  // only the derivable arena annotations and the loaded plan falls back to
+  // the heap executor with bit-identical logits.
+  auto model = small_vgg({8, 4});
+  const InferencePlan plan = compile(*model);
+  ASSERT_GT(plan.arena_bytes, 0);
+  std::ostringstream out(std::ios::binary);
+  save_plan(plan, out, /*version=*/2);
+  const InferencePlan loaded = from_bytes(out.str());
+  EXPECT_EQ(loaded.arena_bytes, 0);
+  for (const OpPlan& op : loaded.ops) EXPECT_EQ(op.out_offset, -1);
+
+  Rng rng(58);
+  Tensor x(Shape{4, 3, 32, 32});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  const IntInferenceEngine engine(loaded);
+  EXPECT_FALSE(engine.uses_arena(x));
+  expect_identical_forward(plan, loaded, x);
+}
+
+TEST(PlanIo, RejectsArenaSlotOutsideTheArena) {
+  auto model = small_vgg({8});
+  InferencePlan plan = compile(*model);
+  ASSERT_GT(plan.arena_bytes, 0);
+  for (OpPlan& op : plan.ops) {
+    if (op.out_offset >= 0) {
+      op.out_offset = plan.arena_bytes + 64;  // past the declared footprint
+      break;
+    }
+  }
+  try {
+    from_bytes(to_bytes(plan));
+    FAIL() << "out-of-arena slot accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("arena"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(PlanIo, RejectsMisalignedArenaSlot) {
+  // Per-sample offsets scale by the batch size at run time; only 64-byte
+  // alignment keeps every scaled offset aligned and float-indexable.
+  auto model = small_vgg({8});
+  InferencePlan plan = compile(*model);
+  for (OpPlan& op : plan.ops) {
+    if (op.out_offset >= 0) {
+      op.out_offset += 4;
+      break;
+    }
+  }
+  try {
+    from_bytes(to_bytes(plan));
+    FAIL() << "misaligned slot accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("arena"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(PlanIo, FileRoundTrip) {
   auto model = small_vgg({8, 4});
   const InferencePlan plan = compile(*model);
@@ -156,16 +286,18 @@ TEST(PlanIo, WritesCurrentFormatVersionInHeader) {
   std::uint32_t version;
   std::memcpy(&version, bytes.data() + 8, sizeof(version));
   EXPECT_EQ(version, kPlanFormatVersion);
-  EXPECT_EQ(kPlanFormatVersion, 2u);
+  EXPECT_EQ(kPlanFormatVersion, 3u);
 }
 
 TEST(PlanIo, LoadsPreviousFormatVersion) {
-  // The v2 bump (per-layer depthwise flag, standalone quantize ops) must
-  // not orphan existing v1 plan files: a plan expressible in v1 saves at
-  // version 1 and loads back with identical semantics — never a silent
-  // misparse.
+  // Format bumps must not orphan existing plan files: a plan expressible
+  // in v1 saves at version 1 and loads back with identical semantics —
+  // never a silent misparse. The v3 memory-plan annotations are derivable
+  // metadata, dropped on the way down (the loaded plan then runs on the
+  // engine's heap path, bit-identically).
   auto model = small_vgg({8, 4, 2});
   const InferencePlan plan = compile(*model);
+  ASSERT_GT(plan.arena_bytes, 0);  // freshly compiled plans are planned
   std::ostringstream out(std::ios::binary);
   save_plan(plan, out, /*version=*/1);
   const std::string v1_bytes = out.str();
@@ -178,8 +310,10 @@ TEST(PlanIo, LoadsPreviousFormatVersion) {
   const InferencePlan loaded = from_bytes(v1_bytes);
   ASSERT_EQ(loaded.layers.size(), plan.layers.size());
   for (const GemmLayerPlan& l : loaded.layers) EXPECT_FALSE(l.is_depthwise);
-  // Re-saving at the current version is byte-identical to the direct save.
-  EXPECT_EQ(to_bytes(loaded), to_bytes(plan));
+  EXPECT_EQ(loaded.arena_bytes, 0);  // memory plan dropped, not misparsed
+  // Re-saving at the current version is byte-identical to the direct save
+  // up to the dropped memory plan.
+  EXPECT_EQ(to_bytes(loaded), to_bytes(without_memory_plan(plan)));
 
   Rng rng(55);
   Tensor x(Shape{4, 3, 32, 32});

@@ -289,6 +289,19 @@ TEST(ServeServer, RejectsWrongSampleShape) {
   EXPECT_THROW(server.submit(batched), std::invalid_argument);
 }
 
+TEST(ServeServer, StatsExposeStaticMemoryContract) {
+  // The compiled plan's activation arena bounds each worker's footprint:
+  // the snapshot must expose the per-sample arena and the exact worst case
+  // at the configured batch cap, before any request has been served.
+  ServeFixture fx;
+  InferenceServer server(*fx.engine, fx.config(16, 100));
+  const ServerStats::Snapshot st = server.stats();
+  EXPECT_GT(st.arena_bytes_per_sample, 0);
+  EXPECT_EQ(st.arena_bytes_per_sample, fx.engine->arena_bytes_per_sample());
+  EXPECT_EQ(st.peak_activation_bytes_per_worker,
+            16 * st.arena_bytes_per_sample);
+}
+
 TEST(ServeServer, ConfigValidation) {
   ServeFixture fx;
   ServerConfig no_shape;
