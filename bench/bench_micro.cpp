@@ -2,11 +2,19 @@
 // GEMM, conv forward/backward, fake quantization, density metering, and the
 // PIM functional array. These guard the substrate's throughput — the
 // training benches' wall-clock budget depends on them.
+//
+// This file owns main() (not benchmark_main): the per-backend integer-GEMM
+// benches are registered dynamically from the backend registry, so a newly
+// registered backend shows up in the GMAC/s table without editing this file.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "ad/density_meter.h"
+#include "backend/registry.h"
 #include "infer/engine.h"
 #include "infer/plan.h"
 #include "models/vgg.h"
@@ -169,6 +177,47 @@ void BM_PimDotProduct(benchmark::State& state) {
 }
 BENCHMARK(BM_PimDotProduct)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
 
+// Per-backend x per-bitwidth u8 GEMM throughput on the engine's blocked
+// shape class. Codes are capped to the bit-width's range, matching what the
+// mixed-precision layers actually feed the kernel. items_processed counts
+// MACs, so the reported items/s column reads directly as MAC/s.
+void backend_igemm_bench(benchmark::State& state,
+                         const adq::backend::Backend& bk, int bits) {
+  const std::int64_t m = 128, n = 512, k = 256;
+  const std::int64_t max_code = (std::int64_t{1} << bits) - 1;
+  Rng rng(10);
+  std::vector<std::uint8_t> a(static_cast<std::size_t>(m * k));
+  std::vector<std::uint8_t> b(static_cast<std::size_t>(k * n));
+  for (auto& v : a) v = static_cast<std::uint8_t>(rng.uniform_int(0, max_code));
+  for (auto& v : b) v = static_cast<std::uint8_t>(rng.uniform_int(0, max_code));
+  std::vector<std::int32_t> c(static_cast<std::size_t>(m * n));
+  for (auto _ : state) {
+    bk.igemm(m, n, k, a.data(), k, b.data(), n, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m * n * k);
+}
+
+void register_backend_igemm_benches() {
+  for (const adq::backend::Backend* bk : adq::backend::available_backends()) {
+    for (int bits : {8, 4, 2}) {
+      const std::string name = std::string("BM_BackendIgemm/") + bk->name +
+                               "/int" + std::to_string(bits);
+      benchmark::RegisterBenchmark(
+          name.c_str(), [bk, bits](benchmark::State& state) {
+            backend_igemm_bench(state, *bk, bits);
+          });
+    }
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  register_backend_igemm_benches();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

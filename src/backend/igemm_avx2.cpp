@@ -13,8 +13,10 @@
 //
 // This translation unit is the only one compiled with -mavx2 (CMake adds
 // the flag together with ADQ_AVX2_BUILD when the compiler supports it);
-// igemm_u8 only dispatches here after __builtin_cpu_supports("avx2"), so
-// the library binary stays runnable on any x86-64 host.
+// the backend registry only routes here after __builtin_cpu_supports
+// ("avx2"), so the library binary stays runnable on any x86-64 host.
+#include "backend/igemm_kernels.h"
+
 #include "tensor/gemm_int8.h"
 
 #include <algorithm>

@@ -1,0 +1,30 @@
+// Private declarations for the SIMD igemm translation units in this
+// directory. These symbols are implementation details of the avx2/vnni
+// backends — nothing outside src/backend/ may reference them; every other
+// caller goes through backend::active().igemm.
+#pragma once
+
+#include <cstdint>
+
+namespace adq {
+
+/// True when the running CPU can execute the AVX2 kernel (and the TU was
+/// compiled with AVX2 support).
+bool igemm_avx2_available();
+
+/// AVX2 vpmaddwd kernel. Bit-identical to igemm_u8_generic.
+void igemm_u8_avx2(std::int64_t m, std::int64_t n, std::int64_t k,
+                   const std::uint8_t* a, std::int64_t lda,
+                   const std::uint8_t* b, std::int64_t ldb, std::int32_t* c,
+                   std::int64_t ldc);
+
+/// True when the running CPU can execute the AVX-512 VNNI kernel.
+bool igemm_vnni_available();
+
+/// AVX-512 VNNI vpdpbusd kernel. Bit-identical to igemm_u8_generic.
+void igemm_u8_vnni(std::int64_t m, std::int64_t n, std::int64_t k,
+                   const std::uint8_t* a, std::int64_t lda,
+                   const std::uint8_t* b, std::int64_t ldb, std::int32_t* c,
+                   std::int64_t ldc);
+
+}  // namespace adq

@@ -19,8 +19,10 @@
 //     this variant agrees bit for bit with the portable kernel.
 //
 // Like the AVX2 variant, only this translation unit is compiled with the
-// AVX-512 flags (ADQ_VNNI_BUILD), and igemm_u8 dispatches here only after
-// runtime __builtin_cpu_supports checks.
+// AVX-512 flags (ADQ_VNNI_BUILD), and the backend registry routes here
+// only after runtime __builtin_cpu_supports checks.
+#include "backend/igemm_kernels.h"
+
 #include "tensor/gemm_int8.h"
 
 #include <algorithm>

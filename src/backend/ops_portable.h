@@ -1,0 +1,18 @@
+// The portable backend: reference implementations of every registry op.
+//
+// These are the kernels the integer engine ran before the backend split,
+// moved here verbatim so logits stay byte-identical. They are also the
+// conformance oracle — every other backend is judged against this table
+// (backend/conformance.h), so the portable op must be the simple, obviously
+// correct form, never the clever one.
+#pragma once
+
+#include "backend/backend.h"
+
+namespace adq::backend {
+
+/// The complete portable op table. Always available; registered first so it
+/// is the fallback of last resort and the conformance reference.
+const Backend& portable_backend();
+
+}  // namespace adq::backend

@@ -1,0 +1,153 @@
+#include "backend/registry.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "backend/igemm_kernels.h"
+#include "backend/ops_portable.h"
+
+namespace adq::backend {
+namespace {
+
+// The SIMD tiers share every op with the portable table except the GEMM —
+// today the only kernel with a hand-written vector variant. A tier that
+// later specialises more ops (the ROADMAP's native sub-byte path) just
+// overrides more slots here and the conformance harness covers it
+// automatically.
+const Backend& avx2_backend() {
+  static const Backend b = [] {
+    Backend t = portable_backend();
+    t.name = "avx2";
+    t.available = igemm_avx2_available();
+    t.igemm = &igemm_u8_avx2;
+    return t;
+  }();
+  return b;
+}
+
+const Backend& vnni_backend() {
+  static const Backend b = [] {
+    Backend t = portable_backend();
+    t.name = "vnni";
+    t.available = igemm_vnni_available();
+    t.igemm = &igemm_u8_vnni;
+    return t;
+  }();
+  return b;
+}
+
+std::string roster_message() {
+  std::string msg = "registered backends:";
+  for (const Backend* b : all_backends()) {
+    msg += " ";
+    msg += b->name;
+    msg += b->available ? " (available)" : " (unavailable on this host)";
+  }
+  return msg;
+}
+
+[[noreturn]] void fail_selection(const std::string& what) {
+  throw std::runtime_error("backend: " + what + "; " + roster_message());
+}
+
+}  // namespace
+
+const std::vector<const Backend*>& all_backends() {
+  // Ascending preference; portable must stay first (the reference and the
+  // fallback when no SIMD tier is available).
+  static const std::vector<const Backend*> all = {
+      &portable_backend(), &avx2_backend(), &vnni_backend()};
+  return all;
+}
+
+std::vector<const Backend*> available_backends() {
+  std::vector<const Backend*> out;
+  for (const Backend* b : all_backends()) {
+    if (b->available) out.push_back(b);
+  }
+  return out;
+}
+
+const Backend* find_backend(const char* name) {
+  if (name == nullptr) return nullptr;
+  for (const Backend* b : all_backends()) {
+    if (std::strcmp(b->name, name) == 0) return b;
+  }
+  return nullptr;
+}
+
+const Backend& resolve_backends_env(const char* adq_backend,
+                                    const char* adq_simd) {
+  const char* requested = adq_backend;
+  if (requested == nullptr && adq_simd != nullptr) {
+    // Legacy spelling: ADQ_SIMD capped the igemm dispatch before the
+    // registry existed. Map its vocabulary onto backend names so old
+    // invocations keep their meaning — but validate just as strictly.
+    if (std::strcmp(adq_simd, "generic") == 0) {
+      requested = "portable";
+    } else if (find_backend(adq_simd) != nullptr) {
+      requested = adq_simd;
+    } else {
+      fail_selection(std::string("unknown ADQ_SIMD value '") + adq_simd +
+                     "' (legacy alias: generic -> portable)");
+    }
+  }
+  if (requested != nullptr) {
+    const Backend* b = find_backend(requested);
+    if (b == nullptr) {
+      fail_selection(std::string("unknown ADQ_BACKEND '") + requested + "'");
+    }
+    if (!b->available) {
+      fail_selection(std::string("backend '") + requested +
+                     "' is not available on this host");
+    }
+    return *b;
+  }
+  // Unpinned: best available = last available in registration order.
+  const Backend* best = &portable_backend();
+  for (const Backend* b : all_backends()) {
+    if (b->available) best = b;
+  }
+  return *best;
+}
+
+const Backend& active() {
+  // Cached on first successful resolve; a throwing resolve (bad pin) is NOT
+  // cached, so every call keeps failing loudly rather than latching a
+  // half-initialised state.
+  static const Backend& b =
+      resolve_backends_env(std::getenv("ADQ_BACKEND"), std::getenv("ADQ_SIMD"));
+  return b;
+}
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kIgemm: return "igemm";
+    case Op::kIm2colU8: return "im2col_u8";
+    case Op::kIm2colF32: return "im2col_f32";
+    case Op::kDepthwiseInt: return "depthwise_int";
+    case Op::kDepthwiseF32: return "depthwise_f32";
+    case Op::kQuantizeAct: return "quantize_act";
+    case Op::kFakeQuant: return "fake_quant";
+    case Op::kDequantize: return "dequantize";
+    case Op::kEpilogue: return "epilogue";
+    case Op::kResidualAdd: return "residual_add";
+    case Op::kBitpack: return "bitpack";
+  }
+  return "?";
+}
+
+bool op_from_name(const char* name, Op* out) {
+  if (name == nullptr) return false;
+  for (Op op : kAllOps) {
+    if (std::strcmp(op_name(op), name) == 0) {
+      *out = op;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace adq::backend

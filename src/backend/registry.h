@@ -1,0 +1,47 @@
+// Backend registry: enumeration, lookup, and env-pinned selection.
+//
+// Registration order is ascending preference — portable first, then each
+// SIMD tier — so "best available" is simply the last available entry. All
+// backends stay listed even when the host cannot run them; error messages
+// and the conformance harness want the full roster.
+//
+// Selection: ADQ_BACKEND=<name> pins a backend end to end (the legacy
+// ADQ_SIMD=generic|avx2 spelling still works, mapped onto registry names).
+// Unknown or unavailable names fail fast with the list of registered
+// backends — a typo must never silently fall back to portable.
+#pragma once
+
+#include <vector>
+
+#include "backend/backend.h"
+
+namespace adq::backend {
+
+/// Every registered backend, ascending preference order. The portable
+/// reference is always index 0 and always available.
+const std::vector<const Backend*>& all_backends();
+
+/// The subset of all_backends() runnable on this host, same order.
+std::vector<const Backend*> available_backends();
+
+/// Registered backend by name, or nullptr if no such name.
+const Backend* find_backend(const char* name);
+
+/// Pure selection logic, exposed for tests: resolves the would-be active
+/// backend from explicit env values (either may be null = unset).
+/// ADQ_BACKEND takes precedence over ADQ_SIMD; with neither set, returns
+/// the best available backend. Throws std::runtime_error naming the
+/// offending value and listing every registered backend (with host
+/// availability) for an unknown name, an unavailable backend, or an
+/// unrecognised legacy ADQ_SIMD value.
+const Backend& resolve_backends_env(const char* adq_backend,
+                                    const char* adq_simd);
+
+/// The process-wide active backend: resolve_backends_env over the real
+/// ADQ_BACKEND / ADQ_SIMD environment, resolved once on first call and
+/// cached. Throws like resolve_backends_env on a bad pin — constructing an
+/// engine therefore fails fast at startup instead of silently computing on
+/// the wrong kernels.
+const Backend& active();
+
+}  // namespace adq::backend

@@ -8,14 +8,8 @@
 #include <stdexcept>
 #include <string>
 
-#if defined(__SSE2__)
-#include <emmintrin.h>
-#endif
-
-#include "quant/quantizer.h"
-#include "tensor/bitpack.h"
+#include "backend/registry.h"
 #include "tensor/gemm.h"
-#include "tensor/gemm_int8.h"
 #include "tensor/im2col.h"
 #include "tensor/ops.h"
 #include "tensor/parallel.h"
@@ -112,7 +106,8 @@ void build_exec_codes(const GemmLayerPlan& l, std::vector<std::uint8_t>& out) {
   if (l.cell_bits == 8) {
     std::copy(l.weight_codes.begin(), l.weight_codes.end(), out.begin());
   } else {
-    unpack_codes(l.weight_codes.data(), count, l.cell_bits, out.data());
+    backend::active().unpack_codes(l.weight_codes.data(), count, l.cell_bits,
+                                   out.data());
   }
   if (l.is_conv && !l.is_depthwise) {
     std::fill(out.begin() + count, out.begin() + total, 1);
@@ -125,119 +120,37 @@ const std::uint8_t* exec_weight_view(const GemmLayerPlan& l,
   return needs_exec_buffer(l) ? buffer.data() : l.weight_codes.data();
 }
 
-// Observed dynamic range of an activation tensor quantized to eqn-1 codes —
-// the same observation FakeQuantizer::apply makes on this tensor in the
-// training path, so code -> value round-trips land on the same grid. Codes
-// are written into `codes` (grown on demand, first `n` entries valid).
-struct ActRange {
-  float a_min = 0.0f;
-  float a_scale = 0.0f;        // 0 for a degenerate (constant) tensor
-  std::uint8_t zero_code = 0;  // grid code closest to the value 0.0 (padding)
-};
+// Quantizes an activation tensor to eqn-1 codes through the active
+// backend's quantize_act op (the observation FakeQuantizer::apply makes on
+// this tensor in the training path, so code -> value round-trips land on
+// the same grid). Codes land in `codes` (grown on demand, first `n` valid).
+using backend::ActQuant;
 
-ActRange quantize_activations(const float* px0, std::int64_t n, int bits,
+ActQuant quantize_activations(const float* px0, std::int64_t n, int bits,
                               std::vector<std::uint8_t>& codes) {
-  ActRange q;
   if (static_cast<std::int64_t>(codes.size()) < n) {
     codes.resize(static_cast<std::size_t>(n));
   }
-  if (n == 0) return q;
-  // Fused single-pass min/max over four independent accumulator lanes:
-  // std::min/max reductions cannot be auto-vectorised (NaN ordering), so
-  // the lanes buy instruction-level parallelism instead of a second and
-  // third pass over the activations.
-  float lo0 = px0[0], lo1 = px0[0], lo2 = px0[0], lo3 = px0[0];
-  float hi0 = px0[0], hi1 = px0[0], hi2 = px0[0], hi3 = px0[0];
-  std::int64_t i4 = 0;
-  for (; i4 + 4 <= n; i4 += 4) {
-    lo0 = std::min(lo0, px0[i4]);
-    hi0 = std::max(hi0, px0[i4]);
-    lo1 = std::min(lo1, px0[i4 + 1]);
-    hi1 = std::max(hi1, px0[i4 + 1]);
-    lo2 = std::min(lo2, px0[i4 + 2]);
-    hi2 = std::max(hi2, px0[i4 + 2]);
-    lo3 = std::min(lo3, px0[i4 + 3]);
-    hi3 = std::max(hi3, px0[i4 + 3]);
-  }
-  float lo = std::min(std::min(lo0, lo1), std::min(lo2, lo3));
-  float hi = std::max(std::max(hi0, hi1), std::max(hi2, hi3));
-  for (; i4 < n; ++i4) {
-    lo = std::min(lo, px0[i4]);
-    hi = std::max(hi, px0[i4]);
-  }
-  q.a_min = lo;
-  if (hi <= lo) {  // constant tensor: every code 0, value = a_min
-    std::fill(codes.begin(), codes.begin() + n, 0);
-    return q;
-  }
-
-  const float levels = static_cast<float>(quant::max_code(bits));
-  q.a_scale = (hi - lo) / levels;
-  const float inv = levels / (hi - lo);
-  const float* px = px0;
-  std::uint8_t* pc = codes.data();
-  // Rounding via the 1.5 * 2^23 magic constant: adding it forces the
-  // scaled value (in [0, 255]) to round to nearest-even into the low
-  // mantissa bits — bit-identical to the std::nearbyint the FakeQuantizer
-  // applies under the default FP environment, but a pure add, which lets
-  // the SSE2 path below encode 16 activations per iteration where
-  // nearbyint is a scalar libm call at baseline -O3.
-  constexpr float kRoundMagic = 12582912.0f;
-  std::uint32_t magic_bits;
-  std::memcpy(&magic_bits, &kRoundMagic, sizeof(magic_bits));
-  parallel_for(0, n, [&](std::int64_t b, std::int64_t e) {
-    std::int64_t i = b;
-#if defined(__SSE2__)
-    const __m128 vlo = _mm_set1_ps(lo), vhi = _mm_set1_ps(hi);
-    const __m128 vinv = _mm_set1_ps(inv), vmagic = _mm_set1_ps(kRoundMagic);
-    const __m128i vmbits = _mm_set1_epi32(static_cast<int>(magic_bits));
-    for (; i + 16 <= e; i += 16) {
-      __m128i q[4];
-      for (int part = 0; part < 4; ++part) {
-        __m128 v = _mm_loadu_ps(px + i + 4 * part);
-        v = _mm_min_ps(_mm_max_ps(v, vlo), vhi);
-        v = _mm_add_ps(_mm_mul_ps(_mm_sub_ps(v, vlo), vinv), vmagic);
-        q[part] = _mm_sub_epi32(_mm_castps_si128(v), vmbits);
-      }
-      // Codes are in [0, 255], so the signed saturating packs are exact.
-      const __m128i lo16 = _mm_packs_epi32(q[0], q[1]);
-      const __m128i hi16 = _mm_packs_epi32(q[2], q[3]);
-      _mm_storeu_si128(reinterpret_cast<__m128i*>(pc + i),
-                       _mm_packus_epi16(lo16, hi16));
-    }
-#endif
-    for (; i < e; ++i) {
-      const float v = std::clamp(px[i], lo, hi);
-      const float t = (v - lo) * inv + kRoundMagic;
-      std::uint32_t bits_t;
-      std::memcpy(&bits_t, &t, sizeof(bits_t));
-      pc[i] = static_cast<std::uint8_t>(bits_t - magic_bits);
-    }
-  }, /*grain=*/4096);
-  const float zero = std::clamp(0.0f, lo, hi);
-  q.zero_code = static_cast<std::uint8_t>(std::nearbyint((zero - lo) * inv));
-  return q;
+  return backend::active().quantize_act(px0, n, bits, codes.data());
 }
 
 // Fused epilogue over one output row (channel o, `n` positions):
 //   y = epi_scale[o] * (ss * acc + row_term + ca * colsum) + epi_shift[o]
-// with the optional ReLU. `colsum` may be null when ca == 0.
+// with the optional ReLU. `colsum` may be null when ca == 0. The plan-level
+// channel masking (eqn 5's inactive channels) stays here; the backend op is
+// the pure row math.
 void epilogue_row(const GemmLayerPlan& l, std::int64_t o,
                   const std::int32_t* acc, const std::int32_t* colsum,
                   float ss, float row_term, float ca, std::int64_t n,
                   float* out) {
-  const float ea = l.epi_scale[static_cast<std::size_t>(o)];
-  const float eb = l.epi_shift[static_cast<std::size_t>(o)];
   if (o >= l.active_out) {
     std::fill(out, out + n, 0.0f);
     return;
   }
-  for (std::int64_t s = 0; s < n; ++s) {
-    float v = ss * static_cast<float>(acc[s]) + row_term;
-    if (colsum != nullptr) v += ca * static_cast<float>(colsum[s]);
-    v = ea * v + eb;
-    out[s] = l.relu ? std::max(v, 0.0f) : v;
-  }
+  backend::active().epilogue_row(acc, colsum, ss, row_term, ca,
+                                 l.epi_scale[static_cast<std::size_t>(o)],
+                                 l.epi_shift[static_cast<std::size_t>(o)],
+                                 l.relu, n, out);
 }
 
 ConvGeometry conv_geometry(const GemmLayerPlan& l, std::int64_t h,
@@ -260,7 +173,7 @@ const float* float_path_input(const GemmLayerPlan& l, const float* x,
                               std::int64_t n, EngineScratch& ws) {
   if (!l.quantize_input) return x;
   float* fq = ws.ensure_fq(n);
-  quant::fake_quantize_into(x, n, l.bits, fq);
+  backend::active().fake_quant(x, n, l.bits, fq);
   return fq;
 }
 
@@ -291,8 +204,9 @@ void run_conv_int(const GemmLayerPlan& l, const float* x, std::int64_t B,
   const std::int64_t O = l.out_channels, P = l.patch();
   const std::int64_t chw = l.in_channels * H * W;
 
+  const backend::Backend& bk = backend::active();
   EngineScratch& ws = engine_scratch();
-  const ActRange qa =
+  const ActQuant qa =
       quantize_activations(x, B * chw, l.bits, ws.act_codes);
   const std::uint8_t* act = ws.act_codes.data();
 
@@ -311,11 +225,12 @@ void run_conv_int(const GemmLayerPlan& l, const float* x, std::int64_t B,
     std::uint8_t* col = ws.lower.ensure_u8(P * cols);
     parallel_for(0, bc, [&](std::int64_t i0, std::int64_t i1) {
       for (std::int64_t i = i0; i < i1; ++i) {
-        im2col_u8(act + (b0 + i) * chw, g, col + i * ohw, cols, qa.zero_code);
+        bk.im2col_u8(act + (b0 + i) * chw, g, col + i * ohw, cols,
+                     qa.zero_code);
       }
     });
     std::int32_t* acc = ws.ensure_acc((O + 1) * cols);
-    igemm_u8(O + 1, cols, P, wc, P, col, cols, acc, cols);
+    bk.igemm(O + 1, cols, P, wc, P, col, cols, acc, cols);
     const std::int32_t* colsum = acc + O * cols;  // the all-ones weight row
     // Fused epilogue, channel-parallel, scattering chunk columns back into
     // the [B, O, oh, ow] layout. Grain keeps tiny layers serial.
@@ -349,7 +264,7 @@ void run_conv_float(const GemmLayerPlan& l, const float* x, std::int64_t B,
     float* col = tws.lower.ensure_f32(P * ohw);
     float* raw = tws.ensure_raw(O * ohw);
     for (std::int64_t b = b0; b < b1; ++b) {
-      im2col(xq + b * chw, g, col);
+      backend::active().im2col_f32(xq + b * chw, g, col, ohw);
       sgemm(false, false, O, ohw, P, 1.0f, l.weight_f.data(), P, col, ohw,
             0.0f, raw, ohw);
       float* out_b = out + b * O * ohw;
@@ -371,108 +286,58 @@ void run_conv_float(const GemmLayerPlan& l, const float* x, std::int64_t B,
   });
 }
 
+// Translates a depthwise layer plan into the backend op's argument block.
+// The plan-derived epilogue/mask state is shared by both precisions; the
+// integer zero-point constants are filled by the int wrapper below.
+backend::DepthwiseArgs depthwise_args(const GemmLayerPlan& l, std::int64_t H,
+                                      std::int64_t W) {
+  backend::DepthwiseArgs a;
+  a.channels = l.out_channels;
+  a.in_h = H;
+  a.in_w = W;
+  a.kernel = l.kernel;
+  a.stride = l.stride;
+  a.pad = l.pad;
+  a.active_channels = l.active_out;
+  a.epi_scale = l.epi_scale.data();
+  a.epi_shift = l.epi_shift.data();
+  a.relu = l.relu;
+  return a;
+}
+
 // Integer depthwise conv: each output channel reduces only its own input
-// plane over kernel^2 taps, so there is no GEMM to amortise — a direct
-// loop over the quantized codes with the same per-channel zero-point
-// correction as the GEMM path (plan.h, K = kernel^2). Padding taps use the
-// grid code closest to 0.0, exactly like im2col_u8's padding.
+// plane over kernel^2 taps, so there is no GEMM to amortise — the backend
+// op loops directly over the quantized codes with the same per-channel
+// zero-point correction as the GEMM path (plan.h, K = kernel^2). Padding
+// taps use the grid code closest to 0.0, exactly like im2col_u8's padding.
 void run_depthwise_int(const GemmLayerPlan& l, const float* x, std::int64_t B,
                        std::int64_t H, std::int64_t W, const std::uint8_t* wc,
                        float* out) {
   const std::int64_t C = l.out_channels;
-  const ConvGeometry g = conv_geometry(l, H, W);
-  const std::int64_t oh = g.out_h(), ow = g.out_w();
-  const std::int64_t k = l.kernel, stride = l.stride, pad = l.pad;
+  const std::int64_t k = l.kernel;
 
+  const backend::Backend& bk = backend::active();
   EngineScratch& ws = engine_scratch();
-  const ActRange qa =
+  const ActQuant qa =
       quantize_activations(x, B * C * H * W, l.bits, ws.act_codes);
-  const std::uint8_t* act = ws.act_codes.data();
 
-  const float ss = qa.a_scale * l.w_scale;
-  const float cw = qa.a_min * l.w_scale;  // * w_code_sums[c]
-  const float ca = l.w_min * qa.a_scale;  // * patch activation-code sum
-  const float cc = static_cast<float>(k * k) * qa.a_min * l.w_min;
-
-  parallel_for(0, B * C, [&](std::int64_t p0, std::int64_t p1) {
-    for (std::int64_t p = p0; p < p1; ++p) {
-      const std::int64_t c = p % C;
-      float* dst = out + p * oh * ow;
-      if (c >= l.active_out) {
-        std::fill(dst, dst + oh * ow, 0.0f);
-        continue;
-      }
-      const std::uint8_t* plane = act + p * H * W;
-      const std::uint8_t* w = wc + c * k * k;
-      const float row_term =
-          cw * static_cast<float>(l.w_code_sums[static_cast<std::size_t>(c)]) +
-          cc;
-      const float ea = l.epi_scale[static_cast<std::size_t>(c)];
-      const float eb = l.epi_shift[static_cast<std::size_t>(c)];
-      for (std::int64_t y = 0; y < oh; ++y) {
-        for (std::int64_t xo = 0; xo < ow; ++xo) {
-          std::int32_t acc = 0, asum = 0;
-          for (std::int64_t ky = 0; ky < k; ++ky) {
-            const std::int64_t iy = y * stride + ky - pad;
-            for (std::int64_t kx = 0; kx < k; ++kx) {
-              const std::int64_t ix = xo * stride + kx - pad;
-              const std::int32_t code =
-                  (iy < 0 || iy >= H || ix < 0 || ix >= W)
-                      ? qa.zero_code
-                      : plane[iy * W + ix];
-              acc += static_cast<std::int32_t>(w[ky * k + kx]) * code;
-              asum += code;
-            }
-          }
-          float v = ss * static_cast<float>(acc) + row_term +
-                    ca * static_cast<float>(asum);
-          v = ea * v + eb;
-          dst[y * ow + xo] = l.relu ? std::max(v, 0.0f) : v;
-        }
-      }
-    }
-  });
+  backend::DepthwiseArgs a = depthwise_args(l, H, W);
+  a.w_code_sums = l.w_code_sums.data();
+  a.ss = qa.a_scale * l.w_scale;
+  a.cw = qa.a_min * l.w_scale;  // * w_code_sums[c]
+  a.ca = l.w_min * qa.a_scale;  // * patch activation-code sum
+  a.cc = static_cast<float>(k * k) * qa.a_min * l.w_min;
+  a.zero_code = qa.zero_code;
+  bk.depthwise_int(ws.act_codes.data(), B, wc, a, out);
 }
 
 void run_depthwise_float(const GemmLayerPlan& l, const float* x,
                          std::int64_t B, std::int64_t H, std::int64_t W,
                          float* out) {
-  const std::int64_t C = l.out_channels;
-  const ConvGeometry g = conv_geometry(l, H, W);
-  const std::int64_t oh = g.out_h(), ow = g.out_w();
-  const std::int64_t k = l.kernel, stride = l.stride, pad = l.pad;
-
-  const float* xq = float_path_input(l, x, B * C * H * W, engine_scratch());
-  parallel_for(0, B * C, [&](std::int64_t p0, std::int64_t p1) {
-    for (std::int64_t p = p0; p < p1; ++p) {
-      const std::int64_t c = p % C;
-      float* dst = out + p * oh * ow;
-      if (c >= l.active_out) {
-        std::fill(dst, dst + oh * ow, 0.0f);
-        continue;
-      }
-      const float* plane = xq + p * H * W;
-      const float* w = l.weight_f.data() + c * k * k;
-      const float ea = l.epi_scale[static_cast<std::size_t>(c)];
-      const float eb = l.epi_shift[static_cast<std::size_t>(c)];
-      for (std::int64_t y = 0; y < oh; ++y) {
-        for (std::int64_t xo = 0; xo < ow; ++xo) {
-          float acc = 0.0f;
-          for (std::int64_t ky = 0; ky < k; ++ky) {
-            const std::int64_t iy = y * stride + ky - pad;
-            if (iy < 0 || iy >= H) continue;
-            for (std::int64_t kx = 0; kx < k; ++kx) {
-              const std::int64_t ix = xo * stride + kx - pad;
-              if (ix < 0 || ix >= W) continue;
-              acc += w[ky * k + kx] * plane[iy * W + ix];
-            }
-          }
-          const float v = ea * acc + eb;
-          dst[y * ow + xo] = l.relu ? std::max(v, 0.0f) : v;
-        }
-      }
-    }
-  });
+  const float* xq =
+      float_path_input(l, x, B * l.out_channels * H * W, engine_scratch());
+  backend::active().depthwise_f32(xq, B, l.weight_f.data(),
+                                  depthwise_args(l, H, W), out);
 }
 
 void run_linear_int(const GemmLayerPlan& l, const float* x, std::int64_t B,
@@ -480,7 +345,7 @@ void run_linear_int(const GemmLayerPlan& l, const float* x, std::int64_t B,
   const std::int64_t in = l.in_channels, O = l.out_channels;
 
   EngineScratch& ws = engine_scratch();
-  const ActRange qa = quantize_activations(x, B * in, l.bits, ws.act_codes);
+  const ActQuant qa = quantize_activations(x, B * in, l.bits, ws.act_codes);
 
   if (static_cast<std::int64_t>(ws.row_sums.size()) < B) {
     ws.row_sums.resize(static_cast<std::size_t>(B));
@@ -493,7 +358,7 @@ void run_linear_int(const GemmLayerPlan& l, const float* x, std::int64_t B,
   }
 
   std::int32_t* acc = ws.ensure_acc(B * O);
-  igemm_u8(B, O, in, ws.act_codes.data(), in, wt, O, acc, O);
+  backend::active().igemm(B, O, in, ws.act_codes.data(), in, wt, O, acc, O);
 
   const float ss = qa.a_scale * l.w_scale;
   const float cw = qa.a_min * l.w_scale;   // * w_code_sums[o]
@@ -594,6 +459,15 @@ void run_layer(const GemmLayerPlan& layer, const float* x, const Shape& shape,
   }
 }
 
+// Heap-path fake quantize: the tensor-allocating form of the backend's
+// fake_quant op (bit-identical to the buffer form by the quantizer's
+// contract), so the heap executor routes through the registry too.
+Tensor fake_quantize_tensor(const Tensor& x, int bits) {
+  Tensor out(x.shape());
+  backend::active().fake_quant(x.data(), x.numel(), bits, out.data());
+  return out;
+}
+
 // Heap-path convenience: allocates the output tensor and runs the kernel.
 Tensor run_layer_tensor(const GemmLayerPlan& layer, const Tensor& x,
                         const std::uint8_t* wc) {
@@ -637,29 +511,6 @@ void gap_forward(const float* x, std::int64_t B, std::int64_t C,
     float s = 0.0f;
     for (std::int64_t i = 0; i < hw; ++i) s += plane[i];
     out[p] = s / static_cast<float>(hw);
-  }
-}
-
-// dst = ReLU(cur + skip) with channels >= mask zeroed — the tail of a
-// residual block, fused into one pass. dst may alias cur (the planner's
-// in-place case; reads and writes are index-aligned).
-void add_mask_relu(const float* cur, const float* skip, std::int64_t B,
-                   std::int64_t C, std::int64_t hw, std::int64_t mask_channels,
-                   float* dst) {
-  const std::int64_t live = mask_channels < 0 ? C : mask_channels;
-  for (std::int64_t b = 0; b < B; ++b) {
-    for (std::int64_t c = 0; c < C; ++c) {
-      float* d = dst + (b * C + c) * hw;
-      if (c >= live) {
-        std::fill(d, d + hw, 0.0f);
-        continue;
-      }
-      const float* cu = cur + (b * C + c) * hw;
-      const float* sk = skip + (b * C + c) * hw;
-      for (std::int64_t i = 0; i < hw; ++i) {
-        d[i] = std::max(cu[i] + sk[i], 0.0f);
-      }
-    }
   }
 }
 
@@ -829,6 +680,10 @@ Tensor run_gemm_layer(const GemmLayerPlan& layer, const Tensor& x) {
 
 IntInferenceEngine::IntInferenceEngine(InferencePlan plan)
     : plan_(std::move(plan)) {
+  // Resolve the backend now: an unknown or unavailable ADQ_BACKEND /
+  // ADQ_SIMD pin must fail engine construction (listing the registered
+  // backends), never silently fall back mid-forward.
+  backend::active();
   exec_codes_.resize(plan_.layers.size());
   for (std::size_t i = 0; i < plan_.layers.size(); ++i) {
     if (needs_exec_buffer(plan_.layers[i])) {
@@ -950,10 +805,10 @@ void IntInferenceEngine::forward_arena(const Tensor& x, Tensor& out) const {
       case OpKind::kQuantize: {
         const std::int64_t n = cur.shape.numel();
         if (op.out_offset < 0) {
-          quant::fake_quantize_into(cur.p, n, op.skip_bits, inplace_ptr(cur));
+          backend::active().fake_quant(cur.p, n, op.skip_bits, inplace_ptr(cur));
         } else {
           float* dst = require_slot(op);
-          quant::fake_quantize_into(cur.p, n, op.skip_bits, dst);
+          backend::active().fake_quant(cur.p, n, op.skip_bits, dst);
           cur = View{dst, op.out_offset, cur.shape};
         }
         break;
@@ -963,7 +818,7 @@ void IntInferenceEngine::forward_arena(const Tensor& x, Tensor& out) const {
           // Eager skip quantization (v1/v2-era plans; v3 lowering defers it
           // to kQuantizeSkip so it can run in place).
           float* dst = require_slot(op);
-          quant::fake_quantize_into(cur.p, cur.shape.numel(), op.skip_bits,
+          backend::active().fake_quant(cur.p, cur.shape.numel(), op.skip_bits,
                                     dst);
           skips.push_back(View{dst, op.out_offset, cur.shape});
         } else {
@@ -977,10 +832,10 @@ void IntInferenceEngine::forward_arena(const Tensor& x, Tensor& out) const {
         View& top = skips.back();
         const std::int64_t n = top.shape.numel();
         if (op.out_offset < 0) {
-          quant::fake_quantize_into(top.p, n, op.skip_bits, inplace_ptr(top));
+          backend::active().fake_quant(top.p, n, op.skip_bits, inplace_ptr(top));
         } else {
           float* dst = require_slot(op);
-          quant::fake_quantize_into(top.p, n, op.skip_bits, dst);
+          backend::active().fake_quant(top.p, n, op.skip_bits, dst);
           top = View{dst, op.out_offset, top.shape};
         }
         break;
@@ -1009,10 +864,12 @@ void IntInferenceEngine::forward_arena(const Tensor& x, Tensor& out) const {
         const std::int64_t hw = cur.shape.dim(2) * cur.shape.dim(3);
         if (op.out_offset < 0) {
           float* p = inplace_ptr(cur);
-          add_mask_relu(p, top.p, B, C, hw, op.mask_channels, p);
+          backend::active().residual_add(p, top.p, B, C, hw, op.mask_channels,
+                                         p);
         } else {
           float* dst = require_slot(op);
-          add_mask_relu(cur.p, top.p, B, C, hw, op.mask_channels, dst);
+          backend::active().residual_add(cur.p, top.p, B, C, hw,
+                                         op.mask_channels, dst);
           cur = View{dst, op.out_offset, cur.shape};
         }
         break;
@@ -1076,7 +933,7 @@ Tensor IntInferenceEngine::forward_heap(const Tensor& x) const {
         break;
       case OpKind::kPushSkip:
         skip_stack.push_back(op.skip_bits > 0
-                                 ? quant::fake_quantize(current, op.skip_bits)
+                                 ? fake_quantize_tensor(current, op.skip_bits)
                                  : current);
         break;
       case OpKind::kQuantizeSkip:
@@ -1084,7 +941,7 @@ Tensor IntInferenceEngine::forward_heap(const Tensor& x) const {
           throw std::logic_error("infer: quantize-skip without a saved skip");
         }
         skip_stack.back() =
-            quant::fake_quantize(skip_stack.back(), op.skip_bits);
+            fake_quantize_tensor(skip_stack.back(), op.skip_bits);
         break;
       case OpKind::kSkipGemm:
         if (skip_stack.empty()) {
@@ -1100,15 +957,16 @@ Tensor IntInferenceEngine::forward_heap(const Tensor& x) const {
         }
         const Tensor& skip = skip_stack.back();
         check_add_shapes(current.shape(), skip.shape());
-        add_mask_relu(current.data(), skip.data(), current.shape().dim(0),
-                      current.shape().dim(1),
-                      current.shape().dim(2) * current.shape().dim(3),
-                      op.mask_channels, current.data());
+        backend::active().residual_add(
+            current.data(), skip.data(), current.shape().dim(0),
+            current.shape().dim(1),
+            current.shape().dim(2) * current.shape().dim(3), op.mask_channels,
+            current.data());
         skip_stack.pop_back();
         break;
       }
       case OpKind::kQuantize:
-        current = quant::fake_quantize(current, op.skip_bits);
+        current = fake_quantize_tensor(current, op.skip_bits);
         break;
     }
   }

@@ -1,8 +1,6 @@
 #include "tensor/gemm_int8.h"
 
 #include <algorithm>
-#include <cstdlib>
-#include <cstring>
 #include <vector>
 
 #include "tensor/parallel.h"
@@ -159,34 +157,6 @@ void igemm_u8_generic(std::int64_t m, std::int64_t n, std::int64_t k,
                       const std::uint8_t* b, std::int64_t ldb, std::int32_t* c,
                       std::int64_t ldc) {
   detail::igemm_blocked(m, n, k, a, lda, b, ldb, c, ldc, &gemm_block);
-}
-
-void igemm_u8(std::int64_t m, std::int64_t n, std::int64_t k,
-              const std::uint8_t* a, std::int64_t lda, const std::uint8_t* b,
-              std::int64_t ldb, std::int32_t* c, std::int64_t ldc) {
-  // One-time dispatch: best kernel the build + host support, with
-  // ADQ_SIMD=generic|avx2 capping the choice for debugging and A/B runs.
-  enum class Kernel { kGeneric, kAvx2, kVnni };
-  static const Kernel kernel = [] {
-    const char* env = std::getenv("ADQ_SIMD");
-    const bool cap_generic = env != nullptr && std::strcmp(env, "generic") == 0;
-    const bool cap_avx2 = env != nullptr && std::strcmp(env, "avx2") == 0;
-    if (cap_generic) return Kernel::kGeneric;
-    if (!cap_avx2 && igemm_vnni_available()) return Kernel::kVnni;
-    if (igemm_avx2_available()) return Kernel::kAvx2;
-    return Kernel::kGeneric;
-  }();
-  switch (kernel) {
-    case Kernel::kVnni:
-      igemm_u8_vnni(m, n, k, a, lda, b, ldb, c, ldc);
-      break;
-    case Kernel::kAvx2:
-      igemm_u8_avx2(m, n, k, a, lda, b, ldb, c, ldc);
-      break;
-    case Kernel::kGeneric:
-      igemm_u8_generic(m, n, k, a, lda, b, ldb, c, ldc);
-      break;
-  }
 }
 
 }  // namespace adq

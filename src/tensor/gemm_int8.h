@@ -19,47 +19,16 @@
 
 namespace adq {
 
-/// C[m x n] = A[m x k] * B[k x n] over u8 codes, writing (not accumulating
-/// into) int32 C. Raw-pointer, row-major; lda/ldb/ldc are row strides in
-/// elements. Dispatches at runtime to the fastest kernel the host supports
-/// (AVX-512 VNNI vpdpbusd, then AVX2 vpmaddwd, then the portable blocked
-/// kernel); set ADQ_SIMD to generic / avx2 to cap the dispatch for
-/// debugging or A/B runs. All variants agree bit for bit.
-void igemm_u8(std::int64_t m, std::int64_t n, std::int64_t k,
-              const std::uint8_t* a, std::int64_t lda, const std::uint8_t* b,
-              std::int64_t ldb, std::int32_t* c, std::int64_t ldc);
-
-// --- implementation variants, exposed for dispatch and equivalence tests ---
-
-/// Portable blocked kernel (what igemm_u8 runs without AVX2).
+/// Portable blocked kernel: C[m x n] = A[m x k] * B[k x n] over u8 codes,
+/// writing (not accumulating into) int32 C. Raw-pointer, row-major;
+/// lda/ldb/ldc are row strides in elements. This is the reference
+/// implementation every other igemm kernel must match bit for bit; the SIMD
+/// variants live in src/backend/ and are selected through the backend
+/// registry (backend/registry.h, ADQ_BACKEND env), never called directly.
 void igemm_u8_generic(std::int64_t m, std::int64_t n, std::int64_t k,
                       const std::uint8_t* a, std::int64_t lda,
                       const std::uint8_t* b, std::int64_t ldb, std::int32_t* c,
                       std::int64_t ldc);
-
-/// AVX2 kernel: int16 panels consumed in k-pairs by vpmaddwd. Only call
-/// when igemm_avx2_available() is true (elsewhere it falls back to the
-/// generic kernel on non-x86 builds and is undefined behaviour on x86
-/// hosts without AVX2).
-void igemm_u8_avx2(std::int64_t m, std::int64_t n, std::int64_t k,
-                   const std::uint8_t* a, std::int64_t lda,
-                   const std::uint8_t* b, std::int64_t ldb, std::int32_t* c,
-                   std::int64_t ldc);
-
-/// True when this build carries the AVX2 kernel and the host executes it.
-bool igemm_avx2_available();
-
-/// AVX-512 VNNI kernel: u8 activations against -128-offset s8 weights via
-/// vpdpbusd, with the offset corrected from column sums gathered during
-/// packing. Only call when igemm_vnni_available() is true (non-x86 builds
-/// fall back to the generic kernel).
-void igemm_u8_vnni(std::int64_t m, std::int64_t n, std::int64_t k,
-                   const std::uint8_t* a, std::int64_t lda,
-                   const std::uint8_t* b, std::int64_t ldb, std::int32_t* c,
-                   std::int64_t ldc);
-
-/// True when this build carries the VNNI kernel and the host executes it.
-bool igemm_vnni_available();
 
 namespace detail {
 

@@ -1,0 +1,344 @@
+// Registry-driven kernel conformance harness (the ggml test-backend-ops
+// idea): every op in backend::kAllOps runs randomized cases on every
+// registered backend against the portable reference — bit-exact for integer
+// ops, NMSE-bounded for float ops. Cases are pure functions of (op, seed),
+// so any failure reproduces from the one-line command the harness prints:
+//
+//   ADQ_BACKEND=<name> test_backend_ops --seed=<seed> --op=<op>
+//
+// Modes (flags are consumed before InitGoogleTest, so they compose with
+// --gtest_filter):
+//   --seed=N   run only case seed N (the repro path)
+//   --op=NAME  restrict to one op (igemm, depthwise_int, bitpack, ...)
+//   --fuzz=N   add N extra cases per op per backend from a random_device
+//              base seed (printed, so the whole run is reproducible)
+//   --perf     skip tests; time every op on every available backend and
+//              write BENCH_bench_backend_ops.json (GMAC/s for MAC ops at
+//              8/4/2 bits, GB/s for bandwidth ops)
+//
+// ADQ_BACKEND pins the backend under test; unset, all available backends
+// are driven. Coverage lives in src/backend/conformance.cpp — this file is
+// only the driver, so bench_micro and future tools share the same cases.
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "backend/conformance.h"
+#include "backend/registry.h"
+#include "bench/common.h"
+
+namespace {
+
+using adq::backend::Backend;
+using adq::backend::CaseResult;
+using adq::backend::kAllOps;
+using adq::backend::Op;
+using adq::backend::op_from_name;
+using adq::backend::op_name;
+using adq::backend::repro_command;
+using adq::backend::run_conformance_case;
+using adq::backend::run_depthwise_case;
+
+// The PR-gate floor: every op x backend pair sees at least this many
+// randomized cases on every run (seeds 1..kGateCases, deterministic).
+constexpr std::uint64_t kGateCases = 200;
+
+struct Options {
+  bool have_seed = false;
+  std::uint64_t seed = 0;
+  bool have_op = false;
+  Op op = Op::kIgemm;
+  std::uint64_t fuzz = 0;
+  bool perf = false;
+};
+Options g_opts;
+
+/// Backends the suite drives: the pinned one when ADQ_BACKEND / ADQ_SIMD is
+/// set (so the printed repro command re-tests exactly the failing backend),
+/// otherwise everything available on this host. Portable-vs-portable rides
+/// along as a free determinism check on the case generator.
+std::vector<const Backend*> backends_under_test() {
+  if (std::getenv("ADQ_BACKEND") != nullptr ||
+      std::getenv("ADQ_SIMD") != nullptr) {
+    return {&adq::backend::active()};
+  }
+  return adq::backend::available_backends();
+}
+
+std::vector<Op> ops_under_test() {
+  if (g_opts.have_op) return {g_opts.op};
+  return std::vector<Op>(std::begin(kAllOps), std::end(kAllOps));
+}
+
+/// Runs one case and turns a failure into a gtest failure carrying the
+/// generated-case description and the copy-paste repro line.
+void expect_case_ok(Op op, std::uint64_t seed, const Backend& bk) {
+  const CaseResult r = run_conformance_case(op, seed, bk);
+  if (r.ok) return;
+  ADD_FAILURE() << "backend '" << bk.name << "' diverges from portable on "
+                << op_name(op) << " seed " << seed << "\n  case:   " << r.desc
+                << "\n  detail: " << r.detail
+                << "\n  repro:  " << repro_command(op, seed, bk);
+}
+
+TEST(BackendOps, ConformanceEveryOpEveryBackend) {
+  const auto backends = backends_under_test();
+  ASSERT_FALSE(backends.empty());
+  for (const Backend* bk : backends) {
+    for (Op op : ops_under_test()) {
+      if (g_opts.have_seed) {
+        expect_case_ok(op, g_opts.seed, *bk);
+        continue;
+      }
+      for (std::uint64_t seed = 1; seed <= kGateCases; ++seed) {
+        expect_case_ok(op, seed, *bk);
+      }
+    }
+  }
+}
+
+// Directed integer-depthwise coverage: the int8/int4/int2 x stride 1/2
+// matrix the mixed-precision models actually execute, with everything else
+// (channels, kernel, padding, masked channels, batch) still randomized.
+TEST(BackendOps, DepthwiseIntBitwidthStrideMatrix) {
+  if (g_opts.have_seed || g_opts.have_op) {
+    GTEST_SKIP() << "--seed/--op repro runs skip the directed matrix";
+  }
+  constexpr int kBits[] = {8, 4, 2};
+  constexpr int kStrides[] = {1, 2};
+  constexpr std::uint64_t kSeedsPerCell = 25;
+  for (const Backend* bk : backends_under_test()) {
+    for (int bits : kBits) {
+      for (int stride : kStrides) {
+        for (std::uint64_t seed = 1; seed <= kSeedsPerCell; ++seed) {
+          const CaseResult r = run_depthwise_case(*bk, seed, bits, stride);
+          if (r.ok) continue;
+          ADD_FAILURE() << "backend '" << bk->name
+                        << "' diverges from portable on depthwise_int (int"
+                        << bits << ", stride " << stride << ") seed " << seed
+                        << "\n  case:   " << r.desc
+                        << "\n  detail: " << r.detail << "\n  repro:  "
+                        << repro_command(Op::kDepthwiseInt, seed, *bk)
+                        << "  (directed: bits=" << bits
+                        << " stride=" << stride << ")";
+        }
+      }
+    }
+  }
+}
+
+// Fuzz mode: extra cases from a fresh base seed. The base is printed up
+// front, and every failure prints its own absolute seed, so a CI hit is
+// reproducible without rerunning the whole sweep.
+TEST(BackendOps, FuzzRandomCases) {
+  if (g_opts.fuzz == 0) {
+    GTEST_SKIP() << "pass --fuzz=N to run randomized fuzz cases";
+  }
+  std::random_device rd;
+  const std::uint64_t base =
+      (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+  std::printf("[fuzz] base seed %" PRIu64 " (%" PRIu64
+              " cases per op per backend)\n",
+              base, g_opts.fuzz);
+  for (const Backend* bk : backends_under_test()) {
+    for (Op op : ops_under_test()) {
+      for (std::uint64_t i = 0; i < g_opts.fuzz; ++i) {
+        // Mix the op index in so ops don't all replay the same seed list.
+        const std::uint64_t seed =
+            base + i * 1013904223ull + static_cast<std::uint64_t>(op);
+        expect_case_ok(op, seed, *bk);
+      }
+    }
+  }
+}
+
+// --- Registry selection -----------------------------------------------------
+
+TEST(BackendRegistry, PortableIsAlwaysRegisteredFirstAndAvailable) {
+  const auto& all = adq::backend::all_backends();
+  ASSERT_FALSE(all.empty());
+  EXPECT_STREQ(all[0]->name, "portable");
+  EXPECT_TRUE(all[0]->available);
+  EXPECT_EQ(adq::backend::find_backend("portable"), all[0]);
+  // The roster is portable + the SIMD tiers, ascending preference.
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_STREQ(all[1]->name, "avx2");
+  EXPECT_STREQ(all[2]->name, "vnni");
+}
+
+TEST(BackendRegistry, EveryBackendTableIsComplete) {
+  for (const Backend* bk : adq::backend::all_backends()) {
+    SCOPED_TRACE(bk->name);
+    EXPECT_NE(bk->igemm, nullptr);
+    EXPECT_NE(bk->im2col_u8, nullptr);
+    EXPECT_NE(bk->im2col_f32, nullptr);
+    EXPECT_NE(bk->depthwise_int, nullptr);
+    EXPECT_NE(bk->depthwise_f32, nullptr);
+    EXPECT_NE(bk->quantize_act, nullptr);
+    EXPECT_NE(bk->fake_quant, nullptr);
+    EXPECT_NE(bk->dequantize, nullptr);
+    EXPECT_NE(bk->epilogue_row, nullptr);
+    EXPECT_NE(bk->residual_add, nullptr);
+    EXPECT_NE(bk->pack_codes, nullptr);
+    EXPECT_NE(bk->unpack_codes, nullptr);
+  }
+}
+
+TEST(BackendRegistry, DefaultSelectionIsBestAvailable) {
+  const auto avail = adq::backend::available_backends();
+  ASSERT_FALSE(avail.empty());
+  const Backend& chosen = adq::backend::resolve_backends_env(nullptr, nullptr);
+  EXPECT_EQ(&chosen, avail.back());
+}
+
+TEST(BackendRegistry, ExplicitPinSelectsThatBackend) {
+  const Backend& chosen =
+      adq::backend::resolve_backends_env("portable", nullptr);
+  EXPECT_STREQ(chosen.name, "portable");
+}
+
+TEST(BackendRegistry, AdqBackendTakesPrecedenceOverLegacySimd) {
+  // Even a nonsense legacy value is ignored once ADQ_BACKEND is set.
+  const Backend& chosen =
+      adq::backend::resolve_backends_env("portable", "bogus");
+  EXPECT_STREQ(chosen.name, "portable");
+}
+
+TEST(BackendRegistry, UnknownBackendFailsFastListingRoster) {
+  try {
+    adq::backend::resolve_backends_env("neon", nullptr);
+    FAIL() << "expected std::runtime_error for an unknown ADQ_BACKEND";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("neon"), std::string::npos) << msg;
+    // The error must teach the fix: list every registered backend.
+    EXPECT_NE(msg.find("portable"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("avx2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("vnni"), std::string::npos) << msg;
+  }
+}
+
+TEST(BackendRegistry, LegacySimdGenericAliasesPortable) {
+  const Backend& chosen =
+      adq::backend::resolve_backends_env(nullptr, "generic");
+  EXPECT_STREQ(chosen.name, "portable");
+}
+
+TEST(BackendRegistry, LegacySimdRegistryNamesStillResolve) {
+  // ADQ_SIMD=avx2 used to pick the AVX2 kernel cap; it now resolves through
+  // the registry, so it must either select the avx2 backend or fail fast
+  // when the host lacks it — never silently fall back.
+  const Backend* avx2 = adq::backend::find_backend("avx2");
+  ASSERT_NE(avx2, nullptr);
+  if (avx2->available) {
+    const Backend& chosen =
+        adq::backend::resolve_backends_env(nullptr, "avx2");
+    EXPECT_EQ(&chosen, avx2);
+  } else {
+    EXPECT_THROW(adq::backend::resolve_backends_env(nullptr, "avx2"),
+                 std::runtime_error);
+  }
+}
+
+TEST(BackendRegistry, UnknownLegacySimdValueFailsFast) {
+  try {
+    adq::backend::resolve_backends_env(nullptr, "sse9");
+    FAIL() << "expected std::runtime_error for an unknown ADQ_SIMD";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("sse9"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("ADQ_SIMD"), std::string::npos) << msg;
+  }
+}
+
+TEST(BackendRegistry, UnavailableBackendPinFailsFast) {
+  for (const Backend* bk : adq::backend::all_backends()) {
+    if (bk->available) continue;
+    EXPECT_THROW(adq::backend::resolve_backends_env(bk->name, nullptr),
+                 std::runtime_error)
+        << bk->name;
+  }
+}
+
+TEST(BackendRegistry, OpNamesRoundTrip) {
+  for (Op op : kAllOps) {
+    Op parsed{};
+    ASSERT_TRUE(op_from_name(op_name(op), &parsed)) << op_name(op);
+    EXPECT_EQ(parsed, op);
+  }
+  Op parsed{};
+  EXPECT_FALSE(op_from_name("sgemm", &parsed));
+}
+
+// --- Perf mode --------------------------------------------------------------
+
+/// Times every op on every available backend and writes the per-backend
+/// GMAC/s (resp. GB/s) table CI uploads. igemm is measured at each code
+/// bit-width the mixed-precision engine feeds it.
+int run_perf_mode() {
+  adq::bench::JsonReport report("bench_backend_ops");
+  std::printf("%-10s %-16s %10s %8s\n", "backend", "op", "value", "unit");
+  for (const Backend* bk : backends_under_test()) {
+    for (Op op : ops_under_test()) {
+      std::vector<int> bit_list = {8};
+      if (op == Op::kIgemm) bit_list = {8, 4, 2};
+      for (int bits : bit_list) {
+        const adq::backend::PerfSample s =
+            adq::backend::measure_perf(op, *bk, bits);
+        std::string metric = std::string(bk->name) + "_" + op_name(op);
+        if (op == Op::kIgemm) metric += "_int" + std::to_string(bits);
+        report.add(metric, s.value, s.unit);
+        std::printf("%-10s %-16s %10.2f %8s\n", bk->name, metric.c_str(),
+                    s.value, s.unit);
+      }
+    }
+  }
+  return 0;
+}
+
+/// Consumes the harness's own flags (everything else is left for gtest).
+/// Returns false with a message on a malformed flag.
+bool parse_args(int* argc, char** argv, Options* opts) {
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--seed=", 7) == 0) {
+      opts->have_seed = true;
+      opts->seed = std::strtoull(arg + 7, nullptr, 10);
+    } else if (std::strncmp(arg, "--op=", 5) == 0) {
+      if (!op_from_name(arg + 5, &opts->op)) {
+        std::fprintf(stderr, "unknown --op '%s'; known ops:", arg + 5);
+        for (Op op : kAllOps) std::fprintf(stderr, " %s", op_name(op));
+        std::fprintf(stderr, "\n");
+        return false;
+      }
+      opts->have_op = true;
+    } else if (std::strncmp(arg, "--fuzz=", 7) == 0) {
+      opts->fuzz = std::strtoull(arg + 7, nullptr, 10);
+    } else if (std::strcmp(arg, "--perf") == 0) {
+      opts->perf = true;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  *argc = kept;
+  argv[kept] = nullptr;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (!parse_args(&argc, argv, &g_opts)) return 2;
+  if (g_opts.perf) return run_perf_mode();
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

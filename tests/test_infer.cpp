@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "backend/registry.h"
 #include "infer/engine.h"
 #include "infer/plan.h"
 #include "models/resnet.h"
@@ -111,7 +112,7 @@ TEST(IntGemm, MatchesNaiveReference) {
     for (auto& v : a) v = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
     for (auto& v : b) v = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
     std::vector<std::int32_t> c(static_cast<std::size_t>(m * n), -7);
-    igemm_u8(m, n, k, a.data(), k, b.data(), n, c.data(), n);
+    igemm_u8_generic(m, n, k, a.data(), k, b.data(), n, c.data(), n);
     for (std::int64_t i = 0; i < m; ++i) {
       for (std::int64_t j = 0; j < n; ++j) {
         std::int32_t ref = 0;
@@ -126,10 +127,13 @@ TEST(IntGemm, MatchesNaiveReference) {
   }
 }
 
-TEST(IntGemm, SimdVariantsMatchGenericBitForBit) {
-  // The AVX2 (vpmaddwd over int16 pairs) and VNNI (vpdpbusd over offset s8
-  // quads, corrected by packed column sums) kernels must agree exactly
-  // with the portable kernel — integer accumulation has one right answer.
+TEST(IntGemm, RegisteredBackendsMatchGenericBitForBit) {
+  // Every igemm implementation the registry enumerates (AVX2 vpmaddwd over
+  // int16 pairs, VNNI vpdpbusd over offset s8 quads corrected by packed
+  // column sums, ...) must agree exactly with the portable kernel — integer
+  // accumulation has one right answer. Iterating the registry instead of
+  // naming kernels means a newly registered backend is covered by merely
+  // existing.
   Rng rng(55);
   const std::int64_t shapes[][3] = {
       {1, 1, 1},    {4, 16, 8},    {5, 17, 3},   {9, 1024, 27},
@@ -144,19 +148,15 @@ TEST(IntGemm, SimdVariantsMatchGenericBitForBit) {
     igemm_u8_generic(m, n, k, a.data(), k, b.data(), n, ref.data(), n);
 
     std::vector<std::int32_t> got(static_cast<std::size_t>(m * n), -2);
-    if (igemm_avx2_available()) {
-      igemm_u8_avx2(m, n, k, a.data(), k, b.data(), n, got.data(), n);
-      ASSERT_EQ(got, ref) << "avx2 " << m << "x" << n << "x" << k;
+    for (const backend::Backend* bk : backend::available_backends()) {
+      std::fill(got.begin(), got.end(), -2);
+      bk->igemm(m, n, k, a.data(), k, b.data(), n, got.data(), n);
+      ASSERT_EQ(got, ref) << bk->name << " " << m << "x" << n << "x" << k;
     }
-    if (igemm_vnni_available()) {
-      std::fill(got.begin(), got.end(), -3);
-      igemm_u8_vnni(m, n, k, a.data(), k, b.data(), n, got.data(), n);
-      ASSERT_EQ(got, ref) << "vnni " << m << "x" << n << "x" << k;
-    }
-    // And whatever igemm_u8 dispatched to agrees as well.
+    // And whatever the active backend resolves to agrees as well.
     std::fill(got.begin(), got.end(), -4);
-    igemm_u8(m, n, k, a.data(), k, b.data(), n, got.data(), n);
-    ASSERT_EQ(got, ref) << "dispatch " << m << "x" << n << "x" << k;
+    backend::active().igemm(m, n, k, a.data(), k, b.data(), n, got.data(), n);
+    ASSERT_EQ(got, ref) << "active " << m << "x" << n << "x" << k;
   }
 }
 
@@ -179,7 +179,7 @@ TEST(IntGemm, MatchesFloatGemmOnSmallCodes) {
     bf[i] = static_cast<float>(b[static_cast<std::size_t>(i)]);
   }
   std::vector<std::int32_t> ci(static_cast<std::size_t>(m * n));
-  igemm_u8(m, n, k, a.data(), k, b.data(), n, ci.data(), n);
+  backend::active().igemm(m, n, k, a.data(), k, b.data(), n, ci.data(), n);
   const Tensor cf = matmul(af, bf);
   for (std::int64_t i = 0; i < m * n; ++i) {
     EXPECT_EQ(static_cast<float>(ci[static_cast<std::size_t>(i)]), cf[i]);
