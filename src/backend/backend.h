@@ -73,6 +73,19 @@ using IgemmFn = void (*)(std::int64_t m, std::int64_t n, std::int64_t k,
                          const std::uint8_t* b, std::int64_t ldb,
                          std::int32_t* c, std::int64_t ldc);
 
+/// Sub-byte weight GEMM: C[m x n] = A[m x k] * B[k x n] where A holds
+/// packed weight codes — two 4-bit nibbles (igemm_u8w4) or four 2-bit
+/// crumbs (igemm_u8w2) per byte, little-endian within the byte, each row
+/// byte-aligned (see packed_row_bytes) with zero tail bits. B is plain u8
+/// codes. lda is A's row stride in BYTES; ldb/ldc are element strides as in
+/// IgemmFn. Writes (not accumulates into) int32 C. The packed operand is
+/// unpacked in-register per panel — no byte-weight materialization.
+using IgemmPackedFn = void (*)(std::int64_t m, std::int64_t n, std::int64_t k,
+                               const std::uint8_t* a_packed,
+                               std::int64_t lda_bytes, const std::uint8_t* b,
+                               std::int64_t ldb, std::int32_t* c,
+                               std::int64_t ldc);
+
 /// Lowers one image of u8 codes to its [patch, out_h*out_w] column block;
 /// patch row r starts at col + r * col_stride. Padding taps read pad_code.
 using Im2colU8Fn = void (*)(const std::uint8_t* im, const ConvGeometry& g,
@@ -140,6 +153,8 @@ struct Backend {
   const char* name = "";
   bool available = false;
   IgemmFn igemm = nullptr;
+  IgemmPackedFn igemm_w4 = nullptr;  // nibble-packed int4 weights
+  IgemmPackedFn igemm_w2 = nullptr;  // crumb-packed int2 weights
   Im2colU8Fn im2col_u8 = nullptr;
   Im2colF32Fn im2col_f32 = nullptr;
   DepthwiseIntFn depthwise_int = nullptr;
@@ -159,6 +174,8 @@ struct Backend {
 /// benchmarked the moment it exists.
 enum class Op {
   kIgemm,
+  kIgemmW4,
+  kIgemmW2,
   kIm2colU8,
   kIm2colF32,
   kDepthwiseInt,
@@ -172,9 +189,10 @@ enum class Op {
 };
 
 inline constexpr Op kAllOps[] = {
-    Op::kIgemm,       Op::kIm2colU8,  Op::kIm2colF32,   Op::kDepthwiseInt,
-    Op::kDepthwiseF32, Op::kQuantizeAct, Op::kFakeQuant, Op::kDequantize,
-    Op::kEpilogue,    Op::kResidualAdd, Op::kBitpack};
+    Op::kIgemm,       Op::kIgemmW4,     Op::kIgemmW2,   Op::kIm2colU8,
+    Op::kIm2colF32,   Op::kDepthwiseInt, Op::kDepthwiseF32,
+    Op::kQuantizeAct, Op::kFakeQuant,   Op::kDequantize, Op::kEpilogue,
+    Op::kResidualAdd, Op::kBitpack};
 
 /// Stable lowercase op name (the --op filter / repro-command vocabulary).
 const char* op_name(Op op);

@@ -9,6 +9,7 @@
 #include "backend/ops_portable.h"
 #include "quant/quantizer.h"
 #include "tensor/bitpack.h"
+#include "tensor/gemm_int8.h"
 #include "tensor/rng.h"
 
 namespace adq::backend {
@@ -125,6 +126,68 @@ CaseResult igemm_case(std::uint64_t seed, const Backend& test) {
   portable_backend().igemm(m, n, k, a.data(), lda, b.data(), ldb, c_ref.data(),
                            ldc);
   test.igemm(m, n, k, a.data(), lda, b.data(), ldb, c_got.data(), ldc);
+  compare_exact(c_ref, c_got, &r);
+  return r;
+}
+
+// Shared sub-byte weight-GEMM case: cell is 4 (igemm_u8w4) or 2
+// (igemm_u8w2). Weight codes are generated unpacked, packed row-aligned
+// into a buffer pre-filled with garbage (so stride-slack bytes and row tail
+// bits act like sentinels: a kernel reading codes it shouldn't produces a
+// wrong accumulator), and the case is checked two ways — the portable
+// reference must equal an in-case unpack + igemm_u8_generic ground truth,
+// and the backend under test must equal the portable reference bit for bit.
+CaseResult igemm_packed_case(std::uint64_t seed, const Backend& test,
+                             int cell) {
+  Rng rng(seed);
+  CaseResult r;
+  const std::int64_t m = rng.uniform_int(1, 40);
+  // Wide-n draws exercise the driver's column-split path; everything else
+  // lands on odd n/k not divisible by the quad depth or the 16-wide panel.
+  const std::int64_t n =
+      rng.coin(0.15) ? rng.uniform_int(513, 700) : rng.uniform_int(1, 96);
+  const std::int64_t k =
+      rng.coin(0.2) ? rng.uniform_int(257, 320) : rng.uniform_int(1, 128);
+  // Weights span the full cell range on most draws, a narrower bit-width
+  // (a 3-bit layer in 4-bit cells, a 1-bit layer in 2-bit cells) sometimes.
+  const int bits_w = rng.coin(0.3) ? cell - 1 : cell;
+  const int bits_b = draw_bits(rng);
+  const std::int64_t lda_bytes =
+      packed_row_bytes(k, cell) + rng.uniform_int(0, 5);
+  const std::int64_t ldb = n + rng.uniform_int(0, 5);
+  const std::int64_t ldc = n + rng.uniform_int(0, 5);
+  const auto op_fn = cell == 4 ? test.igemm_w4 : test.igemm_w2;
+  const auto ref_fn =
+      cell == 4 ? portable_backend().igemm_w4 : portable_backend().igemm_w2;
+  r.desc = std::string(cell == 4 ? "igemm_u8w4 " : "igemm_u8w2 ") +
+           std::to_string(m) + "x" + std::to_string(n) + "x" +
+           std::to_string(k) + " bits=" + std::to_string(bits_w) + "/" +
+           std::to_string(bits_b) + " lda_bytes=" + std::to_string(lda_bytes) +
+           " ld=" + std::to_string(ldb) + "," + std::to_string(ldc);
+
+  std::vector<std::uint8_t> codes(static_cast<std::size_t>(m * k));
+  fill_codes(rng, codes.data(), m * k, bits_w);
+  std::vector<std::uint8_t> a(static_cast<std::size_t>(m * lda_bytes));
+  fill_codes(rng, a.data(), m * lda_bytes, 8);  // slack bytes stay garbage
+  for (std::int64_t i = 0; i < m; ++i) {
+    pack_codes(codes.data() + i * k, k, cell, a.data() + i * lda_bytes);
+  }
+  std::vector<std::uint8_t> b(static_cast<std::size_t>(k * ldb));
+  fill_codes(rng, b.data(), k * ldb, bits_b);
+
+  std::vector<std::int32_t> c_truth(static_cast<std::size_t>(m * ldc),
+                                    kSentinelI32);
+  std::vector<std::int32_t> c_ref(c_truth);
+  std::vector<std::int32_t> c_got(c_truth);
+  igemm_u8_generic(m, n, k, codes.data(), k, b.data(), ldb, c_truth.data(),
+                   ldc);
+  ref_fn(m, n, k, a.data(), lda_bytes, b.data(), ldb, c_ref.data(), ldc);
+  if (!compare_exact(c_truth, c_ref, &r)) {
+    r.detail = "portable reference disagrees with unpacked ground truth: " +
+               r.detail;
+    return r;
+  }
+  op_fn(m, n, k, a.data(), lda_bytes, b.data(), ldb, c_got.data(), ldc);
   compare_exact(c_ref, c_got, &r);
   return r;
 }
@@ -528,6 +591,8 @@ CaseResult run_conformance_case(Op op, std::uint64_t seed,
                                 const Backend& test) {
   switch (op) {
     case Op::kIgemm: return igemm_case(seed, test);
+    case Op::kIgemmW4: return igemm_packed_case(seed, test, 4);
+    case Op::kIgemmW2: return igemm_packed_case(seed, test, 2);
     case Op::kIm2colU8: return im2col_u8_case(seed, test);
     case Op::kIm2colF32: return im2col_f32_case(seed, test);
     case Op::kDepthwiseInt: return depthwise_int_case(seed, test, -1, -1);
@@ -590,6 +655,31 @@ PerfSample measure_perf(Op op, const Backend& test, int bits) {
       std::vector<std::int32_t> c(static_cast<std::size_t>(m * n));
       const double sec = time_op([&] {
         test.igemm(m, n, k, a.data(), k, b.data(), n, c.data(), n);
+      });
+      s.value = static_cast<double>(m * n * k) / sec * 1e-9;
+      s.unit = "GMAC/s";
+      return s;
+    }
+    case Op::kIgemmW4:
+    case Op::kIgemmW2: {
+      // Same workload shape as kIgemm so the per-bitwidth GMAC/s rows
+      // compare directly: packed low-bit weights against u8 activations,
+      // which is exactly what a <= 4-bit layer feeds the engine.
+      const int cell = op == Op::kIgemmW4 ? 4 : 2;
+      const std::int64_t m = 128, n = 512, k = 256;
+      std::vector<std::uint8_t> codes(static_cast<std::size_t>(m * k));
+      fill_codes(rng, codes.data(), m * k, bits);
+      const std::int64_t lda_bytes = packed_row_bytes(k, cell);
+      std::vector<std::uint8_t> a(static_cast<std::size_t>(m * lda_bytes));
+      for (std::int64_t i = 0; i < m; ++i) {
+        pack_codes(codes.data() + i * k, k, cell, a.data() + i * lda_bytes);
+      }
+      std::vector<std::uint8_t> b(static_cast<std::size_t>(k * n));
+      fill_codes(rng, b.data(), k * n, 8);
+      std::vector<std::int32_t> c(static_cast<std::size_t>(m * n));
+      const auto fn = op == Op::kIgemmW4 ? test.igemm_w4 : test.igemm_w2;
+      const double sec = time_op([&] {
+        fn(m, n, k, a.data(), lda_bytes, b.data(), n, c.data(), n);
       });
       s.value = static_cast<double>(m * n * k) / sec * 1e-9;
       s.unit = "GMAC/s";

@@ -18,6 +18,25 @@ void igemm_u8_avx2(std::int64_t m, std::int64_t n, std::int64_t k,
                    const std::uint8_t* b, std::int64_t ldb, std::int32_t* c,
                    std::int64_t ldc);
 
+/// True when the running CPU can execute the AVX2 sub-byte kernels (same
+/// ISA requirement as the int8 kernel; kept separate so a narrower tier
+/// could later split them).
+bool igemm_subbyte_avx2_available();
+
+/// AVX2 nibble-packed int4-weight kernel (vpmaddubsw over in-register
+/// expanded nibbles). A rows are byte-aligned packed, lda in bytes.
+/// Bit-identical to the portable igemm_u8w4 reference.
+void igemm_u8w4_avx2(std::int64_t m, std::int64_t n, std::int64_t k,
+                     const std::uint8_t* a_packed, std::int64_t lda_bytes,
+                     const std::uint8_t* b, std::int64_t ldb, std::int32_t* c,
+                     std::int64_t ldc);
+
+/// AVX2 crumb-serial int2-weight kernel. Same contract at 2-bit cells.
+void igemm_u8w2_avx2(std::int64_t m, std::int64_t n, std::int64_t k,
+                     const std::uint8_t* a_packed, std::int64_t lda_bytes,
+                     const std::uint8_t* b, std::int64_t ldb, std::int32_t* c,
+                     std::int64_t ldc);
+
 /// True when the running CPU can execute the AVX-512 VNNI kernel.
 bool igemm_vnni_available();
 
@@ -26,5 +45,19 @@ void igemm_u8_vnni(std::int64_t m, std::int64_t n, std::int64_t k,
                    const std::uint8_t* a, std::int64_t lda,
                    const std::uint8_t* b, std::int64_t ldb, std::int32_t* c,
                    std::int64_t ldc);
+
+/// VNNI nibble-packed int4-weight kernel: packed codes expand straight to
+/// s8 (they fit without the -128 offset, so no colsum correction), then the
+/// same vpdpbusd micro-kernels run. A rows byte-aligned packed, lda bytes.
+void igemm_u8w4_vnni(std::int64_t m, std::int64_t n, std::int64_t k,
+                     const std::uint8_t* a_packed, std::int64_t lda_bytes,
+                     const std::uint8_t* b, std::int64_t ldb, std::int32_t* c,
+                     std::int64_t ldc);
+
+/// VNNI crumb-packed int2-weight kernel. Same contract at 2-bit cells.
+void igemm_u8w2_vnni(std::int64_t m, std::int64_t n, std::int64_t k,
+                     const std::uint8_t* a_packed, std::int64_t lda_bytes,
+                     const std::uint8_t* b, std::int64_t ldb, std::int32_t* c,
+                     std::int64_t ldc);
 
 }  // namespace adq

@@ -1,0 +1,348 @@
+// AVX2 sub-byte weight GEMM kernels: nibble-packed int4 (igemm_u8w4) and
+// crumb-serial int2 (igemm_u8w2) weights against u8 activations.
+//
+// The PULP-NN trick adapted to AVX2: weights stay packed in memory (two
+// nibbles or four crumbs per byte, row-aligned — see tensor/bitpack.h) and
+// are expanded in-register per Kc panel, never materialized as a
+// byte-per-code matrix. The inner loop then beats the int8 vpmaddwd kernel
+// by switching the multiply to vpmaddubsw over k-QUADS:
+//
+//   * B (activations) packs k-quad interleaved u8, exactly the VNNI panel
+//     layout: quad q of column j at dst[q * 4 * nc + 4 * j + r], zero-padded
+//     tail rows. One 32-byte load covers 8 columns x 4 consecutive k.
+//   * A (weights) expands each packed panel row to bytes (codes <= 15, so
+//     they fit s8 with no offset games) in the same thread_local scratch
+//     the int8 kernel uses for widening; a row's 4 adjacent codes form the
+//     quad, broadcast as one 32-bit lane.
+//   * vpmaddubsw (unsigned B bytes x signed A bytes) produces 16 int16
+//     lanes of 2-product sums — 32 MACs per instruction, twice vpmaddwd —
+//     and ADJACENT int16 lanes belong to the SAME column, so one
+//     vpmaddwd-against-ones collapses them to 8 int32 column sums.
+//   * The collapse is deferred: low-bit products are small enough to chain
+//     several maddubs results in int16 first. Per-lane bound per maddubs is
+//     2 * 255 * (2^bits - 1): 7650 at w4 (depth 4 -> 30600 < 32767) and
+//     1530 at w2 (depth 8 -> 12240). The narrower the weights, the deeper
+//     the serial int16 chain — the bit-serial scaling that makes int2
+//     faster than int4 faster than int8.
+//
+// All arithmetic is exact (no saturation is ever reached, int32 holds every
+// reduction here), so both kernels agree bit for bit with the portable
+// unpack-then-igemm_u8_generic reference — enforced per seed by the
+// conformance harness.
+//
+// Like the other SIMD TUs, only this file is compiled with -mavx2
+// (ADQ_AVX2_BUILD) and the registry routes here only after
+// __builtin_cpu_supports("avx2").
+#include "backend/igemm_kernels.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "tensor/bitpack.h"
+#include "tensor/gemm_int8.h"
+
+#if defined(ADQ_AVX2_BUILD)
+#include <immintrin.h>
+#endif
+
+namespace adq {
+
+#if defined(ADQ_AVX2_BUILD)
+
+namespace {
+
+constexpr std::int64_t kMr = 4;
+constexpr std::int64_t kNr = 16;
+constexpr std::int64_t kKc = 256;  // multiple of 4: quads never straddle
+constexpr std::int64_t kNc = 256;
+
+std::uint8_t* thread_buf(std::int64_t count, int which) {
+  thread_local std::vector<std::uint8_t> bufs[2];
+  std::vector<std::uint8_t>& b = bufs[which];
+  if (static_cast<std::int64_t>(b.size()) < count) {
+    b.resize(static_cast<std::size_t>(count));
+  }
+  return b.data();
+}
+
+// Expands block [r0, r0+mc) x [c0, c0+kc) of the row-aligned packed A
+// (CELL bits per code) into byte rows of stride kc4, zero-padding the quad
+// tail. c0 is a kKc multiple, so it always lands on a byte boundary.
+template <int CELL>
+void pack_a_expand(const std::uint8_t* a_packed, std::int64_t lda_bytes,
+                   std::int64_t r0, std::int64_t mc, std::int64_t c0,
+                   std::int64_t kc, std::int64_t kc4, std::uint8_t* dst) {
+  constexpr std::int64_t kPer = 8 / CELL;
+  for (std::int64_t i = 0; i < mc; ++i) {
+    const std::uint8_t* src = a_packed + (r0 + i) * lda_bytes + c0 / kPer;
+    std::uint8_t* out = dst + i * kc4;
+    std::int64_t j = 0;
+    if constexpr (CELL == 4) {
+      // 16 packed bytes -> 32 nibbles: split low/high nibbles, then byte
+      // interleave restores original code order.
+      const __m128i lo_mask = _mm_set1_epi8(0x0F);
+      for (; j + 32 <= kc; j += 32) {
+        const __m128i v =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + j / 2));
+        const __m128i lo = _mm_and_si128(v, lo_mask);
+        const __m128i hi = _mm_and_si128(_mm_srli_epi16(v, 4), lo_mask);
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(out + j),
+                         _mm_unpacklo_epi8(lo, hi));
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(out + j + 16),
+                         _mm_unpackhi_epi8(lo, hi));
+      }
+    }
+    for (; j < kc; ++j) {
+      const int shift = static_cast<int>(j % kPer) * CELL;
+      out[j] = static_cast<std::uint8_t>((src[j / kPer] >> shift) &
+                                         ((1u << CELL) - 1u));
+    }
+    for (; j < kc4; ++j) out[j] = 0;
+  }
+}
+
+// Packs block [c0, c0+kc) x [j0, j0+nc) of B k-quad interleaved (quad q,
+// column j -> dst[q * 4 * nc + 4 * j + r], zero tail rows) — the VNNI
+// activation panel, minus its fused column sums (the sub-byte epilogue gets
+// colsums from the engine's all-ones GEMM row like every other path).
+void pack_b_quads(const std::uint8_t* m, std::int64_t ld, std::int64_t c0,
+                  std::int64_t kc, std::int64_t j0, std::int64_t nc,
+                  std::uint8_t* dst) {
+  const std::int64_t quads = (kc + 3) / 4;
+  for (std::int64_t q = 0; q < quads; ++q) {
+    const std::int64_t rows = std::min<std::int64_t>(4, kc - 4 * q);
+    const std::uint8_t* r0 = m + (c0 + 4 * q) * ld + j0;
+    std::uint8_t* out = dst + q * 4 * nc;
+    if (rows == 4) {
+      const std::uint8_t* r1 = r0 + ld;
+      const std::uint8_t* r2 = r1 + ld;
+      const std::uint8_t* r3 = r2 + ld;
+      std::int64_t j = 0;
+      for (; j + 16 <= nc; j += 16) {
+        // 4 x 16 byte transpose: unpack pairs of rows, then pairs of pairs.
+        const __m128i a =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(r0 + j));
+        const __m128i b =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(r1 + j));
+        const __m128i c =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(r2 + j));
+        const __m128i d =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(r3 + j));
+        const __m128i ab_lo = _mm_unpacklo_epi8(a, b);
+        const __m128i ab_hi = _mm_unpackhi_epi8(a, b);
+        const __m128i cd_lo = _mm_unpacklo_epi8(c, d);
+        const __m128i cd_hi = _mm_unpackhi_epi8(c, d);
+        __m128i* o = reinterpret_cast<__m128i*>(out + 4 * j);
+        _mm_storeu_si128(o + 0, _mm_unpacklo_epi16(ab_lo, cd_lo));
+        _mm_storeu_si128(o + 1, _mm_unpackhi_epi16(ab_lo, cd_lo));
+        _mm_storeu_si128(o + 2, _mm_unpacklo_epi16(ab_hi, cd_hi));
+        _mm_storeu_si128(o + 3, _mm_unpackhi_epi16(ab_hi, cd_hi));
+      }
+      for (; j < nc; ++j) {
+        out[4 * j + 0] = r0[j];
+        out[4 * j + 1] = r1[j];
+        out[4 * j + 2] = r2[j];
+        out[4 * j + 3] = r3[j];
+      }
+    } else {
+      for (std::int64_t j = 0; j < nc; ++j) {
+        for (std::int64_t r = 0; r < 4; ++r) {
+          out[4 * j + r] =
+              r < rows ? r0[r * ld + j] : static_cast<std::uint8_t>(0);
+        }
+      }
+    }
+  }
+}
+
+// MR x 16 tile over `quads` k-quads with a DEPTH-deep deferred int16
+// accumulation (see the header comment's overflow bounds). `a` is the
+// expanded byte panel (stride lda), `b` the quad-interleaved panel.
+template <int MR, int DEPTH>
+void micro_kernel_subbyte(std::int64_t quads, const std::uint8_t* a,
+                          std::int64_t lda, const std::uint8_t* b,
+                          std::int64_t ldb_cols, std::int32_t* c,
+                          std::int64_t ldc) {
+  const __m256i ones = _mm256_set1_epi16(1);
+  __m256i acc[MR][2];
+  for (int i = 0; i < MR; ++i) {
+    acc[i][0] = _mm256_setzero_si256();
+    acc[i][1] = _mm256_setzero_si256();
+  }
+  for (std::int64_t q0 = 0; q0 < quads; q0 += DEPTH) {
+    const std::int64_t qe = std::min<std::int64_t>(quads, q0 + DEPTH);
+    // The two 8-column halves run as separate passes over the depth group:
+    // holding only MR int16 accumulators (instead of MR x 2) alongside the
+    // MR x 2 int32 bank keeps the working set inside the 16 ymm registers —
+    // the fused variant spills several vectors per quad. The price is one
+    // extra weight-quad broadcast per row per quad, which the load ports
+    // absorb.
+    for (int half = 0; half < 2; ++half) {
+      __m256i s16[MR];
+      for (int i = 0; i < MR; ++i) s16[i] = _mm256_setzero_si256();
+      for (std::int64_t q = q0; q < qe; ++q) {
+        const __m256i bv = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+            b + q * 4 * ldb_cols + 32 * half));
+        for (int i = 0; i < MR; ++i) {
+          std::int32_t quad;
+          std::memcpy(&quad, a + i * lda + 4 * q, sizeof(quad));
+          const __m256i av = _mm256_set1_epi32(quad);
+          s16[i] = _mm256_add_epi16(s16[i], _mm256_maddubs_epi16(bv, av));
+        }
+      }
+      for (int i = 0; i < MR; ++i) {
+        acc[i][half] =
+            _mm256_add_epi32(acc[i][half], _mm256_madd_epi16(s16[i], ones));
+      }
+    }
+  }
+  for (int i = 0; i < MR; ++i) {
+    std::int32_t* cp = c + i * ldc;
+    for (int half = 0; half < 2; ++half) {
+      __m256i* dst = reinterpret_cast<__m256i*>(cp + 8 * half);
+      _mm256_storeu_si256(
+          dst, _mm256_add_epi32(_mm256_loadu_si256(dst), acc[i][half]));
+    }
+  }
+}
+
+// Edge tile (nr < 16), scalar on the same panels.
+void edge_kernel(std::int64_t quads, const std::uint8_t* a, std::int64_t lda,
+                 const std::uint8_t* b, std::int64_t ldb_cols, std::int32_t* c,
+                 std::int64_t ldc, std::int64_t mr, std::int64_t nr) {
+  std::int32_t acc[kMr][kNr] = {};
+  for (std::int64_t q = 0; q < quads; ++q) {
+    const std::uint8_t* bq = b + q * 4 * ldb_cols;
+    for (std::int64_t i = 0; i < mr; ++i) {
+      const std::uint8_t* aq = a + i * lda + 4 * q;
+      for (std::int64_t j = 0; j < nr; ++j) {
+        const std::uint8_t* bj = bq + 4 * j;
+        acc[i][j] += static_cast<std::int32_t>(aq[0]) * bj[0] +
+                     static_cast<std::int32_t>(aq[1]) * bj[1] +
+                     static_cast<std::int32_t>(aq[2]) * bj[2] +
+                     static_cast<std::int32_t>(aq[3]) * bj[3];
+      }
+    }
+  }
+  for (std::int64_t i = 0; i < mr; ++i) {
+    std::int32_t* cp = c + i * ldc;
+    for (std::int64_t j = 0; j < nr; ++j) cp[j] += acc[i][j];
+  }
+}
+
+template <int CELL, int DEPTH>
+void gemm_block_subbyte(std::int64_t k, const std::uint8_t* a,
+                        std::int64_t lda, const std::uint8_t* b,
+                        std::int64_t ldb, std::int32_t* c, std::int64_t ldc,
+                        std::int64_t i0, std::int64_t mc, std::int64_t j0,
+                        std::int64_t nc_total) {
+  const std::int64_t kc4_max = kKc;  // kKc is a multiple of 4
+  std::uint8_t* a_pack = thread_buf(mc * kc4_max, 0);
+  std::uint8_t* b_pack = thread_buf(kc4_max * kNc, 1);
+  for (std::int64_t p0 = 0; p0 < k; p0 += kKc) {
+    const std::int64_t kc = std::min(kKc, k - p0);
+    const std::int64_t kc4 = (kc + 3) / 4 * 4;
+    const std::int64_t quads = kc4 / 4;
+    pack_a_expand<CELL>(a, lda, i0, mc, p0, kc, kc4, a_pack);
+    for (std::int64_t jb = 0; jb < nc_total; jb += kNc) {
+      const std::int64_t nc = std::min(kNc, nc_total - jb);
+      pack_b_quads(b, ldb, p0, kc, j0 + jb, nc, b_pack);
+      for (std::int64_t jr = 0; jr < nc; jr += kNr) {
+        const std::int64_t nr = std::min(kNr, nc - jr);
+        for (std::int64_t ir = 0; ir < mc; ir += kMr) {
+          const std::int64_t mr = std::min(kMr, mc - ir);
+          std::int32_t* ct = c + (i0 + ir) * ldc + (j0 + jb + jr);
+          const std::uint8_t* at = a_pack + ir * kc4;
+          const std::uint8_t* bt = b_pack + 4 * jr;
+          if (nr == kNr) {
+            switch (mr) {
+              case kMr:
+                micro_kernel_subbyte<4, DEPTH>(quads, at, kc4, bt, nc, ct, ldc);
+                break;
+              case 3:
+                micro_kernel_subbyte<3, DEPTH>(quads, at, kc4, bt, nc, ct, ldc);
+                break;
+              case 2:
+                micro_kernel_subbyte<2, DEPTH>(quads, at, kc4, bt, nc, ct, ldc);
+                break;
+              default:
+                micro_kernel_subbyte<1, DEPTH>(quads, at, kc4, bt, nc, ct, ldc);
+                break;
+            }
+          } else {
+            edge_kernel(quads, at, kc4, bt, nc, ct, ldc, mr, nr);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+bool igemm_subbyte_avx2_available() {
+  static const bool ok = __builtin_cpu_supports("avx2") != 0;
+  return ok;
+}
+
+void igemm_u8w4_avx2(std::int64_t m, std::int64_t n, std::int64_t k,
+                     const std::uint8_t* a_packed, std::int64_t lda_bytes,
+                     const std::uint8_t* b, std::int64_t ldb, std::int32_t* c,
+                     std::int64_t ldc) {
+  // 4 quads deep: 4 * 2 * 255 * 15 = 30600 < 32767.
+  detail::igemm_blocked(m, n, k, a_packed, lda_bytes, b, ldb, c, ldc,
+                        &gemm_block_subbyte<4, 4>);
+}
+
+void igemm_u8w2_avx2(std::int64_t m, std::int64_t n, std::int64_t k,
+                     const std::uint8_t* a_packed, std::int64_t lda_bytes,
+                     const std::uint8_t* b, std::int64_t ldb, std::int32_t* c,
+                     std::int64_t ldc) {
+  // 8 quads deep: 8 * 2 * 255 * 3 = 12240 < 32767.
+  detail::igemm_blocked(m, n, k, a_packed, lda_bytes, b, ldb, c, ldc,
+                        &gemm_block_subbyte<2, 8>);
+}
+
+#else  // !ADQ_AVX2_BUILD — non-x86 toolchains: unpack and fall through to
+       // the portable kernel so the symbols still link.
+
+namespace {
+
+void igemm_packed_fallback(std::int64_t m, std::int64_t n, std::int64_t k,
+                           const std::uint8_t* a_packed,
+                           std::int64_t lda_bytes, const std::uint8_t* b,
+                           std::int64_t ldb, std::int32_t* c, std::int64_t ldc,
+                           int cell_bits) {
+  thread_local std::vector<std::uint8_t> scratch;
+  if (static_cast<std::int64_t>(scratch.size()) < m * k) {
+    scratch.resize(static_cast<std::size_t>(m * k));
+  }
+  for (std::int64_t i = 0; i < m; ++i) {
+    unpack_codes(a_packed + i * lda_bytes, k, cell_bits,
+                 scratch.data() + i * k);
+  }
+  igemm_u8_generic(m, n, k, scratch.data(), k, b, ldb, c, ldc);
+}
+
+}  // namespace
+
+bool igemm_subbyte_avx2_available() { return false; }
+
+void igemm_u8w4_avx2(std::int64_t m, std::int64_t n, std::int64_t k,
+                     const std::uint8_t* a_packed, std::int64_t lda_bytes,
+                     const std::uint8_t* b, std::int64_t ldb, std::int32_t* c,
+                     std::int64_t ldc) {
+  igemm_packed_fallback(m, n, k, a_packed, lda_bytes, b, ldb, c, ldc, 4);
+}
+
+void igemm_u8w2_avx2(std::int64_t m, std::int64_t n, std::int64_t k,
+                     const std::uint8_t* a_packed, std::int64_t lda_bytes,
+                     const std::uint8_t* b, std::int64_t ldb, std::int32_t* c,
+                     std::int64_t ldc) {
+  igemm_packed_fallback(m, n, k, a_packed, lda_bytes, b, ldb, c, ldc, 2);
+}
+
+#endif
+
+}  // namespace adq

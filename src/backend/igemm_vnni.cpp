@@ -29,6 +29,7 @@
 #include <cstring>
 #include <vector>
 
+#include "tensor/bitpack.h"
 #include "tensor/parallel.h"
 
 #if defined(ADQ_VNNI_BUILD)
@@ -77,9 +78,48 @@ void pack_a_s8(const std::uint8_t* m, std::int64_t ld, std::int64_t r0,
   }
 }
 
+// Expands block [r0, r0+mc) x [c0, c0+kc) of row-aligned packed sub-byte
+// weights (CELL bits per code) into s8 rows of stride kc4 — codes are at
+// most 15, so they fit s8 directly and the GEMM needs neither the -128
+// offset nor the colsum correction the u8 weight path pays. c0 is a kKc
+// multiple, so it lands on a byte boundary.
+template <int CELL>
+void pack_a_expand_s8(const std::uint8_t* a_packed, std::int64_t lda_bytes,
+                      std::int64_t r0, std::int64_t mc, std::int64_t c0,
+                      std::int64_t kc, std::int64_t kc4, std::int8_t* dst) {
+  constexpr std::int64_t kPer = 8 / CELL;
+  for (std::int64_t i = 0; i < mc; ++i) {
+    const std::uint8_t* src = a_packed + (r0 + i) * lda_bytes + c0 / kPer;
+    std::int8_t* out = dst + i * kc4;
+    std::int64_t j = 0;
+    if constexpr (CELL == 4) {
+      // 16 packed bytes -> 32 nibbles: split low/high nibbles, then byte
+      // interleave restores original code order.
+      const __m128i lo_mask = _mm_set1_epi8(0x0F);
+      for (; j + 32 <= kc; j += 32) {
+        const __m128i v =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + j / 2));
+        const __m128i lo = _mm_and_si128(v, lo_mask);
+        const __m128i hi = _mm_and_si128(_mm_srli_epi16(v, 4), lo_mask);
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(out + j),
+                         _mm_unpacklo_epi8(lo, hi));
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(out + j + 16),
+                         _mm_unpackhi_epi8(lo, hi));
+      }
+    }
+    for (; j < kc; ++j) {
+      const int shift = static_cast<int>(j % kPer) * CELL;
+      out[j] = static_cast<std::int8_t>((src[j / kPer] >> shift) &
+                                        ((1u << CELL) - 1u));
+    }
+    for (; j < kc4; ++j) out[j] = 0;
+  }
+}
+
 // Packs block [c0, c0+kc) x [j0, j0+nc) of B into the k-quad interleaved
 // panel (quad q, column j -> dst[q * 4 * nc + 4 * j + r]) and accumulates
-// the block's per-column sums into colsum[0, nc).
+// the block's per-column sums into colsum[0, nc) (skipped when colsum is
+// null — the sub-byte weight path needs no correction).
 void pack_b_quads(const std::uint8_t* m, std::int64_t ld, std::int64_t c0,
                   std::int64_t kc, std::int64_t j0, std::int64_t nc,
                   std::uint8_t* dst, std::int32_t* colsum) {
@@ -112,6 +152,7 @@ void pack_b_quads(const std::uint8_t* m, std::int64_t ld, std::int64_t c0,
         _mm_storeu_si128(o + 1, _mm_unpackhi_epi16(ab_lo, cd_lo));
         _mm_storeu_si128(o + 2, _mm_unpacklo_epi16(ab_hi, cd_hi));
         _mm_storeu_si128(o + 3, _mm_unpackhi_epi16(ab_hi, cd_hi));
+        if (colsum == nullptr) continue;
         // Column sums of the quad: widen each row to u16 (4 * 255 fits),
         // then to i32 against the accumulator row.
         const __m128i zero = _mm_setzero_si128();
@@ -144,7 +185,10 @@ void pack_b_quads(const std::uint8_t* m, std::int64_t ld, std::int64_t c0,
         out[4 * j + 1] = r1[j];
         out[4 * j + 2] = r2[j];
         out[4 * j + 3] = r3[j];
-        colsum[j] += static_cast<std::int32_t>(r0[j]) + r1[j] + r2[j] + r3[j];
+        if (colsum != nullptr) {
+          colsum[j] +=
+              static_cast<std::int32_t>(r0[j]) + r1[j] + r2[j] + r3[j];
+        }
       }
     } else {
       for (std::int64_t j = 0; j < nc; ++j) {
@@ -154,7 +198,7 @@ void pack_b_quads(const std::uint8_t* m, std::int64_t ld, std::int64_t c0,
           out[4 * j + r] = v;
           s += v;
         }
-        colsum[j] += s;
+        if (colsum != nullptr) colsum[j] += s;
       }
     }
   }
@@ -296,6 +340,61 @@ void gemm_block_vnni(std::int64_t k, const std::uint8_t* a, std::int64_t lda,
   }
 }
 
+// Sub-byte weight variant: same vpdpbusd micro-kernels over the same B
+// panel, but A expands from packed nibbles/crumbs straight to s8 codes —
+// no -128 offset, hence no colsum pass and no correction sweep. lda is a
+// byte stride (rows are byte-aligned packed, see tensor/bitpack.h).
+template <int CELL>
+void gemm_block_vnni_subbyte(std::int64_t k, const std::uint8_t* a,
+                             std::int64_t lda, const std::uint8_t* b,
+                             std::int64_t ldb, std::int32_t* c,
+                             std::int64_t ldc, std::int64_t i0,
+                             std::int64_t mc, std::int64_t j0,
+                             std::int64_t nc_total) {
+  const std::int64_t kc4_max = kKc;
+  std::int8_t* a_pack =
+      reinterpret_cast<std::int8_t*>(thread_buf(mc * (kc4_max + 4), 0));
+  std::uint8_t* b_pack = thread_buf((kc4_max + 4) * kNc, 1);
+
+  for (std::int64_t p0 = 0; p0 < k; p0 += kKc) {
+    const std::int64_t kc = std::min(kKc, k - p0);
+    const std::int64_t kc4 = (kc + 3) / 4 * 4;
+    const std::int64_t quads = kc4 / 4;
+    pack_a_expand_s8<CELL>(a, lda, i0, mc, p0, kc, kc4, a_pack);
+    for (std::int64_t jb = 0; jb < nc_total; jb += kNc) {
+      const std::int64_t nc = std::min(kNc, nc_total - jb);
+      pack_b_quads(b, ldb, p0, kc, j0 + jb, nc, b_pack, nullptr);
+      for (std::int64_t jr = 0; jr < nc; jr += kNr) {
+        const std::int64_t nr = std::min(kNr, nc - jr);
+        for (std::int64_t ir = 0; ir < mc; ir += kMr) {
+          const std::int64_t mr = std::min(kMr, mc - ir);
+          std::int32_t* ct = c + (i0 + ir) * ldc + (j0 + jb + jr);
+          const std::int8_t* at = a_pack + ir * kc4;
+          const std::uint8_t* bt = b_pack + 4 * jr;
+          if (nr == kNr) {
+            switch (mr) {
+              case kMr:
+                micro_kernel_vnni(quads, at, kc4, bt, nc, ct, ldc);
+                break;
+              case 3:
+                micro_kernel_rows_vnni<3>(quads, at, kc4, bt, nc, ct, ldc);
+                break;
+              case 2:
+                micro_kernel_rows_vnni<2>(quads, at, kc4, bt, nc, ct, ldc);
+                break;
+              default:
+                micro_kernel_rows_vnni<1>(quads, at, kc4, bt, nc, ct, ldc);
+                break;
+            }
+          } else {
+            edge_kernel(quads, at, kc4, bt, nc, ct, ldc, mr, nr);
+          }
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 
 bool igemm_vnni_available() {
@@ -312,6 +411,22 @@ void igemm_u8_vnni(std::int64_t m, std::int64_t n, std::int64_t k,
   detail::igemm_blocked(m, n, k, a, lda, b, ldb, c, ldc, &gemm_block_vnni);
 }
 
+void igemm_u8w4_vnni(std::int64_t m, std::int64_t n, std::int64_t k,
+                     const std::uint8_t* a_packed, std::int64_t lda_bytes,
+                     const std::uint8_t* b, std::int64_t ldb, std::int32_t* c,
+                     std::int64_t ldc) {
+  detail::igemm_blocked(m, n, k, a_packed, lda_bytes, b, ldb, c, ldc,
+                        &gemm_block_vnni_subbyte<4>);
+}
+
+void igemm_u8w2_vnni(std::int64_t m, std::int64_t n, std::int64_t k,
+                     const std::uint8_t* a_packed, std::int64_t lda_bytes,
+                     const std::uint8_t* b, std::int64_t ldb, std::int32_t* c,
+                     std::int64_t ldc) {
+  detail::igemm_blocked(m, n, k, a_packed, lda_bytes, b, ldb, c, ldc,
+                        &gemm_block_vnni_subbyte<2>);
+}
+
 #else  // !ADQ_VNNI_BUILD
 
 bool igemm_vnni_available() { return false; }
@@ -321,6 +436,39 @@ void igemm_u8_vnni(std::int64_t m, std::int64_t n, std::int64_t k,
                    const std::uint8_t* b, std::int64_t ldb, std::int32_t* c,
                    std::int64_t ldc) {
   igemm_u8_generic(m, n, k, a, lda, b, ldb, c, ldc);
+}
+
+namespace {
+
+// Never dispatched (the registry requires igemm_vnni_available()), but the
+// symbols must exist: unpack each packed row and defer to the generic GEMM.
+void igemm_packed_fallback(std::int64_t m, std::int64_t n, std::int64_t k,
+                           const std::uint8_t* a_packed,
+                           std::int64_t lda_bytes, const std::uint8_t* b,
+                           std::int64_t ldb, std::int32_t* c, std::int64_t ldc,
+                           int cell_bits) {
+  thread_local std::vector<std::uint8_t> scratch;
+  scratch.resize(static_cast<std::size_t>(m * k));
+  for (std::int64_t i = 0; i < m; ++i) {
+    unpack_codes(a_packed + i * lda_bytes, k, cell_bits, scratch.data() + i * k);
+  }
+  igemm_u8_generic(m, n, k, scratch.data(), k, b, ldb, c, ldc);
+}
+
+}  // namespace
+
+void igemm_u8w4_vnni(std::int64_t m, std::int64_t n, std::int64_t k,
+                     const std::uint8_t* a_packed, std::int64_t lda_bytes,
+                     const std::uint8_t* b, std::int64_t ldb, std::int32_t* c,
+                     std::int64_t ldc) {
+  igemm_packed_fallback(m, n, k, a_packed, lda_bytes, b, ldb, c, ldc, 4);
+}
+
+void igemm_u8w2_vnni(std::int64_t m, std::int64_t n, std::int64_t k,
+                     const std::uint8_t* a_packed, std::int64_t lda_bytes,
+                     const std::uint8_t* b, std::int64_t ldb, std::int32_t* c,
+                     std::int64_t ldc) {
+  igemm_packed_fallback(m, n, k, a_packed, lda_bytes, b, ldb, c, ldc, 2);
 }
 
 #endif

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <vector>
 
 #if defined(__SSE2__)
 #include <emmintrin.h>
@@ -247,6 +248,39 @@ void pack_codes_op(const std::uint8_t* codes, std::int64_t count,
   pack_codes(codes, count, cell_bits, packed);
 }
 
+// Sub-byte weight GEMM reference: unpack the row-aligned packed A into a
+// byte-per-code scratch, then defer to the u8 oracle. Deliberately the
+// obvious form — the SIMD tiers' in-register nibble/crumb expansion is
+// judged against this bit for bit.
+void igemm_packed_ref(std::int64_t m, std::int64_t n, std::int64_t k,
+                      const std::uint8_t* a_packed, std::int64_t lda_bytes,
+                      const std::uint8_t* b, std::int64_t ldb, std::int32_t* c,
+                      std::int64_t ldc, int cell_bits) {
+  thread_local std::vector<std::uint8_t> scratch;
+  if (static_cast<std::int64_t>(scratch.size()) < m * k) {
+    scratch.resize(static_cast<std::size_t>(m * k));
+  }
+  for (std::int64_t i = 0; i < m; ++i) {
+    unpack_codes(a_packed + i * lda_bytes, k, cell_bits,
+                 scratch.data() + i * k);
+  }
+  igemm_u8_generic(m, n, k, scratch.data(), k, b, ldb, c, ldc);
+}
+
+void igemm_u8w4_op(std::int64_t m, std::int64_t n, std::int64_t k,
+                   const std::uint8_t* a_packed, std::int64_t lda_bytes,
+                   const std::uint8_t* b, std::int64_t ldb, std::int32_t* c,
+                   std::int64_t ldc) {
+  igemm_packed_ref(m, n, k, a_packed, lda_bytes, b, ldb, c, ldc, 4);
+}
+
+void igemm_u8w2_op(std::int64_t m, std::int64_t n, std::int64_t k,
+                   const std::uint8_t* a_packed, std::int64_t lda_bytes,
+                   const std::uint8_t* b, std::int64_t ldb, std::int32_t* c,
+                   std::int64_t ldc) {
+  igemm_packed_ref(m, n, k, a_packed, lda_bytes, b, ldb, c, ldc, 2);
+}
+
 void unpack_codes_op(const std::uint8_t* packed, std::int64_t count,
                      int cell_bits, std::uint8_t* codes) {
   unpack_codes(packed, count, cell_bits, codes);
@@ -260,6 +294,8 @@ const Backend& portable_backend() {
     t.name = "portable";
     t.available = true;
     t.igemm = &igemm_u8_generic;
+    t.igemm_w4 = &igemm_u8w4_op;
+    t.igemm_w2 = &igemm_u8w2_op;
     t.im2col_u8 = &im2col_u8_op;
     t.im2col_f32 = &im2col_f32_op;
     t.depthwise_int = &depthwise_int_op;

@@ -1,5 +1,6 @@
 #include "backend/registry.h"
 
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
 #include <stdexcept>
@@ -22,6 +23,8 @@ const Backend& avx2_backend() {
     t.name = "avx2";
     t.available = igemm_avx2_available();
     t.igemm = &igemm_u8_avx2;
+    t.igemm_w4 = &igemm_u8w4_avx2;
+    t.igemm_w2 = &igemm_u8w2_avx2;
     return t;
   }();
   return b;
@@ -33,10 +36,16 @@ const Backend& vnni_backend() {
     t.name = "vnni";
     t.available = igemm_vnni_available();
     t.igemm = &igemm_u8_vnni;
+    t.igemm_w4 = &igemm_u8w4_vnni;
+    t.igemm_w2 = &igemm_u8w2_vnni;
     return t;
   }();
   return b;
 }
+
+// Test-only override (see registry.h): lets one process run engines under
+// several backends even though active() latches its env resolve.
+std::atomic<const Backend*> g_override{nullptr};
 
 std::string roster_message() {
   std::string msg = "registered backends:";
@@ -114,6 +123,8 @@ const Backend& resolve_backends_env(const char* adq_backend,
 }
 
 const Backend& active() {
+  const Backend* forced = g_override.load(std::memory_order_acquire);
+  if (forced != nullptr) return *forced;
   // Cached on first successful resolve; a throwing resolve (bad pin) is NOT
   // cached, so every call keeps failing loudly rather than latching a
   // half-initialised state.
@@ -122,9 +133,15 @@ const Backend& active() {
   return b;
 }
 
+const Backend* exchange_backend_override(const Backend* backend) {
+  return g_override.exchange(backend, std::memory_order_acq_rel);
+}
+
 const char* op_name(Op op) {
   switch (op) {
     case Op::kIgemm: return "igemm";
+    case Op::kIgemmW4: return "igemm_u8w4";
+    case Op::kIgemmW2: return "igemm_u8w2";
     case Op::kIm2colU8: return "im2col_u8";
     case Op::kIm2colF32: return "im2col_f32";
     case Op::kDepthwiseInt: return "depthwise_int";

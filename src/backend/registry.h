@@ -44,4 +44,11 @@ const Backend& resolve_backends_env(const char* adq_backend,
 /// the wrong kernels.
 const Backend& active();
 
+/// TEST-ONLY: forces active() to return `backend` (pass nullptr to restore
+/// the normal env-resolved table); returns the previous override. active()
+/// latches its env resolve on first call, so cross-backend engine tests in
+/// one process — the golden-logits matrix — need this hook. Production code
+/// must never call it.
+const Backend* exchange_backend_override(const Backend* backend);
+
 }  // namespace adq::backend

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "backend/registry.h"
+#include "tensor/bitpack.h"
 #include "tensor/gemm.h"
 #include "tensor/im2col.h"
 #include "tensor/ops.h"
@@ -40,7 +41,7 @@ struct View {
 // a shared engine safe under the server's worker pool.
 struct EngineScratch {
   std::vector<std::uint8_t> act_codes;  // whole-batch activation codes
-  std::vector<std::uint8_t> unpack;     // run_gemm_layer's weight view
+  std::vector<std::uint8_t> act_t;      // packed-linear activation transpose
   Im2colWorkspace lower;                // u8 / float patch-matrix slabs
   std::vector<std::int32_t> acc;        // GEMM accumulators
   std::vector<std::int32_t> row_sums;   // per-sample code sums (linear)
@@ -73,6 +74,12 @@ struct EngineScratch {
     }
     return arena.data();
   }
+  std::uint8_t* ensure_act_t(std::int64_t n) {
+    if (static_cast<std::int64_t>(act_t.size()) < n) {
+      act_t.resize(static_cast<std::size_t>(n));
+    }
+    return act_t.data();
+  }
 };
 
 EngineScratch& engine_scratch() {
@@ -80,9 +87,29 @@ EngineScratch& engine_scratch() {
   return scratch;
 }
 
+// ADQ_SUBBYTE=0 disables packed sub-byte execution (every integer layer
+// then runs through the legacy unpack-to-u8 views — the A/B reference the
+// golden-logits tests pin the packed path against); anything else,
+// including unset, leaves it on. Latched at engine construction.
+bool subbyte_env_enabled() {
+  const char* e = std::getenv("ADQ_SUBBYTE");
+  return e == nullptr || !(e[0] == '0' && e[1] == '\0');
+}
+
 // One policy for how an integer layer's weights reach the GEMM — shared
 // by the engine's construction-time cache and run_gemm_layer's standalone
-// path, so the two can never diverge:
+// path, so the two can never diverge. With sub-byte packing on (the
+// default), <= 4-bit convs and linears keep packed weight cells end to
+// end:
+//   * packed convs repack the plan's flat codes into [O+1] byte-aligned
+//     rows — the all-ones zero-point row is packed too — consumed by the
+//     backend's igemm_u8w4/igemm_u8w2 kernels (nibbles expand in-register,
+//     never into a byte-per-code buffer);
+//   * packed linears repack the plan's [in, out] transpose into [out]
+//     packed fan-in rows: the weights become the packed GEMM's A operand
+//     against transposed activation codes (see run_linear_int);
+//   * 1-bit cells widen to 2-bit rows (the narrowest packed kernel).
+// Legacy views (8-bit layers, depthwise, or ADQ_SUBBYTE=0):
 //   * integer convs materialise a [O+1, P] byte-per-code buffer whose
 //     last row is all-ones (the GEMM then emits the per-column activation
 //     code sums as its final accumulator row — see run_conv_int);
@@ -114,10 +141,55 @@ void build_exec_codes(const GemmLayerPlan& l, std::vector<std::uint8_t>& out) {
   }
 }
 
-const std::uint8_t* exec_weight_view(const GemmLayerPlan& l,
-                                     const std::vector<std::uint8_t>& buffer) {
-  if (l.path != ExecPath::kInteger) return nullptr;
-  return needs_exec_buffer(l) ? buffer.data() : l.weight_codes.data();
+ExecWeights build_exec_weights(const GemmLayerPlan& l, bool subbyte) {
+  ExecWeights w;
+  if (l.path != ExecPath::kInteger) return w;
+  if (subbyte && l.cell_bits <= 4 && !l.is_depthwise) {
+    w.packed = true;
+    w.cell = std::max(l.cell_bits, 2);
+    const std::int64_t O = l.out_channels;
+    if (l.is_conv) {
+      const std::int64_t P = l.patch();
+      w.row_bytes = packed_row_bytes(P, w.cell);
+      w.buf.resize(static_cast<std::size_t>((O + 1) * w.row_bytes));
+      repack_rows_aligned(l.weight_codes.data(), O, P, l.cell_bits, w.cell,
+                          w.buf.data());
+      const std::vector<std::uint8_t> ones(static_cast<std::size_t>(P), 1);
+      pack_codes(ones.data(), P, w.cell, w.buf.data() + O * w.row_bytes);
+    } else {
+      const std::int64_t in = l.in_channels;
+      w.row_bytes = packed_row_bytes(in, w.cell);
+      w.buf.resize(static_cast<std::size_t>(O * w.row_bytes));
+      repack_transpose_aligned(l.weight_codes.data(), in, O, l.cell_bits,
+                               w.cell, w.buf.data());
+    }
+    return w;
+  }
+  if (needs_exec_buffer(l)) build_exec_codes(l, w.buf);
+  return w;
+}
+
+// The pointer-level view run_layer dispatches on: packed rows carry their
+// cell width and byte stride; legacy views are plain byte-per-code.
+struct WeightView {
+  const std::uint8_t* p = nullptr;
+  bool packed = false;
+  int cell = 8;
+  std::int64_t row_bytes = 0;
+};
+
+WeightView exec_weight_view(const GemmLayerPlan& l, const ExecWeights& w) {
+  WeightView v;
+  if (l.path != ExecPath::kInteger) return v;
+  if (w.packed) {
+    v.p = w.buf.data();
+    v.packed = true;
+    v.cell = w.cell;
+    v.row_bytes = w.row_bytes;
+  } else {
+    v.p = w.buf.empty() ? l.weight_codes.data() : w.buf.data();
+  }
+  return v;
 }
 
 // Quantizes an activation tensor to eqn-1 codes through the active
@@ -191,13 +263,13 @@ const float* float_path_input(const GemmLayerPlan& l, const float* x,
 // complete 16-wide micro-tiles — this is where batched serving beats
 // request-at-a-time execution even on one core.
 //
-// `wc` is the [O+1, P] execution view of the weights (see
-// build_exec_codes): rows 0..O-1 are the byte-per-code weight rows, row O
-// is all-ones, so GEMM row O comes out as the per-column activation code
-// sum the zero-point correction needs — computed at full kernel speed
+// `wv` is the [O+1, P] execution view of the weights (byte-per-code or
+// packed cells, see build_exec_weights): rows 0..O-1 are the weight rows,
+// row O is all-ones, so GEMM row O comes out as the per-column activation
+// code sum the zero-point correction needs — computed at full kernel speed
 // instead of a separate scalar pass over the slab.
 void run_conv_int(const GemmLayerPlan& l, const float* x, std::int64_t B,
-                  std::int64_t H, std::int64_t W, const std::uint8_t* wc,
+                  std::int64_t H, std::int64_t W, const WeightView& wv,
                   float* out) {
   const ConvGeometry g = conv_geometry(l, H, W);
   const std::int64_t oh = g.out_h(), ow = g.out_w(), ohw = oh * ow;
@@ -230,7 +302,15 @@ void run_conv_int(const GemmLayerPlan& l, const float* x, std::int64_t B,
       }
     });
     std::int32_t* acc = ws.ensure_acc((O + 1) * cols);
-    bk.igemm(O + 1, cols, P, wc, P, col, cols, acc, cols);
+    if (wv.packed) {
+      // Packed weight rows (the all-ones row included) feed the sub-byte
+      // kernel directly; it is bit-exact against the unpacked GEMM, so the
+      // epilogue below is untouched.
+      const auto packed_fn = wv.cell == 4 ? bk.igemm_w4 : bk.igemm_w2;
+      packed_fn(O + 1, cols, P, wv.p, wv.row_bytes, col, cols, acc, cols);
+    } else {
+      bk.igemm(O + 1, cols, P, wv.p, P, col, cols, acc, cols);
+    }
     const std::int32_t* colsum = acc + O * cols;  // the all-ones weight row
     // Fused epilogue, channel-parallel, scattering chunk columns back into
     // the [B, O, oh, ow] layout. Grain keeps tiny layers serial.
@@ -311,7 +391,7 @@ backend::DepthwiseArgs depthwise_args(const GemmLayerPlan& l, std::int64_t H,
 // zero-point correction as the GEMM path (plan.h, K = kernel^2). Padding
 // taps use the grid code closest to 0.0, exactly like im2col_u8's padding.
 void run_depthwise_int(const GemmLayerPlan& l, const float* x, std::int64_t B,
-                       std::int64_t H, std::int64_t W, const std::uint8_t* wc,
+                       std::int64_t H, std::int64_t W, const WeightView& wv,
                        float* out) {
   const std::int64_t C = l.out_channels;
   const std::int64_t k = l.kernel;
@@ -328,7 +408,7 @@ void run_depthwise_int(const GemmLayerPlan& l, const float* x, std::int64_t B,
   a.ca = l.w_min * qa.a_scale;  // * patch activation-code sum
   a.cc = static_cast<float>(k * k) * qa.a_min * l.w_min;
   a.zero_code = qa.zero_code;
-  bk.depthwise_int(ws.act_codes.data(), B, wc, a, out);
+  bk.depthwise_int(ws.act_codes.data(), B, wv.p, a, out);
 }
 
 void run_depthwise_float(const GemmLayerPlan& l, const float* x,
@@ -341,7 +421,7 @@ void run_depthwise_float(const GemmLayerPlan& l, const float* x,
 }
 
 void run_linear_int(const GemmLayerPlan& l, const float* x, std::int64_t B,
-                    const std::uint8_t* wt, float* out) {
+                    const WeightView& wv, float* out) {
   const std::int64_t in = l.in_channels, O = l.out_channels;
 
   EngineScratch& ws = engine_scratch();
@@ -358,7 +438,27 @@ void run_linear_int(const GemmLayerPlan& l, const float* x, std::int64_t B,
   }
 
   std::int32_t* acc = ws.ensure_acc(B * O);
-  backend::active().igemm(B, O, in, ws.act_codes.data(), in, wt, O, acc, O);
+  if (wv.packed) {
+    // The packed kernels take the packed operand as A, so the roles flip:
+    // packed weight rows [O, in] against transposed activation codes
+    // [in, B], landing acc in [O, B]. Integer dot products are exact, so
+    // acc[o * B + b] equals the unpacked path's acc[b * O + o] bit for bit
+    // and the epilogue below evaluates the same float expression either
+    // way.
+    std::uint8_t* act_t = ws.ensure_act_t(in * B);
+    const std::uint8_t* act = ws.act_codes.data();
+    for (std::int64_t b = 0; b < B; ++b) {
+      for (std::int64_t i = 0; i < in; ++i) act_t[i * B + b] = act[b * in + i];
+    }
+    const backend::Backend& bk = backend::active();
+    const auto packed_fn = wv.cell == 4 ? bk.igemm_w4 : bk.igemm_w2;
+    packed_fn(O, B, in, wv.p, wv.row_bytes, act_t, B, acc, B);
+  } else {
+    backend::active().igemm(B, O, in, ws.act_codes.data(), in, wv.p, O, acc,
+                            O);
+  }
+  const std::int64_t o_stride = wv.packed ? B : 1;
+  const std::int64_t b_stride = wv.packed ? 1 : O;
 
   const float ss = qa.a_scale * l.w_scale;
   const float cw = qa.a_min * l.w_scale;   // * w_code_sums[o]
@@ -366,7 +466,7 @@ void run_linear_int(const GemmLayerPlan& l, const float* x, std::int64_t B,
   const float cc = static_cast<float>(in) * qa.a_min * l.w_min;
 
   for (std::int64_t b = 0; b < B; ++b) {
-    const std::int32_t* ab = acc + b * O;
+    const std::int32_t* ab = acc + b * b_stride;
     float* ob = out + b * O;
     const float sample_term =
         ca * static_cast<float>(ws.row_sums[static_cast<std::size_t>(b)]) + cc;
@@ -377,7 +477,7 @@ void run_linear_int(const GemmLayerPlan& l, const float* x, std::int64_t B,
       }
       const float v =
           l.epi_scale[static_cast<std::size_t>(o)] *
-              (ss * static_cast<float>(ab[o]) +
+              (ss * static_cast<float>(ab[o * o_stride]) +
                cw * static_cast<float>(l.w_code_sums[static_cast<std::size_t>(o)]) +
                sample_term) +
           l.epi_shift[static_cast<std::size_t>(o)];
@@ -429,31 +529,31 @@ Shape layer_out_shape(const GemmLayerPlan& l, const Shape& in) {
                l.out_extent(in.dim(3))};
 }
 
-// Shared layer dispatch. `wc` is the byte-per-code weight view for integer
+// Shared layer dispatch. `wv` is the weight execution view for integer
 // layers (ignored on the float path). The input must already have passed
 // check_layer_input; `out` must hold layer_out_shape(...).numel() floats.
 void run_layer(const GemmLayerPlan& layer, const float* x, const Shape& shape,
-               const std::uint8_t* wc, float* out) {
+               const WeightView& wv, float* out) {
   const std::int64_t B = shape.dim(0);
   if (layer.is_conv) {
     const std::int64_t H = shape.dim(2), W = shape.dim(3);
     if (layer.is_depthwise) {
       if (layer.path == ExecPath::kInteger) {
-        run_depthwise_int(layer, x, B, H, W, wc, out);
+        run_depthwise_int(layer, x, B, H, W, wv, out);
       } else {
         run_depthwise_float(layer, x, B, H, W, out);
       }
       return;
     }
     if (layer.path == ExecPath::kInteger) {
-      run_conv_int(layer, x, B, H, W, wc, out);
+      run_conv_int(layer, x, B, H, W, wv, out);
     } else {
       run_conv_float(layer, x, B, H, W, out);
     }
     return;
   }
   if (layer.path == ExecPath::kInteger) {
-    run_linear_int(layer, x, B, wc, out);
+    run_linear_int(layer, x, B, wv, out);
   } else {
     run_linear_float(layer, x, B, out);
   }
@@ -470,10 +570,10 @@ Tensor fake_quantize_tensor(const Tensor& x, int bits) {
 
 // Heap-path convenience: allocates the output tensor and runs the kernel.
 Tensor run_layer_tensor(const GemmLayerPlan& layer, const Tensor& x,
-                        const std::uint8_t* wc) {
+                        const WeightView& wv) {
   check_layer_input(layer, x.shape());
   Tensor out(layer_out_shape(layer, x.shape()));
-  run_layer(layer, x.data(), x.shape(), wc, out.data());
+  run_layer(layer, x.data(), x.shape(), wv, out.data());
   return out;
 }
 
@@ -671,11 +771,11 @@ void validate_memory_plan(const InferencePlan& plan) {
 }  // namespace
 
 Tensor run_gemm_layer(const GemmLayerPlan& layer, const Tensor& x) {
-  // Standalone call without an engine: build the execution view into this
-  // thread's scratch (the engine proper uses its construction-time cache).
-  EngineScratch& ws = engine_scratch();
-  if (needs_exec_buffer(layer)) build_exec_codes(layer, ws.unpack);
-  return run_layer_tensor(layer, x, exec_weight_view(layer, ws.unpack));
+  // Standalone call without an engine: build the execution view per call
+  // (the engine proper uses its construction-time cache). Honours the same
+  // ADQ_SUBBYTE gate, so layer-level parity covers the packed kernels too.
+  const ExecWeights w = build_exec_weights(layer, subbyte_env_enabled());
+  return run_layer_tensor(layer, x, exec_weight_view(layer, w));
 }
 
 IntInferenceEngine::IntInferenceEngine(InferencePlan plan)
@@ -684,13 +784,27 @@ IntInferenceEngine::IntInferenceEngine(InferencePlan plan)
   // ADQ_SIMD pin must fail engine construction (listing the registered
   // backends), never silently fall back mid-forward.
   backend::active();
-  exec_codes_.resize(plan_.layers.size());
+  subbyte_ = subbyte_env_enabled();
+  exec_weights_.resize(plan_.layers.size());
   for (std::size_t i = 0; i < plan_.layers.size(); ++i) {
-    if (needs_exec_buffer(plan_.layers[i])) {
-      build_exec_codes(plan_.layers[i], exec_codes_[i]);
-    }
+    exec_weights_[i] = build_exec_weights(plan_.layers[i], subbyte_);
   }
   if (plan_.arena_bytes > 0) validate_memory_plan(plan_);
+}
+
+std::int64_t IntInferenceEngine::exec_weight_bytes() const {
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < plan_.layers.size(); ++i) {
+    const GemmLayerPlan& l = plan_.layers[i];
+    if (l.path != ExecPath::kInteger) {
+      total += static_cast<std::int64_t>(l.weight_bytes());
+      continue;
+    }
+    const std::vector<std::uint8_t>& buf = exec_weights_[i].buf;
+    total += static_cast<std::int64_t>(buf.empty() ? l.weight_codes.size()
+                                                   : buf.size());
+  }
+  return total;
 }
 
 bool IntInferenceEngine::uses_arena(const Tensor& x) const {
@@ -748,9 +862,9 @@ void IntInferenceEngine::forward_arena(const Tensor& x, Tensor& out) const {
     return slot(v.off);
   };
 
-  const auto weight_view = [this](int layer) -> const std::uint8_t* {
+  const auto weight_view = [this](int layer) {
     return exec_weight_view(plan_.layers[static_cast<std::size_t>(layer)],
-                            exec_codes_[static_cast<std::size_t>(layer)]);
+                            exec_weights_[static_cast<std::size_t>(layer)]);
   };
 
   View cur{x.data(), -1, x.shape()};
@@ -887,9 +1001,9 @@ void IntInferenceEngine::forward_arena(const Tensor& x, Tensor& out) const {
 // bit-identical; used for v1/v2 plans (no memory plan), off-plan input
 // shapes, and ADQ_ARENA=0.
 Tensor IntInferenceEngine::forward_heap(const Tensor& x) const {
-  auto weight_view = [this](int layer) -> const std::uint8_t* {
+  auto weight_view = [this](int layer) {
     return exec_weight_view(plan_.layers[static_cast<std::size_t>(layer)],
-                            exec_codes_[static_cast<std::size_t>(layer)]);
+                            exec_weights_[static_cast<std::size_t>(layer)]);
   };
 
   Tensor current = x;

@@ -20,9 +20,20 @@
 // one, and runs with ADQ_ARENA=0 fall back to the heap path (a fresh
 // tensor per op). Both paths share the same kernels and are bit-identical.
 //
+// Sub-byte layers (<= 4 weight bits) execute on packed weight cells end to
+// end: construction repacks the plan's flat-packed codes into the
+// row-aligned layout the backend's igemm_u8w4 / igemm_u8w2 kernels consume
+// (nibbles and crumbs expand in-register inside the micro-kernel, never
+// into a byte-per-code buffer), so a 4-bit conv's resident execution view
+// is ~1/2 the bytes of its int8 form and the GEMM reads a quarter of the
+// weight traffic. ADQ_SUBBYTE=0 (read once at engine construction)
+// restores the previous unpack-to-u8 views; both paths produce
+// bit-identical logits because the packed kernels agree bit for bit with
+// the unpacked GEMM (enforced per backend by the conformance harness).
+//
 // Thread-safety: forward()/predict() are const and safe to call
 // concurrently from any number of threads on one shared engine — the plan
-// is immutable after construction, sub-byte weight codes are unpacked once
+// is immutable after construction, weight execution views are built once
 // into an engine-owned cache (so no caller ever clones packed weights), and
 // all per-call state (the activation arena, activation codes, im2col slabs,
 // GEMM accumulators) lives in thread_local workspaces that grow on demand
@@ -39,10 +50,25 @@
 
 namespace adq::infer {
 
+/// Construction-time execution view of one integer layer's weights. When
+/// `packed` the buffer holds byte-aligned packed rows (cell-bit codes,
+/// zeroed tail bits) for the sub-byte igemm kernels: convs [out+1] rows of
+/// `row_bytes` whose last row is all-ones codes, linears [out] rows packing
+/// the fan-in. Otherwise `buf` is the legacy byte-per-code view (empty when
+/// the plan's own codes serve in place).
+struct ExecWeights {
+  std::vector<std::uint8_t> buf;
+  bool packed = false;
+  int cell = 8;                 // packed cell width, >= 2
+  std::int64_t row_bytes = 0;   // packed row stride
+};
+
 class IntInferenceEngine {
  public:
-  /// Takes ownership of the plan and unpacks every sub-byte weight cell
-  /// into a byte-per-code cache so the hot path never touches bitpack.
+  /// Takes ownership of the plan and builds every integer layer's weight
+  /// execution view once: row-aligned packed cells for <= 4-bit layers
+  /// (unless ADQ_SUBBYTE=0), byte-per-code buffers otherwise — the hot
+  /// path never touches bitpack.
   /// For memory-planned plans, replays the op walk over the planned slots
   /// once and throws std::runtime_error on an inconsistent layout — a slot
   /// outside the arena, an output overlapping an operand the op still
@@ -78,17 +104,29 @@ class IntInferenceEngine {
   /// ADQ_ARENA is not set to 0.
   bool uses_arena(const Tensor& x) const;
 
+  /// True when this engine executes <= 4-bit layers on packed weight cells
+  /// (ADQ_SUBBYTE, latched at construction).
+  bool subbyte_enabled() const { return subbyte_; }
+
+  /// Resident bytes of the weight execution views the GEMMs actually read
+  /// (owned caches plus plan codes served in place). With sub-byte packing
+  /// on, <= 4-bit layers keep their packed cells and this shrinks by up to
+  /// 4x versus the unpacked views; reported so the memory tables can charge
+  /// the steady-state footprint, not just the plan file size.
+  std::int64_t exec_weight_bytes() const;
+
  private:
   Tensor forward_heap(const Tensor& x) const;
   void forward_arena(const Tensor& x, Tensor& out) const;
 
   InferencePlan plan_;
-  // Per-layer execution view of the integer weights, built once at
-  // construction: convs store [out+1, patch] byte-per-code rows whose last
-  // row is all-ones (the GEMM then emits the zero-point column sums as its
-  // final accumulator row); sub-byte linears store the unpacked [in, out]
-  // codes. Empty where the plan's packed codes are used in place.
-  std::vector<std::vector<std::uint8_t>> exec_codes_;
+  bool subbyte_ = true;
+  // Per-layer weight execution view, built once at construction: packed
+  // rows for sub-byte layers, byte-per-code buffers (convs with an extra
+  // all-ones row — the GEMM then emits the zero-point column sums as its
+  // final accumulator row) otherwise. buf empty where the plan's codes are
+  // used in place.
+  std::vector<ExecWeights> exec_weights_;
 };
 
 /// Executes a single compiled layer on `x` (dispatching on path and layer

@@ -62,4 +62,73 @@ void unpack_codes(const std::uint8_t* packed, std::int64_t count,
   }
 }
 
+std::int64_t packed_row_bytes(std::int64_t cols, int cell_bits) {
+  return packed_bytes(cols, cell_bits);
+}
+
+namespace {
+
+void check_repack_cells(int src_cell, int dst_cell) {
+  check_cell_bits(src_cell);
+  check_cell_bits(dst_cell);
+  if (dst_cell < src_cell) {
+    throw std::invalid_argument(
+        "bitpack: repack cannot narrow codes, src_cell " +
+        std::to_string(src_cell) + " > dst_cell " + std::to_string(dst_cell));
+  }
+}
+
+// Code i of a flat-packed stream, little-endian within each byte.
+inline std::uint8_t flat_code(const std::uint8_t* packed, std::int64_t i,
+                              int cell_bits, std::int64_t per_byte,
+                              std::uint8_t mask) {
+  const int shift = static_cast<int>(i % per_byte) * cell_bits;
+  return static_cast<std::uint8_t>((packed[i / per_byte] >> shift) & mask);
+}
+
+}  // namespace
+
+void repack_rows_aligned(const std::uint8_t* src_packed, std::int64_t rows,
+                         std::int64_t cols, int src_cell, int dst_cell,
+                         std::uint8_t* dst) {
+  check_repack_cells(src_cell, dst_cell);
+  const std::int64_t row_bytes = packed_row_bytes(cols, dst_cell);
+  const std::int64_t src_per = 8 / src_cell;
+  const std::int64_t dst_per = 8 / dst_cell;
+  const std::uint8_t src_mask =
+      static_cast<std::uint8_t>((1u << src_cell) - 1u);
+  std::memset(dst, 0, static_cast<std::size_t>(rows * row_bytes));
+  for (std::int64_t r = 0; r < rows; ++r) {
+    std::uint8_t* out = dst + r * row_bytes;
+    const std::int64_t base = r * cols;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      const std::uint8_t v =
+          flat_code(src_packed, base + c, src_cell, src_per, src_mask);
+      out[c / dst_per] |= static_cast<std::uint8_t>(
+          v << (static_cast<int>(c % dst_per) * dst_cell));
+    }
+  }
+}
+
+void repack_transpose_aligned(const std::uint8_t* src_packed,
+                              std::int64_t rows, std::int64_t cols,
+                              int src_cell, int dst_cell, std::uint8_t* dst) {
+  check_repack_cells(src_cell, dst_cell);
+  const std::int64_t row_bytes = packed_row_bytes(rows, dst_cell);
+  const std::int64_t src_per = 8 / src_cell;
+  const std::int64_t dst_per = 8 / dst_cell;
+  const std::uint8_t src_mask =
+      static_cast<std::uint8_t>((1u << src_cell) - 1u);
+  std::memset(dst, 0, static_cast<std::size_t>(cols * row_bytes));
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const std::int64_t base = r * cols;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      const std::uint8_t v =
+          flat_code(src_packed, base + c, src_cell, src_per, src_mask);
+      dst[c * row_bytes + r / dst_per] |= static_cast<std::uint8_t>(
+          v << (static_cast<int>(r % dst_per) * dst_cell));
+    }
+  }
+}
+
 }  // namespace adq

@@ -29,4 +29,30 @@ void pack_codes(const std::uint8_t* codes, std::int64_t count, int cell_bits,
 void unpack_codes(const std::uint8_t* packed, std::int64_t count,
                   int cell_bits, std::uint8_t* codes);
 
+/// Row stride in bytes of a row-aligned packed matrix: each row of `cols`
+/// codes starts on its own byte boundary (tail bits zero). This is the
+/// layout the sub-byte GEMM kernels consume — a flat-packed [rows, cols]
+/// array shares bytes across row boundaries whenever cols is not a multiple
+/// of the codes-per-byte, which no per-row kernel can address.
+std::int64_t packed_row_bytes(std::int64_t cols, int cell_bits);
+
+/// Repacks a flat-packed [rows, cols] code matrix (src_cell bits per code,
+/// rows NOT byte-aligned — the plan's storage layout) into a row-aligned
+/// packed matrix at dst_cell bits per code: row r starts at
+/// dst + r * packed_row_bytes(cols, dst_cell), trailing bits of each row's
+/// last byte are zero. dst_cell must be >= src_cell (codes are value-
+/// preserved, widening only).
+void repack_rows_aligned(const std::uint8_t* src_packed, std::int64_t rows,
+                         std::int64_t cols, int src_cell, int dst_cell,
+                         std::uint8_t* dst);
+
+/// Like repack_rows_aligned but also transposes: src is a flat-packed
+/// row-major [rows, cols] code matrix; dst becomes the row-aligned packed
+/// [cols, rows] transpose (row stride packed_row_bytes(rows, dst_cell),
+/// zero tail bits). Used for linear layers, whose plan weights are stored
+/// [in, out] but whose packed kernel wants [out, in].
+void repack_transpose_aligned(const std::uint8_t* src_packed,
+                              std::int64_t rows, std::int64_t cols,
+                              int src_cell, int dst_cell, std::uint8_t* dst);
+
 }  // namespace adq

@@ -178,6 +178,8 @@ TEST(BackendRegistry, EveryBackendTableIsComplete) {
   for (const Backend* bk : adq::backend::all_backends()) {
     SCOPED_TRACE(bk->name);
     EXPECT_NE(bk->igemm, nullptr);
+    EXPECT_NE(bk->igemm_w4, nullptr);
+    EXPECT_NE(bk->igemm_w2, nullptr);
     EXPECT_NE(bk->im2col_u8, nullptr);
     EXPECT_NE(bk->im2col_f32, nullptr);
     EXPECT_NE(bk->depthwise_int, nullptr);
@@ -290,11 +292,19 @@ int run_perf_mode() {
     for (Op op : ops_under_test()) {
       std::vector<int> bit_list = {8};
       if (op == Op::kIgemm) bit_list = {8, 4, 2};
+      // The packed kernels run at their native bit-width only; their metric
+      // names carry the suffix so the int4-packed vs int8-unpacked GMAC/s
+      // comparison reads straight out of the JSON.
+      if (op == Op::kIgemmW4) bit_list = {4};
+      if (op == Op::kIgemmW2) bit_list = {2};
       for (int bits : bit_list) {
         const adq::backend::PerfSample s =
             adq::backend::measure_perf(op, *bk, bits);
         std::string metric = std::string(bk->name) + "_" + op_name(op);
         if (op == Op::kIgemm) metric += "_int" + std::to_string(bits);
+        if (op == Op::kIgemmW4 || op == Op::kIgemmW2) {
+          metric += "_int" + std::to_string(bits);
+        }
         report.add(metric, s.value, s.unit);
         std::printf("%-10s %-16s %10.2f %8s\n", bk->name, metric.c_str(),
                     s.value, s.unit);

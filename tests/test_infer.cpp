@@ -8,11 +8,17 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "backend/registry.h"
 #include "infer/engine.h"
 #include "infer/plan.h"
+#include "models/mobilenet.h"
 #include "models/resnet.h"
 #include "models/vgg.h"
 #include "nn/batchnorm.h"
@@ -97,6 +103,122 @@ TEST(BitPack, RoundTripEveryCellWidth) {
     pack_codes(codes.data(), count, cell, packed.data());
     unpack_codes(packed.data(), count, cell, back.data());
     EXPECT_EQ(codes, back) << "cell width " << cell;
+  }
+}
+
+TEST(BitPack, PackedRowBytesAlignsEveryRow) {
+  // 13 codes at 4-bit: flat packing shares byte 6 between rows; row-aligned
+  // rows round up to 7 bytes each.
+  EXPECT_EQ(packed_row_bytes(13, 4), 7);
+  EXPECT_EQ(packed_row_bytes(13, 2), 4);
+  EXPECT_EQ(packed_row_bytes(13, 1), 2);
+  EXPECT_EQ(packed_row_bytes(13, 8), 13);
+  EXPECT_EQ(packed_row_bytes(0, 4), 0);
+}
+
+// Directed tails: counts that are not multiples of the codes-per-byte must
+// leave deterministic zero bits past the last code — the sub-byte GEMM
+// kernels read whole bytes, so garbage tail bits would poison the panel
+// expansion (and make byte-level golden comparisons flaky).
+TEST(BitPack, RaggedTailBitsAreZero) {
+  for (int cell : {1, 2, 4}) {
+    const int per = 8 / cell;
+    for (std::int64_t count : {1, per - 1, per + 1, 3 * per - 1}) {
+      if (count <= 0) continue;
+      std::vector<std::uint8_t> codes(static_cast<std::size_t>(count));
+      for (std::size_t i = 0; i < codes.size(); ++i) {
+        codes[i] = static_cast<std::uint8_t>((1 << cell) - 1);  // all-ones
+      }
+      std::vector<std::uint8_t> packed(
+          static_cast<std::size_t>(packed_bytes(count, cell)), 0xFF);
+      pack_codes(codes.data(), count, cell, packed.data());
+      const std::int64_t used_bits = count * cell;
+      const std::int64_t tail_bits = 8 * packed_bytes(count, cell) - used_bits;
+      if (tail_bits > 0) {
+        const std::uint8_t last = packed.back();
+        const std::uint8_t mask =
+            static_cast<std::uint8_t>(0xFFu << (8 - tail_bits));
+        EXPECT_EQ(last & mask, 0)
+            << "cell " << cell << " count " << count
+            << ": tail bits of the last byte must pack to zero";
+      }
+    }
+  }
+}
+
+TEST(BitPack, RepackRowsAlignedMatchesPerRowUnpack) {
+  Rng rng(12);
+  // Odd cols (13, 17) force flat rows to straddle byte boundaries; the
+  // widening pairs cover the engine's 1 -> 2-bit promotion.
+  const struct {
+    int src_cell, dst_cell;
+  } cases[] = {{4, 4}, {2, 2}, {1, 2}, {2, 4}, {1, 4}};
+  for (const auto& c : cases) {
+    for (std::int64_t cols : {1, 8, 13, 17}) {
+      const std::int64_t rows = 5;
+      std::vector<std::uint8_t> codes(
+          static_cast<std::size_t>(rows * cols));
+      for (auto& v : codes) {
+        v = static_cast<std::uint8_t>(
+            rng.uniform_int(0, (1 << c.src_cell) - 1));
+      }
+      std::vector<std::uint8_t> flat(
+          static_cast<std::size_t>(packed_bytes(rows * cols, c.src_cell)));
+      pack_codes(codes.data(), rows * cols, c.src_cell, flat.data());
+
+      const std::int64_t rb = packed_row_bytes(cols, c.dst_cell);
+      std::vector<std::uint8_t> aligned(static_cast<std::size_t>(rows * rb),
+                                        0xFF);
+      repack_rows_aligned(flat.data(), rows, cols, c.src_cell, c.dst_cell,
+                          aligned.data());
+      for (std::int64_t r = 0; r < rows; ++r) {
+        std::vector<std::uint8_t> row(static_cast<std::size_t>(cols));
+        unpack_codes(aligned.data() + r * rb, cols, c.dst_cell, row.data());
+        for (std::int64_t j = 0; j < cols; ++j) {
+          ASSERT_EQ(row[static_cast<std::size_t>(j)],
+                    codes[static_cast<std::size_t>(r * cols + j)])
+              << "src_cell " << c.src_cell << " dst_cell " << c.dst_cell
+              << " cols " << cols << " row " << r << " col " << j;
+        }
+        // Row tails must be deterministic zeros (kernels read whole bytes).
+        const std::int64_t tail_bits = 8 * rb - cols * c.dst_cell;
+        if (tail_bits > 0) {
+          const std::uint8_t mask =
+              static_cast<std::uint8_t>(0xFFu << (8 - tail_bits));
+          ASSERT_EQ(aligned[static_cast<std::size_t>((r + 1) * rb - 1)] & mask,
+                    0);
+        }
+      }
+    }
+  }
+  EXPECT_THROW(repack_rows_aligned(nullptr, 0, 0, 4, 2, nullptr),
+               std::invalid_argument);
+}
+
+TEST(BitPack, RepackTransposeAlignedMatchesScalarTranspose) {
+  Rng rng(13);
+  for (int cell : {2, 4}) {
+    const std::int64_t rows = 11, cols = 7;  // both ragged at every width
+    std::vector<std::uint8_t> codes(static_cast<std::size_t>(rows * cols));
+    for (auto& v : codes) {
+      v = static_cast<std::uint8_t>(rng.uniform_int(0, (1 << cell) - 1));
+    }
+    std::vector<std::uint8_t> flat(
+        static_cast<std::size_t>(packed_bytes(rows * cols, cell)));
+    pack_codes(codes.data(), rows * cols, cell, flat.data());
+
+    const std::int64_t rb = packed_row_bytes(rows, cell);
+    std::vector<std::uint8_t> t(static_cast<std::size_t>(cols * rb), 0xFF);
+    repack_transpose_aligned(flat.data(), rows, cols, cell, cell, t.data());
+    for (std::int64_t jc = 0; jc < cols; ++jc) {
+      std::vector<std::uint8_t> row(static_cast<std::size_t>(rows));
+      unpack_codes(t.data() + jc * rb, rows, cell, row.data());
+      for (std::int64_t r = 0; r < rows; ++r) {
+        ASSERT_EQ(row[static_cast<std::size_t>(r)],
+                  codes[static_cast<std::size_t>(r * cols + jc)])
+            << "cell " << cell << " col " << jc << " row " << r;
+      }
+    }
   }
 }
 
@@ -439,6 +561,183 @@ TEST(InferEngine, ResNetPredictionsMatchFakeQuant) {
   EXPECT_LE(mean_abs_diff(logits, ref_logits), 0.02f * std::max(mag, 1.0f));
   EXPECT_GE(prediction_agreement(engine.predict(x), argmax_rows(ref_logits)),
             0.95);
+}
+
+// --------------------------------------------------------------------------
+// Golden-logits cross-path regression.
+// --------------------------------------------------------------------------
+// The packed sub-byte execution path must be invisible in the output: for
+// pinned seeds the logits are required to be BIT-identical (a) packed vs
+// ADQ_SUBBYTE=0 and (b) across every backend runnable on this host. The
+// GEMM kernels are bit-exact per the conformance harness and every other
+// op in the backend tables is shared, so any hex mismatch here is an
+// engine-integration bug (a wrong repack, stride, or accumulator read),
+// never float rounding — which is why the comparison is on raw bits, not a
+// tolerance.
+
+std::string logits_hex(const Tensor& t) {
+  std::string s;
+  s.reserve(static_cast<std::size_t>(t.numel()) * 8);
+  char word[16];
+  const float* p = t.data();
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    std::uint32_t bits = 0;
+    std::memcpy(&bits, p + i, sizeof(bits));
+    std::snprintf(word, sizeof(word), "%08x", bits);
+    s += word;
+  }
+  return s;
+}
+
+// Scoped env override (engines latch ADQ_SUBBYTE at construction, so the
+// variable only needs to hold while the constructor runs).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_ = old != nullptr;
+    if (had_) old_ = old;
+    setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (had_) {
+      setenv(name_, old_.c_str(), 1);
+    } else {
+      unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  bool had_ = false;
+  std::string old_;
+};
+
+class ScopedBackend {
+ public:
+  explicit ScopedBackend(const backend::Backend* bk)
+      : prev_(backend::exchange_backend_override(bk)) {}
+  ~ScopedBackend() { backend::exchange_backend_override(prev_); }
+
+ private:
+  const backend::Backend* prev_;
+};
+
+struct GoldenModel {
+  const char* name;
+  std::uint64_t seed;
+};
+
+std::unique_ptr<models::QuantizableModel> build_golden_model(const char* name,
+                                                             Rng& rng) {
+  if (std::strcmp(name, "vgg19") == 0) {
+    models::VggConfig cfg;
+    cfg.width_mult = 0.0625;
+    cfg.num_classes = 10;
+    return models::build_vgg19(cfg, rng);
+  }
+  if (std::strcmp(name, "resnet18") == 0) {
+    models::ResNetConfig cfg;
+    cfg.width_mult = 0.0625;
+    cfg.num_classes = 10;
+    cfg.input_size = 16;
+    return models::build_resnet18(cfg, rng);
+  }
+  models::MobileNetConfig cfg;
+  cfg.width_mult = 0.25;
+  cfg.num_classes = 10;
+  return models::build_mobilenet_small(cfg, rng);
+}
+
+Tensor golden_input(const char* name, Rng& rng) {
+  const std::int64_t hw = std::strcmp(name, "resnet18") == 0 ? 16 : 32;
+  Tensor x(Shape{4, 3, hw, hw});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  return x;
+}
+
+void apply_bit_setting(models::QuantizableModel& model, const char* setting) {
+  if (std::strcmp(setting, "mixed") == 0) {
+    quant::BitWidthPolicy policy = model.bit_policy();
+    const int pattern[] = {8, 4, 2};
+    for (int i = 0; i < model.unit_count(); ++i) {
+      if (!model.unit(i).frozen) policy.set(i, pattern[i % 3]);
+    }
+    model.apply_bit_policy(policy);
+    return;
+  }
+  set_uniform_bits(model, std::atoi(setting + 3));  // "intN"
+}
+
+TEST(GoldenLogits, PackedMatchesUnpackedAcrossEveryBackend) {
+  const GoldenModel kModels[] = {
+      {"vgg19", 101}, {"resnet18", 102}, {"mobilenet_small", 103}};
+  const char* kSettings[] = {"int8", "int4", "int2", "mixed"};
+
+  for (const GoldenModel& gm : kModels) {
+    for (const char* setting : kSettings) {
+      Rng rng(gm.seed);
+      auto model = build_golden_model(gm.name, rng);
+      apply_bit_setting(*model, setting);
+      model->set_training(false);
+      const Tensor x = golden_input(gm.name, rng);
+      const InferencePlan plan = compile(*model);
+
+      std::string golden;  // first backend's packed logits
+      for (const backend::Backend* bk : backend::available_backends()) {
+        const ScopedBackend scope(bk);
+        const std::string where =
+            std::string(gm.name) + "/" + setting + "/" + bk->name;
+        std::string unpacked, packed;
+        {
+          const ScopedEnv env("ADQ_SUBBYTE", "0");
+          const IntInferenceEngine engine(plan);
+          EXPECT_FALSE(engine.subbyte_enabled());
+          unpacked = logits_hex(engine.forward(x));
+        }
+        {
+          const ScopedEnv env("ADQ_SUBBYTE", "1");
+          const IntInferenceEngine engine(plan);
+          EXPECT_TRUE(engine.subbyte_enabled());
+          packed = logits_hex(engine.forward(x));
+        }
+        EXPECT_EQ(packed, unpacked)
+            << where << ": packed weight cells changed the logits";
+        if (golden.empty()) {
+          golden = packed;
+        } else {
+          EXPECT_EQ(packed, golden)
+              << where << ": logits differ from the first backend's";
+        }
+      }
+    }
+  }
+}
+
+// With packing on, the engine's steady-state weight views keep the <= 4-bit
+// layers' packed cells, so the resident execution bytes must shrink versus
+// the legacy unpack-to-u8 views of the same plan.
+TEST(InferEngine, PackedExecViewShrinksSteadyStateWeights) {
+  Rng rng(11);
+  models::VggConfig cfg;
+  cfg.width_mult = 0.0625;
+  cfg.num_classes = 10;
+  auto model = models::build_vgg19(cfg, rng);
+  set_uniform_bits(*model, 4);
+  model->set_training(false);
+  const InferencePlan plan = compile(*model);
+
+  std::int64_t unpacked_bytes = 0, packed_bytes = 0;
+  {
+    const ScopedEnv env("ADQ_SUBBYTE", "0");
+    unpacked_bytes = IntInferenceEngine(plan).exec_weight_bytes();
+  }
+  {
+    const ScopedEnv env("ADQ_SUBBYTE", "1");
+    packed_bytes = IntInferenceEngine(plan).exec_weight_bytes();
+  }
+  // 4-bit cells halve the byte-per-code views (frozen float ends shared).
+  EXPECT_LT(packed_bytes, unpacked_bytes);
 }
 
 TEST(InferEngine, SubByteWeightsShrinkThePlan) {
