@@ -1,0 +1,234 @@
+// Precision ladder vs load shedding under a synthetic overload burst.
+//
+// The serving registry's answer to overload is to DEGRADE PRECISION
+// (step down a ladder of plans compiled from the same weights at fewer
+// bits) instead of rejecting work. This bench quantifies that trade on
+// one core (ADQ_THREADS is forced to 1 so arrival pressure, not engine
+// parallelism, is the variable):
+//
+//   1. per-rung service rate — each rung of the int8 / paper-mixed / int2
+//      VGG19 ladder is PINNED in turn and flooded open-loop: requests/sec
+//      and p99 show what stepping down actually buys (packed sub-byte
+//      GEMMs move a fraction of the weight traffic);
+//   2. overload burst, two policies on identical traffic:
+//        * ladder  — adaptive controller, nothing is ever rejected;
+//        * baseline — fixed int8 with the classic queue-depth load
+//          shedder (reject with ServerOverloaded past the cap).
+//      GOODPUT is requests that complete within the deadline; a shed
+//      request can never contribute. The acceptance bar — checked here
+//      and exit-gating the bench — is ladder goodput STRICTLY above the
+//      shedding baseline's.
+//
+// Everything lands in BENCH_bench_serve_ladder.json: per-rung rps/p99,
+// both goodputs, the transition counts, and the ladder run's precision
+// mix.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "infer/engine.h"
+#include "infer/plan.h"
+#include "models/vgg.h"
+#include "report/table.h"
+#include "serve/registry.h"
+#include "serve/request_queue.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+
+namespace {
+
+using namespace adq;
+
+std::vector<infer::InferencePlan> compile_ladder(double width) {
+  Rng rng(42);
+  models::VggConfig cfg;
+  cfg.width_mult = width;
+  cfg.num_classes = 10;
+  auto model = models::build_vgg19(cfg, rng);
+  model->set_training(false);
+  const auto with_bits = [&](const std::vector<int>& bits) {
+    for (int i = 0; i < model->unit_count(); ++i) {
+      if (!model->unit(i).frozen) {
+        model->unit(i).set_bits(bits[static_cast<std::size_t>(i) % bits.size()]);
+      }
+    }
+    return infer::compile(*model);
+  };
+  std::vector<infer::InferencePlan> ladder;
+  ladder.push_back(with_bits({8}));
+  // Paper Table II(a) mixed allocation, clipped to the 8-bit ceiling.
+  ladder.push_back(with_bits({8, 4, 5, 4, 3, 2, 2, 2, 3, 3, 3, 4, 3, 3, 3, 3, 8}));
+  ladder.push_back(with_bits({2}));
+  return ladder;
+}
+
+serve::ModelConfig burst_config() {
+  serve::ModelConfig cfg;
+  cfg.use_env = false;  // the bench controls its own SLO and policy
+  cfg.max_batch = 16;
+  cfg.max_wait_us = 1'000;
+  cfg.slo.p99_us = 20'000.0;
+  cfg.slo.max_queue_depth = 8;
+  cfg.slo.breach_ticks = 2;
+  cfg.slo.clear_ticks = 4;
+  cfg.tick_interval_us = 500;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  // One core: the comparison is about scheduling policy, not parallelism.
+  setenv("ADQ_THREADS", "1", 1);
+  bench::JsonReport json("bench_serve_ladder");
+  const bench::Scale s = bench::bench_scale();
+  const double width = s.name == "full" ? 1.0 : 0.25;
+  const std::int64_t pinned_requests = s.name == "tiny" ? 64
+                                       : s.name == "full" ? 512
+                                                          : 256;
+  const std::int64_t burst_requests = s.name == "tiny" ? 160
+                                      : s.name == "full" ? 960
+                                                         : 320;
+  const std::int64_t arrival_gap_us = s.name == "tiny" ? 400 : 200;
+  const double deadline_ms = 150.0;
+
+  const std::vector<infer::InferencePlan> ladder = compile_ladder(width);
+  const char* rung_names[3] = {"int8", "mixed", "int2"};
+  std::printf("ladder: int8 %.1f KiB / mixed %.1f KiB / int2 %.1f KiB "
+              "weights (VGG19 width %.4g, scale %s)\n",
+              static_cast<double>(ladder[0].weight_bytes()) / 1024.0,
+              static_cast<double>(ladder[1].weight_bytes()) / 1024.0,
+              static_cast<double>(ladder[2].weight_bytes()) / 1024.0,
+              width, s.name.c_str());
+
+  Rng rng(7);
+  std::vector<Tensor> pool;
+  for (int i = 0; i < 64; ++i) {
+    Tensor x(Shape{3, 32, 32});
+    rng.fill_normal(x, 0.0f, 1.0f);
+    pool.push_back(std::move(x));
+  }
+  const auto sample_at = [&](std::int64_t i) -> const Tensor& {
+    return pool[static_cast<std::size_t>(i) % pool.size()];
+  };
+
+  // -- 1. per-rung pinned service rate --------------------------------------
+  report::Table rung_table("Per-rung service rate — pinned, open-loop flood");
+  rung_table.set_header({"rung", "bits", "req/s", "p50 ms", "p99 ms"});
+  std::vector<double> rung_rps;
+  for (int r = 0; r < 3; ++r) {
+    serve::ModelRegistry registry;
+    serve::ModelConfig cfg = burst_config();
+    cfg.pin_step = r;
+    registry.add_model("vgg", ladder, cfg);
+    std::vector<std::future<serve::InferenceResult>> futures;
+    futures.reserve(static_cast<std::size_t>(pinned_requests));
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::int64_t i = 0; i < pinned_requests; ++i) {
+      futures.push_back(registry.submit("vgg", sample_at(i)));
+    }
+    for (auto& f : futures) (void)f.get();
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    const double rps = static_cast<double>(pinned_requests) / wall_s;
+    rung_rps.push_back(rps);
+    registry.shutdown();
+    const serve::ServerStats::Snapshot st = registry.stats("vgg");
+    rung_table.add_row({std::to_string(r), rung_names[r], report::fmt(rps, 1),
+                        report::fmt(st.p50_us / 1000.0),
+                        report::fmt(st.p99_us / 1000.0)});
+    const std::string k = "step" + std::to_string(r);
+    json.add(k + "_rps", rps, "req/s");
+    json.add(k + "_p50_ms", st.p50_us / 1000.0, "ms");
+    json.add(k + "_p99_ms", st.p99_us / 1000.0, "ms");
+  }
+  std::printf("\n%s\n", rung_table.to_markdown().c_str());
+  json.add("int2_speedup_vs_int8", rung_rps[2] / rung_rps[0], "x");
+
+  // -- 2. identical overload burst, two policies ----------------------------
+  struct BurstResult {
+    std::int64_t good = 0, completed = 0, shed = 0;
+    serve::ServerStats::Snapshot stats;
+  };
+  const auto run_burst = [&](serve::ModelConfig cfg) {
+    serve::ModelRegistry registry;
+    registry.add_model("vgg", ladder, cfg);
+    BurstResult out;
+    std::vector<std::future<serve::InferenceResult>> futures;
+    for (std::int64_t i = 0; i < burst_requests; ++i) {
+      try {
+        futures.push_back(registry.submit("vgg", sample_at(i)));
+      } catch (const serve::ServerOverloaded&) {
+        ++out.shed;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(arrival_gap_us));
+    }
+    for (auto& f : futures) {
+      const serve::InferenceResult r = f.get();
+      ++out.completed;
+      out.good += r.total_us <= deadline_ms * 1000.0;
+    }
+    registry.shutdown();
+    out.stats = registry.stats("vgg");
+    return out;
+  };
+
+  std::printf("overload burst: %lld requests, one every %lld us, deadline "
+              "%.0f ms\n",
+              static_cast<long long>(burst_requests),
+              static_cast<long long>(arrival_gap_us), deadline_ms);
+
+  serve::ModelConfig ladder_cfg = burst_config();  // adaptive, never sheds
+  const BurstResult lad = run_burst(ladder_cfg);
+
+  serve::ModelConfig shed_cfg = burst_config();
+  shed_cfg.pin_step = 0;         // fixed full precision...
+  shed_cfg.shed_queue_depth = 16;  // ...shedding past the queue cap
+  const BurstResult base = run_burst(shed_cfg);
+
+  report::Table burst_table("Overload burst — goodput (completed within "
+                            "deadline) out of " +
+                            std::to_string(burst_requests));
+  burst_table.set_header(
+      {"policy", "goodput", "completed", "shed", "down/up", "final rung"});
+  burst_table.add_row(
+      {"precision ladder", std::to_string(lad.good),
+       std::to_string(lad.completed), std::to_string(lad.shed),
+       std::to_string(lad.stats.step_downs) + "/" +
+           std::to_string(lad.stats.step_ups),
+       std::to_string(lad.stats.current_step)});
+  burst_table.add_row(
+      {"int8 + shedding", std::to_string(base.good),
+       std::to_string(base.completed), std::to_string(base.shed),
+       "0/0", "0"});
+  std::printf("\n%s\n", burst_table.to_markdown().c_str());
+  std::printf("ladder precision mix:");
+  for (const auto& [step, count] : lad.stats.precision_mix) {
+    std::printf(" rung%d=%llu", step, static_cast<unsigned long long>(count));
+    json.add("ladder_rung" + std::to_string(step) + "_served",
+             static_cast<double>(count), "requests");
+  }
+  std::printf("\n");
+
+  json.add("ladder_goodput", static_cast<double>(lad.good), "requests");
+  json.add("shed_goodput", static_cast<double>(base.good), "requests");
+  json.add("shed_rejected", static_cast<double>(base.shed), "requests");
+  json.add("ladder_step_downs", static_cast<double>(lad.stats.step_downs),
+           "transitions");
+  json.add("ladder_step_ups", static_cast<double>(lad.stats.step_ups),
+           "transitions");
+  const bool strictly_higher = lad.good > base.good;
+  json.add("ladder_goodput_gt_shed", strictly_higher ? 1.0 : 0.0, "bool");
+  std::printf("\nladder goodput %lld vs shedding baseline %lld — strictly "
+              "higher: %s\n",
+              static_cast<long long>(lad.good),
+              static_cast<long long>(base.good),
+              strictly_higher ? "yes" : "NO");
+  // The acceptance bar is part of the bench's contract, not a soft metric.
+  return strictly_higher ? 0 : 1;
+}

@@ -1,0 +1,265 @@
+// Multi-model serving registry walkthrough: hot reload + precision ladder.
+//
+// Registers TWO models (a width-scaled VGG19 and a MobileNet-small) in one
+// ModelRegistry, each with a three-rung precision ladder compiled from the
+// SAME trained weights: rung 0 all-int8, rung 1 the paper-style mixed bit
+// vector, rung 2 all-int2. Traffic then runs in three phases —
+//
+//   trickle  : paced singles; the SLO holds, everything serves on rung 0
+//   burst    : a flood far past the queue cap; the controller walks DOWN
+//              the ladder (answers get cheaper instead of being dropped),
+//              and mid-burst rung 2 is HOT-SWAPPED from an .adqplan file
+//              while requests are in flight
+//   recover  : paced singles again; once the recent-latency window rinses
+//              clean the controller steps back UP toward full precision
+//
+// — printing a precision-mix timeline as it goes. A deliberately
+// incompatible hot swap (a 100-class variant into the 10-class ladder) is
+// shown rejected with both plan fingerprints named. The demo exits
+// nonzero unless EVERY submitted request resolved (zero drops across the
+// swap) and the ladder made at least one transition.
+//
+//   ./build/examples/multi_model_serve_demo        (ADQ_SCALE=tiny|small|full)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "infer/engine.h"
+#include "infer/plan.h"
+#include "infer/plan_io.h"
+#include "models/mobilenet.h"
+#include "models/vgg.h"
+#include "serve/registry.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+
+namespace {
+
+struct Scale {
+  const char* name = "small";
+  std::int64_t trickle = 24, burst = 240, recover = 300;
+  std::int64_t trickle_gap_us = 4000, recover_gap_us = 1000;
+};
+
+Scale scale_from_env() {
+  Scale s;
+  const char* env = std::getenv("ADQ_SCALE");
+  const std::string mode = env != nullptr ? env : "small";
+  if (mode == "tiny") {
+    s = {"tiny", 8, 80, 48, 3000, 800};
+  } else if (mode == "full") {
+    s = {"full", 64, 1000, 600, 4000, 1000};
+  }
+  return s;
+}
+
+// One ladder = the same trained weights compiled at three precisions.
+// `mixed` is the per-unit bit pattern for the middle rung (cycled over the
+// non-frozen units, the paper's mixed-allocation shape).
+std::vector<adq::infer::InferencePlan> compile_ladder(
+    adq::models::QuantizableModel& model, const std::vector<int>& mixed) {
+  using adq::infer::compile;
+  model.set_training(false);
+  std::vector<adq::infer::InferencePlan> ladder;
+  const auto set_all = [&](int bits) {
+    for (int i = 0; i < model.unit_count(); ++i) {
+      if (!model.unit(i).frozen) model.unit(i).set_bits(bits);
+    }
+  };
+  set_all(8);
+  ladder.push_back(compile(model));  // rung 0: full int8
+  for (int i = 0; i < model.unit_count(); ++i) {
+    if (!model.unit(i).frozen) {
+      model.unit(i).set_bits(mixed[static_cast<std::size_t>(i) % mixed.size()]);
+    }
+  }
+  ladder.push_back(compile(model));  // rung 1: mixed bits
+  set_all(2);
+  ladder.push_back(compile(model));  // rung 2: full int2
+  return ladder;
+}
+
+void print_mix(const char* tag, const adq::serve::ServerStats::Snapshot& st) {
+  std::printf("  %-9s rung=%d  mix:", tag, st.current_step);
+  for (const auto& [step, count] : st.precision_mix) {
+    std::printf(" r%d=%llu", step, static_cast<unsigned long long>(count));
+  }
+  std::printf("  (down %llu, up %llu)  p99 %.1f ms (queue %.1f + exec %.1f)\n",
+              static_cast<unsigned long long>(st.step_downs),
+              static_cast<unsigned long long>(st.step_ups),
+              st.p99_us / 1000.0, st.p99_queue_us / 1000.0,
+              st.p99_exec_us / 1000.0);
+}
+
+}  // namespace
+
+int main() {
+  using namespace adq;
+  const Scale scale = scale_from_env();
+  std::printf("multi-model serving registry (ADQ_SCALE=%s)\n", scale.name);
+
+  // 1. Two models, each a 3-rung ladder from one set of weights.
+  Rng rng(3);
+  models::VggConfig vcfg;
+  vcfg.width_mult = 0.0625;
+  vcfg.num_classes = 10;
+  auto vgg = models::build_vgg19(vcfg, rng);
+  // Paper Table II(a) shape, clipped to the integer path's 8-bit ceiling.
+  std::vector<infer::InferencePlan> vgg_ladder = compile_ladder(
+      *vgg, {8, 4, 5, 4, 3, 2, 2, 2, 3, 3, 3, 4, 3, 3, 3, 3, 8});
+
+  models::MobileNetConfig mcfg;
+  mcfg.width_mult = 0.25;
+  mcfg.num_classes = 10;
+  auto mobilenet = models::build_mobilenet_small(mcfg, rng);
+  std::vector<infer::InferencePlan> mob_ladder =
+      compile_ladder(*mobilenet, {8, 4, 8, 2});
+
+  // The VGG ladder goes through .adqplan files — the registry cold-starts
+  // it from the serialized artifacts alone, as a deployment would.
+  std::vector<std::string> vgg_paths;
+  for (std::size_t r = 0; r < vgg_ladder.size(); ++r) {
+    vgg_paths.push_back("mm_vgg_r" + std::to_string(r) + ".adqplan");
+    infer::save_plan(vgg_ladder[r], vgg_paths.back());
+  }
+
+  serve::ModelRegistry registry;
+  serve::ModelConfig cfg;
+  cfg.max_batch = 8;
+  cfg.max_wait_us = 500;
+  // 20 ms end-to-end target: the burst breaches it (and the depth cap)
+  // decisively, while paced traffic sits well inside the 10 ms clear band
+  // so the controller can climb back up after the window rinses.
+  cfg.slo.p99_us = 20'000.0;
+  cfg.slo.max_queue_depth = 4;  // depth is the leading breach signal
+  cfg.slo.breach_ticks = 2;
+  cfg.slo.clear_ticks = 4;
+  cfg.tick_interval_us = 500;
+  registry.add_model("vgg19", vgg_paths, cfg);
+  registry.add_model("mobilenet", std::move(mob_ladder), cfg);
+  for (const std::string& name : {std::string("vgg19"), std::string("mobilenet")}) {
+    std::printf("registered %-9s ladder of %d (rung fingerprints", name.c_str(),
+                registry.ladder_size(name));
+    for (int r = 0; r < registry.ladder_size(name); ++r) {
+      std::printf(" %016llx", static_cast<unsigned long long>(
+                                  registry.rung_fingerprint(name, r)));
+    }
+    std::printf(")\n");
+  }
+
+  // 2. Traffic phases. All futures are collected; every one must resolve.
+  Rng traffic_rng(17);
+  const auto sample = [&] {
+    Tensor x(Shape{3, 32, 32});
+    traffic_rng.fill_normal(x, 0.0f, 1.0f);
+    return x;
+  };
+  std::vector<std::future<serve::InferenceResult>> futures;
+  const auto submit_both = [&] {
+    futures.push_back(registry.submit("vgg19", sample()));
+    futures.push_back(registry.submit("mobilenet", sample()));
+  };
+
+  std::printf("\nphase 1: trickle (%lld paced pairs)\n",
+              static_cast<long long>(scale.trickle));
+  for (std::int64_t i = 0; i < scale.trickle; ++i) {
+    submit_both();
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(scale.trickle_gap_us));
+  }
+  print_mix("vgg19", registry.stats("vgg19"));
+  print_mix("mobilenet", registry.stats("mobilenet"));
+
+  std::printf("\nphase 2: burst (%lld pairs, no pacing) + mid-burst hot swap\n",
+              static_cast<long long>(scale.burst));
+  for (std::int64_t i = 0; i < scale.burst; ++i) {
+    submit_both();
+    if (i == scale.burst / 2) {
+      // Zero-downtime reload while the queue is deep: replace rung 2 with
+      // the mixed plan re-loaded from its file (ops pushing a recompiled
+      // artifact). In-flight batches finish on the old engine.
+      registry.hot_swap("vgg19", 2, vgg_paths[1]);
+      std::printf("  [swap] vgg19 rung 2 <- %s (now %016llx), queue depth %lld\n",
+                  vgg_paths[1].c_str(),
+                  static_cast<unsigned long long>(
+                      registry.rung_fingerprint("vgg19", 2)),
+                  static_cast<long long>(registry.queue_depth("vgg19")));
+    }
+  }
+  // Watch the ladder degrade while the burst drains.
+  while (registry.queue_depth("vgg19") > 0 ||
+         registry.queue_depth("mobilenet") > 0) {
+    std::printf("  draining: vgg19 depth %lld rung %d | mobilenet depth %lld "
+                "rung %d\n",
+                static_cast<long long>(registry.queue_depth("vgg19")),
+                registry.current_step("vgg19"),
+                static_cast<long long>(registry.queue_depth("mobilenet")),
+                registry.current_step("mobilenet"));
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  print_mix("vgg19", registry.stats("vgg19"));
+  print_mix("mobilenet", registry.stats("mobilenet"));
+
+  std::printf("\nphase 3: recover (%lld paced pairs)\n",
+              static_cast<long long>(scale.recover));
+  for (std::int64_t i = 0; i < scale.recover; ++i) {
+    submit_both();
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(scale.recover_gap_us));
+  }
+  print_mix("vgg19", registry.stats("vgg19"));
+  print_mix("mobilenet", registry.stats("mobilenet"));
+
+  // 3. The guardrail: an interface-incompatible artifact is refused, with
+  //    both fingerprints named, and the incumbent keeps serving.
+  std::printf("\nattempting an incompatible swap (100-class VGG into the "
+              "10-class ladder):\n");
+  {
+    Rng bad_rng(9);
+    models::VggConfig bad_cfg;
+    bad_cfg.width_mult = 0.0625;
+    bad_cfg.num_classes = 100;
+    auto bad_model = models::build_vgg19(bad_cfg, bad_rng);
+    bad_model->set_training(false);
+    for (int i = 0; i < bad_model->unit_count(); ++i) {
+      if (!bad_model->unit(i).frozen) bad_model->unit(i).set_bits(8);
+    }
+    try {
+      registry.hot_swap("vgg19", 0, infer::compile(*bad_model));
+      std::printf("  ERROR: incompatible swap was accepted\n");
+      return 1;
+    } catch (const std::invalid_argument& e) {
+      std::printf("  rejected: %s\n", e.what());
+    }
+  }
+
+  // 4. Drain, then gate the exit on the two properties the registry
+  //    promises: no request dropped, and the ladder actually moved.
+  std::size_t dropped = 0;
+  for (auto& f : futures) {
+    try {
+      (void)f.get();
+    } catch (const std::exception& e) {
+      ++dropped;
+      std::printf("  dropped request: %s\n", e.what());
+    }
+  }
+  registry.shutdown();
+  const serve::ServerStats::Snapshot vs = registry.stats("vgg19");
+  const serve::ServerStats::Snapshot ms = registry.stats("mobilenet");
+  const std::uint64_t transitions =
+      vs.step_downs + vs.step_ups + ms.step_downs + ms.step_ups;
+  std::printf("\nfinal: %zu requests, %zu dropped (must be 0), %llu ladder "
+              "transitions (must be >= 1)\n",
+              futures.size(), dropped,
+              static_cast<unsigned long long>(transitions));
+  print_mix("vgg19", vs);
+  print_mix("mobilenet", ms);
+  if (dropped != 0 || transitions == 0) return 1;
+  return 0;
+}

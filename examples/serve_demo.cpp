@@ -157,6 +157,10 @@ int main(int argc, char** argv) {
               "(mean queue %.2f ms)\n",
               st.p50_us / 1000.0, st.p95_us / 1000.0, st.p99_us / 1000.0,
               st.mean_queue_us / 1000.0);
+  std::printf("  split: queue-wait p50 %.2f ms p99 %.2f ms | "
+              "execution p50 %.2f ms p99 %.2f ms\n",
+              st.p50_queue_us / 1000.0, st.p99_queue_us / 1000.0,
+              st.p50_exec_us / 1000.0, st.p99_exec_us / 1000.0);
   std::printf("batches: %llu (mean size %.1f)  histogram:",
               static_cast<unsigned long long>(st.batches), st.mean_batch);
   for (const auto& [size, count] : st.batch_histogram) {

@@ -526,4 +526,11 @@ InferencePlan load_plan(const std::string& path) {
   return load_plan(in);
 }
 
+std::uint64_t plan_fingerprint(const InferencePlan& plan) {
+  std::ostringstream out;
+  save_plan(plan, out);
+  const std::string blob = out.str();
+  return fnv1a(blob.data(), blob.size());
+}
+
 }  // namespace adq::infer

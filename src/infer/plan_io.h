@@ -67,4 +67,11 @@ InferencePlan load_plan(std::istream& in);
 /// cannot be read or is malformed.
 InferencePlan load_plan(const std::string& path);
 
+/// Identity of a compiled plan: FNV-1a over its serialized bytes (the
+/// current-version save_plan output, header and checksum included).
+/// Serialization is deterministic, so equal fingerprints mean byte-equal
+/// plan files — the identity the serving registry's hot-swap validation
+/// names in its errors and stamps on every InferenceResult.
+std::uint64_t plan_fingerprint(const InferencePlan& plan);
+
 }  // namespace adq::infer

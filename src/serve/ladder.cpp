@@ -1,0 +1,78 @@
+#include "serve/ladder.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace adq::serve {
+
+LadderController::LadderController(int num_steps, LadderSlo slo)
+    : num_steps_(num_steps), slo_(slo) {
+  if (num_steps < 1) {
+    throw std::invalid_argument("ladder: needs at least one step");
+  }
+  if (!(slo.p99_us > 0.0)) {
+    throw std::invalid_argument("ladder: SLO p99 target must be positive");
+  }
+  if (slo.max_queue_depth < 1) {
+    throw std::invalid_argument("ladder: queue-depth cap must be >= 1");
+  }
+  if (slo.breach_ticks < 1 || slo.clear_ticks < 1) {
+    throw std::invalid_argument("ladder: hysteresis tick counts must be >= 1");
+  }
+  if (!(slo.clear_fraction > 0.0) || slo.clear_fraction > 1.0) {
+    throw std::invalid_argument("ladder: clear_fraction must be in (0, 1]");
+  }
+}
+
+int LadderController::on_tick(double p99_us, std::int64_t queue_depth) {
+  const bool breach =
+      p99_us > slo_.p99_us || queue_depth > slo_.max_queue_depth;
+  const bool clear =
+      p99_us <= slo_.clear_fraction * slo_.p99_us &&
+      static_cast<double>(queue_depth) <=
+          slo_.clear_fraction * static_cast<double>(slo_.max_queue_depth);
+  breach_run_ = breach ? breach_run_ + 1 : 0;
+  clear_run_ = clear ? clear_run_ + 1 : 0;
+  if (breach_run_ >= slo_.breach_ticks && step_ < num_steps_ - 1) {
+    ++step_;
+    breach_run_ = 0;
+    clear_run_ = 0;
+  } else if (clear_run_ >= slo_.clear_ticks && step_ > 0) {
+    --step_;
+    breach_run_ = 0;
+    clear_run_ = 0;
+  }
+  return step_;
+}
+
+LadderSlo slo_from_env(LadderSlo slo) {
+  const char* env = std::getenv("ADQ_SLO_P99_US");
+  if (env == nullptr || *env == '\0') return slo;
+  char* end = nullptr;
+  const double v = std::strtod(env, &end);
+  if (end == env || *end != '\0' || !(v > 0.0)) {
+    throw std::invalid_argument(
+        std::string("ladder: ADQ_SLO_P99_US='") + env +
+        "' is not a positive latency in microseconds");
+  }
+  slo.p99_us = v;
+  return slo;
+}
+
+int pinned_step_from_env() {
+  const char* env = std::getenv("ADQ_LADDER");
+  if (env == nullptr || *env == '\0') return -1;
+  const std::string v(env);
+  if (v == "on") return -1;
+  if (v == "off") return 0;
+  char* end = nullptr;
+  const long k = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || k < 0) {
+    throw std::invalid_argument(
+        "ladder: ADQ_LADDER='" + v +
+        "' (expected on, off, or a rung index to pin)");
+  }
+  return static_cast<int>(k);
+}
+
+}  // namespace adq::serve

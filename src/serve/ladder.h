@@ -1,0 +1,90 @@
+// SLO-driven precision ladder controller.
+//
+// A model in the serving registry carries an ordered ladder of compiled
+// plans — rung 0 the highest precision (e.g. int8), later rungs cheaper
+// (the paper's mixed bit vector, int2). Instead of shedding load when an
+// SLO is breached, the registry steps DOWN the ladder: the same weights
+// at fewer bits execute faster (packed sub-byte GEMMs move a fraction of
+// the weight traffic), so the queue drains while every request still gets
+// an answer — precision, not availability, absorbs the overload. When the
+// pressure clears, the controller steps back UP toward full precision.
+//
+// LadderController is a pure, deterministic state machine over
+// (recent p99 latency, queue depth) observations — no clocks, no threads,
+// no engine types — so its step-down/step-up traces are unit-testable
+// from synthetic time series. The registry owns WHEN to tick it (after
+// batches, rate-limited) and what its step means (which rung's engine the
+// next batch runs on).
+//
+// Hysteresis, on both edges:
+//   * step down only after `breach_ticks` CONSECUTIVE observations with
+//     p99 above the target or the queue above its cap;
+//   * step up only after `clear_ticks` CONSECUTIVE observations with both
+//     signals below `clear_fraction` of their thresholds (a band strictly
+//     inside the breach thresholds);
+//   * observations in the band between "clear" and "breach" reset both
+//     runs — the controller holds its rung.
+// A steady signal inside the band therefore never oscillates, and a
+// transition resets both runs so the next one needs fresh evidence.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace adq::serve {
+
+/// SLO targets + hysteresis shape. Defaults are deliberately mild; the
+/// registry overrides p99_us from ADQ_SLO_P99_US when set (see
+/// slo_from_env).
+struct LadderSlo {
+  /// Target p99 end-to-end latency (queue + execution), microseconds.
+  double p99_us = 50'000.0;
+  /// Queue-depth cap: pending requests beyond this is a breach even while
+  /// latency still looks fine (depth is the leading indicator).
+  std::int64_t max_queue_depth = 64;
+  /// "Recovered" means BOTH signals below this fraction of their
+  /// thresholds. Must be in (0, 1]; values near 1 shrink the hold band.
+  double clear_fraction = 0.5;
+  /// Consecutive breaching observations before stepping down.
+  int breach_ticks = 2;
+  /// Consecutive clear observations before stepping up (deliberately
+  /// larger: recovery should be cautious, degradation prompt).
+  int clear_ticks = 6;
+};
+
+class LadderController {
+ public:
+  /// `num_steps` = ladder size (>= 1). Throws std::invalid_argument on a
+  /// non-positive size or malformed SLO (non-positive targets, counts
+  /// < 1, clear_fraction outside (0, 1]).
+  LadderController(int num_steps, LadderSlo slo);
+
+  /// One observation; returns the rung to serve on from now (possibly
+  /// unchanged). Pure function of the construction parameters and the
+  /// observation sequence.
+  int on_tick(double p99_us, std::int64_t queue_depth);
+
+  int step() const { return step_; }
+  int num_steps() const { return num_steps_; }
+  const LadderSlo& slo() const { return slo_; }
+
+ private:
+  int num_steps_;
+  LadderSlo slo_;
+  int step_ = 0;
+  int breach_run_ = 0;
+  int clear_run_ = 0;
+};
+
+/// `slo` with p99_us replaced by ADQ_SLO_P99_US when that is set. Throws
+/// std::invalid_argument on a non-numeric or non-positive value — a typo
+/// must not silently serve with the default SLO.
+LadderSlo slo_from_env(LadderSlo slo);
+
+/// ADQ_LADDER policy: unset / "on" -> adaptive (returns -1); "off" ->
+/// pinned to rung 0 (serve full precision, never degrade); an integer k
+/// >= 0 -> pinned to rung k (clamped by the registry to the ladder's last
+/// rung). Anything else throws std::invalid_argument.
+int pinned_step_from_env();
+
+}  // namespace adq::serve

@@ -4,6 +4,10 @@
 
 namespace adq::serve {
 
+RequestQueue::~RequestQueue() {
+  fail_pending("serve: request queue destroyed before the request ran");
+}
+
 std::future<InferenceResult> RequestQueue::push(Tensor sample) {
   std::future<InferenceResult> future;
   {
@@ -57,6 +61,23 @@ void RequestQueue::close() {
     closed_ = true;
   }
   cv_.notify_all();
+}
+
+void RequestQueue::fail_pending(const std::string& why) {
+  std::deque<Request> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    orphaned.swap(pending_);
+  }
+  cv_.notify_all();
+  // Promises are completed outside the lock: a future's continuation (a
+  // caller blocked in get() on this thread's stack) must never run under
+  // the queue mutex.
+  for (Request& req : orphaned) {
+    req.promise.set_exception(
+        std::make_exception_ptr(ServerStopped(why)));
+  }
 }
 
 bool RequestQueue::closed() const {

@@ -14,6 +14,8 @@
 #include <deque>
 #include <future>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "tensor/tensor.h"
@@ -21,6 +23,27 @@
 namespace adq::serve {
 
 using Clock = std::chrono::steady_clock;
+
+/// The error a request's future carries when serving stopped before the
+/// request could execute: the queue was closed with fail_pending(), or it
+/// was destroyed with requests still waiting. Distinct from a batch
+/// execution failure (whatever the engine threw) and from the
+/// std::runtime_error submit() raises after close() — an accepted request
+/// is never silently dropped; its future always resolves.
+class ServerStopped : public std::runtime_error {
+ public:
+  explicit ServerStopped(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown by admission control (ModelRegistry with a shed_queue_depth
+/// configured) when a request is rejected at submit time because the
+/// model's queue is already at its shedding limit. The request was never
+/// accepted, so no future exists for it.
+class ServerOverloaded : public std::runtime_error {
+ public:
+  explicit ServerOverloaded(const std::string& what)
+      : std::runtime_error(what) {}
+};
 
 /// Completed inference for one request.
 struct InferenceResult {
@@ -30,7 +53,14 @@ struct InferenceResult {
   std::int64_t top1 = -1;
   std::int64_t batch_size = 0;  // size of the coalesced batch it rode in
   double queue_us = 0.0;        // enqueue -> batch formation
+  double exec_us = 0.0;         // batch formation -> completion
   double total_us = 0.0;        // enqueue -> completion
+  /// Precision-ladder rung that executed this request (0 = highest
+  /// precision; always 0 on a plain InferenceServer).
+  int ladder_step = 0;
+  /// plan_fingerprint() of the plan that executed this request (0 on a
+  /// plain InferenceServer) — the identity hot-swap tests group by.
+  std::uint64_t plan_fingerprint = 0;
 };
 
 /// One pending single-sample request.
@@ -43,6 +73,11 @@ struct Request {
 
 class RequestQueue {
  public:
+  /// Any request still pending at destruction has its future failed with
+  /// ServerStopped (a consumer-less queue must not leave futures dangling
+  /// on std::future_error{broken_promise}).
+  ~RequestQueue();
+
   /// Enqueues a sample; returns the future its result will complete.
   /// Throws std::runtime_error after close().
   std::future<InferenceResult> push(Tensor sample);
@@ -56,8 +91,15 @@ class RequestQueue {
   std::vector<Request> pop_batch(std::int64_t max_batch,
                                  std::chrono::microseconds max_wait);
 
-  /// Stops intake and wakes all poppers. Idempotent.
+  /// Stops intake and wakes all poppers. Pending requests remain poppable
+  /// so a draining consumer completes them (graceful shutdown). Idempotent.
   void close();
+
+  /// close() + fails every still-pending request's future with
+  /// ServerStopped carrying `why` — the non-draining shutdown (a model
+  /// being evicted, a server torn down without workers). Requests already
+  /// popped into a batch are unaffected. Idempotent.
+  void fail_pending(const std::string& why);
 
   bool closed() const;
 

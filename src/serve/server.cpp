@@ -84,8 +84,9 @@ void InferenceServer::worker_loop() {
         r.top1 = top1[i];
         r.batch_size = static_cast<std::int64_t>(batch.size());
         r.queue_us = us_between(req.enqueued, formed);
+        r.exec_us = us_between(formed, done);
         r.total_us = us_between(req.enqueued, done);
-        stats_.record_request(r.queue_us, r.total_us);
+        stats_.record_request(r.queue_us, r.exec_us, r.total_us);
         req.promise.set_value(std::move(r));
         ++completed;
       }

@@ -26,12 +26,46 @@ void ServerStats::record_batch(std::int64_t batch_size,
   max_depth_ = std::max(max_depth_, queue_depth_after);
 }
 
-void ServerStats::record_request(double queue_us, double total_us) {
+void ServerStats::record_request(double queue_us, double exec_us,
+                                 double total_us, int ladder_step) {
   std::lock_guard<std::mutex> lock(mutex_);
   ++requests_;
   queue_us_sum_ += queue_us;
   total_us_sum_ += total_us;
-  if (total_us_.size() < kMaxSamples) total_us_.push_back(total_us);
+  ++step_requests_[ladder_step];
+  if (total_us_.size() < kMaxSamples) {
+    total_us_.push_back(total_us);
+    queue_lat_us_.push_back(queue_us);
+    exec_lat_us_.push_back(exec_us);
+  }
+  recent_total_us_[recent_count_ % kRecentWindow] = total_us;
+  ++recent_count_;
+}
+
+void ServerStats::record_transition(int from_step, int to_step) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (to_step > from_step) {
+    ++step_downs_;
+  } else if (to_step < from_step) {
+    ++step_ups_;
+  }
+  current_step_ = to_step;
+}
+
+void ServerStats::set_current_step(int step) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  current_step_ = step;
+}
+
+double ServerStats::recent_p99_us() const {
+  std::vector<double> window;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::size_t n = std::min(recent_count_, kRecentWindow);
+    window.assign(recent_total_us_, recent_total_us_ + n);
+  }
+  std::sort(window.begin(), window.end());
+  return percentile(window, 0.99);
 }
 
 void ServerStats::set_memory_contract(std::int64_t arena_bytes_per_sample,
@@ -42,7 +76,7 @@ void ServerStats::set_memory_contract(std::int64_t arena_bytes_per_sample,
 }
 
 ServerStats::Snapshot ServerStats::snapshot() const {
-  std::vector<double> sorted;
+  std::vector<double> total, queue, exec;
   Snapshot s;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -60,24 +94,43 @@ ServerStats::Snapshot ServerStats::snapshot() const {
                        : static_cast<double>(requests_) /
                              static_cast<double>(batches_);
     s.batch_histogram.assign(histogram_.begin(), histogram_.end());
-    sorted = total_us_;
+    s.precision_mix.assign(step_requests_.begin(), step_requests_.end());
+    s.step_downs = step_downs_;
+    s.step_ups = step_ups_;
+    s.current_step = current_step_;
+    total = total_us_;
+    queue = queue_lat_us_;
+    exec = exec_lat_us_;
   }
-  std::sort(sorted.begin(), sorted.end());
-  s.p50_us = percentile(sorted, 0.50);
-  s.p95_us = percentile(sorted, 0.95);
-  s.p99_us = percentile(sorted, 0.99);
+  std::sort(total.begin(), total.end());
+  std::sort(queue.begin(), queue.end());
+  std::sort(exec.begin(), exec.end());
+  s.p50_us = percentile(total, 0.50);
+  s.p95_us = percentile(total, 0.95);
+  s.p99_us = percentile(total, 0.99);
+  s.p50_queue_us = percentile(queue, 0.50);
+  s.p99_queue_us = percentile(queue, 0.99);
+  s.p50_exec_us = percentile(exec, 0.50);
+  s.p99_exec_us = percentile(exec, 0.99);
   return s;
 }
 
 void ServerStats::reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   total_us_.clear();
+  queue_lat_us_.clear();
+  exec_lat_us_.clear();
+  recent_count_ = 0;
   total_us_sum_ = 0.0;
   queue_us_sum_ = 0.0;
   requests_ = 0;
   batches_ = 0;
   max_depth_ = 0;
   histogram_.clear();
+  step_requests_.clear();
+  step_downs_ = 0;
+  step_ups_ = 0;
+  current_step_ = 0;
 }
 
 }  // namespace adq::serve

@@ -94,6 +94,27 @@ TEST(PlanIo, RoundTripIsByteStableAndPredictionIdentical) {
   expect_identical_forward(plan, loaded, x);
 }
 
+TEST(PlanIo, FingerprintIsStableAcrossRoundTripsAndRecompiles) {
+  auto model = small_vgg({8, 4, 2});
+  const InferencePlan plan = compile(*model);
+  const std::uint64_t fp = plan_fingerprint(plan);
+  EXPECT_NE(fp, 0u);
+  // Round-tripping must not move the fingerprint (it hashes the canonical
+  // serialized bytes, and the format is byte-stable).
+  EXPECT_EQ(plan_fingerprint(from_bytes(to_bytes(plan))), fp);
+  // Recompiling the same model is byte-identical, hence fingerprint-equal.
+  EXPECT_EQ(plan_fingerprint(compile(*small_vgg({8, 4, 2}))), fp);
+}
+
+TEST(PlanIo, FingerprintSeparatesDifferentPlans) {
+  const std::uint64_t base = plan_fingerprint(compile(*small_vgg({8, 4, 2})));
+  // A different bit allocation of the same weights is a different plan.
+  EXPECT_NE(plan_fingerprint(compile(*small_vgg({8}))), base);
+  // Same architecture and bits, different weights.
+  EXPECT_NE(plan_fingerprint(compile(*small_vgg({8, 4, 2}, /*seed=*/22))),
+            base);
+}
+
 TEST(PlanIo, PerBitwidthRoundTripPreservesCells) {
   for (int bits : {8, 4, 2}) {
     auto model = small_vgg({bits});

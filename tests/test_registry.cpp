@@ -1,0 +1,547 @@
+// Serving-registry and precision-ladder tests.
+//
+// The LadderController is exercised as a pure state machine on synthetic
+// (p99, queue depth) traces: prompt degradation after consecutive
+// breaches, cautious recovery after consecutive clears, a hold band that
+// provably cannot oscillate, and hard bounds at both ends of the ladder.
+// The ModelRegistry tests run real compiled plans: multi-model routing
+// with per-model stats, zero-downtime hot swap under live traffic with
+// bit-identical per-plan results, fingerprint-naming rejection of
+// incompatible swaps, SLO-driven step-down under an unmeetable target,
+// the load-shedding baseline, and drain/no-drain removal semantics.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "infer/engine.h"
+#include "infer/plan.h"
+#include "infer/plan_io.h"
+#include "models/mobilenet.h"
+#include "models/resnet.h"
+#include "models/vgg.h"
+#include "serve/ladder.h"
+#include "serve/registry.h"
+#include "serve/request_queue.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+
+namespace adq::serve {
+namespace {
+
+using infer::InferencePlan;
+using infer::IntInferenceEngine;
+
+// ---------------------------------------------------------------------------
+// LadderController as a pure function of its observation trace.
+// ---------------------------------------------------------------------------
+
+LadderSlo test_slo() {
+  LadderSlo slo;
+  slo.p99_us = 100.0;
+  slo.max_queue_depth = 10;
+  slo.clear_fraction = 0.5;  // clear band: p99 <= 50 AND depth <= 5
+  slo.breach_ticks = 2;
+  slo.clear_ticks = 3;
+  return slo;
+}
+
+TEST(Ladder, StepsDownAfterConsecutiveLatencyBreaches) {
+  LadderController c(3, test_slo());
+  EXPECT_EQ(c.on_tick(150.0, 0), 0);  // first breach: not yet
+  EXPECT_EQ(c.on_tick(150.0, 0), 1);  // second consecutive: step down
+}
+
+TEST(Ladder, QueueDepthAloneBreaches) {
+  LadderController c(3, test_slo());
+  EXPECT_EQ(c.on_tick(10.0, 20), 0);  // latency fine, queue over cap
+  EXPECT_EQ(c.on_tick(10.0, 20), 1);
+}
+
+TEST(Ladder, NonConsecutiveBreachesNeverStep) {
+  LadderController c(3, test_slo());
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(c.on_tick(150.0, 0), 0);  // breach...
+    EXPECT_EQ(c.on_tick(80.0, 0), 0);   // ...but the band resets the run
+  }
+}
+
+TEST(Ladder, RecoversOnlyAfterConsecutiveClears) {
+  LadderController c(3, test_slo());
+  c.on_tick(150.0, 0);
+  ASSERT_EQ(c.on_tick(150.0, 0), 1);
+  EXPECT_EQ(c.on_tick(40.0, 2), 1);  // clear run 1
+  EXPECT_EQ(c.on_tick(40.0, 2), 1);  // clear run 2
+  EXPECT_EQ(c.on_tick(40.0, 2), 0);  // clear run 3: step back up
+}
+
+TEST(Ladder, ClearNeedsBothSignalsBelowTheBand) {
+  LadderController c(3, test_slo());
+  c.on_tick(150.0, 0);
+  ASSERT_EQ(c.on_tick(150.0, 0), 1);
+  // p99 clear but the queue above clear_fraction x cap: never recovers.
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(c.on_tick(40.0, 8), 1);
+}
+
+TEST(Ladder, HoldBandPreventsOscillation) {
+  LadderController c(3, test_slo());
+  c.on_tick(150.0, 0);
+  ASSERT_EQ(c.on_tick(150.0, 0), 1);
+  // A steady signal between clear and breach thresholds holds the rung
+  // forever — hysteresis cannot oscillate on it.
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(c.on_tick(80.0, 7), 1);
+}
+
+TEST(Ladder, TransitionResetsTheBreachRun) {
+  LadderController c(4, test_slo());
+  c.on_tick(150.0, 0);
+  ASSERT_EQ(c.on_tick(150.0, 0), 1);
+  // Fresh evidence required for the next step: one more breach holds,
+  // the second steps again.
+  EXPECT_EQ(c.on_tick(150.0, 0), 1);
+  EXPECT_EQ(c.on_tick(150.0, 0), 2);
+}
+
+TEST(Ladder, ClampsAtBothEndsOfTheLadder) {
+  LadderController c(2, test_slo());
+  for (int i = 0; i < 20; ++i) c.on_tick(500.0, 100);
+  EXPECT_EQ(c.step(), 1);  // bottom rung, never past it
+  for (int i = 0; i < 50; ++i) c.on_tick(1.0, 0);
+  EXPECT_EQ(c.step(), 0);  // top rung, never above it
+}
+
+TEST(Ladder, ValidatesConstruction) {
+  EXPECT_THROW(LadderController(0, test_slo()), std::invalid_argument);
+  LadderSlo bad = test_slo();
+  bad.p99_us = 0.0;
+  EXPECT_THROW(LadderController(2, bad), std::invalid_argument);
+  bad = test_slo();
+  bad.max_queue_depth = 0;
+  EXPECT_THROW(LadderController(2, bad), std::invalid_argument);
+  bad = test_slo();
+  bad.breach_ticks = 0;
+  EXPECT_THROW(LadderController(2, bad), std::invalid_argument);
+  bad = test_slo();
+  bad.clear_fraction = 1.5;
+  EXPECT_THROW(LadderController(2, bad), std::invalid_argument);
+}
+
+// Scoped environment override; restores to unset on destruction.
+struct EnvVar {
+  std::string name;
+  EnvVar(const char* n, const char* v) : name(n) { setenv(n, v, 1); }
+  ~EnvVar() { unsetenv(name.c_str()); }
+};
+
+TEST(Ladder, SloFromEnvOverridesAndFailsFast) {
+  unsetenv("ADQ_SLO_P99_US");
+  EXPECT_DOUBLE_EQ(slo_from_env(test_slo()).p99_us, 100.0);
+  {
+    EnvVar env("ADQ_SLO_P99_US", "2500.5");
+    EXPECT_DOUBLE_EQ(slo_from_env(test_slo()).p99_us, 2500.5);
+  }
+  {
+    EnvVar env("ADQ_SLO_P99_US", "fast");
+    EXPECT_THROW(slo_from_env(test_slo()), std::invalid_argument);
+  }
+  {
+    EnvVar env("ADQ_SLO_P99_US", "-3");
+    EXPECT_THROW(slo_from_env(test_slo()), std::invalid_argument);
+  }
+}
+
+TEST(Ladder, PinnedStepFromEnvGrammar) {
+  unsetenv("ADQ_LADDER");
+  EXPECT_EQ(pinned_step_from_env(), -1);
+  {
+    EnvVar env("ADQ_LADDER", "on");
+    EXPECT_EQ(pinned_step_from_env(), -1);
+  }
+  {
+    EnvVar env("ADQ_LADDER", "off");
+    EXPECT_EQ(pinned_step_from_env(), 0);
+  }
+  {
+    EnvVar env("ADQ_LADDER", "2");
+    EXPECT_EQ(pinned_step_from_env(), 2);
+  }
+  {
+    EnvVar env("ADQ_LADDER", "-2");
+    EXPECT_THROW(pinned_step_from_env(), std::invalid_argument);
+  }
+  {
+    EnvVar env("ADQ_LADDER", "sometimes");
+    EXPECT_THROW(pinned_step_from_env(), std::invalid_argument);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ModelRegistry against real compiled plans.
+// ---------------------------------------------------------------------------
+
+InferencePlan vgg_plan(int bits, std::uint64_t seed = 5, int classes = 10) {
+  Rng rng(seed);
+  models::VggConfig cfg;
+  cfg.width_mult = 0.0625;
+  cfg.num_classes = classes;
+  auto model = models::build_vgg19(cfg, rng);
+  model->set_training(false);
+  for (int i = 0; i < model->unit_count(); ++i) {
+    if (!model->unit(i).frozen) model->unit(i).set_bits(bits);
+  }
+  return infer::compile(*model);
+}
+
+InferencePlan mobilenet_plan(int bits, std::uint64_t seed = 6) {
+  Rng rng(seed);
+  models::MobileNetConfig cfg;
+  cfg.width_mult = 0.25;
+  cfg.num_classes = 10;
+  auto model = models::build_mobilenet_small(cfg, rng);
+  model->set_training(false);
+  for (int i = 0; i < model->unit_count(); ++i) {
+    if (!model->unit(i).frozen) model->unit(i).set_bits(bits);
+  }
+  return infer::compile(*model);
+}
+
+Tensor cifar_sample(Rng& rng) {
+  Tensor x(Shape{3, 32, 32});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  return x;
+}
+
+// Reference result for one sample on one plan's engine.
+Tensor direct_logits(const IntInferenceEngine& engine, const Tensor& sample) {
+  const std::vector<const Tensor*> one{&sample};
+  return take_sample(engine.forward(stack_samples(one)), 0);
+}
+
+std::string hex_fp(std::uint64_t fp) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(fp));
+  return buf;
+}
+
+ModelConfig hermetic_config() {
+  ModelConfig cfg;
+  cfg.use_env = false;  // tests must not inherit ADQ_LADDER / ADQ_SLO_P99_US
+  return cfg;
+}
+
+TEST(Registry, ServesMultipleModelsWithPerModelStats) {
+  ModelRegistry registry;
+  ModelConfig cfg = hermetic_config();
+  cfg.pin_step = 0;
+  // Batch of one: the engine's activation ranges are observed per batch,
+  // so only batch-1 results are comparable to direct single-sample calls.
+  cfg.max_batch = 1;
+  cfg.max_wait_us = 0;
+  registry.add_model("vgg", {vgg_plan(8)}, cfg);
+  registry.add_model("mobilenet", {mobilenet_plan(8)}, cfg);
+  ASSERT_EQ(registry.model_names(),
+            (std::vector<std::string>{"mobilenet", "vgg"}));
+  EXPECT_EQ(registry.sample_shape("vgg"), (Shape{3, 32, 32}));
+
+  const IntInferenceEngine vgg_engine(vgg_plan(8));
+  const IntInferenceEngine mob_engine(mobilenet_plan(8));
+
+  Rng rng(41);
+  std::vector<Tensor> samples;
+  std::vector<std::future<InferenceResult>> vgg_f, mob_f;
+  for (int i = 0; i < 8; ++i) samples.push_back(cifar_sample(rng));
+  for (const Tensor& s : samples) {
+    vgg_f.push_back(registry.submit("vgg", s));
+    mob_f.push_back(registry.submit("mobilenet", s));
+  }
+  for (int i = 0; i < 8; ++i) {
+    const InferenceResult rv = vgg_f[static_cast<std::size_t>(i)].get();
+    const InferenceResult rm = mob_f[static_cast<std::size_t>(i)].get();
+    // Routing is by name: each result is bit-identical to the named
+    // model's own engine on that sample.
+    const Tensor ev = direct_logits(vgg_engine, samples[static_cast<std::size_t>(i)]);
+    const Tensor em = direct_logits(mob_engine, samples[static_cast<std::size_t>(i)]);
+    ASSERT_EQ(rv.logits.numel(), ev.numel());
+    for (std::int64_t j = 0; j < ev.numel(); ++j) {
+      ASSERT_EQ(rv.logits[j], ev[j]);
+      ASSERT_EQ(rm.logits[j], em[j]);
+    }
+    EXPECT_EQ(rv.ladder_step, 0);
+  }
+  registry.shutdown();
+  EXPECT_EQ(registry.stats("vgg").requests, 8u);
+  EXPECT_EQ(registry.stats("mobilenet").requests, 8u);
+  EXPECT_GT(registry.stats("vgg").p99_exec_us, 0.0);
+}
+
+TEST(Registry, ValidatesModelsAndSubmits) {
+  ModelRegistry registry;
+  EXPECT_THROW(registry.add_model("empty", std::vector<InferencePlan>{},
+                                  hermetic_config()),
+               std::invalid_argument);
+  registry.add_model("vgg", {vgg_plan(8)}, hermetic_config());
+  EXPECT_THROW(registry.add_model("vgg", {vgg_plan(8)}, hermetic_config()),
+               std::invalid_argument);
+  Rng rng(42);
+  EXPECT_THROW(registry.submit("nope", cifar_sample(rng)), std::out_of_range);
+  EXPECT_THROW(registry.submit("vgg", Tensor(Shape{3, 16, 16})),
+               std::invalid_argument);
+  EXPECT_THROW(registry.hot_swap("vgg", 3, vgg_plan(8)), std::out_of_range);
+}
+
+TEST(Registry, RejectsIncompatibleLadderRungNamingFingerprints) {
+  const InferencePlan rung0 = vgg_plan(8);
+  const InferencePlan rung1 = vgg_plan(8, 5, /*classes=*/12);
+  const std::string fp0 = hex_fp(infer::plan_fingerprint(rung0));
+  const std::string fp1 = hex_fp(infer::plan_fingerprint(rung1));
+  ModelRegistry registry;
+  try {
+    registry.add_model("vgg", {vgg_plan(8), vgg_plan(8, 5, 12)},
+                       hermetic_config());
+    FAIL() << "incompatible rung accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("output dim 12 vs 10"), std::string::npos) << what;
+    EXPECT_NE(what.find(fp0), std::string::npos) << what;
+    EXPECT_NE(what.find(fp1), std::string::npos) << what;
+  }
+}
+
+TEST(Registry, HotSwapRejectsShapeChangeNamingBothFingerprints) {
+  ModelRegistry registry;
+  registry.add_model("vgg", {vgg_plan(8)}, hermetic_config());
+  const std::string incumbent = hex_fp(registry.rung_fingerprint("vgg", 0));
+
+  // Different input geometry: a 16x16 ResNet plan.
+  Rng rng(7);
+  models::ResNetConfig rcfg;
+  rcfg.width_mult = 0.0625;
+  rcfg.num_classes = 10;
+  rcfg.input_size = 16;
+  auto resnet = models::build_resnet18(rcfg, rng);
+  resnet->set_training(false);
+  for (int i = 0; i < resnet->unit_count(); ++i) {
+    if (!resnet->unit(i).frozen) resnet->unit(i).set_bits(8);
+  }
+  InferencePlan candidate = infer::compile(*resnet);
+  const std::string cand_fp = hex_fp(infer::plan_fingerprint(candidate));
+
+  try {
+    registry.hot_swap("vgg", 0, std::move(candidate));
+    FAIL() << "incompatible swap accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(incumbent), std::string::npos) << what;
+    EXPECT_NE(what.find(cand_fp), std::string::npos) << what;
+    EXPECT_NE(what.find("[3, 16, 16]"), std::string::npos) << what;
+  }
+  // The incumbent survived the rejected swap.
+  EXPECT_EQ(hex_fp(registry.rung_fingerprint("vgg", 0)), incumbent);
+}
+
+TEST(Registry, HotSwapMidTrafficDropsNothingAndStaysBitIdenticalPerPlan) {
+  const InferencePlan plan_a = vgg_plan(8);
+  const InferencePlan plan_b = vgg_plan(4);  // same weights, 4-bit rung
+  const std::uint64_t fp_a = infer::plan_fingerprint(plan_a);
+  const std::uint64_t fp_b = infer::plan_fingerprint(plan_b);
+  ASSERT_NE(fp_a, fp_b);
+  const IntInferenceEngine engine_a(plan_a);
+  const IntInferenceEngine engine_b(plan_b);
+
+  ModelRegistry registry;
+  ModelConfig cfg = hermetic_config();
+  // max_batch = 1: the engine quantizes activations over the whole batch,
+  // so per-request results are only batch-composition-independent (and
+  // hence comparable to a direct single-sample call) at batch size 1.
+  cfg.max_batch = 1;
+  cfg.max_wait_us = 0;
+  cfg.workers = 2;
+  cfg.pin_step = 0;
+  registry.add_model("vgg", {vgg_plan(8)}, cfg);
+
+  constexpr int kRequests = 60;
+  Rng rng(43);
+  std::vector<Tensor> samples;
+  std::vector<Tensor> want_a, want_b;
+  samples.reserve(kRequests);
+  for (int i = 0; i < kRequests; ++i) {
+    samples.push_back(cifar_sample(rng));
+    want_a.push_back(direct_logits(engine_a, samples.back()));
+    want_b.push_back(direct_logits(engine_b, samples.back()));
+  }
+
+  // Producer thread keeps traffic flowing while the main thread swaps the
+  // serving plan back and forth.
+  std::vector<std::future<InferenceResult>> futures(kRequests);
+  std::thread producer([&] {
+    for (int i = 0; i < kRequests; ++i) {
+      futures[static_cast<std::size_t>(i)] =
+          registry.submit("vgg", samples[static_cast<std::size_t>(i)]);
+      std::this_thread::sleep_for(std::chrono::microseconds(300));
+    }
+  });
+  for (int swap = 0; swap < 6; ++swap) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    registry.hot_swap("vgg", 0, swap % 2 == 0 ? vgg_plan(4) : vgg_plan(8));
+  }
+  producer.join();
+
+  // Zero drops: every future resolves with a value, and each result is
+  // bit-identical to a direct call on the plan its fingerprint names.
+  std::map<std::uint64_t, int> served_by;
+  for (int i = 0; i < kRequests; ++i) {
+    const InferenceResult r = futures[static_cast<std::size_t>(i)].get();
+    ASSERT_TRUE(r.plan_fingerprint == fp_a || r.plan_fingerprint == fp_b);
+    const Tensor& want = r.plan_fingerprint == fp_a
+                             ? want_a[static_cast<std::size_t>(i)]
+                             : want_b[static_cast<std::size_t>(i)];
+    ASSERT_EQ(r.logits.numel(), want.numel());
+    for (std::int64_t j = 0; j < want.numel(); ++j) {
+      ASSERT_EQ(r.logits[j], want[j]) << "request " << i << " logit " << j;
+    }
+    ++served_by[r.plan_fingerprint];
+  }
+
+  // A final deterministic swap: traffic stopped, install B, one more
+  // request MUST run on B (batches are FIFO and the swap happened before
+  // the submit) — proves the swap really redirects traffic.
+  registry.hot_swap("vgg", 0, vgg_plan(4));
+  const InferenceResult last = registry.submit("vgg", samples[0]).get();
+  EXPECT_EQ(last.plan_fingerprint, fp_b);
+  for (std::int64_t j = 0; j < want_b[0].numel(); ++j) {
+    ASSERT_EQ(last.logits[j], want_b[0][j]);
+  }
+  registry.shutdown();
+  EXPECT_EQ(registry.stats("vgg").requests,
+            static_cast<std::uint64_t>(kRequests) + 1);
+}
+
+TEST(Registry, LadderStepsDownUnderAnUnmeetableSlo) {
+  ModelRegistry registry;
+  ModelConfig cfg = hermetic_config();
+  cfg.max_batch = 1;
+  cfg.max_wait_us = 0;
+  cfg.tick_interval_us = 0;     // every batch observes
+  cfg.slo.p99_us = 0.001;       // unmeetable: any completion breaches
+  cfg.slo.max_queue_depth = 1'000'000;
+  cfg.slo.breach_ticks = 1;
+  cfg.slo.clear_ticks = 1'000'000;  // never recovers during the test
+  registry.add_model("vgg", {vgg_plan(8), vgg_plan(4), vgg_plan(2)}, cfg);
+  ASSERT_EQ(registry.ladder_size("vgg"), 3);
+  ASSERT_EQ(registry.current_step("vgg"), 0);
+
+  Rng rng(44);
+  const Tensor sample = cifar_sample(rng);
+  for (int i = 0; i < 8; ++i) {
+    (void)registry.submit("vgg", sample).get();  // one batch per request
+  }
+  // Every batch ticked a breach, so the controller walked to the bottom
+  // rung and stayed (clamped).
+  EXPECT_EQ(registry.current_step("vgg"), 2);
+  const ServerStats::Snapshot s = registry.stats("vgg");
+  EXPECT_EQ(s.step_downs, 2u);
+  EXPECT_EQ(s.step_ups, 0u);
+  EXPECT_EQ(s.current_step, 2);
+  // The mix shows requests on more than one rung.
+  EXPECT_GE(s.precision_mix.size(), 2u);
+  registry.shutdown();
+}
+
+TEST(Registry, EnvPinsTheLadderAndRejectsGarbage) {
+  {
+    EnvVar env("ADQ_LADDER", "9");  // pins, clamped to the last rung
+    ModelRegistry registry;
+    ModelConfig cfg;
+    cfg.use_env = true;
+    registry.add_model("vgg", {vgg_plan(8), vgg_plan(4)}, cfg);
+    EXPECT_EQ(registry.current_step("vgg"), 1);
+    Rng rng(45);
+    const InferenceResult r = registry.submit("vgg", cifar_sample(rng)).get();
+    EXPECT_EQ(r.ladder_step, 1);
+  }
+  {
+    EnvVar env("ADQ_SLO_P99_US", "soon");
+    ModelRegistry registry;
+    ModelConfig cfg;
+    cfg.use_env = true;
+    EXPECT_THROW(registry.add_model("vgg", {vgg_plan(8)}, cfg),
+                 std::invalid_argument);
+  }
+}
+
+TEST(Registry, SheddingBaselineRejectsWithServerOverloaded) {
+  ModelRegistry registry;
+  ModelConfig cfg = hermetic_config();
+  cfg.max_batch = 1;
+  cfg.max_wait_us = 0;
+  cfg.shed_queue_depth = 2;
+  registry.add_model("vgg", {vgg_plan(8)}, cfg);
+  Rng rng(46);
+  const Tensor sample = cifar_sample(rng);
+  std::vector<std::future<InferenceResult>> accepted;
+  int shed = 0;
+  // Submitting far faster than one worker can serve ~1 ms forwards must
+  // trip the depth-2 gate.
+  for (int i = 0; i < 200; ++i) {
+    try {
+      accepted.push_back(registry.submit("vgg", sample));
+    } catch (const ServerOverloaded&) {
+      ++shed;
+    }
+  }
+  EXPECT_GT(shed, 0);
+  for (auto& f : accepted) (void)f.get();  // accepted ones all complete
+  registry.shutdown();
+  EXPECT_EQ(registry.stats("vgg").requests, accepted.size());
+}
+
+TEST(Registry, RemoveModelNoDrainFailsQueuedRequestsWithServerStopped) {
+  ModelRegistry registry;
+  ModelConfig cfg = hermetic_config();
+  cfg.max_batch = 1;
+  cfg.max_wait_us = 0;
+  registry.add_model("vgg", {vgg_plan(8)}, cfg);
+  Rng rng(47);
+  const Tensor sample = cifar_sample(rng);
+  std::vector<std::future<InferenceResult>> futures;
+  for (int i = 0; i < 100; ++i) futures.push_back(registry.submit("vgg", sample));
+  registry.remove_model("vgg", /*drain=*/false);
+
+  int completed = 0, stopped = 0;
+  for (auto& f : futures) {
+    try {
+      (void)f.get();
+      ++completed;
+    } catch (const ServerStopped&) {
+      ++stopped;
+    }
+  }
+  // Every accepted future resolved — some served, the queued rest failed
+  // with the distinct shutdown error, none dropped or hung.
+  EXPECT_EQ(completed + stopped, 100);
+  EXPECT_GT(stopped, 0);
+  EXPECT_THROW(registry.submit("vgg", sample), std::out_of_range);
+  EXPECT_TRUE(registry.model_names().empty());
+}
+
+TEST(Registry, RemoveModelDrainCompletesEverything) {
+  ModelRegistry registry;
+  registry.add_model("vgg", {vgg_plan(8)}, hermetic_config());
+  Rng rng(48);
+  const Tensor sample = cifar_sample(rng);
+  std::vector<std::future<InferenceResult>> futures;
+  for (int i = 0; i < 32; ++i) futures.push_back(registry.submit("vgg", sample));
+  registry.remove_model("vgg", /*drain=*/true);
+  for (auto& f : futures) EXPECT_NO_THROW((void)f.get());
+}
+
+}  // namespace
+}  // namespace adq::serve

@@ -144,6 +144,36 @@ TEST(ServeQueue, PolicyValidation) {
                std::invalid_argument);
 }
 
+TEST(ServeQueue, FailPendingResolvesEveryFutureWithServerStopped) {
+  Rng rng(7);
+  RequestQueue queue;
+  std::vector<std::future<InferenceResult>> futures;
+  for (int i = 0; i < 5; ++i) futures.push_back(queue.push(make_sample(rng)));
+
+  queue.fail_pending("serve: stopping for the test");
+
+  // Every accepted request must resolve — with the distinct ServerStopped
+  // error, not a hang and not a generic broken_promise.
+  for (auto& f : futures) {
+    EXPECT_THROW(f.get(), ServerStopped);
+  }
+  // The queue is closed for business afterwards.
+  EXPECT_THROW(queue.push(make_sample(rng)), std::runtime_error);
+  EXPECT_EQ(queue.depth(), 0);
+}
+
+TEST(ServeQueue, DestructionFailsPendingFuturesWithServerStopped) {
+  Rng rng(8);
+  std::vector<std::future<InferenceResult>> futures;
+  {
+    RequestQueue queue;
+    for (int i = 0; i < 3; ++i) futures.push_back(queue.push(make_sample(rng)));
+  }  // destroyed with requests still pending
+  for (auto& f : futures) {
+    EXPECT_THROW(f.get(), ServerStopped);
+  }
+}
+
 // --------------------------------------------------------------------------
 // Stats.
 // --------------------------------------------------------------------------
@@ -153,7 +183,9 @@ TEST(ServeStats, AggregatesBatchesAndPercentiles) {
   for (int i = 0; i < 3; ++i) stats.record_batch(4, /*queue_depth=*/i);
   stats.record_batch(2, 7);
   for (int i = 1; i <= 100; ++i) {
-    stats.record_request(/*queue_us=*/10.0, /*total_us=*/static_cast<double>(i));
+    stats.record_request(/*queue_us=*/10.0,
+                         /*exec_us=*/static_cast<double>(i) - 10.0,
+                         /*total_us=*/static_cast<double>(i));
   }
   const ServerStats::Snapshot s = stats.snapshot();
   EXPECT_EQ(s.requests, 100u);
@@ -162,6 +194,12 @@ TEST(ServeStats, AggregatesBatchesAndPercentiles) {
   EXPECT_DOUBLE_EQ(s.p50_us, 50.0);
   EXPECT_DOUBLE_EQ(s.p95_us, 95.0);
   EXPECT_DOUBLE_EQ(s.p99_us, 99.0);
+  // Queue-wait vs execution split: waits were constant, execution carries
+  // all the spread, and the percentiles attribute it accordingly.
+  EXPECT_DOUBLE_EQ(s.p50_queue_us, 10.0);
+  EXPECT_DOUBLE_EQ(s.p99_queue_us, 10.0);
+  EXPECT_DOUBLE_EQ(s.p50_exec_us, 40.0);
+  EXPECT_DOUBLE_EQ(s.p99_exec_us, 89.0);
   EXPECT_DOUBLE_EQ(s.mean_queue_us, 10.0);
   EXPECT_EQ(s.mean_batch, 25.0);
   ASSERT_EQ(s.batch_histogram.size(), 2u);
@@ -169,9 +207,34 @@ TEST(ServeStats, AggregatesBatchesAndPercentiles) {
   EXPECT_EQ(s.batch_histogram[0].second, 1u);
   EXPECT_EQ(s.batch_histogram[1].first, 4);
   EXPECT_EQ(s.batch_histogram[1].second, 3u);
+  // All on the default rung, no transitions.
+  ASSERT_EQ(s.precision_mix.size(), 1u);
+  EXPECT_EQ(s.precision_mix[0].first, 0);
+  EXPECT_EQ(s.precision_mix[0].second, 100u);
+  EXPECT_EQ(s.step_downs, 0u);
+  EXPECT_EQ(s.step_ups, 0u);
 
   stats.reset();
   EXPECT_EQ(stats.snapshot().requests, 0u);
+}
+
+TEST(ServeStats, TracksPrecisionMixTransitionsAndRecentP99) {
+  ServerStats stats;
+  for (int i = 0; i < 10; ++i) stats.record_request(0.0, 100.0, 100.0, 0);
+  stats.record_transition(0, 1);
+  for (int i = 0; i < 30; ++i) stats.record_request(0.0, 40.0, 40.0, 1);
+  stats.record_transition(1, 2);
+  stats.record_transition(2, 1);
+  const ServerStats::Snapshot s = stats.snapshot();
+  ASSERT_EQ(s.precision_mix.size(), 2u);
+  EXPECT_EQ(s.precision_mix[0], (std::pair<int, std::uint64_t>{0, 10u}));
+  EXPECT_EQ(s.precision_mix[1], (std::pair<int, std::uint64_t>{1, 30u}));
+  EXPECT_EQ(s.step_downs, 2u);
+  EXPECT_EQ(s.step_ups, 1u);
+  EXPECT_EQ(s.current_step, 1);
+  // recent_p99_us sees the sliding window (40 entries: 10 at 100, 30 at
+  // 40), so its p99 is the old slow tail, not the recent fast mode.
+  EXPECT_DOUBLE_EQ(stats.recent_p99_us(), 100.0);
 }
 
 // --------------------------------------------------------------------------
