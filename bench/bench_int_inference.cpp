@@ -11,10 +11,13 @@
 // agreement vs fake-quant, and resident weight bytes land in the table and
 // in BENCH_int_inference.json.
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <numeric>
+#include <string>
 
 // Replaces global operator new/delete for the allocs-per-forward metric:
 // the arena executor's contract is ZERO steady-state heap allocations,
@@ -231,6 +234,63 @@ int main() {
                 allocs,
                 static_cast<double>(plan8.peak_activation_bytes(8)) / 1024.0);
     json.add("allocs_per_forward_b8", allocs, "allocs");
+  }
+
+  // -- activation compression (ADQ_ACT_BITS): packed vs float-slot arena --
+  // The paper-mixed plan compresses hardest (sub-byte layers store 4/2-bit
+  // codes); compare its arena against the same model compiled with
+  // compression off, and check the b1 latency cost of packing.
+  {
+    set_bits(mixed);
+    const char* saved = std::getenv("ADQ_ACT_BITS");
+    const std::string saved_val = saved != nullptr ? saved : "";
+    setenv("ADQ_ACT_BITS", "on", 1);
+    const infer::InferencePlan packed_plan = infer::compile(*model);
+    setenv("ADQ_ACT_BITS", "off", 1);
+    const infer::InferencePlan float_plan = infer::compile(*model);
+    if (saved != nullptr) {
+      setenv("ADQ_ACT_BITS", saved_val.c_str(), 1);
+    } else {
+      unsetenv("ADQ_ACT_BITS");
+    }
+
+    const double reduction =
+        packed_plan.arena_bytes_u8 > 0
+            ? 1.0 - static_cast<double>(packed_plan.arena_bytes) /
+                        static_cast<double>(packed_plan.arena_bytes_u8)
+            : 0.0;
+    json.add("arena_bytes_packed", static_cast<double>(packed_plan.arena_bytes),
+             "bytes");
+    json.add("arena_bytes_u8", static_cast<double>(packed_plan.arena_bytes_u8),
+             "bytes");
+    json.add("arena_reduction_frac", reduction, "frac");
+    const std::array<int, 9> cells = packed_plan.act_cell_histogram();
+    for (int c = 0; c < static_cast<int>(cells.size()); ++c) {
+      if (cells[static_cast<std::size_t>(c)] > 0) {
+        json.add("act_cells_" + std::to_string(c),
+                 static_cast<double>(cells[static_cast<std::size_t>(c)]),
+                 "ops");
+      }
+    }
+
+    const infer::IntInferenceEngine packed_engine(packed_plan);
+    const infer::IntInferenceEngine float_engine(float_plan);
+    std::vector<std::int64_t> idx(1);
+    const Tensor x1 = split.test.gather(idx).images;
+    const double on_ms =
+        time_best_ms(reps, [&] { return packed_engine.forward(x1); });
+    const double off_ms =
+        time_best_ms(reps, [&] { return float_engine.forward(x1); });
+    std::printf(
+        "activation compression (paper-mixed): arena %.1f KiB packed vs "
+        "%.1f KiB float (-%.1f%%), b1 %.3f ms on vs %.3f ms off\n",
+        static_cast<double>(packed_plan.arena_bytes) / 1024.0,
+        static_cast<double>(packed_plan.arena_bytes_u8) / 1024.0,
+        100.0 * reduction, on_ms, off_ms);
+    json.add("act_bits_on_b1_ms", on_ms, "ms");
+    json.add("act_bits_off_b1_ms", off_ms, "ms");
+    json.add("act_bits_b1_overhead", on_ms / off_ms, "x");
+    set_bits(uniform8);
   }
   return 0;
 }

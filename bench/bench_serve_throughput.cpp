@@ -98,6 +98,10 @@ int main() {
               plan_path.c_str());
   json.add("arena_bytes_per_sample", static_cast<double>(loaded.arena_bytes),
            "bytes");
+  json.add("arena_bytes_packed", static_cast<double>(loaded.arena_bytes),
+           "bytes");
+  json.add("arena_bytes_u8", static_cast<double>(loaded.arena_bytes_u8),
+           "bytes");
 
   // Allocs per forward of the served engine (batch 16, the default cap a
   // worker runs): zero under the arena executor, measured every run.

@@ -1,0 +1,15 @@
+#include "ad/act_bits.h"
+
+namespace adq::ad {
+
+int choose_act_cell(int consumer_cell, double producer_density,
+                    double dense_threshold) {
+  if (consumer_cell >= 8) return 8;
+  // Unknown density (no meter observation) keeps the natural cell: the
+  // fallback exists to dodge pack traffic on provably dense layers, not to
+  // penalise untrained or unmetered graphs.
+  if (producer_density > dense_threshold) return 8;
+  return consumer_cell;
+}
+
+}  // namespace adq::ad

@@ -1,0 +1,37 @@
+// Activation-storage cell policy driven by Activation Density (eqn 2).
+//
+// The memory planner can store an activation value as packed k-bit
+// quantize codes instead of float words whenever every consumer is an
+// integer GEMM on one common grid — the codes are exactly what the
+// consumer's own quantize_act would compute, so the transform is lossless
+// at any cell width. The only freedom is the STORAGE cell: the natural
+// cell for a k-bit grid (cell_bits_for(k)), or a conservative 8-bit cell
+// (one code per byte, no sub-byte packing step).
+//
+// This header is the AD pipeline's say in that choice: a layer whose
+// density meter reports a dense post-ReLU output (most codes far from the
+// grid floor) gains little from the tighter cell relative to the
+// pack/unpack traffic it adds, so dense producers fall back to byte cells;
+// sparse producers — the regime the paper's eqn-3 bit descent targets —
+// take the sub-byte cell and shrink their arena slot by up to 4x more.
+#pragma once
+
+namespace adq::ad {
+
+/// Default density above which a producer's activations count as dense and
+/// its storage falls back to 8-bit cells.
+inline constexpr double kDenseActivationThreshold = 0.5;
+
+/// Picks the storage cell width for a packed activation value.
+///   consumer_cell    natural cell of the consuming GEMM's grid, one of
+///                    {1, 2, 4, 8} (cell_bits_for of the grid bits)
+///   producer_density latest committed AD of the producing unit, or a
+///                    negative value when no density has been observed
+///   dense_threshold  densities strictly above this fall back to 8
+/// Returns consumer_cell for sparse or unmetered producers, 8 for dense
+/// ones. The choice never affects numerics — only slot size and the
+/// presence of a sub-byte pack/unpack step.
+int choose_act_cell(int consumer_cell, double producer_density,
+                    double dense_threshold = kDenseActivationThreshold);
+
+}  // namespace adq::ad

@@ -147,6 +147,21 @@ using PackCodesFn = void (*)(const std::uint8_t* codes, std::int64_t count,
 using UnpackCodesFn = void (*)(const std::uint8_t* packed, std::int64_t count,
                                int cell_bits, std::uint8_t* codes);
 
+/// Packs `count` activation codes (< 2^cell_bits each) into little-endian
+/// cells — same layout as PackCodesFn, but this is the per-forward hot path
+/// that compresses arena slots (act_pack_u8pN), so implementations may
+/// parallelize across byte-group-aligned chunks. Slack bytes past
+/// packed_bytes(count, cell_bits) are never written.
+using ActPackFn = void (*)(const std::uint8_t* codes, std::int64_t count,
+                           int cell_bits, std::uint8_t* packed);
+
+/// Inverse of ActPackFn (act_unpack_pNu8): expands a packed arena slot back
+/// to one code per byte for the GEMM/im2col consumers. Same parallel
+/// contract; bytes past `count` codes are never read beyond the packed
+/// extent.
+using ActUnpackFn = void (*)(const std::uint8_t* packed, std::int64_t count,
+                             int cell_bits, std::uint8_t* codes);
+
 /// One registered backend: a complete op table. Unavailable backends stay
 /// registered (so error messages can name them) but must not be called.
 struct Backend {
@@ -166,6 +181,8 @@ struct Backend {
   ResidualAddFn residual_add = nullptr;
   PackCodesFn pack_codes = nullptr;
   UnpackCodesFn unpack_codes = nullptr;
+  ActPackFn act_pack = nullptr;
+  ActUnpackFn act_unpack = nullptr;
 };
 
 /// The registry's op enumeration — one entry per Backend table slot. The
@@ -186,13 +203,15 @@ enum class Op {
   kEpilogue,
   kResidualAdd,
   kBitpack,  // pack + unpack round trip, verified as one op
+  kActPack,    // hot-path arena-slot compression (act_pack_u8pN)
+  kActUnpack,  // hot-path arena-slot expansion (act_unpack_pNu8)
 };
 
 inline constexpr Op kAllOps[] = {
     Op::kIgemm,       Op::kIgemmW4,     Op::kIgemmW2,   Op::kIm2colU8,
     Op::kIm2colF32,   Op::kDepthwiseInt, Op::kDepthwiseF32,
     Op::kQuantizeAct, Op::kFakeQuant,   Op::kDequantize, Op::kEpilogue,
-    Op::kResidualAdd, Op::kBitpack};
+    Op::kResidualAdd, Op::kBitpack,     Op::kActPack,   Op::kActUnpack};
 
 /// Stable lowercase op name (the --op filter / repro-command vocabulary).
 const char* op_name(Op op);

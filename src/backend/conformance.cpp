@@ -585,6 +585,104 @@ CaseResult bitpack_case(std::uint64_t seed, const Backend& test) {
   return r;
 }
 
+// Activation-slot pack: the parallel hot-path twin of bitpack. Checked two
+// ways like igemm_packed_case — the portable reference must equal the
+// scalar pack_codes ground truth (the chunked parallel decomposition may
+// not change a byte), and the backend under test must equal the portable
+// reference bit for bit. Sizes cross the parallel grain and the SIMD block
+// widths on some draws; output buffers carry sentinel slack bytes past the
+// packed extent so an over-long write is caught, and a scalar round trip
+// must restore every code.
+CaseResult act_pack_case(std::uint64_t seed, const Backend& test) {
+  Rng rng(seed);
+  CaseResult r;
+  constexpr int kCells[] = {1, 2, 4, 8};
+  const int cell = kCells[rng.uniform_int(0, 3)];
+  const std::int64_t count = rng.coin(0.15) ? rng.uniform_int(4000, 20000)
+                                            : rng.uniform_int(0, 1200);
+  r.desc = "act_pack count=" + std::to_string(count) +
+           " cell_bits=" + std::to_string(cell);
+
+  std::vector<std::uint8_t> codes(
+      static_cast<std::size_t>(std::max<std::int64_t>(count, 1)));
+  for (std::int64_t i = 0; i < count; ++i) {
+    codes[i] = static_cast<std::uint8_t>(rng.uniform_int(0, (1 << cell) - 1));
+  }
+
+  const std::int64_t pbytes = packed_bytes(count, cell);
+  const std::size_t buf = static_cast<std::size_t>(pbytes) + 8;  // slack
+  std::vector<std::uint8_t> truth(buf, kSentinelU8);
+  std::vector<std::uint8_t> packed_ref(truth);
+  std::vector<std::uint8_t> packed_got(truth);
+  if (count > 0) pack_codes(codes.data(), count, cell, truth.data());
+  portable_backend().act_pack(codes.data(), count, cell, packed_ref.data());
+  test.act_pack(codes.data(), count, cell, packed_got.data());
+  if (!compare_exact(truth, packed_ref, &r)) {
+    r.detail = "portable reference disagrees with scalar pack_codes ground "
+               "truth: " + r.detail;
+    return r;
+  }
+  if (!compare_exact(packed_ref, packed_got, &r)) return r;
+
+  std::vector<std::uint8_t> un(codes.size(), kSentinelU8);
+  if (count > 0) unpack_codes(packed_got.data(), count, cell, un.data());
+  for (std::int64_t i = 0; i < count; ++i) {
+    if (un[i] != codes[i]) {
+      r.ok = false;
+      r.detail = "act_pack round trip lost code at index " + std::to_string(i);
+      return r;
+    }
+  }
+  return r;
+}
+
+// Inverse direction: the packed source carries garbage slack bytes past
+// packed_bytes(count, cell) and sentinel-checked output past `count`, so a
+// kernel that reads or writes beyond the logical extent fails loudly.
+CaseResult act_unpack_case(std::uint64_t seed, const Backend& test) {
+  Rng rng(seed);
+  CaseResult r;
+  constexpr int kCells[] = {1, 2, 4, 8};
+  const int cell = kCells[rng.uniform_int(0, 3)];
+  const std::int64_t count = rng.coin(0.15) ? rng.uniform_int(4000, 20000)
+                                            : rng.uniform_int(0, 1200);
+  r.desc = "act_unpack count=" + std::to_string(count) +
+           " cell_bits=" + std::to_string(cell);
+
+  std::vector<std::uint8_t> codes(
+      static_cast<std::size_t>(std::max<std::int64_t>(count, 1)));
+  for (std::int64_t i = 0; i < count; ++i) {
+    codes[i] = static_cast<std::uint8_t>(rng.uniform_int(0, (1 << cell) - 1));
+  }
+  const std::int64_t pbytes = packed_bytes(count, cell);
+  std::vector<std::uint8_t> packed(static_cast<std::size_t>(pbytes) + 8);
+  fill_codes(rng, packed.data(), static_cast<std::int64_t>(packed.size()),
+             8);  // slack bytes stay garbage
+  if (count > 0) pack_codes(codes.data(), count, cell, packed.data());
+
+  std::vector<std::uint8_t> un_truth(codes.size() + 8, kSentinelU8);
+  std::vector<std::uint8_t> un_ref(un_truth);
+  std::vector<std::uint8_t> un_got(un_truth);
+  if (count > 0) unpack_codes(packed.data(), count, cell, un_truth.data());
+  portable_backend().act_unpack(packed.data(), count, cell, un_ref.data());
+  test.act_unpack(packed.data(), count, cell, un_got.data());
+  if (!compare_exact(un_truth, un_ref, &r)) {
+    r.detail = "portable reference disagrees with scalar unpack_codes ground "
+               "truth: " + r.detail;
+    return r;
+  }
+  if (!compare_exact(un_ref, un_got, &r)) return r;
+  for (std::int64_t i = 0; i < count; ++i) {
+    if (un_got[i] != codes[i]) {
+      r.ok = false;
+      r.detail = "act_unpack did not restore code at index " +
+                 std::to_string(i);
+      return r;
+    }
+  }
+  return r;
+}
+
 }  // namespace
 
 CaseResult run_conformance_case(Op op, std::uint64_t seed,
@@ -603,6 +701,8 @@ CaseResult run_conformance_case(Op op, std::uint64_t seed,
     case Op::kEpilogue: return epilogue_case(seed, test);
     case Op::kResidualAdd: return residual_add_case(seed, test);
     case Op::kBitpack: return bitpack_case(seed, test);
+    case Op::kActPack: return act_pack_case(seed, test);
+    case Op::kActUnpack: return act_unpack_case(seed, test);
   }
   CaseResult r;
   r.ok = false;
@@ -843,6 +943,31 @@ PerfSample measure_perf(Op op, const Backend& test, int bits) {
         test.residual_add(cur.data(), skip.data(), B, C, hw, -1, dst.data());
       });
       s.value = static_cast<double>(3 * numel * sizeof(float)) / sec * 1e-9;
+      return s;
+    }
+    case Op::kActPack:
+    case Op::kActUnpack: {
+      // bits caps the code range AND picks the cell (8/4/2), matching the
+      // storage widths the activation planner assigns.
+      const std::int64_t n = 1 << 20;
+      const int cell = bits;
+      std::vector<std::uint8_t> codes(static_cast<std::size_t>(n));
+      for (std::int64_t i = 0; i < n; ++i) {
+        codes[i] = static_cast<std::uint8_t>(rng.uniform_int(0, (1 << cell) - 1));
+      }
+      std::vector<std::uint8_t> packed(
+          static_cast<std::size_t>(packed_bytes(n, cell)));
+      if (op == Op::kActPack) {
+        const double sec = time_op(
+            [&] { test.act_pack(codes.data(), n, cell, packed.data()); });
+        s.value = static_cast<double>(n) / sec * 1e-9;
+      } else {
+        test.act_pack(codes.data(), n, cell, packed.data());
+        std::vector<std::uint8_t> un(static_cast<std::size_t>(n));
+        const double sec = time_op(
+            [&] { test.act_unpack(packed.data(), n, cell, un.data()); });
+        s.value = static_cast<double>(n) / sec * 1e-9;
+      }
       return s;
     }
     case Op::kBitpack: {

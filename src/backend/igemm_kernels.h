@@ -37,6 +37,18 @@ void igemm_u8w2_avx2(std::int64_t m, std::int64_t n, std::int64_t k,
                      const std::uint8_t* b, std::int64_t ldb, std::int32_t* c,
                      std::int64_t ldc);
 
+/// AVX2 activation-slot pack: same little-endian cell layout and chunked
+/// parallel contract as the portable act_pack, vectorized for the 4-bit
+/// (nibble merge) and 2-bit (two-stage merge) cells the activation planner
+/// emits; 1/8-bit cells take the scalar/memcpy path. Bit-identical to the
+/// scalar pack_codes. Gated on igemm_subbyte_avx2_available().
+void act_pack_avx2(const std::uint8_t* codes, std::int64_t count,
+                   int cell_bits, std::uint8_t* packed);
+
+/// Inverse of act_pack_avx2 (nibble/crumb split + byte interleave).
+void act_unpack_avx2(const std::uint8_t* packed, std::int64_t count,
+                     int cell_bits, std::uint8_t* codes);
+
 /// True when the running CPU can execute the AVX-512 VNNI kernel.
 bool igemm_vnni_available();
 

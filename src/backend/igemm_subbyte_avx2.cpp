@@ -41,6 +41,7 @@
 
 #include "tensor/bitpack.h"
 #include "tensor/gemm_int8.h"
+#include "tensor/parallel.h"
 
 #if defined(ADQ_AVX2_BUILD)
 #include <immintrin.h>
@@ -279,11 +280,166 @@ void gemm_block_subbyte(std::int64_t k, const std::uint8_t* a,
   }
 }
 
+// --- activation slot pack/unpack -------------------------------------------
+//
+// The arena executor's per-forward compression: merge/split cells entirely
+// in-register. Packing ORs each byte pair into its little-endian cell via a
+// 16-bit lane shift (codes < 2^cell, so the shifted-out bits are zero), then
+// narrows with packus + the cross-lane permute; 2-bit cells apply the merge
+// twice (pairs -> nibbles -> bytes). Unpacking mirrors pack_a_expand's
+// mask/shift/interleave split. Tails fall through to the scalar bitpack
+// kernels, which are also the conformance ground truth.
+
+// 64 codes -> 32 packed bytes per iteration at 4-bit cells.
+void act_pack4_chunk(const std::uint8_t* src, std::int64_t cnt,
+                     std::uint8_t* dst) {
+  const __m256i byte_mask = _mm256_set1_epi16(0x00FF);
+  std::int64_t j = 0;
+  for (; j + 64 <= cnt; j += 64) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + j));
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + j + 32));
+    const __m256i ta = _mm256_and_si256(
+        _mm256_or_si256(a, _mm256_srli_epi16(a, 4)), byte_mask);
+    const __m256i tb = _mm256_and_si256(
+        _mm256_or_si256(b, _mm256_srli_epi16(b, 4)), byte_mask);
+    // packus emits qwords [a.lo, b.lo, a.hi, b.hi]; 0xD8 restores a, b order.
+    const __m256i p =
+        _mm256_permute4x64_epi64(_mm256_packus_epi16(ta, tb), 0xD8);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + j / 2), p);
+  }
+  if (j < cnt) pack_codes(src + j, cnt - j, 4, dst + j / 2);
+}
+
+// 32 codes from 16 packed bytes per iteration at 4-bit cells.
+void act_unpack4_chunk(const std::uint8_t* src, std::int64_t cnt,
+                       std::uint8_t* dst) {
+  const __m128i lo_mask = _mm_set1_epi8(0x0F);
+  std::int64_t j = 0;
+  for (; j + 32 <= cnt; j += 32) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + j / 2));
+    const __m128i lo = _mm_and_si128(v, lo_mask);
+    const __m128i hi = _mm_and_si128(_mm_srli_epi16(v, 4), lo_mask);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + j),
+                     _mm_unpacklo_epi8(lo, hi));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + j + 16),
+                     _mm_unpackhi_epi8(lo, hi));
+  }
+  if (j < cnt) unpack_codes(src + j / 2, cnt - j, 4, dst + j);
+}
+
+// 128 codes -> 32 packed bytes per iteration at 2-bit cells: pair-merge to
+// 4-bit values, then the nibble merge from the 4-bit path.
+void act_pack2_chunk(const std::uint8_t* src, std::int64_t cnt,
+                     std::uint8_t* dst) {
+  const __m256i byte_mask = _mm256_set1_epi16(0x00FF);
+  const auto merge_pairs = [&](const __m256i v) {
+    return _mm256_and_si256(_mm256_or_si256(v, _mm256_srli_epi16(v, 6)),
+                            byte_mask);
+  };
+  std::int64_t j = 0;
+  for (; j + 128 <= cnt; j += 128) {
+    __m256i nib[2];
+    for (int h = 0; h < 2; ++h) {
+      const __m256i a = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(src + j + 64 * h));
+      const __m256i b = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(src + j + 64 * h + 32));
+      nib[h] = _mm256_permute4x64_epi64(
+          _mm256_packus_epi16(merge_pairs(a), merge_pairs(b)), 0xD8);
+    }
+    const __m256i ta = _mm256_and_si256(
+        _mm256_or_si256(nib[0], _mm256_srli_epi16(nib[0], 4)), byte_mask);
+    const __m256i tb = _mm256_and_si256(
+        _mm256_or_si256(nib[1], _mm256_srli_epi16(nib[1], 4)), byte_mask);
+    const __m256i p =
+        _mm256_permute4x64_epi64(_mm256_packus_epi16(ta, tb), 0xD8);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + j / 4), p);
+  }
+  if (j < cnt) pack_codes(src + j, cnt - j, 2, dst + j / 4);
+}
+
+// 64 codes from 16 packed bytes per iteration at 2-bit cells: nibble split,
+// then crumb split, interleaving at each stage to restore code order.
+void act_unpack2_chunk(const std::uint8_t* src, std::int64_t cnt,
+                       std::uint8_t* dst) {
+  const __m128i nib_mask = _mm_set1_epi8(0x0F);
+  const __m128i crumb_mask = _mm_set1_epi8(0x03);
+  std::int64_t j = 0;
+  for (; j + 64 <= cnt; j += 64) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + j / 4));
+    const __m128i nlo = _mm_and_si128(v, nib_mask);
+    const __m128i nhi = _mm_and_si128(_mm_srli_epi16(v, 4), nib_mask);
+    const __m128i n0 = _mm_unpacklo_epi8(nlo, nhi);
+    const __m128i n1 = _mm_unpackhi_epi8(nlo, nhi);
+    const __m128i c0lo = _mm_and_si128(n0, crumb_mask);
+    const __m128i c0hi = _mm_and_si128(_mm_srli_epi16(n0, 2), crumb_mask);
+    const __m128i c1lo = _mm_and_si128(n1, crumb_mask);
+    const __m128i c1hi = _mm_and_si128(_mm_srli_epi16(n1, 2), crumb_mask);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + j),
+                     _mm_unpacklo_epi8(c0lo, c0hi));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + j + 16),
+                     _mm_unpackhi_epi8(c0lo, c0hi));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + j + 32),
+                     _mm_unpacklo_epi8(c1lo, c1hi));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + j + 48),
+                     _mm_unpackhi_epi8(c1lo, c1hi));
+  }
+  if (j < cnt) unpack_codes(src + j / 4, cnt - j, 2, dst + j);
+}
+
 }  // namespace
 
 bool igemm_subbyte_avx2_available() {
   static const bool ok = __builtin_cpu_supports("avx2") != 0;
   return ok;
+}
+
+void act_pack_avx2(const std::uint8_t* codes, std::int64_t count,
+                   int cell_bits, std::uint8_t* packed) {
+  if (count <= 0) return;
+  if (cell_bits == 8) {
+    std::memcpy(packed, codes, static_cast<std::size_t>(count));
+    return;
+  }
+  const std::int64_t per = 8 / cell_bits;
+  const std::int64_t groups = (count + per - 1) / per;
+  parallel_for(0, groups, [&](std::int64_t g0, std::int64_t g1) {
+    const std::int64_t c0 = g0 * per;
+    const std::int64_t cnt = std::min(count, g1 * per) - c0;
+    if (cell_bits == 4) {
+      act_pack4_chunk(codes + c0, cnt, packed + g0);
+    } else if (cell_bits == 2) {
+      act_pack2_chunk(codes + c0, cnt, packed + g0);
+    } else {
+      pack_codes(codes + c0, cnt, cell_bits, packed + g0);
+    }
+  }, /*grain=*/4096);
+}
+
+void act_unpack_avx2(const std::uint8_t* packed, std::int64_t count,
+                     int cell_bits, std::uint8_t* codes) {
+  if (count <= 0) return;
+  if (cell_bits == 8) {
+    std::memcpy(codes, packed, static_cast<std::size_t>(count));
+    return;
+  }
+  const std::int64_t per = 8 / cell_bits;
+  const std::int64_t groups = (count + per - 1) / per;
+  parallel_for(0, groups, [&](std::int64_t g0, std::int64_t g1) {
+    const std::int64_t c0 = g0 * per;
+    const std::int64_t cnt = std::min(count, g1 * per) - c0;
+    if (cell_bits == 4) {
+      act_unpack4_chunk(packed + g0, cnt, codes + c0);
+    } else if (cell_bits == 2) {
+      act_unpack2_chunk(packed + g0, cnt, codes + c0);
+    } else {
+      unpack_codes(packed + g0, cnt, cell_bits, codes + c0);
+    }
+  }, /*grain=*/4096);
 }
 
 void igemm_u8w4_avx2(std::int64_t m, std::int64_t n, std::int64_t k,
@@ -328,6 +484,18 @@ void igemm_packed_fallback(std::int64_t m, std::int64_t n, std::int64_t k,
 }  // namespace
 
 bool igemm_subbyte_avx2_available() { return false; }
+
+void act_pack_avx2(const std::uint8_t* codes, std::int64_t count,
+                   int cell_bits, std::uint8_t* packed) {
+  if (count <= 0) return;
+  pack_codes(codes, count, cell_bits, packed);
+}
+
+void act_unpack_avx2(const std::uint8_t* packed, std::int64_t count,
+                     int cell_bits, std::uint8_t* codes) {
+  if (count <= 0) return;
+  unpack_codes(packed, count, cell_bits, codes);
+}
 
 void igemm_u8w4_avx2(std::int64_t m, std::int64_t n, std::int64_t k,
                      const std::uint8_t* a_packed, std::int64_t lda_bytes,

@@ -286,6 +286,43 @@ void unpack_codes_op(const std::uint8_t* packed, std::int64_t count,
   unpack_codes(packed, count, cell_bits, codes);
 }
 
+// Per-forward arena-slot compression: same cell layout as pack_codes, but
+// parallelized across byte-group-aligned chunks (a chunk boundary is always
+// a multiple of 8/cell codes, so every worker writes disjoint whole bytes).
+// Chunks delegate to the scalar bitpack kernels, which are the ground truth
+// the conformance case also checks against.
+void act_pack_op(const std::uint8_t* codes, std::int64_t count, int cell_bits,
+                 std::uint8_t* packed) {
+  if (count <= 0) return;
+  if (cell_bits == 8) {
+    std::memcpy(packed, codes, static_cast<std::size_t>(count));
+    return;
+  }
+  const std::int64_t per = 8 / cell_bits;
+  const std::int64_t groups = (count + per - 1) / per;
+  parallel_for(0, groups, [&](std::int64_t g0, std::int64_t g1) {
+    const std::int64_t c0 = g0 * per;
+    const std::int64_t c1 = std::min(count, g1 * per);
+    pack_codes(codes + c0, c1 - c0, cell_bits, packed + g0);
+  }, /*grain=*/4096);
+}
+
+void act_unpack_op(const std::uint8_t* packed, std::int64_t count,
+                   int cell_bits, std::uint8_t* codes) {
+  if (count <= 0) return;
+  if (cell_bits == 8) {
+    std::memcpy(codes, packed, static_cast<std::size_t>(count));
+    return;
+  }
+  const std::int64_t per = 8 / cell_bits;
+  const std::int64_t groups = (count + per - 1) / per;
+  parallel_for(0, groups, [&](std::int64_t g0, std::int64_t g1) {
+    const std::int64_t c0 = g0 * per;
+    const std::int64_t c1 = std::min(count, g1 * per);
+    unpack_codes(packed + g0, c1 - c0, cell_bits, codes + c0);
+  }, /*grain=*/4096);
+}
+
 }  // namespace
 
 const Backend& portable_backend() {
@@ -307,6 +344,8 @@ const Backend& portable_backend() {
     t.residual_add = &residual_add_op;
     t.pack_codes = &pack_codes_op;
     t.unpack_codes = &unpack_codes_op;
+    t.act_pack = &act_pack_op;
+    t.act_unpack = &act_unpack_op;
     return t;
   }();
   return b;

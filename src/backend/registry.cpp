@@ -25,6 +25,8 @@ const Backend& avx2_backend() {
     t.igemm = &igemm_u8_avx2;
     t.igemm_w4 = &igemm_u8w4_avx2;
     t.igemm_w2 = &igemm_u8w2_avx2;
+    t.act_pack = &act_pack_avx2;
+    t.act_unpack = &act_unpack_avx2;
     return t;
   }();
   return b;
@@ -38,6 +40,10 @@ const Backend& vnni_backend() {
     t.igemm = &igemm_u8_vnni;
     t.igemm_w4 = &igemm_u8w4_vnni;
     t.igemm_w2 = &igemm_u8w2_vnni;
+    // The AVX2 activation pack/unpack is a strict subset of the VNNI ISA,
+    // so the VNNI tier reuses it rather than duplicating the kernels.
+    t.act_pack = &act_pack_avx2;
+    t.act_unpack = &act_unpack_avx2;
     return t;
   }();
   return b;
@@ -152,6 +158,8 @@ const char* op_name(Op op) {
     case Op::kEpilogue: return "epilogue";
     case Op::kResidualAdd: return "residual_add";
     case Op::kBitpack: return "bitpack";
+    case Op::kActPack: return "act_pack";
+    case Op::kActUnpack: return "act_unpack";
   }
   return "?";
 }

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "ad/density_meter.h"
 #include "models/model.h"
 #include "nn/batchnorm.h"
 #include "nn/conv2d.h"
@@ -16,6 +17,15 @@
 
 namespace adq::graph {
 namespace {
+
+// Latest committed AD (eqn 2) of a unit, or -1 when nothing was ever
+// observed — the activation-storage planner must be able to tell "sparse"
+// from "unmetered".
+double unit_density(const models::QuantUnit& u) {
+  const ad::DensityMeter& m = u.meter;
+  if (m.history().empty() && m.observed_total() == 0) return -1.0;
+  return m.latest();
+}
 
 // Incrementally appends nodes while tracking the id of the node producing
 // the "current" value of the straight-line walk.
@@ -189,6 +199,25 @@ Graph build_from_model(models::QuantizableModel& model,
   out.kind = NodeKind::kOutput;
   out.name = "output";
   g.set_output(b.node(std::move(out), b.current));
+
+  // Annotate each GEMM node with its unit's latest committed AD so the
+  // activation-storage planner (graph::assign_act_bits) can apply the
+  // dense-producer fallback. Units and nodes meet on the shared nn layer
+  // pointers — the only identity both sides carry.
+  for (int i = 0; i < model.unit_count(); ++i) {
+    const models::QuantUnit& u = model.unit(i);
+    const double d = unit_density(u);
+    if (d < 0.0) continue;
+    for (int id = 0; id < g.size(); ++id) {
+      Node& n = g.at(id);
+      if (n.dead) continue;
+      if ((u.conv != nullptr && n.conv == u.conv) ||
+          (u.dwconv != nullptr && n.dwconv == u.dwconv) ||
+          (u.linear != nullptr && n.linear == u.linear)) {
+        n.ad_density = d;
+      }
+    }
+  }
   return g;
 }
 

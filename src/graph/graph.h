@@ -71,12 +71,22 @@ struct ValueType {
 /// executor materialises a residual skip quantizer lazily (just before the
 /// add), and liveness must describe what the executor actually does.
 struct ValueMem {
-  std::int64_t bytes = 0;    // per-sample float bytes of this value
+  std::int64_t bytes = 0;    // per-sample storage bytes of this value
+                             // (float words, or packed codes when act_bits)
   std::int64_t offset = -1;  // arena byte offset of its storage slot
                              // (-1 = unplanned, or external caller memory)
   int def = -1;              // schedule step that produces the value
   int last_use = -1;         // last schedule step that reads it
   bool inplace = false;      // writes into (aliases) its input's slot
+
+  // Activation-storage compression, filled by assign_act_bits(): the value
+  // is stored in its arena slot as packed `act_bits`-bit quantize codes
+  // (0 = plain float words). `act_qbits` is the eqn-1 grid the codes were
+  // quantized on — the common bit-width of every consuming integer GEMM.
+  // act_qbits == 0 with act_bits > 0 marks a skip quantizer that codes on
+  // its OWN grid (its node `bits`); the executor dequantizes at the add.
+  int act_bits = 0;
+  int act_qbits = 0;
 };
 
 struct Node {
@@ -104,6 +114,13 @@ struct Node {
 
   std::int64_t pool_kernel = 2, pool_stride = 2;  // kMaxPool
   std::int64_t mask_channels = -1;                // kAdd eqn-5 output mask
+
+  // Latest committed Activation Density (eqn 2) of the unit producing this
+  // value, annotated by build_from_model from the unit meters; -1 = no
+  // density observed (untrained model, non-GEMM node). assign_act_bits
+  // reads it to pick the storage cell width (dense layers fall back to
+  // 8-bit cells).
+  double ad_density = -1.0;
 
   bool dead = false;  // tombstone; set via Graph::remove()
 };
@@ -154,11 +171,19 @@ class Graph {
   std::int64_t arena_bytes() const { return arena_bytes_; }
   void set_arena_bytes(std::int64_t bytes) { arena_bytes_ = bytes; }
 
+  /// What arena_bytes() would have been with activation compression off
+  /// (every value stored as float words) — the baseline the packed
+  /// footprint is reported against. Equals arena_bytes() when packing is
+  /// off; 0 until plan_memory() has run.
+  std::int64_t arena_bytes_u8() const { return arena_bytes_u8_; }
+  void set_arena_bytes_u8(std::int64_t bytes) { arena_bytes_u8_ = bytes; }
+
  private:
   std::string name_;
   std::vector<Node> nodes_;
   int input_ = -1, output_ = -1;
   std::int64_t arena_bytes_ = 0;
+  std::int64_t arena_bytes_u8_ = 0;
 };
 
 /// Graphviz rendering of the live graph: one record per node (kind, value

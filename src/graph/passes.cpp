@@ -8,10 +8,12 @@
 #include <string>
 #include <vector>
 
+#include "ad/act_bits.h"
 #include "nn/batchnorm.h"
 #include "nn/conv2d.h"
 #include "nn/depthwise.h"
 #include "nn/linear.h"
+#include "tensor/bitpack.h"
 
 namespace adq::graph {
 namespace {
@@ -296,6 +298,117 @@ bool eliminate_dead_nodes(Graph& g) {
   return changed;
 }
 
+ActStorageOptions act_storage_from_env() {
+  ActStorageOptions opts;
+  const char* env = std::getenv("ADQ_ACT_BITS");
+  if (env == nullptr || *env == '\0') return opts;
+  const std::string v(env);
+  if (v == "on") return opts;
+  if (v == "off") {
+    opts.mode = ActStorageOptions::Mode::kOff;
+    return opts;
+  }
+  char* end = nullptr;
+  const long k = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || !(k == 1 || k == 2 || k == 4 || k == 8)) {
+    throw std::invalid_argument(
+        "graph: ADQ_ACT_BITS='" + v +
+        "' (expected on, off, or a cell width in {1, 2, 4, 8} to pin)");
+  }
+  opts.mode = ActStorageOptions::Mode::kPin;
+  opts.pin_bits = static_cast<int>(k);
+  return opts;
+}
+
+namespace {
+
+// Nodes that actually read `id`'s bytes, looking through pure flatten
+// views. kOutput counts as a reader — the final value must stay float for
+// the caller.
+void effective_consumers(const Graph& g, int id, std::vector<int>& out) {
+  for (int c : g.consumers(id)) {
+    if (g.at(c).kind == NodeKind::kFlatten) {
+      effective_consumers(g, c, out);
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+int storage_cell(const ActStorageOptions& opts, int qbits, double density) {
+  const int natural = cell_bits_for(qbits);
+  if (opts.mode == ActStorageOptions::Mode::kPin) {
+    // Pinned cells widen where the grid needs more bits — codes must fit.
+    return std::max(natural, opts.pin_bits);
+  }
+  return ad::choose_act_cell(natural, density, opts.dense_threshold);
+}
+
+}  // namespace
+
+int assign_act_bits(Graph& g, const ActStorageOptions& opts) {
+  for (int id = 0; id < g.size(); ++id) {
+    Node& n = g.at(id);
+    n.mem.act_bits = 0;
+    n.mem.act_qbits = 0;
+  }
+  if (opts.mode == ActStorageOptions::Mode::kOff) return 0;
+  const int ceiling = std::min(opts.max_integer_bits, 8);
+  int packed = 0;
+  for (int id : g.topo_order()) {
+    Node& n = g.at(id);
+    // The caller-owned input tensor and pure views never own packed
+    // storage (views inherit their input's storage in plan_memory).
+    if (n.kind == NodeKind::kInput || n.kind == NodeKind::kFlatten ||
+        n.kind == NodeKind::kOutput) {
+      continue;
+    }
+    std::vector<int> cs;
+    effective_consumers(g, id, cs);
+    if (cs.empty()) continue;
+
+    // Identity-flavor skip quantizer (Fig 2): feeds only the residual add.
+    // fake_quantize == dequantize(quantize_act) bit for bit, so the node
+    // can store its own eqn-1 codes and defer the dequantize to the add —
+    // act_qbits = 0 marks "self-coded at node bits".
+    if (n.kind == NodeKind::kQuantize && n.quant_enabled && n.bits >= 1 &&
+        n.bits <= ceiling && cs.size() == 1 &&
+        g.at(cs[0]).kind == NodeKind::kAdd) {
+      n.mem.act_bits =
+          storage_cell(opts, n.bits, g.at(n.inputs[0]).ad_density);
+      n.mem.act_qbits = 0;
+      ++packed;
+      continue;
+    }
+
+    // General rule: every effective consumer is an integer-path GEMM and
+    // all quantize on one common grid — the stored codes are then exactly
+    // what each consumer's own quantize_act would compute, so storage as
+    // codes is lossless. Any non-GEMM reader (pool, add, output, a
+    // different-grid GEMM, a float-path layer) keeps the value float.
+    int common_bits = -1;
+    bool packable = true;
+    for (int c : cs) {
+      const Node& cn = g.at(c);
+      if (!is_gemm(cn.kind) || !cn.quantize_input) {
+        packable = false;
+        break;
+      }
+      const int b = gemm_bits(cn);
+      if (b < 1 || b > ceiling || (common_bits >= 0 && b != common_bits)) {
+        packable = false;
+        break;
+      }
+      common_bits = b;
+    }
+    if (!packable || common_bits < 1) continue;
+    n.mem.act_bits = storage_cell(opts, common_bits, n.ad_density);
+    n.mem.act_qbits = common_bits;
+    ++packed;
+  }
+  return packed;
+}
+
 namespace {
 
 void maybe_dump(const Graph& g, int stage_index, const char* stage) {
@@ -397,8 +510,16 @@ void schedule_value(const Graph& g, int id, std::vector<int>& order) {
     case NodeKind::kAdd: {
       const ResidualParts parts = decompose_residual(g, id);
       schedule_value(g, parts.fork, order);
+      // A packed skip quantizer cannot rewrite the float fork slot in
+      // place, so it runs eagerly into its own compressed slot — the fork
+      // then dies as soon as the main branch has read it, instead of
+      // staying live across the whole block. Float skip quantizers keep
+      // the deferred order (in-place snap once the main branch is done).
+      const bool packed_skip =
+          parts.quantize >= 0 && g.at(parts.quantize).mem.act_bits > 0;
+      if (packed_skip) order.push_back(parts.quantize);
       for (int m : parts.main_chain) order.push_back(m);
-      if (parts.quantize >= 0) order.push_back(parts.quantize);
+      if (parts.quantize >= 0 && !packed_skip) order.push_back(parts.quantize);
       if (parts.downsample >= 0) order.push_back(parts.downsample);
       order.push_back(id);
       return;
@@ -410,10 +531,8 @@ void schedule_value(const Graph& g, int id, std::vector<int>& order) {
   }
 }
 
-std::int64_t value_bytes(const ValueType& t) {
-  const std::int64_t elems =
-      t.rank == 3 ? t.channels * t.height * t.width : t.channels;
-  return elems * static_cast<std::int64_t>(sizeof(float));
+std::int64_t value_elems(const ValueType& t) {
+  return t.rank == 3 ? t.channels * t.height * t.width : t.channels;
 }
 
 // Slots are aligned so that batch-scaling offsets (offset * B) preserves
@@ -433,7 +552,12 @@ std::vector<int> execution_schedule(const Graph& g) {
   return order;
 }
 
-std::int64_t plan_memory(Graph& g) {
+namespace {
+
+std::int64_t plan_memory_impl(Graph& g, const ActStorageOptions& opts) {
+  // Storage assignment first — the execution schedule depends on it (a
+  // packed skip quantizer runs eagerly, see schedule_value).
+  assign_act_bits(g, opts);
   const std::vector<int> schedule = execution_schedule(g);
   std::vector<int> pos(static_cast<std::size_t>(g.size()), -1);
   for (std::size_t p = 0; p < schedule.size(); ++p) {
@@ -450,7 +574,10 @@ std::int64_t plan_memory(Graph& g) {
   // the value (its own step when nothing consumes it — the output value).
   for (int id : schedule) {
     Node& n = g.at(id);
+    const int act_bits = n.mem.act_bits, act_qbits = n.mem.act_qbits;
     n.mem = ValueMem{};
+    n.mem.act_bits = act_bits;
+    n.mem.act_qbits = act_qbits;
     n.mem.def = pos[static_cast<std::size_t>(id)];
     n.mem.last_use = n.mem.def;
     for (int c : consumers[static_cast<std::size_t>(id)]) {
@@ -459,7 +586,17 @@ std::int64_t plan_memory(Graph& g) {
     if (n.kind != NodeKind::kInput && n.type.rank == 0) {
       fail(g, n, "has no inferred shape — run legalize() before plan_memory()");
     }
-    n.mem.bytes = value_bytes(n.type);
+    // Pure views carry the same bytes as the value they reinterpret — a
+    // flatten of a packed value must not widen the shared slot to float.
+    if (n.kind == NodeKind::kFlatten || n.kind == NodeKind::kOutput) {
+      const ValueMem& src = g.at(n.inputs[0]).mem;
+      n.mem.act_bits = src.act_bits;
+      n.mem.act_qbits = src.act_qbits;
+    }
+    n.mem.bytes =
+        n.mem.act_bits > 0
+            ? packed_bytes(value_elems(n.type), n.mem.act_bits)
+            : value_elems(n.type) * static_cast<std::int64_t>(sizeof(float));
   }
 
   // Storage groups: every value either owns a slot (its own id as root) or
@@ -490,7 +627,13 @@ std::int64_t plan_memory(Graph& g) {
       case NodeKind::kQuantize:
       case NodeKind::kAdd: {
         const int in_root = root[static_cast<std::size_t>(n.inputs[0])];
-        if (in_root != g.input() && !group_read_after(in_root, p)) {
+        // Packed values never alias in place: the op's packed output bytes
+        // would overlap the float words it is still reading (and the
+        // parallel pack chunks would race the reads). A packed input slot
+        // is likewise never rewritten with float words.
+        if (n.mem.act_bits == 0 &&
+            g.at(in_root).mem.act_bits == 0 &&
+            in_root != g.input() && !group_read_after(in_root, p)) {
           r = in_root;
           n.mem.inplace = true;
         }
@@ -563,9 +706,32 @@ std::int64_t plan_memory(Graph& g) {
       g.at(m).mem.offset = s.offset;
     }
   }
-  g.set_arena_bytes(arena_bytes);
-  maybe_dump(g, 7, "memplan");
   return arena_bytes;
+}
+
+}  // namespace
+
+std::int64_t plan_memory(Graph& g, const ActStorageOptions& opts) {
+  // Pack the float-storage baseline first (reported as arena_bytes_u8 —
+  // what the arena would cost with compression off), then the real run,
+  // whose annotations stick. Both runs share lifetimes, tie-breaks and
+  // alignment, so the pair is deterministic and the off mode is
+  // byte-identical to the pre-compression planner.
+  ActStorageOptions off = opts;
+  off.mode = ActStorageOptions::Mode::kOff;
+  const std::int64_t u8 = plan_memory_impl(g, off);
+  std::int64_t bytes = u8;
+  if (opts.mode != ActStorageOptions::Mode::kOff) {
+    bytes = plan_memory_impl(g, opts);
+  }
+  g.set_arena_bytes(bytes);
+  g.set_arena_bytes_u8(u8);
+  maybe_dump(g, 7, "memplan");
+  return bytes;
+}
+
+std::int64_t plan_memory(Graph& g) {
+  return plan_memory(g, act_storage_from_env());
 }
 
 }  // namespace adq::graph

@@ -78,7 +78,11 @@ ResidualParts decompose_residual(const Graph& g, int add_id);
 /// The order the slot-based executor materialises values, mirroring
 /// infer::lower_to_plan's op emission: straight-line chains in producer
 /// order; a residual diamond as fork, main branch, then the skip chain
-/// (quantize, downsample) lazily just before the add. Liveness for
+/// (quantize, downsample) lazily just before the add — EXCEPT when the
+/// skip quantizer stores packed codes (mem.act_bits > 0): a packed
+/// quantizer cannot rewrite the float fork slot in place, so it runs
+/// eagerly right after the fork into its own (much smaller) slot and the
+/// fork dies as soon as the main branch has read it. Liveness for
 /// activation-memory planning MUST be computed over this order — a plain
 /// topological order could schedule the skip quantizer early and call the
 /// fork value dead while the executor still needs it. Requires a legalized
@@ -86,15 +90,61 @@ ResidualParts decompose_residual(const Graph& g, int add_id);
 /// cannot express.
 std::vector<int> execution_schedule(const Graph& g);
 
+/// How plan_memory stores activation values whose every consumer is an
+/// integer GEMM on one common eqn-1 grid: as that grid's quantize codes,
+/// packed into sub-byte cells (kOn, the default — the AD policy in
+/// ad/act_bits.h picks the cell), stored one code per byte regardless of
+/// density (kPin with pin_bits = 8), pinned to a specific cell width
+/// (kPin, widened where the grid needs more bits), or not at all (kOff —
+/// every value stays float, byte-identical plans to the pre-compression
+/// planner). Lossless in every mode: the stored codes are exactly what the
+/// consuming GEMM's own quantize_act would compute.
+struct ActStorageOptions {
+  enum class Mode { kOff, kOn, kPin };
+  Mode mode = Mode::kOn;
+  /// kPin only: requested cell width {1, 2, 4, 8}. Values whose grid needs
+  /// a wider cell use the natural cell instead (codes must fit).
+  int pin_bits = 0;
+  /// Layers above this bit-width run on the float path and never consume
+  /// codes; must match the CompileOptions ceiling lowering will use.
+  int max_integer_bits = 8;
+  /// AD above which a producer falls back to 8-bit cells (kOn mode).
+  double dense_threshold = 0.5;
+};
+
+/// Parses ADQ_ACT_BITS: unset/empty/"on" = kOn, "off" = kOff, "1"/"2"/
+/// "4"/"8" = kPin at that cell width. Anything else throws
+/// std::invalid_argument — a typo must not silently change the memory
+/// plan.
+ActStorageOptions act_storage_from_env();
+
+/// Assigns per-value activation storage (ValueMem::act_bits / act_qbits)
+/// under `opts`. A value packs when every effective consumer (looking
+/// through kFlatten views) is an integer GEMM (quantize_input, bits within
+/// the integer ceiling) and all consumers share one grid; a live skip
+/// quantizer feeding only the residual add packs on its own grid
+/// (act_qbits = 0 — the executor codes it directly and dequantizes at the
+/// add). Everything else — forks with mixed consumers, pool/add/output
+/// inputs, float-path layers — stays float. Returns the number of packed
+/// values; clears all assignments when opts.mode == kOff. Requires a
+/// legalized graph.
+int assign_act_bits(Graph& g, const ActStorageOptions& opts);
+
 /// Static activation-memory planner. Computes per-value lifetimes over
 /// execution_schedule(), marks in-place-eligible ops (standalone
 /// quantize/ReLU whose input has no later reader; the residual add, which
 /// accumulates into its main operand; flatten and output, which are pure
 /// views), and packs every remaining value into a per-sample arena with a
 /// greedy first-fit-by-size allocator (64-byte-aligned slots, deterministic
-/// placement). Results land on each node's `mem` annotation and in
-/// Graph::arena_bytes(); returns the arena size in bytes. Requires inferred
-/// shapes (run legalize() first).
+/// placement). Runs assign_act_bits first: packed values get slots sized
+/// ceil(elems * act_bits / 8) (64-aligned), always own their slot (no
+/// in-place aliasing — packed bytes overlap the float words they replace),
+/// and the planner records the float-storage baseline footprint in
+/// Graph::arena_bytes_u8() by packing the same graph twice. Results land on
+/// each node's `mem` annotation and in Graph::arena_bytes(); returns the
+/// arena size in bytes. Requires inferred shapes (run legalize() first).
+/// The parameterless overload reads ADQ_ACT_BITS (act_storage_from_env).
 std::int64_t plan_memory(Graph& g);
+std::int64_t plan_memory(Graph& g, const ActStorageOptions& opts);
 
 }  // namespace adq::graph

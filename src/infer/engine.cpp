@@ -26,13 +26,28 @@ namespace {
 // serves ~15% slower than four cache-resident chunks of it).
 constexpr std::int64_t kMaxSlabBytes = 768 << 10;
 
+using backend::ActQuant;
+
 // A value flowing through the slot-based executor: where its bytes live
 // (the caller's input tensor or an arena slot) and their logical shape.
 // `off` is the per-sample arena byte offset, -1 for caller-owned memory.
+// When `packed`, the slot holds the whole batch's quantize codes bit-packed
+// at `cell`-bit cells instead of float words (`p` is then null): `aq` is
+// the grid the codes live on and `qbits` its bit-width — the grid every
+// consuming integer GEMM runs on (0: a self-coded skip value the residual
+// add dequantizes).
 struct View {
   const float* p = nullptr;
   std::int64_t off = -1;
   Shape shape;
+  bool packed = false;
+  int cell = 0;
+  int qbits = 0;
+  ActQuant aq;
+
+  View() = default;
+  View(const float* p_in, std::int64_t off_in, Shape shape_in)
+      : p(p_in), off(off_in), shape(std::move(shape_in)) {}
 };
 
 // Per-thread reusable scratch. Every buffer grows on demand and is reused
@@ -42,6 +57,8 @@ struct View {
 struct EngineScratch {
   std::vector<std::uint8_t> act_codes;  // whole-batch activation codes
   std::vector<std::uint8_t> act_t;      // packed-linear activation transpose
+  std::vector<std::uint8_t> act_unpacked;  // codes expanded from a packed slot
+  std::vector<float> stage;             // packed-producer float staging
   Im2colWorkspace lower;                // u8 / float patch-matrix slabs
   std::vector<std::int32_t> acc;        // GEMM accumulators
   std::vector<std::int32_t> row_sums;   // per-sample code sums (linear)
@@ -79,6 +96,18 @@ struct EngineScratch {
       act_t.resize(static_cast<std::size_t>(n));
     }
     return act_t.data();
+  }
+  std::uint8_t* ensure_act_unpacked(std::int64_t n) {
+    if (static_cast<std::int64_t>(act_unpacked.size()) < n) {
+      act_unpacked.resize(static_cast<std::size_t>(n));
+    }
+    return act_unpacked.data();
+  }
+  float* ensure_stage(std::int64_t n) {
+    if (static_cast<std::int64_t>(stage.size()) < n) {
+      stage.resize(static_cast<std::size_t>(n));
+    }
+    return stage.data();
   }
 };
 
@@ -196,8 +225,6 @@ WeightView exec_weight_view(const GemmLayerPlan& l, const ExecWeights& w) {
 // backend's quantize_act op (the observation FakeQuantizer::apply makes on
 // this tensor in the training path, so code -> value round-trips land on
 // the same grid). Codes land in `codes` (grown on demand, first `n` valid).
-using backend::ActQuant;
-
 ActQuant quantize_activations(const float* px0, std::int64_t n, int bits,
                               std::vector<std::uint8_t>& codes) {
   if (static_cast<std::int64_t>(codes.size()) < n) {
@@ -205,6 +232,16 @@ ActQuant quantize_activations(const float* px0, std::int64_t n, int bits,
   }
   return backend::active().quantize_act(px0, n, bits, codes.data());
 }
+
+// An integer layer's input when the producer already stored it as quantize
+// codes (a compressed arena slot): the whole-batch codes plus the grid they
+// live on. The layer then skips its own quantize_act — the codes were
+// produced by the identical quantize_act call on the identical float
+// values, so consuming them is bit-exact against quantizing here.
+struct PackedActs {
+  const std::uint8_t* codes = nullptr;
+  ActQuant aq;
+};
 
 // Fused epilogue over one output row (channel o, `n` positions):
 //   y = epi_scale[o] * (ss * acc + row_term + ca * colsum) + epi_shift[o]
@@ -270,7 +307,7 @@ const float* float_path_input(const GemmLayerPlan& l, const float* x,
 // instead of a separate scalar pass over the slab.
 void run_conv_int(const GemmLayerPlan& l, const float* x, std::int64_t B,
                   std::int64_t H, std::int64_t W, const WeightView& wv,
-                  float* out) {
+                  const PackedActs* pin, float* out) {
   const ConvGeometry g = conv_geometry(l, H, W);
   const std::int64_t oh = g.out_h(), ow = g.out_w(), ohw = oh * ow;
   const std::int64_t O = l.out_channels, P = l.patch();
@@ -279,8 +316,10 @@ void run_conv_int(const GemmLayerPlan& l, const float* x, std::int64_t B,
   const backend::Backend& bk = backend::active();
   EngineScratch& ws = engine_scratch();
   const ActQuant qa =
-      quantize_activations(x, B * chw, l.bits, ws.act_codes);
-  const std::uint8_t* act = ws.act_codes.data();
+      pin != nullptr ? pin->aq
+                     : quantize_activations(x, B * chw, l.bits, ws.act_codes);
+  const std::uint8_t* act =
+      pin != nullptr ? pin->codes : ws.act_codes.data();
 
   // Affine-correction constants (see plan.h): per-row term uses the weight
   // code sums, per-column term the activation column sums.
@@ -392,14 +431,18 @@ backend::DepthwiseArgs depthwise_args(const GemmLayerPlan& l, std::int64_t H,
 // taps use the grid code closest to 0.0, exactly like im2col_u8's padding.
 void run_depthwise_int(const GemmLayerPlan& l, const float* x, std::int64_t B,
                        std::int64_t H, std::int64_t W, const WeightView& wv,
-                       float* out) {
+                       const PackedActs* pin, float* out) {
   const std::int64_t C = l.out_channels;
   const std::int64_t k = l.kernel;
 
   const backend::Backend& bk = backend::active();
   EngineScratch& ws = engine_scratch();
   const ActQuant qa =
-      quantize_activations(x, B * C * H * W, l.bits, ws.act_codes);
+      pin != nullptr
+          ? pin->aq
+          : quantize_activations(x, B * C * H * W, l.bits, ws.act_codes);
+  const std::uint8_t* act =
+      pin != nullptr ? pin->codes : ws.act_codes.data();
 
   backend::DepthwiseArgs a = depthwise_args(l, H, W);
   a.w_code_sums = l.w_code_sums.data();
@@ -408,7 +451,7 @@ void run_depthwise_int(const GemmLayerPlan& l, const float* x, std::int64_t B,
   a.ca = l.w_min * qa.a_scale;  // * patch activation-code sum
   a.cc = static_cast<float>(k * k) * qa.a_min * l.w_min;
   a.zero_code = qa.zero_code;
-  bk.depthwise_int(ws.act_codes.data(), B, wv.p, a, out);
+  bk.depthwise_int(act, B, wv.p, a, out);
 }
 
 void run_depthwise_float(const GemmLayerPlan& l, const float* x,
@@ -421,18 +464,22 @@ void run_depthwise_float(const GemmLayerPlan& l, const float* x,
 }
 
 void run_linear_int(const GemmLayerPlan& l, const float* x, std::int64_t B,
-                    const WeightView& wv, float* out) {
+                    const WeightView& wv, const PackedActs* pin, float* out) {
   const std::int64_t in = l.in_channels, O = l.out_channels;
 
   EngineScratch& ws = engine_scratch();
-  const ActQuant qa = quantize_activations(x, B * in, l.bits, ws.act_codes);
+  const ActQuant qa =
+      pin != nullptr ? pin->aq
+                     : quantize_activations(x, B * in, l.bits, ws.act_codes);
+  const std::uint8_t* act_in =
+      pin != nullptr ? pin->codes : ws.act_codes.data();
 
   if (static_cast<std::int64_t>(ws.row_sums.size()) < B) {
     ws.row_sums.resize(static_cast<std::size_t>(B));
   }
   for (std::int64_t b = 0; b < B; ++b) {
     std::int32_t s = 0;
-    const std::uint8_t* row = ws.act_codes.data() + b * in;
+    const std::uint8_t* row = act_in + b * in;
     for (std::int64_t i = 0; i < in; ++i) s += row[i];
     ws.row_sums[static_cast<std::size_t>(b)] = s;
   }
@@ -446,16 +493,16 @@ void run_linear_int(const GemmLayerPlan& l, const float* x, std::int64_t B,
     // and the epilogue below evaluates the same float expression either
     // way.
     std::uint8_t* act_t = ws.ensure_act_t(in * B);
-    const std::uint8_t* act = ws.act_codes.data();
     for (std::int64_t b = 0; b < B; ++b) {
-      for (std::int64_t i = 0; i < in; ++i) act_t[i * B + b] = act[b * in + i];
+      for (std::int64_t i = 0; i < in; ++i) {
+        act_t[i * B + b] = act_in[b * in + i];
+      }
     }
     const backend::Backend& bk = backend::active();
     const auto packed_fn = wv.cell == 4 ? bk.igemm_w4 : bk.igemm_w2;
     packed_fn(O, B, in, wv.p, wv.row_bytes, act_t, B, acc, B);
   } else {
-    backend::active().igemm(B, O, in, ws.act_codes.data(), in, wv.p, O, acc,
-                            O);
+    backend::active().igemm(B, O, in, act_in, in, wv.p, O, acc, O);
   }
   const std::int64_t o_stride = wv.packed ? B : 1;
   const std::int64_t b_stride = wv.packed ? 1 : O;
@@ -530,30 +577,36 @@ Shape layer_out_shape(const GemmLayerPlan& l, const Shape& in) {
 }
 
 // Shared layer dispatch. `wv` is the weight execution view for integer
-// layers (ignored on the float path). The input must already have passed
+// layers (ignored on the float path). `pin`, when non-null, supplies the
+// input as already-quantized codes (a compressed arena slot) — integer
+// path only, `x` may then be null. The input must already have passed
 // check_layer_input; `out` must hold layer_out_shape(...).numel() floats.
 void run_layer(const GemmLayerPlan& layer, const float* x, const Shape& shape,
-               const WeightView& wv, float* out) {
+               const WeightView& wv, const PackedActs* pin, float* out) {
+  if (pin != nullptr && layer.path != ExecPath::kInteger) {
+    throw std::logic_error("infer: " + layer.name +
+                           " consumes packed activations on the float path");
+  }
   const std::int64_t B = shape.dim(0);
   if (layer.is_conv) {
     const std::int64_t H = shape.dim(2), W = shape.dim(3);
     if (layer.is_depthwise) {
       if (layer.path == ExecPath::kInteger) {
-        run_depthwise_int(layer, x, B, H, W, wv, out);
+        run_depthwise_int(layer, x, B, H, W, wv, pin, out);
       } else {
         run_depthwise_float(layer, x, B, H, W, out);
       }
       return;
     }
     if (layer.path == ExecPath::kInteger) {
-      run_conv_int(layer, x, B, H, W, wv, out);
+      run_conv_int(layer, x, B, H, W, wv, pin, out);
     } else {
       run_conv_float(layer, x, B, H, W, out);
     }
     return;
   }
   if (layer.path == ExecPath::kInteger) {
-    run_linear_int(layer, x, B, wv, out);
+    run_linear_int(layer, x, B, wv, pin, out);
   } else {
     run_linear_float(layer, x, B, out);
   }
@@ -573,7 +626,7 @@ Tensor run_layer_tensor(const GemmLayerPlan& layer, const Tensor& x,
                         const WeightView& wv) {
   check_layer_input(layer, x.shape());
   Tensor out(layer_out_shape(layer, x.shape()));
-  run_layer(layer, x.data(), x.shape(), wv, out.data());
+  run_layer(layer, x.data(), x.shape(), wv, /*pin=*/nullptr, out.data());
   return out;
 }
 
@@ -653,6 +706,8 @@ void validate_memory_plan(const InferencePlan& plan) {
   struct Val {
     int id = 0;          // 0 = the caller-owned input tensor
     std::int64_t off = -1, bytes = 0;
+    int act_bits = 0;    // packed cell width (0 = float storage)
+    int act_qbits = 0;   // grid of the stored codes
   };
   const std::int64_t granules = (plan.arena_bytes + 63) / 64;
   std::vector<int> stamp(static_cast<std::size_t>(granules), -1);
@@ -706,31 +761,74 @@ void validate_memory_plan(const InferencePlan& plan) {
     }
   };
 
+  // A packed value occupies packed_bytes of its slot, never runs in place,
+  // and is only legible to an integer GEMM running on the very grid the
+  // codes were produced for.
+  const auto check_packed_op = [&](const OpPlan& op, std::size_t i) {
+    if (op.out_act_bits <= 0) return;
+    if (op.out_offset < 0) {
+      fail(i, "stores packed activations but has no arena slot");
+    }
+    if (op.out_act_bits != 1 && op.out_act_bits != 2 &&
+        op.out_act_bits != 4 && op.out_act_bits != 8) {
+      fail(i, "stores packed activations at an invalid cell width");
+    }
+  };
+  const auto stamp_act = [](Val& v, const OpPlan& op) {
+    v.act_bits = op.out_act_bits;
+    v.act_qbits = op.out_act_qbits;
+  };
+  const auto check_gemm_input = [&](const Val& v, const OpPlan& op,
+                                    std::size_t i) {
+    if (v.act_bits <= 0) return;
+    const GemmLayerPlan& l = plan.layers[static_cast<std::size_t>(op.layer)];
+    if (l.path != ExecPath::kInteger || v.act_qbits != l.bits) {
+      fail(i, "consumes a packed value quantized on a grid the layer "
+              "cannot read");
+    }
+  };
+  const auto check_float_input = [&](const Val& v, std::size_t i) {
+    if (v.act_bits > 0) fail(i, "reads a packed value as float words");
+  };
+
   Val cur;  // the caller's input tensor
   std::vector<Val> skips;
   for (std::size_t i = 0; i < plan.ops.size(); ++i) {
     const OpPlan& op = plan.ops[i];
+    check_packed_op(op, i);
     const std::int64_t bytes =
-        out_elems[i] * static_cast<std::int64_t>(sizeof(float));
+        op.out_act_bits > 0
+            ? packed_bytes(out_elems[i], op.out_act_bits)
+            : out_elems[i] * static_cast<std::int64_t>(sizeof(float));
     switch (op.kind) {
       case OpKind::kGemm:
-      case OpKind::kMaxPool:
-      case OpKind::kGlobalAvgPool:
+        check_gemm_input(cur, op, i);
         check_live(cur, i);
         write_slot(cur, op.out_offset, bytes, {&cur}, i);
+        stamp_act(cur, op);
+        break;
+      case OpKind::kMaxPool:
+      case OpKind::kGlobalAvgPool:
+        check_float_input(cur, i);
+        check_live(cur, i);
+        write_slot(cur, op.out_offset, bytes, {&cur}, i);
+        stamp_act(cur, op);
         break;
       case OpKind::kFlatten:
         break;  // pure view
       case OpKind::kReLU:
       case OpKind::kQuantize:
+        check_float_input(cur, i);
         check_live(cur, i);
         if (op.out_offset < 0) {
           rewrite_inplace(cur, bytes, i);
         } else {
           write_slot(cur, op.out_offset, bytes, {&cur}, i);
         }
+        stamp_act(cur, op);
         break;
       case OpKind::kPushSkip:
+        check_float_input(cur, i);
         check_live(cur, i);
         if (op.skip_bits > 0) {
           Val skip;
@@ -741,27 +839,38 @@ void validate_memory_plan(const InferencePlan& plan) {
         }
         break;
       case OpKind::kQuantizeSkip:
+        check_float_input(skips.back(), i);
         check_live(skips.back(), i);
         if (op.out_offset < 0) {
           rewrite_inplace(skips.back(), bytes, i);
         } else {
           write_slot(skips.back(), op.out_offset, bytes, {&skips.back()}, i);
         }
+        stamp_act(skips.back(), op);
         break;
       case OpKind::kSkipGemm:
+        check_gemm_input(skips.back(), op, i);
         check_live(skips.back(), i);
         write_slot(skips.back(), op.out_offset, bytes, {&skips.back()}, i);
+        stamp_act(skips.back(), op);
         break;
       case OpKind::kAddSkipRelu: {
         check_live(cur, i);
         check_live(skips.back(), i);
         const Val top = skips.back();
         skips.pop_back();
+        if (cur.act_bits > 0) {
+          fail(i, "adds onto a packed main operand");
+        }
+        if (top.act_bits > 0 && top.act_qbits != 0) {
+          fail(i, "adds a packed skip that is not self-coded");
+        }
         if (op.out_offset < 0) {
           rewrite_inplace(cur, bytes, i);
         } else {
           write_slot(cur, op.out_offset, bytes, {&cur, &top}, i);
         }
+        stamp_act(cur, op);
         break;
       }
     }
@@ -867,44 +976,123 @@ void IntInferenceEngine::forward_arena(const Tensor& x, Tensor& out) const {
                             exec_weights_[static_cast<std::size_t>(layer)]);
   };
 
+  // Packed slots address the same arena as raw bytes: slots are 64-byte
+  // aligned per sample, so off * B is exactly the byte address of
+  // slot(off) and batch scaling preserves the alignment.
+  const auto byte_slot = [&](std::int64_t off) {
+    return reinterpret_cast<std::uint8_t*>(arena) + off * B;
+  };
+  // Quantizes a float value at `bits` and packs the codes into the op's
+  // compressed slot. The whole batch packs contiguously — packed_bytes
+  // grows sub-additively, so B samples always fit the B-scaled slot.
+  const auto pack_result = [&](const OpPlan& op, const float* src,
+                               const Shape& shape, int bits) {
+    if (bits <= 0) {
+      throw std::logic_error("infer: packed op without a quantization grid");
+    }
+    const std::int64_t n = shape.numel();
+    View v;
+    v.off = op.out_offset;
+    v.shape = shape;
+    v.packed = true;
+    v.cell = op.out_act_bits;
+    v.qbits = op.out_act_qbits;
+    v.aq = quantize_activations(src, n, bits, ws.act_codes);
+    backend::active().act_pack(ws.act_codes.data(), n, op.out_act_bits,
+                               byte_slot(op.out_offset));
+    return v;
+  };
+  // Expands a packed view back to one code per byte for its consumer.
+  const auto unpack_codes_of = [&](const View& v) {
+    const std::int64_t n = v.shape.numel();
+    std::uint8_t* dst = ws.ensure_act_unpacked(n);
+    backend::active().act_unpack(byte_slot(v.off), n, v.cell, dst);
+    return static_cast<const std::uint8_t*>(dst);
+  };
+  // The planner only packs values whose every consumer can read codes; an
+  // op that needs floats but sees a packed view is an inconsistent plan.
+  const auto require_float = [](const View& v, const char* what) {
+    if (v.packed) {
+      throw std::logic_error(std::string("infer: ") + what +
+                             " consumes a packed value (inconsistent plan)");
+    }
+  };
+  // Shared GEMM-family step: a packed input feeds the kernel its stored
+  // codes (bit-exact against re-quantizing — same floats, same grid); a
+  // packed output stages in float scratch, then quantizes + packs into
+  // the compressed slot.
+  const auto run_gemm_op = [&](const OpPlan& op, View& v) {
+    const GemmLayerPlan& l = plan_.layers[static_cast<std::size_t>(op.layer)];
+    check_layer_input(l, v.shape);
+    PackedActs pa;
+    const PackedActs* pin = nullptr;
+    if (v.packed) {
+      pa.codes = unpack_codes_of(v);
+      pa.aq = v.aq;
+      pin = &pa;
+    }
+    const Shape out_shape = layer_out_shape(l, v.shape);
+    if (op.out_act_bits > 0) {
+      float* stg = ws.ensure_stage(out_shape.numel());
+      run_layer(l, v.p, v.shape, weight_view(op.layer), pin, stg);
+      v = pack_result(op, stg, out_shape, op.out_act_qbits);
+    } else {
+      float* dst = require_slot(op);
+      run_layer(l, v.p, v.shape, weight_view(op.layer), pin, dst);
+      v = View{dst, op.out_offset, out_shape};
+    }
+  };
+
   View cur{x.data(), -1, x.shape()};
   std::vector<View>& skips = ws.skip_views;
   skips.clear();
   for (const OpPlan& op : plan_.ops) {
     switch (op.kind) {
-      case OpKind::kGemm: {
-        const GemmLayerPlan& l =
-            plan_.layers[static_cast<std::size_t>(op.layer)];
-        check_layer_input(l, cur.shape);
-        float* dst = require_slot(op);
-        run_layer(l, cur.p, cur.shape, weight_view(op.layer), dst);
-        cur = View{dst, op.out_offset, layer_out_shape(l, cur.shape)};
+      case OpKind::kGemm:
+        run_gemm_op(op, cur);
         break;
-      }
       case OpKind::kMaxPool: {
-        float* dst = require_slot(op);
+        require_float(cur, "maxpool");
         const std::int64_t C = cur.shape.dim(1), H = cur.shape.dim(2),
                            W = cur.shape.dim(3);
+        const Shape os{B, C, (H - op.pool_kernel) / op.pool_stride + 1,
+                       (W - op.pool_kernel) / op.pool_stride + 1};
+        float* dst = op.out_act_bits > 0 ? ws.ensure_stage(os.numel())
+                                         : require_slot(op);
         maxpool_forward(cur.p, B, C, H, W, op.pool_kernel, op.pool_stride,
                         dst);
-        cur = View{dst, op.out_offset,
-                   Shape{B, C, (H - op.pool_kernel) / op.pool_stride + 1,
-                         (W - op.pool_kernel) / op.pool_stride + 1}};
+        cur = op.out_act_bits > 0
+                  ? pack_result(op, dst, os, op.out_act_qbits)
+                  : View{dst, op.out_offset, os};
         break;
       }
       case OpKind::kGlobalAvgPool: {
-        float* dst = require_slot(op);
+        require_float(cur, "global average pool");
         const std::int64_t C = cur.shape.dim(1);
+        const Shape os{B, C};
+        float* dst = op.out_act_bits > 0 ? ws.ensure_stage(os.numel())
+                                         : require_slot(op);
         gap_forward(cur.p, B, C, cur.shape.dim(2) * cur.shape.dim(3), dst);
-        cur = View{dst, op.out_offset, Shape{B, C}};
+        cur = op.out_act_bits > 0
+                  ? pack_result(op, dst, os, op.out_act_qbits)
+                  : View{dst, op.out_offset, os};
         break;
       }
       case OpKind::kFlatten:
+        // Pure view — a packed value stays packed, the code count is the
+        // same either way.
         cur.shape = Shape{B, cur.shape.numel() / B};
         break;
       case OpKind::kReLU: {
+        require_float(cur, "relu");
         const std::int64_t n = cur.shape.numel();
-        if (op.out_offset < 0) {
+        if (op.out_act_bits > 0) {
+          float* stg = ws.ensure_stage(n);
+          for (std::int64_t i = 0; i < n; ++i) {
+            stg[i] = std::max(cur.p[i], 0.0f);
+          }
+          cur = pack_result(op, stg, cur.shape, op.out_act_qbits);
+        } else if (op.out_offset < 0) {
           float* p = inplace_ptr(cur);
           for (std::int64_t i = 0; i < n; ++i) p[i] = std::max(p[i], 0.0f);
         } else {
@@ -917,8 +1105,21 @@ void IntInferenceEngine::forward_arena(const Tensor& x, Tensor& out) const {
         break;
       }
       case OpKind::kQuantize: {
+        require_float(cur, "quantize");
         const std::int64_t n = cur.shape.numel();
-        if (op.out_offset < 0) {
+        if (op.out_act_bits > 0) {
+          if (op.out_act_qbits > 0) {
+            // Snap on the op's own grid first, then code on the consumer
+            // grid — two distinct grids in general.
+            float* stg = ws.ensure_stage(n);
+            backend::active().fake_quant(cur.p, n, op.skip_bits, stg);
+            cur = pack_result(op, stg, cur.shape, op.out_act_qbits);
+          } else {
+            // Self-coded: quantize_act(x, k)'s codes exactly represent
+            // fake_quantize(x, k) (same observed range, same rounding).
+            cur = pack_result(op, cur.p, cur.shape, op.skip_bits);
+          }
+        } else if (op.out_offset < 0) {
           backend::active().fake_quant(cur.p, n, op.skip_bits, inplace_ptr(cur));
         } else {
           float* dst = require_slot(op);
@@ -928,6 +1129,7 @@ void IntInferenceEngine::forward_arena(const Tensor& x, Tensor& out) const {
         break;
       }
       case OpKind::kPushSkip:
+        require_float(cur, "push-skip");
         if (op.skip_bits > 0) {
           // Eager skip quantization (v1/v2-era plans; v3 lowering defers it
           // to kQuantizeSkip so it can run in place).
@@ -944,8 +1146,24 @@ void IntInferenceEngine::forward_arena(const Tensor& x, Tensor& out) const {
           throw std::logic_error("infer: quantize-skip without a saved skip");
         }
         View& top = skips.back();
+        require_float(top, "quantize-skip");
         const std::int64_t n = top.shape.numel();
-        if (op.out_offset < 0) {
+        if (op.out_act_bits > 0) {
+          if (op.out_act_qbits > 0) {
+            // Downsample flavor: snap on the skip grid, then code on the
+            // downsample conv's grid. A direct quantize is NOT exact here
+            // even at equal bit-widths — the two grids' endpoints differ
+            // in float.
+            float* stg = ws.ensure_stage(n);
+            backend::active().fake_quant(top.p, n, op.skip_bits, stg);
+            top = pack_result(op, stg, top.shape, op.out_act_qbits);
+          } else {
+            // Identity flavor: self-coded at skip_bits; the residual add
+            // dequantizes the codes back to the exact fake-quantized
+            // floats.
+            top = pack_result(op, top.p, top.shape, op.skip_bits);
+          }
+        } else if (op.out_offset < 0) {
           backend::active().fake_quant(top.p, n, op.skip_bits, inplace_ptr(top));
         } else {
           float* dst = require_slot(op);
@@ -958,13 +1176,7 @@ void IntInferenceEngine::forward_arena(const Tensor& x, Tensor& out) const {
         if (skips.empty()) {
           throw std::logic_error("infer: skip gemm without a saved skip");
         }
-        View& top = skips.back();
-        const GemmLayerPlan& l =
-            plan_.layers[static_cast<std::size_t>(op.layer)];
-        check_layer_input(l, top.shape);
-        float* dst = require_slot(op);
-        run_layer(l, top.p, top.shape, weight_view(op.layer), dst);
-        top = View{dst, op.out_offset, layer_out_shape(l, top.shape)};
+        run_gemm_op(op, skips.back());
         break;
       }
       case OpKind::kAddSkipRelu: {
@@ -973,16 +1185,32 @@ void IntInferenceEngine::forward_arena(const Tensor& x, Tensor& out) const {
         }
         const View top = skips.back();
         skips.pop_back();
+        require_float(cur, "residual add (main operand)");
         check_add_shapes(cur.shape, top.shape);
+        const std::int64_t n = cur.shape.numel();
         const std::int64_t C = cur.shape.dim(1);
         const std::int64_t hw = cur.shape.dim(2) * cur.shape.dim(3);
-        if (op.out_offset < 0) {
+        const float* skip_p = top.p;
+        if (top.packed) {
+          // Self-coded skip value: expand + dequantize back to the exact
+          // fake-quantized floats the float path would have stored. Raw
+          // scratch, not stage — a packed add output needs stage below.
+          float* sk = ws.ensure_raw(n);
+          backend::active().dequantize(unpack_codes_of(top), n, top.aq, sk);
+          skip_p = sk;
+        }
+        if (op.out_act_bits > 0) {
+          float* stg = ws.ensure_stage(n);
+          backend::active().residual_add(cur.p, skip_p, B, C, hw,
+                                         op.mask_channels, stg);
+          cur = pack_result(op, stg, cur.shape, op.out_act_qbits);
+        } else if (op.out_offset < 0) {
           float* p = inplace_ptr(cur);
-          backend::active().residual_add(p, top.p, B, C, hw, op.mask_channels,
+          backend::active().residual_add(p, skip_p, B, C, hw, op.mask_channels,
                                          p);
         } else {
           float* dst = require_slot(op);
-          backend::active().residual_add(cur.p, top.p, B, C, hw,
+          backend::active().residual_add(cur.p, skip_p, B, C, hw,
                                          op.mask_channels, dst);
           cur = View{dst, op.out_offset, cur.shape};
         }
@@ -991,6 +1219,7 @@ void IntInferenceEngine::forward_arena(const Tensor& x, Tensor& out) const {
     }
   }
 
+  require_float(cur, "the network output");
   if (out.shape() != cur.shape) out = Tensor(cur.shape);
   std::memcpy(out.data(), cur.p,
               static_cast<std::size_t>(cur.shape.numel()) * sizeof(float));

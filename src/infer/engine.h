@@ -42,6 +42,7 @@
 // with a bounded, known activation footprint per worker.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -92,6 +93,19 @@ class IntInferenceEngine {
 
   /// Per-sample activation arena footprint (0 = no memory plan).
   std::int64_t arena_bytes_per_sample() const { return plan_.arena_bytes; }
+
+  /// What the same plan would occupy with every activation slot stored as
+  /// float words — the baseline the packed arena footprint is compared
+  /// against (equals arena_bytes_per_sample when nothing packs).
+  std::int64_t arena_bytes_u8_per_sample() const {
+    return plan_.arena_bytes_u8;
+  }
+
+  /// Slot-owning op count per activation storage cell width; index 0 =
+  /// float slots, indices 1/2/4/8 = packed cells.
+  std::array<int, 9> act_cell_histogram() const {
+    return plan_.act_cell_histogram();
+  }
 
   /// Exact peak activation bytes of a batch-`batch` forward on the arena
   /// path (offsets and sizes scale linearly with the batch).

@@ -197,6 +197,8 @@ class Lowerer {
     emit_value(g_.output());
     if (planned_) {
       plan_.arena_bytes = g_.arena_bytes();
+      plan_.arena_bytes_u8 =
+          g_.arena_bytes_u8() > 0 ? g_.arena_bytes_u8() : g_.arena_bytes();
       const graph::ValueType& in = g_.at(g_.input()).type;
       plan_.planned_input.rank = in.rank;
       plan_.planned_input.channels = in.channels;
@@ -221,12 +223,35 @@ class Lowerer {
     return n.mem.offset;
   }
 
+  // Copies the planner's activation-storage decision onto the op. A packed
+  // value must own a real slot — the planner never aliases packed storage
+  // in place, so a missing slot here is a planner/lowering disagreement.
+  void annotate_act(OpPlan& op, const graph::Node& n) {
+    if (!planned_ || n.mem.act_bits <= 0) return;
+    if (op.out_offset < 0) {
+      cannot_lower(n, "packed activation value has no arena slot");
+    }
+    op.out_act_bits = n.mem.act_bits;
+    op.out_act_qbits = n.mem.act_qbits;
+  }
+
   void emit_gemm(GemmLayerPlan layer, OpKind kind, const graph::Node& n) {
+    // A GEMM consuming a packed value reads the stored codes instead of
+    // quantizing; that is only exact when the layer runs the integer path
+    // on the very grid the codes were produced for.
+    const graph::Node& in = g_.at(n.inputs[0]);
+    if (planned_ && in.mem.act_bits > 0 &&
+        (layer.path != ExecPath::kInteger ||
+         in.mem.act_qbits != layer.bits)) {
+      cannot_lower(n, "consumes a packed activation value quantized on a "
+                      "grid this layer cannot read");
+    }
     plan_.layers.push_back(std::move(layer));
     OpPlan op;
     op.kind = kind;
     op.layer = static_cast<int>(plan_.layers.size()) - 1;
     op.out_offset = out_slot(n);
+    annotate_act(op, n);
     plan_.ops.push_back(op);
   }
 
@@ -282,6 +307,7 @@ class Lowerer {
         cannot_lower(n, "unsupported op");
     }
     op.out_offset = n.kind == graph::NodeKind::kFlatten ? -1 : out_slot(n);
+    if (n.kind != graph::NodeKind::kFlatten) annotate_act(op, n);
     plan_.ops.push_back(op);
   }
 
@@ -316,16 +342,27 @@ class Lowerer {
     push.kind = OpKind::kPushSkip;
     plan_.ops.push_back(push);  // bits 0: the skip aliases the fork slot
 
-    for (int m : parts.main_chain) emit_op(g_.at(m));
-
-    if (parts.quantize >= 0) {
+    // A packed skip quantizer owns a fresh compressed slot, so it runs
+    // eagerly right after the fork (freeing the fork slot once the main
+    // branch reads it); a float one keeps the deferred in-place order.
+    // Mirrors graph::execution_schedule — op order and slot liveness must
+    // agree.
+    const bool packed_skip = planned_ && parts.quantize >= 0 &&
+                             g_.at(parts.quantize).mem.act_bits > 0;
+    const auto emit_quant = [&] {
       const graph::Node& q = g_.at(parts.quantize);
       OpPlan quant;
       quant.kind = OpKind::kQuantizeSkip;
       quant.skip_bits = q.bits;
       quant.out_offset = out_slot(q);
+      annotate_act(quant, q);
       plan_.ops.push_back(quant);
-    }
+    };
+    if (packed_skip) emit_quant();
+
+    for (int m : parts.main_chain) emit_op(g_.at(m));
+
+    if (parts.quantize >= 0 && !packed_skip) emit_quant();
     if (parts.downsample >= 0) {
       emit_gemm(plan_for(g_.at(parts.downsample)), OpKind::kSkipGemm,
                 g_.at(parts.downsample));
@@ -339,6 +376,7 @@ class Lowerer {
     op.kind = OpKind::kAddSkipRelu;
     op.mask_channels = add.mask_channels;
     op.out_offset = out_slot(add);
+    annotate_act(op, add);
     plan_.ops.push_back(op);
   }
 
@@ -534,6 +572,15 @@ int InferencePlan::integer_layer_count() const {
   return n;
 }
 
+std::array<int, 9> InferencePlan::act_cell_histogram() const {
+  std::array<int, 9> counts{};
+  for (const OpPlan& op : ops) {
+    if (op.out_offset < 0) continue;  // no slot of its own
+    counts[static_cast<std::size_t>(op.out_act_bits)] += 1;
+  }
+  return counts;
+}
+
 GemmLayerPlan plan_conv(nn::Conv2d& conv, nn::BatchNorm2d* bn,
                         bool fuse_relu, const CompileOptions& opts) {
   return plan_conv_node(conv, bn, fuse_relu,
@@ -564,7 +611,11 @@ InferencePlan compile(models::QuantizableModel& model,
                       const CompileOptions& opts) {
   graph::Graph g = graph::build_from_model(model);
   graph::legalize(g);
-  graph::plan_memory(g);
+  // The storage planner must agree with plan_weights on which layers run
+  // the integer path, or it would pack a value its consumer cannot read.
+  graph::ActStorageOptions aopts = graph::act_storage_from_env();
+  aopts.max_integer_bits = opts.max_integer_bits;
+  graph::plan_memory(g, aopts);
   return lower_to_plan(g, opts);
 }
 

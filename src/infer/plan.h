@@ -38,6 +38,7 @@
 // identity applies per channel to depthwise convolutions (K = kernel^2).
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -158,6 +159,17 @@ struct OpPlan {
   /// residual add), is a pure view (flatten), or the plan predates memory
   /// planning (format v1/v2 — the engine then falls back to heap tensors).
   std::int64_t out_offset = -1;
+  /// Activation-storage compression (format v4): when > 0, the op's output
+  /// lands in its slot as packed `out_act_bits`-bit quantize codes
+  /// (cell width in {1, 2, 4, 8}) instead of float words, and out_offset
+  /// must name a real slot (packed ops never run in place). 0 = plain
+  /// float storage (every pre-v4 plan).
+  int out_act_bits = 0;
+  /// Grid of the stored codes: the common bit-width of every consuming
+  /// integer GEMM (the consumer then skips its own quantize_act and reads
+  /// the codes directly). 0 with out_act_bits > 0 marks a kQuantizeSkip
+  /// that codes on its OWN grid (skip_bits); the add dequantizes it.
+  int out_act_qbits = 0;
 };
 
 /// Batch-agnostic shape of the value a plan's input op consumes — the
@@ -197,6 +209,11 @@ struct InferencePlan {
   /// (v1/v2 files); the engine then executes on heap tensors.
   std::int64_t arena_bytes = 0;
 
+  /// The float-storage baseline footprint: what arena_bytes would have
+  /// been with activation compression off. Equals arena_bytes when the
+  /// plan has no packed slots (and on every pre-v4 file).
+  std::int64_t arena_bytes_u8 = 0;
+
   /// Input value shape the memory plan (and traffic report) assume.
   PlannedInput planned_input;
 
@@ -220,6 +237,12 @@ struct InferencePlan {
   /// Per-layer activation traffic + peak footprint at the given batch
   /// size. Throws std::logic_error when the plan has no planned input.
   ActivationReport activation_report(std::int64_t batch = 1) const;
+
+  /// Histogram of activation storage across slot-owning ops, indexed by
+  /// cell width: counts[0] = float slots, counts[k] = slots packed at
+  /// k-bit cells (k in {1, 2, 4, 8}). Flatten/in-place ops (no slot of
+  /// their own) do not count.
+  std::array<int, 9> act_cell_histogram() const;
 };
 
 /// Compiles a single conv (+ optional BatchNorm fold + fused ReLU). Exposed

@@ -326,6 +326,10 @@ void write_op(Writer& w, const OpPlan& op, std::uint32_t version) {
   w.scalar<std::int64_t>(op.pool_stride);
   w.scalar<std::int64_t>(op.mask_channels);
   if (version >= 3) w.scalar<std::int64_t>(op.out_offset);
+  if (version >= 4) {
+    w.scalar<std::int32_t>(op.out_act_bits);
+    w.scalar<std::int32_t>(op.out_act_qbits);
+  }
 }
 
 OpPlan read_op(Reader& r, std::size_t layer_count, std::uint32_t version,
@@ -376,6 +380,35 @@ OpPlan read_op(Reader& r, std::size_t layer_count, std::uint32_t version,
     fail("arena slot offset " + std::to_string(op.out_offset) +
          " outside the declared arena");
   }
+  // v1-v3 payloads predate compressed activation slots.
+  op.out_act_bits = version >= 4 ? r.scalar<std::int32_t>() : 0;
+  op.out_act_qbits = version >= 4 ? r.scalar<std::int32_t>() : 0;
+  if (op.out_act_bits != 0 && op.out_act_bits != 1 && op.out_act_bits != 2 &&
+      op.out_act_bits != 4 && op.out_act_bits != 8) {
+    fail("invalid packed activation cell width " +
+         std::to_string(op.out_act_bits));
+  }
+  if (op.out_act_bits == 0) {
+    if (op.out_act_qbits != 0) {
+      fail("activation code grid declared without a packed cell width");
+    }
+  } else {
+    if (op.out_offset < 0) {
+      fail("packed activation op has no arena slot");
+    }
+    if (op.out_act_qbits < 0 || op.out_act_qbits > 8 ||
+        (op.out_act_qbits > 0 &&
+         cell_bits_for(op.out_act_qbits) > op.out_act_bits)) {
+      fail("activation code grid does not fit its packed cell width");
+    }
+    // Only the (deferred or standalone) quantize ops may self-code
+    // (grid 0 — the consumer dequantizes on the op's own skip_bits grid);
+    // every other packed op stores codes on a consumer GEMM's grid.
+    if (op.out_act_qbits == 0 && op.kind != OpKind::kQuantize &&
+        op.kind != OpKind::kQuantizeSkip) {
+      fail("packed op is missing its consumer code grid");
+    }
+  }
   return op;
 }
 
@@ -415,10 +448,23 @@ void save_plan(const InferencePlan& plan, std::ostream& out,
       }
     }
   }
+  if (version < 4) {
+    // Packed slots are NOT droppable metadata: the slot offsets are sized
+    // for packed codes, so a version <= 3 file would execute float stores
+    // into undersized slots.
+    for (const OpPlan& op : plan.ops) {
+      if (op.out_act_bits > 0) {
+        fail("packed activation slots require format version 4; cannot "
+             "write version " + std::to_string(version) +
+             " (recompile with ADQ_ACT_BITS=off for a float-slot plan)");
+      }
+    }
+  }
   Writer w;
   w.str(plan.model_name);
   if (version >= 3) {
     w.scalar<std::int64_t>(plan.arena_bytes);
+    if (version >= 4) w.scalar<std::int64_t>(plan.arena_bytes_u8);
     w.scalar<std::uint8_t>(static_cast<std::uint8_t>(plan.planned_input.rank));
     w.scalar<std::int64_t>(plan.planned_input.channels);
     w.scalar<std::int64_t>(plan.planned_input.height);
@@ -484,12 +530,18 @@ InferencePlan load_plan(std::istream& in) {
   plan.model_name = r.str();
   if (version >= 3) {
     plan.arena_bytes = r.scalar<std::int64_t>();
+    // v3 files predate compressed slots: their arena IS the float arena.
+    plan.arena_bytes_u8 =
+        version >= 4 ? r.scalar<std::int64_t>() : plan.arena_bytes;
     plan.planned_input.rank = r.scalar<std::uint8_t>();
     plan.planned_input.channels = r.scalar<std::int64_t>();
     plan.planned_input.height = r.scalar<std::int64_t>();
     plan.planned_input.width = r.scalar<std::int64_t>();
     if (plan.arena_bytes < 0 || plan.arena_bytes > kMaxElems) {
       fail("invalid arena size");
+    }
+    if (plan.arena_bytes_u8 < 0 || plan.arena_bytes_u8 > kMaxElems) {
+      fail("invalid float-baseline arena size");
     }
     if (plan.planned_input.rank != 0 && plan.planned_input.rank != 1 &&
         plan.planned_input.rank != 3) {

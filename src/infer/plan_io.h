@@ -13,8 +13,9 @@
 //   0       8     magic "ADQPLAN\0"
 //   8       4     u32 format version (kPlanFormatVersion)
 //   12      4     u32 reserved flags (0)
-//   16      N     payload: model name, [v3+: arena bytes + planned input
-//                 shape], layers[], ops[] (see plan_io.cpp)
+//   16      N     payload: model name, [v3+: arena bytes + [v4+: float
+//                 baseline arena bytes] + planned input shape], layers[],
+//                 ops[] (see plan_io.cpp)
 //   16+N    8     u64 FNV-1a checksum of the payload
 //
 // Loading verifies magic, version and checksum before parsing and throws
@@ -42,7 +43,10 @@ namespace adq::infer {
 ///       input shape, per-op arena slot offsets, OpKind::kQuantizeSkip
 ///       (the deferred Fig-2 skip quantizer the arena executor runs in
 ///       place)
-constexpr std::uint32_t kPlanFormatVersion = 3;
+///   4 — compressed activation slots: per-op packed storage cell width +
+///       code grid (out_act_bits / out_act_qbits) and the per-plan
+///       float-storage baseline footprint (arena_bytes_u8)
+constexpr std::uint32_t kPlanFormatVersion = 4;
 
 /// Serializes the plan to a stream (binary). `version` selects the format
 /// emitted (for consumers still reading an older version); it throws
@@ -52,6 +56,10 @@ constexpr std::uint32_t kPlanFormatVersion = 3;
 /// plan has those). The v3 memory-plan annotations, by contrast, are
 /// derivable metadata: writing v1/v2 silently drops them and the loaded
 /// plan executes on the engine's heap path with identical results.
+/// Packed activation slots (v4) are NOT droppable: a version <= 3 file
+/// would keep slot offsets sized for packed codes while readers execute
+/// float stores, so save_plan refuses to write a packed plan at <= 3 —
+/// recompile with ADQ_ACT_BITS=off to produce a v3-compatible plan.
 void save_plan(const InferencePlan& plan, std::ostream& out,
                std::uint32_t version = kPlanFormatVersion);
 

@@ -158,8 +158,8 @@ void ModelRegistry::add_model(const std::string& name,
   }
   const infer::IntInferenceEngine& e0 = model->rungs[0]->engine;
   model->stats.set_memory_contract(
-      e0.arena_bytes_per_sample(),
-      e0.peak_activation_bytes(config.max_batch));
+      e0.arena_bytes_per_sample(), e0.peak_activation_bytes(config.max_batch),
+      e0.arena_bytes_u8_per_sample(), e0.act_cell_histogram());
   model->pinned = config.pin_step;
   const int initial = config.pin_step >= 0 ? config.pin_step : 0;
   model->step.store(initial, std::memory_order_relaxed);

@@ -31,7 +31,9 @@ InferenceServer::InferenceServer(const infer::IntInferenceEngine& engine,
   // per-thread kernel scratch — code buffers, im2col slabs, accumulators —
   // comes on top of this).
   stats_.set_memory_contract(engine.arena_bytes_per_sample(),
-                             engine.peak_activation_bytes(config_.max_batch));
+                             engine.peak_activation_bytes(config_.max_batch),
+                             engine.arena_bytes_u8_per_sample(),
+                             engine.act_cell_histogram());
   workers_.reserve(static_cast<std::size_t>(config_.workers));
   for (int i = 0; i < config_.workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });

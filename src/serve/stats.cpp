@@ -69,10 +69,14 @@ double ServerStats::recent_p99_us() const {
 }
 
 void ServerStats::set_memory_contract(std::int64_t arena_bytes_per_sample,
-                                      std::int64_t peak_bytes_per_worker) {
+                                      std::int64_t peak_bytes_per_worker,
+                                      std::int64_t arena_bytes_u8_per_sample,
+                                      const std::array<int, 9>& act_cells) {
   std::lock_guard<std::mutex> lock(mutex_);
   arena_bytes_per_sample_ = arena_bytes_per_sample;
   peak_bytes_per_worker_ = peak_bytes_per_worker;
+  arena_bytes_u8_per_sample_ = arena_bytes_u8_per_sample;
+  act_cells_ = act_cells;
 }
 
 ServerStats::Snapshot ServerStats::snapshot() const {
@@ -85,6 +89,13 @@ ServerStats::Snapshot ServerStats::snapshot() const {
     s.max_queue_depth = max_depth_;
     s.arena_bytes_per_sample = arena_bytes_per_sample_;
     s.peak_activation_bytes_per_worker = peak_bytes_per_worker_;
+    s.arena_bytes_u8_per_sample = arena_bytes_u8_per_sample_;
+    for (int cell = 0; cell < static_cast<int>(act_cells_.size()); ++cell) {
+      if (act_cells_[static_cast<std::size_t>(cell)] > 0) {
+        s.act_cell_histogram.emplace_back(
+            cell, act_cells_[static_cast<std::size_t>(cell)]);
+      }
+    }
     s.mean_total_us =
         requests_ == 0 ? 0.0 : total_us_sum_ / static_cast<double>(requests_);
     s.mean_queue_us =

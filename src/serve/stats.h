@@ -21,6 +21,7 @@
 // pressure rather than the lifetime distribution.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -56,6 +57,13 @@ class ServerStats {
     // the planned activation-slot footprint; kernel scratch is extra.
     std::int64_t arena_bytes_per_sample = 0;
     std::int64_t peak_activation_bytes_per_worker = 0;  // arena x max_batch
+    // Activation-compression contract: what the same slots would occupy
+    // stored as float words (the ADQ_ACT_BITS=off baseline; equals
+    // arena_bytes_per_sample when nothing packs) and the slot mix as
+    // (storage cell width, slot-owning ops) pairs, ascending — cell 0 =
+    // float slots, 1/2/4/8 = packed sub-byte/byte cells.
+    std::int64_t arena_bytes_u8_per_sample = 0;
+    std::vector<std::pair<int, int>> act_cell_histogram;
   };
 
   void record_batch(std::int64_t batch_size, std::int64_t queue_depth_after);
@@ -76,11 +84,15 @@ class ServerStats {
   /// the SLO controller's pressure signal. 0 before any completion.
   double recent_p99_us() const;
 
-  /// Records the engine's planned activation footprint (per sample) and
-  /// the per-worker worst case at the server's batch cap. Called once by
-  /// the server constructor.
+  /// Records the engine's planned activation footprint (per sample), the
+  /// per-worker worst case at the server's batch cap, the float-storage
+  /// baseline footprint, and the per-cell-width slot mix (index = cell
+  /// bits, value = slot-owning ops). Called once by the server
+  /// constructor.
   void set_memory_contract(std::int64_t arena_bytes_per_sample,
-                           std::int64_t peak_bytes_per_worker);
+                           std::int64_t peak_bytes_per_worker,
+                           std::int64_t arena_bytes_u8_per_sample = 0,
+                           const std::array<int, 9>& act_cells = {});
 
   Snapshot snapshot() const;
   void reset();
@@ -112,6 +124,8 @@ class ServerStats {
   int current_step_ = 0;
   std::int64_t arena_bytes_per_sample_ = 0;
   std::int64_t peak_bytes_per_worker_ = 0;
+  std::int64_t arena_bytes_u8_per_sample_ = 0;
+  std::array<int, 9> act_cells_ = {};
 };
 
 }  // namespace adq::serve

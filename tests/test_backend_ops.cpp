@@ -191,6 +191,8 @@ TEST(BackendRegistry, EveryBackendTableIsComplete) {
     EXPECT_NE(bk->residual_add, nullptr);
     EXPECT_NE(bk->pack_codes, nullptr);
     EXPECT_NE(bk->unpack_codes, nullptr);
+    EXPECT_NE(bk->act_pack, nullptr);
+    EXPECT_NE(bk->act_unpack, nullptr);
   }
 }
 
@@ -297,6 +299,9 @@ int run_perf_mode() {
       // comparison reads straight out of the JSON.
       if (op == Op::kIgemmW4) bit_list = {4};
       if (op == Op::kIgemmW2) bit_list = {2};
+      // Activation pack/unpack runs once per storage cell the activation
+      // planner can assign (8 is a memcpy, 4/2 are the SIMD merges).
+      if (op == Op::kActPack || op == Op::kActUnpack) bit_list = {8, 4, 2};
       for (int bits : bit_list) {
         const adq::backend::PerfSample s =
             adq::backend::measure_perf(op, *bk, bits);
@@ -304,6 +309,9 @@ int run_perf_mode() {
         if (op == Op::kIgemm) metric += "_int" + std::to_string(bits);
         if (op == Op::kIgemmW4 || op == Op::kIgemmW2) {
           metric += "_int" + std::to_string(bits);
+        }
+        if (op == Op::kActPack || op == Op::kActUnpack) {
+          metric += "_cell" + std::to_string(bits);
         }
         report.add(metric, s.value, s.unit);
         std::printf("%-10s %-16s %10.2f %8s\n", bk->name, metric.c_str(),

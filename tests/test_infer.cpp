@@ -714,6 +714,62 @@ TEST(GoldenLogits, PackedMatchesUnpackedAcrossEveryBackend) {
   }
 }
 
+TEST(GoldenLogits, PackedActivationSlotsMatchFloatSlotsAcrossEveryBackend) {
+  // Compressed activation slots (ADQ_ACT_BITS) store exactly the codes the
+  // consuming GEMM's own quantize_act would compute, so the packed-slot
+  // plan must be BIT-identical to the float-slot plan of the same model —
+  // on every backend. Any hex mismatch is a pack/unpack or grid bug, never
+  // rounding.
+  const GoldenModel kModels[] = {
+      {"vgg19", 111}, {"resnet18", 112}, {"mobilenet_small", 113}};
+  const char* kSettings[] = {"int8", "int4", "mixed"};
+
+  for (const GoldenModel& gm : kModels) {
+    for (const char* setting : kSettings) {
+      Rng rng(gm.seed);
+      auto model = build_golden_model(gm.name, rng);
+      apply_bit_setting(*model, setting);
+      model->set_training(false);
+      const Tensor x = golden_input(gm.name, rng);
+
+      InferencePlan packed_plan, float_plan;
+      {
+        const ScopedEnv env("ADQ_ACT_BITS", "on");
+        packed_plan = compile(*model);
+      }
+      {
+        const ScopedEnv env("ADQ_ACT_BITS", "off");
+        float_plan = compile(*model);
+      }
+      int packed_ops = 0;
+      for (const OpPlan& op : packed_plan.ops) {
+        packed_ops += op.out_act_bits > 0;
+      }
+      EXPECT_GT(packed_ops, 0) << gm.name << "/" << setting
+                               << ": nothing compressed — vacuous parity";
+
+      std::string golden;
+      for (const backend::Backend* bk : backend::available_backends()) {
+        const ScopedBackend scope(bk);
+        const std::string where =
+            std::string(gm.name) + "/" + setting + "/" + bk->name;
+        const IntInferenceEngine packed_engine(packed_plan);
+        const IntInferenceEngine float_engine(float_plan);
+        const std::string packed = logits_hex(packed_engine.forward(x));
+        const std::string floats = logits_hex(float_engine.forward(x));
+        EXPECT_EQ(packed, floats)
+            << where << ": packed activation slots changed the logits";
+        if (golden.empty()) {
+          golden = packed;
+        } else {
+          EXPECT_EQ(packed, golden)
+              << where << ": logits differ from the first backend's";
+        }
+      }
+    }
+  }
+}
+
 // With packing on, the engine's steady-state weight views keep the <= 4-bit
 // layers' packed cells, so the resident execution bytes must shrink versus
 // the legacy unpack-to-u8 views of the same plan.

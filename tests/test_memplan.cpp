@@ -15,6 +15,7 @@
 // ZERO heap allocations.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdlib>
 #include <memory>
@@ -34,6 +35,7 @@
 #include "models/mobilenet.h"
 #include "models/resnet.h"
 #include "models/vgg.h"
+#include "plan_test_util.h"
 #include "tensor/ops.h"
 #include "tensor/rng.h"
 
@@ -222,7 +224,10 @@ TEST(MemPlanner, ResNetSkipQuantizerRunsInPlace) {
   // The Fig-2 skip quantizer is scheduled lazily (just before the add), at
   // which point the main branch is done reading the fork — so the planner
   // must alias its output onto the fork's slot in EVERY residual block, and
-  // the lowered plan must carry that aliasing (out_offset == -1).
+  // the lowered plan must carry that aliasing (out_offset == -1). This is
+  // the float-storage schedule: packed skip quantizers run eagerly into a
+  // fresh slot instead, so pin compression off.
+  const testutil::ScopedEnv act_off("ADQ_ACT_BITS", "off");
   auto model = small_resnet(4, 81);
   graph::Graph g = graph::build_from_model(*model);
   graph::legalize(g);
@@ -268,6 +273,10 @@ TEST(MemPlanner, PackingReusesMemory) {
   // whole point of lifetime packing. VGG19 peaks where the two largest
   // conv maps are simultaneously live (producer + consumer at the first
   // stack), so the arena is exactly two peak slabs, not the network total.
+  // Float storage pinned: packed cells shrink the peak slabs asymmetrically
+  // (the producer packs, its float input does not), breaking the 2x
+  // identity this test pins.
+  const testutil::ScopedEnv act_off("ADQ_ACT_BITS", "off");
   auto model = small_vgg(83);
   graph::Graph g = graph::build_from_model(*model);
   graph::legalize(g);
@@ -292,6 +301,128 @@ TEST(MemPlanner, CompiledPlansAreByteDeterministic) {
   EXPECT_EQ(a.arena_bytes, b.arena_bytes);
   for (std::size_t i = 0; i < a.ops.size(); ++i) {
     EXPECT_EQ(a.ops[i].out_offset, b.ops[i].out_offset) << "op " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MemPlanner — compressed activation slots (ADQ_ACT_BITS).
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<models::QuantizableModel> paper_mixed_resnet(
+    std::uint64_t seed) {
+  Rng rng(seed);
+  models::ResNetConfig cfg;
+  cfg.width_mult = 0.0625;
+  cfg.num_classes = 10;
+  cfg.input_size = 16;
+  auto model = models::build_resnet18(cfg, rng);
+  model->set_training(false);
+  // Table II(b) iteration-2 unit bits, clipped to the 8-bit integer
+  // ceiling (wider layers run the float path and keep float slots).
+  const std::vector<int> bits{16, 5, 3, 3,  11, 1, 1, 11, 4,
+                              4,  10, 4, 4, 11, 3, 3, 9,  16};
+  for (int i = 0; i < model->unit_count(); ++i) {
+    if (!model->unit(i).frozen) {
+      model->unit(i).set_bits(
+          std::min(bits[static_cast<std::size_t>(i) % bits.size()], 8));
+    }
+  }
+  return model;
+}
+
+std::unique_ptr<models::QuantizableModel> mixed_mobilenet(std::uint64_t seed) {
+  Rng rng(seed);
+  models::MobileNetConfig cfg;
+  cfg.width_mult = 0.25;
+  cfg.num_classes = 10;
+  auto model = models::build_mobilenet_small(cfg, rng);
+  model->set_training(false);
+  const int pattern[] = {8, 4, 2};
+  for (int i = 0; i < model->unit_count(); ++i) {
+    if (!model->unit(i).frozen) model->unit(i).set_bits(pattern[i % 3]);
+  }
+  return model;
+}
+
+TEST(MemPlanner, PackedArenaShrinksAtLeast35PctOnMixedPlans) {
+  // The tentpole's acceptance bar: sub-byte activation cells shrink the
+  // paper-mixed ResNet18 and MobileNet-small arenas by at least 35%
+  // against the float-slot baseline the planner records alongside.
+  const testutil::ScopedEnv act_on("ADQ_ACT_BITS", "on");
+  for (auto& plan : {compile(*paper_mixed_resnet(181)),
+                     compile(*mixed_mobilenet(182))}) {
+    ASSERT_GT(plan.arena_bytes, 0) << plan.model_name;
+    ASSERT_GT(plan.arena_bytes_u8, 0) << plan.model_name;
+    EXPECT_LE(static_cast<double>(plan.arena_bytes),
+              0.65 * static_cast<double>(plan.arena_bytes_u8))
+        << plan.model_name << ": arena " << plan.arena_bytes << " vs "
+        << plan.arena_bytes_u8 << " float baseline";
+  }
+}
+
+TEST(MemPlanner, PackedSkipQuantizerRunsEagerlyIntoAFreshSlot) {
+  // A packed skip quantizer cannot alias the fork in place (packed bytes
+  // would overwrite float words the main chain still reads), so the
+  // lowering schedules it eagerly — immediately after the push, while the
+  // fork is untouched — into its own packed slot.
+  const testutil::ScopedEnv act_on("ADQ_ACT_BITS", "on");
+  auto model = small_resnet(4, 183);
+  const InferencePlan plan = compile(*model);
+  int packed_skips = 0;
+  for (std::size_t i = 0; i < plan.ops.size(); ++i) {
+    const OpPlan& op = plan.ops[i];
+    if (op.kind != OpKind::kQuantizeSkip || op.out_act_bits <= 0) continue;
+    ++packed_skips;
+    EXPECT_GE(op.out_offset, 0) << "op " << i;
+    ASSERT_GT(i, 0u);
+    EXPECT_EQ(static_cast<int>(plan.ops[i - 1].kind),
+              static_cast<int>(OpKind::kPushSkip))
+        << "op " << i << " is not scheduled right after its push";
+  }
+  EXPECT_EQ(packed_skips, 8);  // every residual block's quantizer packs
+}
+
+TEST(MemPlanner, OffModeKeepsFloatSlotsAndBaselineEqual) {
+  const testutil::ScopedEnv act_off("ADQ_ACT_BITS", "off");
+  const InferencePlan plan = compile(*paper_mixed_resnet(184));
+  for (const OpPlan& op : plan.ops) {
+    EXPECT_EQ(op.out_act_bits, 0);
+    EXPECT_EQ(op.out_act_qbits, 0);
+  }
+  EXPECT_EQ(plan.arena_bytes_u8, plan.arena_bytes);
+}
+
+TEST(MemPlanner, ActBitsPinWidensToTheGridAndRejectsGarbage) {
+  {
+    // Pinned to 8: every packed value stores one code per byte.
+    const testutil::ScopedEnv env("ADQ_ACT_BITS", "8");
+    const InferencePlan plan = compile(*small_resnet(4, 185));
+    int packed = 0;
+    for (const OpPlan& op : plan.ops) {
+      if (op.out_act_bits <= 0) continue;
+      ++packed;
+      EXPECT_EQ(op.out_act_bits, 8);
+    }
+    EXPECT_GT(packed, 0);
+  }
+  {
+    // Pinned to 2 on a 4-bit model: codes must fit, so the cell widens to
+    // the grid's natural 4 bits instead of truncating.
+    const testutil::ScopedEnv env("ADQ_ACT_BITS", "2");
+    const InferencePlan plan = compile(*small_resnet(4, 185));
+    int packed = 0;
+    for (const OpPlan& op : plan.ops) {
+      if (op.out_act_bits <= 0) continue;
+      ++packed;
+      EXPECT_EQ(op.out_act_bits, 4) << "4-bit codes in a 2-bit cell";
+    }
+    EXPECT_GT(packed, 0);
+  }
+  {
+    // A typo must fail compilation loudly, never silently change the plan.
+    const testutil::ScopedEnv env("ADQ_ACT_BITS", "banana");
+    auto model = small_resnet(4, 185);
+    EXPECT_THROW(compile(*model), std::invalid_argument);
   }
 }
 
@@ -362,11 +493,15 @@ TEST(ArenaExec, MeasuredPeakEqualsPlannedArenaBytes) {
     const std::vector<std::int64_t> out_elems = plan.op_out_elems();
     std::int64_t peak = 0;
     for (std::size_t i = 0; i < plan.ops.size(); ++i) {
-      if (plan.ops[i].out_offset < 0) continue;
-      const std::int64_t bytes =
-          (out_elems[i] * static_cast<std::int64_t>(sizeof(float)) + 63) /
-          64 * 64;
-      peak = std::max(peak, plan.ops[i].out_offset + bytes);
+      const OpPlan& op = plan.ops[i];
+      if (op.out_offset < 0) continue;
+      // Packed slots hold act_bits-wide cells, float slots 4-byte words;
+      // both round up to the 64-byte slot granule the planner allocates.
+      const std::int64_t raw =
+          op.out_act_bits > 0
+              ? (out_elems[i] * op.out_act_bits + 7) / 8
+              : out_elems[i] * static_cast<std::int64_t>(sizeof(float));
+      peak = std::max(peak, op.out_offset + (raw + 63) / 64 * 64);
     }
     EXPECT_EQ(peak, plan.arena_bytes) << plan.model_name;
     const IntInferenceEngine engine(plan);

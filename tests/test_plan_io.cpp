@@ -233,7 +233,10 @@ TEST(PlanIo, RefusesWritingDeferredSkipQuantizeAtVersion2) {
 TEST(PlanIo, Version2WritingDropsMemoryPlanButExecutesIdentically) {
   // A plain chain (no residual ops) IS expressible at v2; the write drops
   // only the derivable arena annotations and the loaded plan falls back to
-  // the heap executor with bit-identical logits.
+  // the heap executor with bit-identical logits. Compiled with activation
+  // compression off — packed slots are not expressible below v4 and
+  // save_plan refuses them rather than dropping (covered elsewhere).
+  const testutil::ScopedEnv act_off("ADQ_ACT_BITS", "off");
   auto model = small_vgg({8, 4});
   const InferencePlan plan = compile(*model);
   ASSERT_GT(plan.arena_bytes, 0);
@@ -307,7 +310,7 @@ TEST(PlanIo, WritesCurrentFormatVersionInHeader) {
   std::uint32_t version;
   std::memcpy(&version, bytes.data() + 8, sizeof(version));
   EXPECT_EQ(version, kPlanFormatVersion);
-  EXPECT_EQ(kPlanFormatVersion, 3u);
+  EXPECT_EQ(kPlanFormatVersion, 4u);
 }
 
 TEST(PlanIo, LoadsPreviousFormatVersion) {
@@ -315,7 +318,9 @@ TEST(PlanIo, LoadsPreviousFormatVersion) {
   // in v1 saves at version 1 and loads back with identical semantics —
   // never a silent misparse. The v3 memory-plan annotations are derivable
   // metadata, dropped on the way down (the loaded plan then runs on the
-  // engine's heap path, bit-identically).
+  // engine's heap path, bit-identically). Compiled with activation
+  // compression off: v4 packed slots are refused below v4, not dropped.
+  const testutil::ScopedEnv act_off("ADQ_ACT_BITS", "off");
   auto model = small_vgg({8, 4, 2});
   const InferencePlan plan = compile(*model);
   ASSERT_GT(plan.arena_bytes, 0);  // freshly compiled plans are planned
@@ -462,6 +467,125 @@ TEST(PlanIo, RejectsWideBitsOnIntegerPath) {
 TEST(PlanIo, MissingFileError) {
   EXPECT_THROW(load_plan("/nonexistent/dir/model.adqplan"),
                std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// v4 — compressed activation slots.
+// ---------------------------------------------------------------------------
+
+InferencePlan packed_plan() {
+  const testutil::ScopedEnv act_on("ADQ_ACT_BITS", "on");
+  auto model = small_vgg({8, 4, 2});
+  return compile(*model);
+}
+
+TEST(PlanIo, V4RoundTripPreservesPackedActivationSlots) {
+  const InferencePlan plan = packed_plan();
+  int packed = 0;
+  for (const OpPlan& op : plan.ops) packed += op.out_act_bits > 0;
+  ASSERT_GT(packed, 0);  // the fixture really compresses something
+  ASSERT_GT(plan.arena_bytes_u8, plan.arena_bytes);
+
+  const std::string bytes = to_bytes(plan);
+  const InferencePlan loaded = from_bytes(bytes);
+  EXPECT_EQ(to_bytes(loaded), bytes);
+  EXPECT_EQ(loaded.arena_bytes_u8, plan.arena_bytes_u8);
+  ASSERT_EQ(loaded.ops.size(), plan.ops.size());
+  for (std::size_t i = 0; i < plan.ops.size(); ++i) {
+    EXPECT_EQ(loaded.ops[i].out_act_bits, plan.ops[i].out_act_bits) << i;
+    EXPECT_EQ(loaded.ops[i].out_act_qbits, plan.ops[i].out_act_qbits) << i;
+  }
+
+  Rng rng(61);
+  Tensor x(Shape{4, 3, 32, 32});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  expect_identical_forward(plan, loaded, x);
+}
+
+TEST(PlanIo, RefusesWritingPackedSlotsBelowVersion4) {
+  // A v3 file would keep slot offsets sized for packed codes while v3
+  // readers execute float stores — silent corruption, so the save must
+  // refuse with the version and the recompile remedy named.
+  const InferencePlan plan = packed_plan();
+  for (const std::uint32_t version : {3u, 2u, 1u}) {
+    std::ostringstream out(std::ios::binary);
+    try {
+      save_plan(plan, out, version);
+      FAIL() << "packed plan written at v" << version;
+    } catch (const std::runtime_error& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("format version 4"), std::string::npos) << what;
+      EXPECT_NE(what.find("ADQ_ACT_BITS=off"), std::string::npos) << what;
+    }
+  }
+}
+
+TEST(PlanIo, V3FileLoadsWithFloatSlots) {
+  // Pre-v4 files carry no activation-storage annotations: every slot loads
+  // as float storage and the float baseline backfills from the arena
+  // footprint itself — never a misparse.
+  const testutil::ScopedEnv act_off("ADQ_ACT_BITS", "off");
+  auto model = small_vgg({8, 4});
+  const InferencePlan plan = compile(*model);
+  std::ostringstream out(std::ios::binary);
+  save_plan(plan, out, /*version=*/3);
+  const InferencePlan loaded = from_bytes(out.str());
+  EXPECT_EQ(loaded.arena_bytes, plan.arena_bytes);
+  EXPECT_EQ(loaded.arena_bytes_u8, plan.arena_bytes);
+  for (const OpPlan& op : loaded.ops) {
+    EXPECT_EQ(op.out_act_bits, 0);
+    EXPECT_EQ(op.out_act_qbits, 0);
+  }
+
+  Rng rng(62);
+  Tensor x(Shape{4, 3, 32, 32});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  expect_identical_forward(plan, loaded, x);
+}
+
+TEST(PlanIo, FingerprintSeparatesPackedFromFloatSlotPlans) {
+  // Same model, same weights — but the packed plan stores different bytes
+  // in its activation slots, so the fingerprints must differ.
+  const std::uint64_t packed = plan_fingerprint(packed_plan());
+  const testutil::ScopedEnv act_off("ADQ_ACT_BITS", "off");
+  EXPECT_NE(plan_fingerprint(compile(*small_vgg({8, 4, 2}))), packed);
+}
+
+TEST(PlanIo, RejectsInvalidPackedCellWidth) {
+  InferencePlan plan = packed_plan();
+  for (OpPlan& op : plan.ops) {
+    if (op.out_act_bits > 0) {
+      op.out_act_bits = 3;  // not a {1, 2, 4, 8} cell
+      break;
+    }
+  }
+  try {
+    from_bytes(to_bytes(plan));
+    FAIL() << "3-bit cell accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("cell width"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(PlanIo, RejectsCodeGridWiderThanItsCell) {
+  InferencePlan plan = packed_plan();
+  bool tampered = false;
+  for (OpPlan& op : plan.ops) {
+    if (op.out_act_bits == 4 && op.out_act_qbits == 4) {
+      op.out_act_qbits = 8;  // 8-bit codes cannot live in 4-bit cells
+      tampered = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(tampered);
+  try {
+    from_bytes(to_bytes(plan));
+    FAIL() << "8-bit grid in a 4-bit cell accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("cell width"), std::string::npos)
+        << e.what();
+  }
 }
 
 }  // namespace

@@ -363,6 +363,21 @@ TEST(ServeServer, StatsExposeStaticMemoryContract) {
   EXPECT_EQ(st.arena_bytes_per_sample, fx.engine->arena_bytes_per_sample());
   EXPECT_EQ(st.peak_activation_bytes_per_worker,
             16 * st.arena_bytes_per_sample);
+  // Activation-compression contract: the float-slot baseline and the slot
+  // mix ride along (packed arena <= baseline; slot counts cover every
+  // slot-owning op of the plan).
+  EXPECT_EQ(st.arena_bytes_u8_per_sample,
+            fx.engine->arena_bytes_u8_per_sample());
+  EXPECT_GE(st.arena_bytes_u8_per_sample, st.arena_bytes_per_sample);
+  ASSERT_FALSE(st.act_cell_histogram.empty());
+  int slot_ops = 0;
+  for (const auto& [cell, count] : st.act_cell_histogram) {
+    EXPECT_TRUE(cell == 0 || cell == 1 || cell == 2 || cell == 4 ||
+                cell == 8)
+        << cell;
+    slot_ops += count;
+  }
+  EXPECT_GT(slot_ops, 0);
 }
 
 TEST(ServeServer, ConfigValidation) {
