@@ -29,6 +29,7 @@
 #include "infer/plan.h"
 #include "report/table.h"
 #include "tensor/ops.h"
+#include "tensor/parallel.h"
 
 namespace {
 
@@ -234,6 +235,39 @@ int main() {
                 allocs,
                 static_cast<double>(plan8.peak_activation_bytes(8)) / 1024.0);
     json.add("allocs_per_forward_b8", allocs, "allocs");
+  }
+
+  // -- thread scaling: GMAC/s at intra-op budgets 1/2/4 ------------------
+  // ScopedThreadBudget caps the fan-out of every parallel_for the timing
+  // thread dispatches — the same mechanism a serving worker uses — so the
+  // trajectory tracks parallel efficiency, not just single-stream speed.
+  // Budgets above the pool size clamp to it (rows still emitted so the
+  // JSON schema is stable across hosts; the clamped rows then coincide).
+  {
+    std::vector<std::int64_t> idx(8);
+    std::iota(idx.begin(), idx.end(), 0);
+    const Tensor x8 = split.test.gather(idx).images;
+    const double gmacs_per_batch =
+        static_cast<double>(model->spec().total_macs()) * 8.0 * 1e-9;
+    std::printf("\nthread scaling (int8, b8, %.2f GMAC/batch, pool %d):",
+                gmacs_per_batch, parallel_thread_count());
+    double gmacs1 = 0.0;
+    for (const int budget : {1, 2, 4}) {
+      ScopedThreadBudget cap(budget);
+      const double ms = time_best_ms(reps, [&] { return engine8.forward(x8); });
+      const double gmacs_s = gmacs_per_batch / (ms / 1000.0);
+      if (budget == 1) gmacs1 = gmacs_s;
+      const int effective = parallel_effective_threads();
+      std::printf("  t%d %.2f GMAC/s (%.2fx)", budget, gmacs_s,
+                  gmacs_s / gmacs1);
+      json.add("threads" + std::to_string(budget) + "_gmacs", gmacs_s,
+               "GMAC/s");
+      json.add("threads" + std::to_string(budget) + "_effective",
+               static_cast<double>(effective), "threads");
+      json.add("threads" + std::to_string(budget) + "_scaling_vs_1",
+               gmacs_s / gmacs1, "x");
+    }
+    std::printf("\n");
   }
 
   // -- activation compression (ADQ_ACT_BITS): packed vs float-slot arena --

@@ -334,12 +334,17 @@ void run_conv_int(const GemmLayerPlan& l, const float* x, std::int64_t B,
     const std::int64_t bc = std::min(max_chunk, B - b0);
     const std::int64_t cols = bc * ohw;
     std::uint8_t* col = ws.lower.ensure_u8(P * cols);
+    // One sample lowers P*ohw bytes; keep at least ~16 KiB of lowering per
+    // chunk so late tiny layers (small spatial maps) stay serial instead of
+    // round-tripping the scheduler for microseconds of work.
+    const std::int64_t im2col_grain = std::max<std::int64_t>(
+        1, 16384 / std::max<std::int64_t>(1, P * ohw));
     parallel_for(0, bc, [&](std::int64_t i0, std::int64_t i1) {
       for (std::int64_t i = i0; i < i1; ++i) {
         bk.im2col_u8(act + (b0 + i) * chw, g, col + i * ohw, cols,
                      qa.zero_code);
       }
-    });
+    }, im2col_grain);
     std::int32_t* acc = ws.ensure_acc((O + 1) * cols);
     if (wv.packed) {
       // Packed weight rows (the all-ones row included) feed the sub-byte
@@ -637,6 +642,10 @@ void maxpool_forward(const float* x, std::int64_t B, std::int64_t C,
                      std::int64_t stride, float* out) {
   const std::int64_t oh = (H - kernel) / stride + 1;
   const std::int64_t ow = (W - kernel) / stride + 1;
+  // A plane costs oh*ow*kernel^2 compares; keep ~4k compares per chunk so
+  // the deep small-map pools don't pay a dispatch for trivial work.
+  const std::int64_t grain = std::max<std::int64_t>(
+      1, 4096 / std::max<std::int64_t>(1, oh * ow * kernel * kernel));
   parallel_for(0, B * C, [&](std::int64_t p0, std::int64_t p1) {
     for (std::int64_t p = p0; p < p1; ++p) {
       const float* plane = x + p * H * W;
@@ -654,7 +663,7 @@ void maxpool_forward(const float* x, std::int64_t B, std::int64_t C,
         }
       }
     }
-  });
+  }, grain);
 }
 
 void gap_forward(const float* x, std::int64_t B, std::int64_t C,

@@ -10,7 +10,9 @@
 #include "infer/engine.h"
 #include "infer/plan_io.h"
 #include "serve/batcher.h"
+#include "serve/server.h"
 #include "tensor/ops.h"
+#include "tensor/parallel.h"
 
 namespace adq::serve {
 namespace {
@@ -121,6 +123,9 @@ void ModelRegistry::add_model(const std::string& name,
   if (config.workers < 1) {
     throw std::invalid_argument("registry: workers must be >= 1");
   }
+  if (config.threads_per_worker < 0) {
+    throw std::invalid_argument("registry: threads_per_worker must be >= 0");
+  }
   if (config.tick_interval_us < 0 || config.shed_queue_depth < 0) {
     throw std::invalid_argument(
         "registry: tick_interval_us and shed_queue_depth must be >= 0");
@@ -130,6 +135,8 @@ void ModelRegistry::add_model(const std::string& name,
     if (std::getenv("ADQ_LADDER") != nullptr) {
       config.pin_step = pinned_step_from_env();
     }
+    const int env_budget = threads_per_worker_from_env();
+    if (env_budget > 0) config.threads_per_worker = env_budget;
   }
   const int num_steps = static_cast<int>(ladder.size());
   if (config.pin_step >= num_steps) config.pin_step = num_steps - 1;
@@ -326,6 +333,11 @@ Shape ModelRegistry::sample_shape(const std::string& name) const {
 }
 
 void ModelRegistry::worker_loop(Model& m) {
+  // Each worker caps its forwards' parallel_for fan-out to its share of
+  // the scheduler pool; N models x N workers then partition the machine
+  // instead of oversubscribing it (see ScopedThreadBudget).
+  const ScopedThreadBudget budget(
+      resolve_worker_budget(m.cfg.threads_per_worker, m.cfg.workers));
   for (;;) {
     std::vector<Request> batch = m.batcher.next_batch();
     if (batch.empty()) return;  // closed and drained

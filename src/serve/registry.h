@@ -56,6 +56,10 @@ struct ModelConfig {
   /// Batch-executor threads for this model (the engine parallelises
   /// inside a batch via the ADQ_THREADS pool; see ServerConfig::workers).
   int workers = 1;
+  /// Intra-op thread budget per worker. 0 = auto (pool size / workers);
+  /// ADQ_THREADS_PER_WORKER overrides when use_env is set. See
+  /// ServerConfig::threads_per_worker.
+  int threads_per_worker = 0;
   /// SLO targets + hysteresis for the ladder controller.
   LadderSlo slo;
   /// Minimum spacing between controller observations. Ticks happen on the

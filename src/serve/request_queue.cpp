@@ -10,6 +10,7 @@ RequestQueue::~RequestQueue() {
 
 std::future<InferenceResult> RequestQueue::push(Tensor sample) {
   std::future<InferenceResult> future;
+  bool wake = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (closed_) {
@@ -21,8 +22,13 @@ std::future<InferenceResult> RequestQueue::push(Tensor sample) {
     req.enqueued = Clock::now();
     future = req.promise.get_future();
     pending_.push_back(std::move(req));
+    wake = waiting_poppers_ > 0;
   }
-  cv_.notify_one();
+  // One arrival needs ONE popper — and none at all when every popper is
+  // already awake forming batches; waking the whole herd here just makes
+  // M-1 workers contend the mutex to re-check a predicate one of them
+  // already consumed.
+  if (wake) cv_.notify_one();
   return future;
 }
 
@@ -38,10 +44,16 @@ std::vector<Request> RequestQueue::pop_batch(std::int64_t max_batch,
       // deadline — flush whatever is here when the window closes.
       const auto deadline = pending_.front().enqueued + max_wait;
       if (Clock::now() >= deadline) break;
+      ++waiting_poppers_;
       cv_.wait_until(lock, deadline);
+      --waiting_poppers_;
+      ++popper_wakeups_;
       continue;
     }
+    ++waiting_poppers_;
     cv_.wait(lock);
+    --waiting_poppers_;
+    ++popper_wakeups_;
   }
   std::vector<Request> batch;
   const std::int64_t take =
@@ -56,21 +68,27 @@ std::vector<Request> RequestQueue::pop_batch(std::int64_t max_batch,
 }
 
 void RequestQueue::close() {
+  bool wake = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     closed_ = true;
+    wake = waiting_poppers_ > 0;
   }
-  cv_.notify_all();
+  // Shutdown is the one event every blocked popper must see (each either
+  // drains a batch or exits) — notify_all is the point here, not a herd.
+  if (wake) cv_.notify_all();
 }
 
 void RequestQueue::fail_pending(const std::string& why) {
   std::deque<Request> orphaned;
+  bool wake = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     closed_ = true;
     orphaned.swap(pending_);
+    wake = waiting_poppers_ > 0;
   }
-  cv_.notify_all();
+  if (wake) cv_.notify_all();
   // Promises are completed outside the lock: a future's continuation (a
   // caller blocked in get() on this thread's stack) must never run under
   // the queue mutex.
@@ -93,6 +111,11 @@ std::int64_t RequestQueue::depth() const {
 std::uint64_t RequestQueue::accepted() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return next_id_;
+}
+
+std::uint64_t RequestQueue::popper_wakeups() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return popper_wakeups_;
 }
 
 }  // namespace adq::serve

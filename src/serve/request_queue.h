@@ -109,11 +109,20 @@ class RequestQueue {
   /// Total requests ever accepted.
   std::uint64_t accepted() const;
 
+  /// Times a popper blocked in pop_batch() has been woken (notify or
+  /// timeout). The contention contract — one arrival wakes ONE popper,
+  /// only close()/fail_pending() wake the herd — is asserted against this
+  /// counter in test_serve; a regression to notify_all-per-push multiplies
+  /// it by the popper count.
+  std::uint64_t popper_wakeups() const;
+
  private:
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Request> pending_;
   std::uint64_t next_id_ = 0;
+  std::int64_t waiting_poppers_ = 0;  // blocked inside pop_batch()
+  std::uint64_t popper_wakeups_ = 0;
   bool closed_ = false;
 };
 

@@ -1,9 +1,13 @@
 #include "serve/server.h"
 
+#include <cerrno>
+#include <cstdlib>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "tensor/ops.h"
+#include "tensor/parallel.h"
 
 namespace adq::serve {
 namespace {
@@ -13,6 +17,25 @@ double us_between(Clock::time_point a, Clock::time_point b) {
 }
 
 }  // namespace
+
+int threads_per_worker_from_env() {
+  const char* env = std::getenv("ADQ_THREADS_PER_WORKER");
+  if (env == nullptr) return 0;
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || errno == ERANGE || v < 1 || v > 4096) {
+    throw std::invalid_argument("serve: ADQ_THREADS_PER_WORKER='" +
+                                std::string(env) +
+                                "' is not an integer in [1, 4096]");
+  }
+  return static_cast<int>(v);
+}
+
+int resolve_worker_budget(int threads_per_worker, int workers) {
+  if (threads_per_worker > 0) return threads_per_worker;
+  return std::max(1, parallel_thread_count() / std::max(1, workers));
+}
 
 InferenceServer::InferenceServer(const infer::IntInferenceEngine& engine,
                                  ServerConfig config)
@@ -25,6 +48,13 @@ InferenceServer::InferenceServer(const infer::IntInferenceEngine& engine,
   if (config_.workers < 1) {
     throw std::invalid_argument("serve: workers must be >= 1");
   }
+  if (config_.threads_per_worker < 0) {
+    throw std::invalid_argument("serve: threads_per_worker must be >= 0");
+  }
+  const int env_budget = threads_per_worker_from_env();
+  if (env_budget > 0) config_.threads_per_worker = env_budget;
+  worker_budget_ =
+      resolve_worker_budget(config_.threads_per_worker, config_.workers);
   // The static memory contract: each worker runs at most one batch of at
   // most max_batch samples at a time, so under the slot executor its
   // planned activation slots occupy exactly arena x max_batch bytes (the
@@ -62,6 +92,10 @@ void InferenceServer::shutdown() {
 }
 
 void InferenceServer::worker_loop() {
+  // Every parallel_for this worker's forwards dispatch is capped to its
+  // share of the scheduler pool; with N workers mid-batch the machine is
+  // partitioned instead of oversubscribed (see ScopedThreadBudget).
+  const ScopedThreadBudget budget(worker_budget_);
   for (;;) {
     std::vector<Request> batch = batcher_.next_batch();
     if (batch.empty()) return;  // closed and drained

@@ -52,7 +52,23 @@ struct ServerConfig {
   /// parallelises inside a batch via the ADQ_THREADS pool, so one worker
   /// is the right default unless forwards leave cores idle.
   int workers = 1;
+  /// Intra-op thread budget each worker installs (ScopedThreadBudget)
+  /// before serving batches. 0 = auto: pool size / workers, so a lone
+  /// worker on an idle box still fans out wide while N busy workers
+  /// partition the machine instead of fighting over every core. The
+  /// ADQ_THREADS_PER_WORKER environment variable overrides when set.
+  int threads_per_worker = 0;
 };
+
+/// Strict ADQ_THREADS_PER_WORKER grammar: unset returns 0 (auto);
+/// otherwise a base-10 integer in [1, 4096], anything else throws
+/// std::invalid_argument naming the offending text.
+int threads_per_worker_from_env();
+
+/// The budget each of `workers` batch executors actually installs:
+/// `threads_per_worker` when explicit (> 0), otherwise an even split of
+/// the scheduler pool (minimum 1).
+int resolve_worker_budget(int threads_per_worker, int workers);
 
 class InferenceServer {
  public:
@@ -77,6 +93,8 @@ class InferenceServer {
   ServerStats::Snapshot stats() const { return stats_.snapshot(); }
   std::int64_t queue_depth() const { return queue_.depth(); }
   const ServerConfig& config() const { return config_; }
+  /// Resolved intra-op budget each worker runs under.
+  int worker_thread_budget() const { return worker_budget_; }
 
  private:
   void worker_loop();
@@ -87,6 +105,7 @@ class InferenceServer {
   DynamicBatcher batcher_;
   ServerStats stats_;
   std::atomic<std::uint64_t> completed_seq_{0};
+  int worker_budget_ = 0;
   std::vector<std::thread> workers_;
   bool joined_ = false;
   std::mutex shutdown_mutex_;

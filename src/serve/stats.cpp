@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/parallel.h"
+
 namespace adq::serve {
 namespace {
 
@@ -20,10 +22,16 @@ double percentile(const std::vector<double>& sorted, double q) {
 
 void ServerStats::record_batch(std::int64_t batch_size,
                                std::int64_t queue_depth_after) {
+  // Sampled before taking this aggregator's lock: a batch completion on
+  // one worker observes whichever jobs the OTHER workers have in flight —
+  // a cheap concurrency witness with no instrumentation on the hot path.
+  const ParallelPoolStats ps = parallel_pool_stats();
   std::lock_guard<std::mutex> lock(mutex_);
   ++batches_;
   ++histogram_[batch_size];
   max_depth_ = std::max(max_depth_, queue_depth_after);
+  pool_busy_peak_ = std::max(pool_busy_peak_, ps.busy_workers);
+  pool_live_jobs_peak_ = std::max(pool_live_jobs_peak_, ps.live_jobs);
 }
 
 void ServerStats::record_request(double queue_us, double exec_us,
@@ -82,8 +90,14 @@ void ServerStats::set_memory_contract(std::int64_t arena_bytes_per_sample,
 ServerStats::Snapshot ServerStats::snapshot() const {
   std::vector<double> total, queue, exec;
   Snapshot s;
+  const ParallelPoolStats ps = parallel_pool_stats();
+  s.pool_threads = ps.pool_threads;
+  s.pool_busy_workers = ps.busy_workers;
+  s.pool_live_jobs = ps.live_jobs;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    s.pool_busy_peak = pool_busy_peak_;
+    s.pool_live_jobs_peak = pool_live_jobs_peak_;
     s.requests = requests_;
     s.batches = batches_;
     s.max_queue_depth = max_depth_;
@@ -142,6 +156,8 @@ void ServerStats::reset() {
   step_downs_ = 0;
   step_ups_ = 0;
   current_step_ = 0;
+  pool_busy_peak_ = 0;
+  pool_live_jobs_peak_ = 0;
 }
 
 }  // namespace adq::serve

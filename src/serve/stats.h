@@ -64,6 +64,15 @@ class ServerStats {
     // float slots, 1/2/4/8 = packed sub-byte/byte cells.
     std::int64_t arena_bytes_u8_per_sample = 0;
     std::vector<std::pair<int, int>> act_cell_histogram;
+    // Scheduler occupancy: pool size, instantaneous busy workers / live
+    // parallel jobs at snapshot time, and the peaks observed at batch
+    // completions — the direct evidence that serving workers overlap
+    // compute instead of serializing behind a global region lock.
+    int pool_threads = 1;
+    int pool_busy_workers = 0;
+    int pool_live_jobs = 0;
+    int pool_busy_peak = 0;
+    int pool_live_jobs_peak = 0;
   };
 
   void record_batch(std::int64_t batch_size, std::int64_t queue_depth_after);
@@ -126,6 +135,8 @@ class ServerStats {
   std::int64_t peak_bytes_per_worker_ = 0;
   std::int64_t arena_bytes_u8_per_sample_ = 0;
   std::array<int, 9> act_cells_ = {};
+  int pool_busy_peak_ = 0;
+  int pool_live_jobs_peak_ = 0;
 };
 
 }  // namespace adq::serve

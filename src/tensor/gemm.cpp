@@ -103,7 +103,11 @@ void sgemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
   // The panels are per-thread grow-once scratch: a serving loop calls
   // sgemm once per float-path layer per forward, and those calls must not
   // allocate (the engine's zero-allocation steady-state contract).
-  const std::int64_t row_block = std::max<std::int64_t>(kMr, (m + parallel_thread_count() * 2 - 1) / (parallel_thread_count() * 2) / kMr * kMr);
+  // Blocked for the caller's thread budget, not the whole machine: a
+  // serving worker on a 2-thread budget wants 4 fat row blocks, not the
+  // 32 slivers a pool-wide split would produce.
+  const int threads = parallel_effective_threads();
+  const std::int64_t row_block = std::max<std::int64_t>(kMr, (m + threads * 2 - 1) / (threads * 2) / kMr * kMr);
   parallel_for(0, (m + row_block - 1) / row_block, [&](std::int64_t tb, std::int64_t te) {
     thread_local std::vector<float> a_buf, b_buf;
     if (static_cast<std::int64_t>(a_buf.size()) < row_block * kKc) {

@@ -118,7 +118,9 @@ void igemm_blocked(std::int64_t m, std::int64_t n, std::int64_t k,
   }
   if (k <= 0) return;
 
-  const int threads = parallel_thread_count();
+  // Block for the caller's thread budget (a serving worker may own only a
+  // slice of the pool), not the whole machine.
+  const int threads = parallel_effective_threads();
   const std::int64_t row_block = std::max<std::int64_t>(
       kMr, (m + threads * 2 - 1) / (threads * 2) / kMr * kMr);
   const std::int64_t row_tasks = (m + row_block - 1) / row_block;

@@ -2,157 +2,262 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <condition_variable>
 #include <cstdlib>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
 namespace adq {
 namespace {
 
+// Nested parallel_for calls (e.g. GEMM inside a batch-parallel conv loop)
+// run serially in the calling worker — see detail::in_parallel_region().
+thread_local bool t_in_parallel_region = false;
+
+// Innermost ScopedThreadBudget on this thread; 0 = whole pool.
+thread_local int t_thread_budget = 0;
+
 int detect_thread_count() {
   if (const char* env = std::getenv("ADQ_THREADS")) {
-    const int n = std::atoi(env);
-    if (n >= 1) return n;
+    return detail::parse_thread_count(env);
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
-// Fixed-size pool with a full acknowledge barrier per dispatch: run() wakes
-// every worker, each drains the chunk queue and then acknowledges the
-// epoch; run() returns only once all chunks are done AND every worker has
-// acknowledged. The barrier is what makes sequential run() calls safe — no
-// worker can still be inside drain() (and thus able to claim a chunk) when
-// the next epoch's begin/end/fn state is being rewritten. A cheaper design
-// that lets stale workers linger can claim a chunk of the *next* epoch
-// between its next_/pending_ stores, which both corrupts the pending count
-// (deadlocking the caller) and races the fn pointer.
-class Pool {
+// Concurrent job scheduler over a fixed worker pool.
+//
+// Every dispatch is an independent stack-allocated Job: an atomic chunk
+// cursor all participants claim from, a pending count of claimed-but-
+// unfinished chunks, and a completion latch (done_cv). The shared state —
+// the live-job list, per-job helper counts, and the worker wait channel —
+// sits behind one mutex that is touched only per dispatch and per worker
+// attach/detach, never per chunk, so concurrent jobs contend only on
+// their own cursors.
+//
+// Lifetime protocol (what makes a stack-allocated Job safe): a worker may
+// only reach a Job through jobs_ under the mutex, and registers itself in
+// job->helpers before releasing it. The caller drains its own job until
+// the cursor is exhausted (every chunk claimed), unlists the job — no new
+// helper can attach — and then waits for helpers to hit zero, which
+// implies pending == 0: unfinished chunks are always owned by an attached
+// participant. Only then does run_job() return and the Job die.
+class Scheduler {
  public:
-  Pool() : workers_(static_cast<std::size_t>(std::max(0, detect_thread_count() - 1))) {
+  Scheduler()
+      : workers_(static_cast<std::size_t>(
+            std::max(0, detect_thread_count() - 1))) {
     for (std::size_t i = 0; i < workers_.size(); ++i) {
       workers_[i] = std::thread([this] { worker_loop(); });
     }
   }
 
-  ~Pool() {
+  ~Scheduler() {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       stop_ = true;
     }
-    cv_.notify_all();
+    work_cv_.notify_all();
     for (auto& w : workers_) w.join();
   }
 
   int size() const { return static_cast<int>(workers_.size()) + 1; }
 
-  void run(std::int64_t begin, std::int64_t end, std::int64_t chunk,
-           const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  void run_job(std::int64_t begin, std::int64_t end, std::int64_t chunk,
+               int max_helpers,
+               const std::function<void(std::int64_t, std::int64_t)>& fn) {
+    Job job;
+    job.end = end;
+    job.chunk = chunk;
+    job.cursor.store(begin, std::memory_order_relaxed);
+    job.pending.store((end - begin + chunk - 1) / chunk,
+                      std::memory_order_relaxed);
+    job.fn = &fn;
+    job.max_helpers = std::min(max_helpers, static_cast<int>(workers_.size()));
+
+    if (job.max_helpers <= 0) {  // single-thread budget: no job to publish
+      drain(job);
+      return;
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      end_ = end;
-      chunk_ = chunk;
-      fn_ = &fn;
-      acks_.store(0, std::memory_order_relaxed);
-      const std::int64_t n_chunks = (end - begin + chunk - 1) / chunk;
-      pending_.store(n_chunks, std::memory_order_relaxed);
-      next_.store(begin, std::memory_order_release);
-      ++epoch_;
+      jobs_.push_back(&job);
+      ++dispatched_;
     }
-    cv_.notify_all();
-    drain();  // the caller works too
+    // Wake at most as many sleepers as may attach; a woken worker with
+    // nothing to pick (caps filled, cursors drained) just re-sleeps.
+    for (int i = 0; i < job.max_helpers; ++i) work_cv_.notify_one();
+
+    drain(job);  // the caller participates in its own job
+
     std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [this] {
-      return pending_.load(std::memory_order_acquire) == 0 &&
-             acks_.load(std::memory_order_acquire) ==
-                 static_cast<int>(workers_.size());
+    jobs_.erase(std::find(jobs_.begin(), jobs_.end(), &job));
+    job.done_cv.wait(lock, [&job] {
+      return job.helpers == 0 &&
+             job.pending.load(std::memory_order_acquire) == 0;
     });
-    fn_ = nullptr;
+  }
+
+  ParallelPoolStats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ParallelPoolStats s;
+    s.pool_threads = size();
+    s.busy_workers = busy_;
+    s.live_jobs = static_cast<int>(jobs_.size());
+    s.jobs_dispatched = dispatched_;
+    return s;
   }
 
  private:
-  void drain() {
-    while (true) {
-      const std::int64_t i = next_.fetch_add(chunk_, std::memory_order_acq_rel);
-      if (i >= end_) break;
-      (*fn_)(i, std::min(i + chunk_, end_));
-      if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard<std::mutex> lock(mutex_);
-        done_cv_.notify_all();
-      }
+  struct Job {
+    std::int64_t end = 0;
+    std::int64_t chunk = 1;
+    std::atomic<std::int64_t> cursor{0};
+    std::atomic<std::int64_t> pending{0};
+    const std::function<void(std::int64_t, std::int64_t)>* fn = nullptr;
+    int max_helpers = 0;  // pool workers allowed alongside the caller
+    int helpers = 0;      // attached pool workers (guarded by mutex_)
+    std::condition_variable done_cv;  // caller's completion latch (mutex_)
+  };
+
+  static void drain(Job& job) {
+    for (;;) {
+      const std::int64_t i =
+          job.cursor.fetch_add(job.chunk, std::memory_order_acq_rel);
+      if (i >= job.end) return;
+      (*job.fn)(i, std::min(i + job.chunk, job.end));
+      job.pending.fetch_sub(1, std::memory_order_acq_rel);
     }
   }
 
+  // Rotates across live jobs so helpers spread over every dispatch instead
+  // of piling onto the oldest one. Caller holds mutex_.
+  Job* pick_job_locked() {
+    const std::size_t n = jobs_.size();
+    for (std::size_t k = 0; k < n; ++k) {
+      Job* job = jobs_[(rr_ + k) % n];
+      if (job->helpers < job->max_helpers &&
+          job->cursor.load(std::memory_order_relaxed) < job->end) {
+        rr_ = (rr_ + k + 1) % n;
+        return job;
+      }
+    }
+    return nullptr;
+  }
+
   void worker_loop() {
-    std::uint64_t seen_epoch = 0;
-    while (true) {
-      {
-        std::unique_lock<std::mutex> lock(mutex_);
-        cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      Job* job = pick_job_locked();
+      if (job == nullptr) {
         if (stop_) return;
-        seen_epoch = epoch_;
+        work_cv_.wait(lock);
+        continue;
       }
-      drain();
-      {
-        std::lock_guard<std::mutex> lock(mutex_);
-        acks_.fetch_add(1, std::memory_order_acq_rel);
-        done_cv_.notify_all();
-      }
+      ++job->helpers;
+      ++busy_;
+      lock.unlock();
+      drain(*job);
+      lock.lock();
+      --busy_;
+      // The last helper off a fully-claimed job is what releases the
+      // caller (helpers == 0 implies pending == 0 — see class comment).
+      if (--job->helpers == 0) job->done_cv.notify_one();
     }
   }
 
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::condition_variable done_cv_;
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::vector<Job*> jobs_;  // live (listed) jobs; pointers into caller stacks
+  std::size_t rr_ = 0;      // round-robin pick origin
+  int busy_ = 0;            // workers currently inside drain()
+  std::uint64_t dispatched_ = 0;
   bool stop_ = false;
-  std::uint64_t epoch_ = 0;
-
-  std::int64_t end_ = 0;
-  std::int64_t chunk_ = 1;
-  std::atomic<std::int64_t> next_{0};
-  std::atomic<std::int64_t> pending_{0};
-  std::atomic<int> acks_{0};
-  const std::function<void(std::int64_t, std::int64_t)>* fn_ = nullptr;
 };
 
-Pool& pool() {
-  static Pool instance;
+Scheduler& pool() {
+  static Scheduler instance;
   return instance;
 }
-
-// Nested parallel_for calls (e.g. GEMM inside a batch-parallel conv loop)
-// run serially in the calling worker: the pool has a single dispatch epoch,
-// so re-entering it would deadlock. Top-level calls from different threads
-// are serialized by run_mutex for the same reason.
-thread_local bool t_in_parallel_region = false;
-std::mutex run_mutex;
 
 }  // namespace
 
 int parallel_thread_count() { return pool().size(); }
 
+int parallel_effective_threads() {
+  const int n = parallel_thread_count();
+  const int budget = t_thread_budget;
+  return budget == 0 ? n : std::min(budget, n);
+}
+
+ScopedThreadBudget::ScopedThreadBudget(int budget) : prev_(t_thread_budget) {
+  if (budget < 0) {
+    throw std::invalid_argument("parallel: thread budget must be >= 0 (0 = "
+                                "whole pool), got " + std::to_string(budget));
+  }
+  t_thread_budget = budget;
+}
+
+ScopedThreadBudget::~ScopedThreadBudget() { t_thread_budget = prev_; }
+
+ParallelPoolStats parallel_pool_stats() { return pool().stats(); }
+
 namespace detail {
 
 bool in_parallel_region() { return t_in_parallel_region; }
 
+namespace {
+// exchange_serialize_dispatch state: the bench-only resurrection of the
+// old one-region-at-a-time design (default OFF — the whole point of the
+// scheduler is that no such global lock exists on the dispatch path).
+std::atomic<bool> g_serialize_dispatch{false};
+std::mutex& serialize_dispatch_mutex() {
+  static std::mutex m;
+  return m;
+}
+}  // namespace
+
+bool exchange_serialize_dispatch(bool serialize) {
+  return g_serialize_dispatch.exchange(serialize, std::memory_order_acq_rel);
+}
+
+int parse_thread_count(const char* text) {
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE || v < 1 || v > 4096) {
+    throw std::invalid_argument("parallel: ADQ_THREADS='" + std::string(text) +
+                                "' is not an integer in [1, 4096]");
+  }
+  return static_cast<int>(v);
+}
+
 void parallel_run(std::int64_t begin, std::int64_t end, std::int64_t grain,
                   const std::function<void(std::int64_t, std::int64_t)>& fn) {
   const std::int64_t n = end - begin;
-  const int threads = parallel_thread_count();
-  // 4 chunks per thread gives the atomic-counter scheduler room to balance
-  // without shrinking chunks below the caller's grain.
-  const std::int64_t chunk = std::max(grain, (n + threads * 4 - 1) / (threads * 4));
+  const int threads = parallel_effective_threads();
+  // 4 chunks per participating thread gives the atomic-cursor scheduler
+  // room to balance without shrinking chunks below the caller's grain.
+  const std::int64_t chunk =
+      std::max(grain, (n + threads * 4 - 1) / (threads * 4));
   const std::function<void(std::int64_t, std::int64_t)> wrapped =
       [&fn](std::int64_t b, std::int64_t e) {
         t_in_parallel_region = true;
         fn(b, e);
         t_in_parallel_region = false;
       };
-  std::lock_guard<std::mutex> lock(run_mutex);
-  pool().run(begin, end, chunk, wrapped);
+  if (g_serialize_dispatch.load(std::memory_order_acquire)) {
+    // Serialized-baseline A/B mode (see exchange_serialize_dispatch).
+    std::lock_guard<std::mutex> lock(serialize_dispatch_mutex());
+    pool().run_job(begin, end, chunk, threads - 1, wrapped);
+    return;
+  }
+  pool().run_job(begin, end, chunk, threads - 1, wrapped);
 }
 
 }  // namespace detail

@@ -1,9 +1,14 @@
-// Minimal persistent thread pool with a parallel_for primitive.
+// Concurrent task scheduler with a parallel_for primitive.
 //
-// The pool is created once (lazily) and reused; parallel_for splits [begin,
-// end) into contiguous chunks, one per worker. Workloads in adq are large
-// regular loops (GEMM row blocks, im2col patches), so static chunking is the
-// right trade-off and keeps the scheduler trivial.
+// A persistent worker pool is created once (lazily) and shared by every
+// caller. Each parallel_for dispatch becomes an independent JOB — its own
+// atomic chunk cursor, pending-chunk count, and completion latch — pushed
+// to the pool, so any number of top-level parallel regions (one per
+// serving worker mid-batch, say) proceed simultaneously: the caller
+// drains its own job's chunks, and idle pool threads steal chunks from
+// whichever jobs are live. Workloads in adq are large regular loops (GEMM
+// row blocks, im2col patches), so chunked self-scheduling over an atomic
+// cursor is the right trade-off and keeps the scheduler small.
 //
 // parallel_for is a template on the callable: the serial fast path invokes
 // it directly and the pool path wraps it in a one-pointer adapter that fits
@@ -18,33 +23,87 @@
 
 namespace adq {
 
-/// Number of worker threads the pool uses (hardware concurrency, overridable
-/// via the ADQ_THREADS environment variable; minimum 1).
+/// Number of threads the pool can bring to bear on one dispatch: the
+/// persistent workers plus the calling thread. Sized from hardware
+/// concurrency, overridable via ADQ_THREADS (a strict base-10 integer in
+/// [1, 4096]; anything else throws std::invalid_argument at pool
+/// creation — garbage must not silently serialize the process).
 int parallel_thread_count();
+
+/// Threads a parallel_for issued by the CALLING thread may occupy: the
+/// pool size clamped to the innermost ScopedThreadBudget, minimum 1.
+/// Chunking heuristics (GEMM row blocks, epilogue grains) must size
+/// against this, not parallel_thread_count() — chunks split for a
+/// whole-machine fan-out are wrong for a 2-thread budget.
+int parallel_effective_threads();
+
+/// Caps how many threads (caller included) serve each parallel_for the
+/// calling thread dispatches while this guard is alive. Serving workers
+/// use it to partition the machine (ADQ_THREADS_PER_WORKER) instead of
+/// fighting over every core; budget 1 makes dispatches run inline. 0
+/// restores "whole pool". Guards nest; each restores the previous budget.
+/// Throws std::invalid_argument on a negative budget.
+class ScopedThreadBudget {
+ public:
+  explicit ScopedThreadBudget(int budget);
+  ~ScopedThreadBudget();
+  ScopedThreadBudget(const ScopedThreadBudget&) = delete;
+  ScopedThreadBudget& operator=(const ScopedThreadBudget&) = delete;
+
+ private:
+  int prev_;
+};
+
+/// Instantaneous scheduler occupancy — what ServerStats samples so an
+/// operator can see whether serving workers actually overlap compute.
+struct ParallelPoolStats {
+  int pool_threads = 1;    ///< parallel_thread_count()
+  int busy_workers = 0;    ///< pool workers executing job chunks right now
+  int live_jobs = 0;       ///< dispatches in flight right now
+  std::uint64_t jobs_dispatched = 0;  ///< total jobs ever pushed to the pool
+};
+ParallelPoolStats parallel_pool_stats();
 
 namespace detail {
 
-/// True when the calling thread is already inside a parallel region (nested
-/// parallel_for calls run serially — the pool has a single dispatch epoch).
+/// True when the calling thread is already inside a parallel region.
+/// Nested parallel_for calls run serially in the calling worker: the
+/// outer job's chunks already saturate the budget, and a worker blocking
+/// on an inner job's completion would idle a pool thread the outer region
+/// is counting on.
 bool in_parallel_region();
 
-/// Dispatches fn over the pool. fn's target must be small enough to sit in
-/// std::function's inline storage (parallel_for passes a single-reference
-/// adapter); chunking and the serial fallback are the caller's job.
+/// Strict ADQ_THREADS grammar: a base-10 integer in [1, 4096], nothing
+/// else (no trailing junk, no signs of a float, no silent fallback).
+/// Throws std::invalid_argument with the offending text otherwise.
+int parse_thread_count(const char* text);
+
+/// Bench/test-only A/B hook: when enabled, every dispatch queues behind
+/// one process-global mutex — the pre-scheduler "single region at a
+/// time" design — so `bench_serve_scaling` can measure the serialized
+/// baseline and the concurrent scheduler in the SAME run. Returns the
+/// previous setting. Production code must never turn this on.
+bool exchange_serialize_dispatch(bool serialize);
+
+/// Dispatches fn as one job over the pool. fn's target must be small
+/// enough to sit in std::function's inline storage (parallel_for passes a
+/// single-reference adapter); chunking and the serial fallback are the
+/// caller's job.
 void parallel_run(std::int64_t begin, std::int64_t end, std::int64_t grain,
                   const std::function<void(std::int64_t, std::int64_t)>& fn);
 
 }  // namespace detail
 
 /// Runs fn(begin_i, end_i) on disjoint chunks covering [begin, end).
-/// Falls back to a serial call when the range is small or the pool has a
-/// single worker. fn must be safe to invoke concurrently on disjoint ranges.
+/// Falls back to a serial call when the range is small, the caller's
+/// thread budget is 1, or the caller is already inside a parallel region.
+/// fn must be safe to invoke concurrently on disjoint ranges.
 template <typename Fn>
 void parallel_for(std::int64_t begin, std::int64_t end, const Fn& fn,
                   std::int64_t grain = 1) {
   if (begin >= end) return;
-  if (parallel_thread_count() == 1 || end - begin <= grain ||
-      detail::in_parallel_region()) {
+  if (end - begin <= grain || detail::in_parallel_region() ||
+      parallel_effective_threads() == 1) {
     fn(begin, end);
     return;
   }

@@ -477,6 +477,45 @@ TEST(Registry, EnvPinsTheLadderAndRejectsGarbage) {
   }
 }
 
+TEST(Registry, ThreadsPerWorkerEnvAppliesAndRejectsGarbage) {
+  {
+    // A 1-thread intra-op budget on a 2-worker model still serves every
+    // request — workers scale by batch-level concurrency alone.
+    EnvVar env("ADQ_THREADS_PER_WORKER", "1");
+    ModelRegistry registry;
+    ModelConfig cfg;
+    cfg.use_env = true;
+    cfg.workers = 2;
+    registry.add_model("vgg", {vgg_plan(8)}, cfg);
+    Rng rng(47);
+    std::vector<std::future<InferenceResult>> futures;
+    for (int i = 0; i < 6; ++i) {
+      futures.push_back(registry.submit("vgg", cifar_sample(rng)));
+    }
+    for (auto& f : futures) EXPECT_EQ(f.get().logits.shape().dim(0), 10);
+    registry.shutdown();
+    EXPECT_EQ(registry.stats("vgg").requests, 6u);
+  }
+  {
+    EnvVar env("ADQ_THREADS_PER_WORKER", "2x");
+    ModelRegistry registry;
+    ModelConfig cfg;
+    cfg.use_env = true;
+    EXPECT_THROW(registry.add_model("vgg", {vgg_plan(8)}, cfg),
+                 std::invalid_argument);
+  }
+  {
+    // Explicit configs bypass the env (use_env = false): a hermetic test
+    // server must not inherit the operator's partitioning.
+    EnvVar env("ADQ_THREADS_PER_WORKER", "garbage");
+    ModelRegistry registry;
+    registry.add_model("vgg", {vgg_plan(8)}, hermetic_config());
+    Rng rng(48);
+    EXPECT_EQ(registry.submit("vgg", cifar_sample(rng)).get().top1 >= 0, true);
+    registry.shutdown();
+  }
+}
+
 TEST(Registry, SheddingBaselineRejectsWithServerOverloaded) {
   ModelRegistry registry;
   ModelConfig cfg = hermetic_config();

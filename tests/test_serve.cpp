@@ -7,11 +7,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <future>
 #include <memory>
 #include <numeric>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -23,12 +26,16 @@
 #include "serve/server.h"
 #include "serve/stats.h"
 #include "tensor/ops.h"
+#include "tensor/parallel.h"
 #include "tensor/rng.h"
+
+#include "plan_test_util.h"
 
 namespace adq::serve {
 namespace {
 
 using infer::IntInferenceEngine;
+using infer::testutil::ScopedEnv;
 
 constexpr std::int64_t kC = 3, kH = 8, kW = 8;
 
@@ -142,6 +149,44 @@ TEST(ServeQueue, PolicyValidation) {
                std::invalid_argument);
   EXPECT_THROW(DynamicBatcher(queue, BatchPolicy{4, -1}),
                std::invalid_argument);
+}
+
+TEST(ServeQueue, SingleArrivalWakesOneBlockedPopper) {
+  // Thundering-herd micro-assertion: with M poppers parked on an empty
+  // queue, one arrival must wake at most ONE of them (push gates a single
+  // notify_one on an actual waiter); only close() wakes the herd, because
+  // every popper must observe shutdown. The wakeup counter makes the
+  // contract measurable: a regression to notify_all-per-push multiplies
+  // wakeups by the popper count (here ~4x the asserted bound).
+  Rng rng(11);
+  RequestQueue queue;
+  constexpr int kPoppers = 4;
+  constexpr int kPushes = 32;
+  std::atomic<int> popped{0};
+  std::vector<std::thread> poppers;
+  for (int p = 0; p < kPoppers; ++p) {
+    poppers.emplace_back([&] {
+      for (;;) {
+        // max_batch 1: a popper never lingers in the deadline wait, so
+        // every wakeup counted below is a push or the close broadcast.
+        const std::vector<Request> batch =
+            queue.pop_batch(1, std::chrono::microseconds(10'000'000));
+        if (batch.empty()) return;  // closed and drained
+        popped += static_cast<int>(batch.size());
+      }
+    });
+  }
+  for (int i = 0; i < kPushes; ++i) {
+    (void)queue.push(make_sample(rng));
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  queue.close();
+  for (auto& t : poppers) t.join();
+  EXPECT_EQ(popped.load(), kPushes);
+  // One wakeup per push, one per popper at close, a little slack for
+  // spurious OS wakeups. notify_all-per-push would be ~kPushes * kPoppers.
+  EXPECT_LE(queue.popper_wakeups(),
+            static_cast<std::uint64_t>(kPushes + 2 * kPoppers + 8));
 }
 
 TEST(ServeQueue, FailPendingResolvesEveryFutureWithServerStopped) {
@@ -388,6 +433,57 @@ TEST(ServeServer, ConfigValidation) {
   bad_workers.workers = 0;
   EXPECT_THROW(InferenceServer(*fx.engine, bad_workers),
                std::invalid_argument);
+
+  ServerConfig bad_budget = fx.config(4, 100);
+  bad_budget.threads_per_worker = -1;
+  EXPECT_THROW(InferenceServer(*fx.engine, bad_budget),
+               std::invalid_argument);
+}
+
+TEST(ServeServer, ThreadsPerWorkerEnvGrammar) {
+  {
+    ScopedEnv env("ADQ_THREADS_PER_WORKER", "3");
+    EXPECT_EQ(threads_per_worker_from_env(), 3);
+  }
+  for (const char* bad : {"abc", "2x", "-1", "0", "", "1.5", "4097"}) {
+    ScopedEnv env("ADQ_THREADS_PER_WORKER", bad);
+    EXPECT_THROW(threads_per_worker_from_env(), std::invalid_argument)
+        << "accepted ADQ_THREADS_PER_WORKER='" << bad << "'";
+  }
+  if (std::getenv("ADQ_THREADS_PER_WORKER") == nullptr) {
+    EXPECT_EQ(threads_per_worker_from_env(), 0);  // unset = auto
+  }
+}
+
+TEST(ServeServer, WorkerBudgetPartitionsThePool) {
+  const int pool_n = parallel_thread_count();
+  // Auto: an even split of the scheduler pool, never below 1.
+  EXPECT_EQ(resolve_worker_budget(0, 1), std::max(1, pool_n));
+  EXPECT_EQ(resolve_worker_budget(0, 2), std::max(1, pool_n / 2));
+  EXPECT_EQ(resolve_worker_budget(0, 1'000), 1);
+  // Explicit beats auto.
+  EXPECT_EQ(resolve_worker_budget(3, 2), 3);
+
+  // A multi-worker server under a 1-thread intra-op budget still serves
+  // every request, and the occupancy fields surface in its stats.
+  ServeFixture fx;
+  ServerConfig cfg = fx.config(4, 1'000, /*workers=*/2);
+  cfg.threads_per_worker = 1;
+  InferenceServer server(*fx.engine, cfg);
+  EXPECT_EQ(server.worker_thread_budget(), 1);
+  Rng rng(9);
+  std::vector<std::future<InferenceResult>> futures;
+  for (int i = 0; i < 8; ++i) futures.push_back(server.submit(fx.sample(rng)));
+  for (auto& f : futures) {
+    const InferenceResult r = f.get();
+    EXPECT_EQ(r.logits.shape().dim(0), 10);
+  }
+  server.shutdown();
+  const ServerStats::Snapshot st = server.stats();
+  EXPECT_EQ(st.requests, 8u);
+  EXPECT_EQ(st.pool_threads, pool_n);
+  EXPECT_GE(st.pool_busy_peak, 0);
+  EXPECT_EQ(st.pool_live_jobs, 0);  // nothing in flight after shutdown
 }
 
 // One compiled plan shared by many threads: concurrent forward() calls

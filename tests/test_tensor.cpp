@@ -3,10 +3,13 @@
 // elementwise/reduction ops.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <numeric>
+#include <stdexcept>
 #include <thread>
+#include <vector>
 
 #include "tensor/gemm.h"
 #include "tensor/im2col.h"
@@ -361,6 +364,141 @@ TEST(Parallel, SingleThreadFallbackIsSerial) {
   if (single) {
     EXPECT_FALSE(off_thread.load());
   }
+}
+
+TEST(Parallel, ThreadCountGrammarAcceptsIntegers) {
+  EXPECT_EQ(detail::parse_thread_count("1"), 1);
+  EXPECT_EQ(detail::parse_thread_count("8"), 8);
+  EXPECT_EQ(detail::parse_thread_count("4096"), 4096);
+}
+
+TEST(Parallel, ThreadCountGrammarRejectsGarbage) {
+  // atoi used to map every one of these to a silent fallback; the strict
+  // grammar must refuse them with a precise error instead.
+  for (const char* bad : {"abc", "4x", "-2", "0", "", "1.5", "1e3", "+",
+                          "99999999999999999999", "4097"}) {
+    EXPECT_THROW(detail::parse_thread_count(bad), std::invalid_argument)
+        << "accepted ADQ_THREADS='" << bad << "'";
+  }
+}
+
+TEST(Parallel, ConcurrentTopLevelCallersProduceDisjointOutputs) {
+  // M independent top-level parallel_for regions in flight at once — the
+  // concurrent-scheduler contract. Each caller fills its OWN buffer with a
+  // caller-specific pattern; any cross-job chunk mixup (a worker applying
+  // job A's fn to job B's range, a corrupted cursor, a latch releasing
+  // early) corrupts a buffer. Several rounds shake out interleavings.
+  constexpr int kCallers = 4;
+  constexpr std::int64_t kN = 20'000;
+  for (int round = 0; round < 8; ++round) {
+    std::vector<std::vector<std::int64_t>> out(
+        kCallers, std::vector<std::int64_t>(kN, -1));
+    std::vector<std::thread> callers;
+    for (int c = 0; c < kCallers; ++c) {
+      callers.emplace_back([c, &out] {
+        const std::int64_t base = static_cast<std::int64_t>(c + 1) * 1'000'000;
+        parallel_for(0, kN, [&](std::int64_t b, std::int64_t e) {
+          for (std::int64_t i = b; i < e; ++i) {
+            out[static_cast<std::size_t>(c)][static_cast<std::size_t>(i)] =
+                base + i;
+          }
+        }, /*grain=*/64);
+      });
+    }
+    for (auto& t : callers) t.join();
+    for (int c = 0; c < kCallers; ++c) {
+      const std::int64_t base = static_cast<std::int64_t>(c + 1) * 1'000'000;
+      for (std::int64_t i = 0; i < kN; ++i) {
+        ASSERT_EQ(out[static_cast<std::size_t>(c)][static_cast<std::size_t>(i)],
+                  base + i)
+            << "caller " << c << " index " << i << " round " << round;
+      }
+    }
+  }
+}
+
+TEST(Parallel, OversubscribedCallersComplete) {
+  // More concurrent callers than pool threads: every caller drains its own
+  // job, so completion must never depend on a pool worker being free. A
+  // deadlock here trips the suite timeout.
+  const int callers = 2 * parallel_thread_count() + 2;
+  std::vector<std::int64_t> sums(static_cast<std::size_t>(callers), 0);
+  std::vector<std::thread> threads;
+  for (int c = 0; c < callers; ++c) {
+    threads.emplace_back([c, &sums] {
+      std::atomic<std::int64_t> sum{0};
+      parallel_for(0, 4'096, [&](std::int64_t b, std::int64_t e) {
+        std::int64_t local = 0;
+        for (std::int64_t i = b; i < e; ++i) local += i;
+        sum += local;
+      }, /*grain=*/32);
+      sums[static_cast<std::size_t>(c)] = sum.load();
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const std::int64_t s : sums) EXPECT_EQ(s, 4'095 * 4'096 / 2);
+}
+
+TEST(Parallel, NestedCallsInsideConcurrentCallersStaySerial) {
+  // The nested-serial fallback must hold inside every concurrently live
+  // region, not just for a lone caller.
+  constexpr int kCallers = 3;
+  std::vector<std::thread> callers;
+  std::vector<std::atomic<int>> totals(kCallers);
+  for (auto& t : totals) t = 0;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([c, &totals] {
+      parallel_for(0, 8, [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t i = b; i < e; ++i) {
+          parallel_for(0, 10, [&](std::int64_t ib, std::int64_t ie) {
+            totals[static_cast<std::size_t>(c)] += static_cast<int>(ie - ib);
+          });
+        }
+      });
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (const auto& t : totals) EXPECT_EQ(t.load(), 80);
+}
+
+TEST(Parallel, ScopedThreadBudgetCapsAndRestores) {
+  const int pool_n = parallel_thread_count();
+  EXPECT_EQ(parallel_effective_threads(), pool_n);
+  {
+    ScopedThreadBudget one(1);
+    EXPECT_EQ(parallel_effective_threads(), 1);
+    // Budget 1 runs dispatches inline on the caller, whole range at once.
+    const std::thread::id caller = std::this_thread::get_id();
+    int calls = 0;
+    bool off_thread = false;
+    parallel_for(0, 10'000, [&](std::int64_t, std::int64_t) {
+      ++calls;
+      off_thread |= std::this_thread::get_id() != caller;
+    });
+    EXPECT_EQ(calls, 1);
+    EXPECT_FALSE(off_thread);
+    {
+      ScopedThreadBudget two(2);
+      EXPECT_EQ(parallel_effective_threads(), std::min(2, pool_n));
+    }
+    EXPECT_EQ(parallel_effective_threads(), 1);  // inner guard restored
+  }
+  EXPECT_EQ(parallel_effective_threads(), pool_n);
+  EXPECT_THROW(ScopedThreadBudget{-1}, std::invalid_argument);
+}
+
+TEST(Parallel, PoolStatsCountDispatches) {
+  const ParallelPoolStats before = parallel_pool_stats();
+  EXPECT_EQ(before.pool_threads, parallel_thread_count());
+  parallel_for(0, 10'000, [](std::int64_t, std::int64_t) {}, /*grain=*/1);
+  const ParallelPoolStats after = parallel_pool_stats();
+  if (parallel_thread_count() > 1) {
+    EXPECT_GT(after.jobs_dispatched, before.jobs_dispatched);
+  } else {
+    // Serial fast path: nothing reaches the scheduler.
+    EXPECT_EQ(after.jobs_dispatched, before.jobs_dispatched);
+  }
+  EXPECT_EQ(after.live_jobs, 0);  // nothing in flight between dispatches
 }
 
 // Naive reference GEMM for validation.
